@@ -1,0 +1,89 @@
+// Ablations of the optical-layer design choices called out in DESIGN.md:
+//   (1) wavelength-assignment policy (first-fit / most-used / least-used)
+//       under circuit churn with scarce wavelengths;
+//   (2) regenerator balancing (inverse-remaining node weights, Fig. 5) vs
+//       ignoring remaining counts.
+// Metric: blocking rate — the fraction of circuit requests that could not
+// be provisioned.
+#include <cstdio>
+
+#include "harness.h"
+#include "optical/optical_network.h"
+
+using namespace owan;
+
+namespace {
+
+// Packing fill: provision random circuits (with light churn) until 25
+// consecutive requests block; returns how many circuits are live at that
+// point — a direct measure of how well the policy packs the plant.
+int FillCapacity(optical::OpticalNetwork on, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<optical::CircuitId> live;
+  const int n = on.NumSites();
+  int consecutive_blocked = 0;
+  while (consecutive_blocked < 25) {
+    if (!live.empty() && rng.Chance(0.15)) {
+      const size_t k = rng.Index(live.size());
+      on.ReleaseCircuit(live[k]);
+      live.erase(live.begin() + static_cast<long>(k));
+      continue;
+    }
+    const int a = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    int b = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    if (b == a) b = (b + 1) % n;
+    auto id = on.ProvisionCircuit(a, b);
+    if (id) {
+      live.push_back(*id);
+      consecutive_blocked = 0;
+    } else {
+      ++consecutive_blocked;
+    }
+  }
+  return static_cast<int>(live.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — wavelength assignment policy");
+  {
+    // Scarce wavelengths stress continuity: 4 lambdas per fiber.
+    topo::WanParams p;
+    p.wavelengths_per_fiber = 4;
+    p.wavelength_gbps = 100.0;
+    const char* names[] = {"first-fit", "most-used", "least-used"};
+    const optical::WavelengthPolicy policies[] = {
+        optical::WavelengthPolicy::kFirstFit,
+        optical::WavelengthPolicy::kMostUsed,
+        optical::WavelengthPolicy::kLeastUsed};
+    for (int pi = 0; pi < 3; ++pi) {
+      double total = 0.0;
+      for (uint64_t seed = 1; seed <= 8; ++seed) {
+        topo::Wan wan = topo::MakeIspBackbone(7, 40, p);
+        wan.optical.set_wavelength_policy(policies[pi]);
+        total += FillCapacity(wan.optical, seed);
+      }
+      std::printf("  %-10s circuits packed before blocking: %.1f\n",
+                  names[pi], total / 8.0);
+    }
+  }
+
+  bench::PrintHeader("Ablation — regenerator balancing (Fig. 5 weights)");
+  {
+    // Make regenerators the scarce resource: tight reach, few regens.
+    topo::WanParams p;
+    p.reach_km = 900.0;
+    for (bool balance : {true, false}) {
+      double total = 0.0;
+      for (uint64_t seed = 1; seed <= 8; ++seed) {
+        topo::Wan wan = topo::MakeIspBackbone(7, 40, p);
+        wan.optical.set_balance_regens(balance);
+        total += FillCapacity(wan.optical, seed);
+      }
+      std::printf("  %-12s circuits packed before blocking: %.1f\n",
+                  balance ? "balanced" : "unbalanced", total / 8.0);
+    }
+  }
+  return 0;
+}

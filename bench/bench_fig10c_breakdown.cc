@@ -1,0 +1,46 @@
+// Reproduces Fig. 10(c): breakdown of gains — average completion time when
+// the controller manages (1) rates only, (2) rates + routing, (3) rates +
+// routing + topology, on the inter-DC topology. Times are normalized by
+// the full system at load 0.5, exactly as in the paper.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace owan;
+
+int main() {
+  topo::Wan wan = topo::MakeInterDc();
+  const bench::NamedScheme levels[] = {
+      bench::MakeOwanLevel(core::ControlLevel::kRateOnly, "rate"),
+      bench::MakeOwanLevel(core::ControlLevel::kRateAndRouting, "+rout."),
+      bench::MakeOwanLevel(core::ControlLevel::kFull, "+topo."),
+  };
+  const double loads[] = {0.5, 1.0, 1.5, 2.0};
+
+  double norm = 0.0;
+  double mean[3][4] = {};
+  for (size_t li = 0; li < 4; ++li) {
+    const auto reqs =
+        workload::GenerateWorkload(wan, bench::ParamsFor(wan, loads[li]));
+    for (size_t si = 0; si < 3; ++si) {
+      const bench::RunStats s =
+          bench::RunOne(wan, reqs, levels[si], loads[li]);
+      mean[si][li] = s.completion.Mean();
+      if (si == 2 && li == 0) norm = s.completion.Mean();
+    }
+  }
+
+  bench::PrintHeader("Fig. 10c — breakdown of gains (inter-DC)");
+  std::printf("normalized avg completion time (1.0 = full control at "
+              "load 0.5)\n%-8s", "scheme");
+  for (double l : loads) std::printf("  load=%-4.1f", l);
+  std::printf("\n");
+  for (size_t si = 0; si < 3; ++si) {
+    std::printf("%-8s", levels[si].name.c_str());
+    for (size_t li = 0; li < 4; ++li) {
+      std::printf("  %8.2f ", mean[si][li] / norm);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

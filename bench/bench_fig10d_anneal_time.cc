@@ -1,0 +1,60 @@
+// Reproduces Fig. 10(d): impact of the simulated-annealing running time on
+// average transfer completion time. The paper caps SA wall time; here the
+// knob is the iteration budget, and the measured per-slot wall time is
+// reported alongside so the two axes can be compared directly.
+#include <chrono>
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace owan;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  topo::Wan wan = topo::MakeInterDc();
+  const auto reqs =
+      workload::GenerateWorkload(wan, bench::ParamsFor(wan, 1.0));
+
+  bench::PrintHeader("Fig. 10d — annealing budget vs completion time");
+  std::printf("%10s  %14s  %16s  %12s\n", "SA iters", "wall ms/slot",
+              "avg completion", "vs best");
+
+  struct Row {
+    int iters;
+    double ms_per_slot;
+    double avg_ct;
+  };
+  std::vector<Row> rows;
+  for (int iters : {5, 20, 80, 150, 300, 600, 1200}) {
+    auto scheme = bench::MakeOwan(core::SchedulingPolicy::kShortestJobFirst,
+                                  iters);
+    auto te = scheme.make(wan);
+    const auto t0 = Clock::now();
+    sim::SimResult res = sim::RunSimulation(wan, reqs, *te);
+    const double wall =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    rows.push_back(Row{iters, wall / std::max(1, res.slots),
+                       sim::CompletionTimes(res).Mean()});
+  }
+  double best = 1e18;
+  for (const Row& r : rows) best = std::min(best, r.avg_ct);
+  for (const Row& r : rows) {
+    std::printf("%10d  %14.1f  %15.0fs  %11.2fx\n", r.iters, r.ms_per_slot,
+                r.avg_ct, r.avg_ct / best);
+  }
+
+  // Warm vs cold start ablation at a fixed budget (DESIGN.md §4).
+  std::printf("\nwarm-start ablation (300 iterations):\n");
+  for (bool warm : {true, false}) {
+    core::OwanOptions opt;
+    opt.anneal.max_iterations = 300;
+    opt.anneal.warm_start = warm;
+    core::OwanTe te(opt);
+    sim::SimResult res = sim::RunSimulation(wan, reqs, te);
+    std::printf("  %-10s avg completion %.0fs, circuit changes %d\n",
+                warm ? "warm" : "cold", sim::CompletionTimes(res).Mean(),
+                res.topology_changes);
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Fig. 7(g-i): completion-time results on the ~25-site
+// inter-DC topology (super-core ring + leaves, moving hotspots).
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig7(owan::topo::MakeInterDc());
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Fig. 7(a-c): completion-time results on the Internet2
+// topology (the paper's hardware testbed, here driven by the flow-based
+// simulator that the paper validates within 10% of the testbed).
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig7(owan::topo::MakeInternet2());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Fig. 7(d-f): completion-time results on the ~40-site ISP
+// backbone topology.
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig7(owan::topo::MakeIspBackbone());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Fig. 8(a-c): makespan improvement of Owan over the
+// network-layer-only baselines, on all three topologies.
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig8(owan::topo::MakeInternet2());
+  owan::bench::RunFig8(owan::topo::MakeIspBackbone());
+  owan::bench::RunFig8(owan::topo::MakeInterDc());
+  return 0;
+}

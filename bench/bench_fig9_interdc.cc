@@ -1,0 +1,8 @@
+// Reproduces Fig. 9(g-i): deadline-constrained traffic on the inter-DC
+// topology.
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig9(owan::topo::MakeInterDc());
+  return 0;
+}

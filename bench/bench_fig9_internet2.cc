@@ -1,0 +1,7 @@
+// Reproduces Fig. 9(a-c): deadline-constrained traffic on Internet2.
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig9(owan::topo::MakeInternet2());
+  return 0;
+}

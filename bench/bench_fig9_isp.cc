@@ -1,0 +1,8 @@
+// Reproduces Fig. 9(d-f): deadline-constrained traffic on the ISP
+// backbone.
+#include "experiments.h"
+
+int main() {
+  owan::bench::RunFig9(owan::topo::MakeIspBackbone());
+  return 0;
+}

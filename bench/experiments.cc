@@ -1,0 +1,117 @@
+#include "experiments.h"
+
+#include <cstdio>
+
+namespace owan::bench {
+
+namespace {
+const double kLoads[] = {0.5, 1.0, 1.5, 2.0};
+const double kDeadlineFactors[] = {5.0, 10.0, 20.0, 35.0, 50.0};
+}  // namespace
+
+void RunFig7(const topo::Wan& wan) {
+  PrintHeader("Fig. 7 — transfer completion time, " + wan.name +
+              " (no deadlines)");
+  const NamedScheme owan_scheme = MakeOwan();
+  const NamedScheme baselines[] = {MakeMaxFlow(), MakeMaxMinFract(),
+                                   MakeSwan()};
+
+  RunStats owan_at_load1;
+  std::vector<RunStats> base_at_load1;
+
+  std::printf("(a/d/g) factor of improvement vs traffic load:\n");
+  for (double load : kLoads) {
+    const auto reqs =
+        workload::GenerateWorkload(wan, ParamsFor(wan, load));
+    const RunStats owan_stats = RunOne(wan, reqs, owan_scheme, load);
+    for (const NamedScheme& b : baselines) {
+      const RunStats bs = RunOne(wan, reqs, b, load);
+      PrintImprovementRow(owan_stats, bs);
+      if (load == 1.0) base_at_load1.push_back(bs);
+    }
+    if (load == 1.0) owan_at_load1 = owan_stats;
+  }
+
+  std::printf("(b/e/h) improvement by transfer-size bin (load 1.0):\n");
+  for (const RunStats& bs : base_at_load1) {
+    PrintBinImprovementRows(owan_at_load1, bs);
+  }
+
+  std::printf("(c/f/i) completion-time CDF (load 1.0):\n");
+  PrintCdf(owan_at_load1);
+  for (const RunStats& bs : base_at_load1) PrintCdf(bs);
+}
+
+void RunFig8(const topo::Wan& wan) {
+  PrintHeader("Fig. 8 — makespan improvement, " + wan.name);
+  const NamedScheme owan_scheme = MakeOwan();
+  const NamedScheme baselines[] = {MakeMaxFlow(), MakeMaxMinFract(),
+                                   MakeSwan()};
+  for (double load : kLoads) {
+    const auto reqs =
+        workload::GenerateWorkload(wan, ParamsFor(wan, load));
+    const RunStats owan_stats = RunOne(wan, reqs, owan_scheme, load);
+    for (const NamedScheme& b : baselines) {
+      const RunStats bs = RunOne(wan, reqs, b, load);
+      std::printf(
+          "  load %.1f  w.r.t %-12s  makespan %5.2fx  (%.0fs vs %.0fs)\n",
+          load, bs.scheme.c_str(),
+          sim::ImprovementFactor(bs.makespan, owan_stats.makespan),
+          owan_stats.makespan, bs.makespan);
+    }
+  }
+}
+
+void RunFig9(const topo::Wan& wan) {
+  PrintHeader("Fig. 9 — deadline-constrained traffic, " + wan.name);
+  const NamedScheme schemes[] = {
+      MakeOwan(core::SchedulingPolicy::kEarliestDeadlineFirst),
+      MakeMaxFlow(),
+      MakeMaxMinFract(),
+      MakeSwan(),
+      MakeTempus(),
+      MakeAmoeba()};
+
+  std::printf("(a/d/g) %% transfers meeting deadlines vs deadline factor\n");
+  std::printf("(b/e/h) %% bytes finished by deadline vs deadline factor\n");
+  std::printf("%-12s", "scheme");
+  for (double sigma : kDeadlineFactors) std::printf("  sig=%-4.0f", sigma);
+  std::printf("\n");
+
+  std::vector<std::vector<RunStats>> all(std::size(schemes));
+  for (size_t si = 0; si < std::size(schemes); ++si) {
+    for (double sigma : kDeadlineFactors) {
+      const auto reqs = workload::GenerateWorkload(
+          wan, ParamsFor(wan, 1.0, sigma));
+      all[si].push_back(RunOne(wan, reqs, schemes[si], 1.0));
+    }
+  }
+  for (size_t si = 0; si < std::size(schemes); ++si) {
+    std::printf("%-12s", all[si][0].scheme.c_str());
+    for (const RunStats& s : all[si]) {
+      std::printf("  %5.1f%%  ", s.pct_deadline_met);
+    }
+    std::printf("   <- %% transfers\n");
+  }
+  for (size_t si = 0; si < std::size(schemes); ++si) {
+    std::printf("%-12s", all[si][0].scheme.c_str());
+    for (const RunStats& s : all[si]) {
+      std::printf("  %5.1f%%  ", s.pct_bytes_by_deadline);
+    }
+    std::printf("   <- %% bytes\n");
+  }
+
+  std::printf("(c/f/i) %% transfers meeting deadlines by size bin "
+              "(deadline factor 20):\n");
+  static const char* kBinNames[] = {"small", "middle", "large"};
+  std::printf("%-12s  %8s %8s %8s\n", "scheme", kBinNames[0], kBinNames[1],
+              kBinNames[2]);
+  for (size_t si = 0; si < std::size(schemes); ++si) {
+    const RunStats& s = all[si][2];  // sigma = 20
+    std::printf("%-12s  %7.1f%% %7.1f%% %7.1f%%\n", s.scheme.c_str(),
+                s.deadline_by_bin[0], s.deadline_by_bin[1],
+                s.deadline_by_bin[2]);
+  }
+}
+
+}  // namespace owan::bench

@@ -1,0 +1,23 @@
+#ifndef OWAN_BENCH_EXPERIMENTS_H_
+#define OWAN_BENCH_EXPERIMENTS_H_
+
+#include "harness.h"
+
+namespace owan::bench {
+
+// Fig. 7 (a-c / d-f / g-i): deadline-unconstrained completion time on one
+// topology — improvement vs load, per-size-bin improvement at load 1, and
+// the completion-time CDF at load 1.
+void RunFig7(const topo::Wan& wan);
+
+// Fig. 8 (a/b/c): makespan improvement vs load on one topology.
+void RunFig8(const topo::Wan& wan);
+
+// Fig. 9 (a-c / d-f / g-i): deadline-constrained traffic on one topology —
+// % transfers meeting deadlines and % bytes by deadline vs the deadline
+// factor sigma, plus the per-size-bin breakdown at sigma = 20.
+void RunFig9(const topo::Wan& wan);
+
+}  // namespace owan::bench
+
+#endif  // OWAN_BENCH_EXPERIMENTS_H_

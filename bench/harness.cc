@@ -1,0 +1,145 @@
+#include "harness.h"
+
+#include <cstdio>
+
+namespace owan::bench {
+
+NamedScheme MakeOwan(core::SchedulingPolicy policy, int anneal_iterations) {
+  return NamedScheme{
+      "Owan", [policy, anneal_iterations](const topo::Wan&) {
+        core::OwanOptions opt;
+        opt.anneal.max_iterations = anneal_iterations;
+        opt.anneal.routing.policy.policy = policy;
+        return std::make_unique<core::OwanTe>(opt);
+      }};
+}
+
+NamedScheme MakeOwanLevel(core::ControlLevel level, const char* name) {
+  return NamedScheme{name, [level](const topo::Wan&) {
+                       core::OwanOptions opt;
+                       opt.control = level;
+                       opt.anneal.max_iterations = 300;
+                       return std::make_unique<core::OwanTe>(opt);
+                     }};
+}
+
+NamedScheme MakeMaxFlow() {
+  return NamedScheme{"MaxFlow", [](const topo::Wan&) {
+                       return std::make_unique<te::MaxFlowTe>();
+                     }};
+}
+
+NamedScheme MakeMaxMinFract() {
+  return NamedScheme{"MaxMinFract", [](const topo::Wan&) {
+                       return std::make_unique<te::MaxMinFractTe>();
+                     }};
+}
+
+NamedScheme MakeSwan() {
+  return NamedScheme{"SWAN", [](const topo::Wan&) {
+                       return std::make_unique<te::SwanTe>();
+                     }};
+}
+
+NamedScheme MakeTempus() {
+  return NamedScheme{"Tempus", [](const topo::Wan&) {
+                       return std::make_unique<te::TempusTe>();
+                     }};
+}
+
+NamedScheme MakeAmoeba(double slot_seconds) {
+  return NamedScheme{"Amoeba", [slot_seconds](const topo::Wan& wan) {
+                       return std::make_unique<te::AmoebaTe>(
+                           wan.default_topology.ToGraph(
+                               wan.optical.wavelength_capacity()),
+                           slot_seconds);
+                     }};
+}
+
+NamedScheme MakeGreedy() {
+  return NamedScheme{"Greedy", [](const topo::Wan&) {
+                       return std::make_unique<te::GreedyOwanTe>();
+                     }};
+}
+
+RunStats RunOne(const topo::Wan& wan, const std::vector<core::Request>& reqs,
+                const NamedScheme& scheme, double load,
+                const sim::SimOptions& options) {
+  auto te = scheme.make(wan);
+  RunStats stats;
+  stats.scheme = scheme.name;
+  stats.load = load;
+  sim::SimOptions capped = options;
+  // A day of simulated time bounds the worst baselines' backlogged tails
+  // (unfinished transfers count as completing at the cap, identically for
+  // every scheme).
+  capped.max_time_s = std::min(capped.max_time_s, 24.0 * 3600.0);
+  stats.raw = sim::RunSimulation(wan, reqs, *te, capped);
+  stats.completion = sim::CompletionTimes(stats.raw);
+  stats.by_bin = sim::CompletionTimesBySizeBin(stats.raw);
+  stats.makespan = stats.raw.makespan;
+  stats.pct_deadline_met = 100.0 * stats.raw.FractionMeetingDeadline();
+  stats.pct_bytes_by_deadline = 100.0 * stats.raw.FractionBytesByDeadline();
+  auto bins = sim::DeadlineMetBySizeBin(stats.raw);
+  for (size_t b = 0; b < 3; ++b) stats.deadline_by_bin[b] = 100.0 * bins[b];
+  return stats;
+}
+
+workload::WorkloadParams ParamsFor(const topo::Wan& wan, double load,
+                                   double deadline_factor, uint64_t seed) {
+  workload::WorkloadParams wp;
+  wp.load_factor = load;
+  wp.deadline_factor = deadline_factor;
+  wp.seed = seed;
+  if (wan.name == "internet2") {
+    wp.duration_s = 7200.0;     // the paper's two hours
+    wp.mean_size = 4000.0;      // 500 GB (testbed-scale transfers)
+  } else {
+    wp.duration_s = 900.0;      // keep LP baselines tractable on one core
+    wp.mean_size = 40000.0;     // 5 TB (simulation-scale transfers)
+    wp.hotspots = wan.name == "interdc";
+  }
+  return wp;
+}
+
+void PrintHeader(const std::string& title) {
+  // Benches often run redirected to files; keep progress visible.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void PrintImprovementRow(const RunStats& owan, const RunStats& baseline) {
+  std::printf(
+      "  load %.1f  w.r.t %-12s  avg %6.2fx  (owan %7.0fs vs %8.0fs)   "
+      "95p %6.2fx  (owan %7.0fs vs %8.0fs)\n",
+      owan.load, baseline.scheme.c_str(),
+      sim::ImprovementFactor(baseline.completion.Mean(),
+                             owan.completion.Mean()),
+      owan.completion.Mean(), baseline.completion.Mean(),
+      sim::ImprovementFactor(baseline.completion.Percentile(95),
+                             owan.completion.Percentile(95)),
+      owan.completion.Percentile(95), baseline.completion.Percentile(95));
+}
+
+void PrintBinImprovementRows(const RunStats& owan, const RunStats& baseline) {
+  static const char* kBinNames[] = {"small", "middle", "large"};
+  for (size_t b = 0; b < 3; ++b) {
+    if (owan.by_bin[b].empty() || baseline.by_bin[b].empty()) continue;
+    std::printf("  bin %-6s  w.r.t %-12s  avg %6.2fx   95p %6.2fx\n",
+                kBinNames[b], baseline.scheme.c_str(),
+                sim::ImprovementFactor(baseline.by_bin[b].Mean(),
+                                       owan.by_bin[b].Mean()),
+                sim::ImprovementFactor(baseline.by_bin[b].Percentile(95),
+                                       owan.by_bin[b].Percentile(95)));
+  }
+}
+
+void PrintCdf(const RunStats& stats, size_t points) {
+  std::printf("  CDF %-12s:", stats.scheme.c_str());
+  for (const auto& [value, frac] : stats.completion.Cdf(points)) {
+    std::printf(" %.0fs@%.0f%%", value, frac * 100.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace owan::bench

@@ -1,0 +1,77 @@
+#ifndef OWAN_BENCH_HARNESS_H_
+#define OWAN_BENCH_HARNESS_H_
+
+// Shared machinery for the experiment-reproduction binaries (one per paper
+// table/figure). Each binary prints the same rows/series the paper reports;
+// absolute numbers differ from the authors' testbed, but the shape (who
+// wins, by what factor, where crossovers fall) is the reproduction target.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/owan.h"
+#include "core/te_scheme.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "te/amoeba.h"
+#include "te/greedy.h"
+#include "te/lp_baselines.h"
+#include "topo/topologies.h"
+#include "workload/workload.h"
+
+namespace owan::bench {
+
+// Factory so each run gets a fresh scheme (schemes are stateful).
+using SchemeFactory =
+    std::function<std::unique_ptr<core::TeScheme>(const topo::Wan&)>;
+
+struct NamedScheme {
+  std::string name;
+  SchemeFactory make;
+};
+
+// The paper's §5.1 lineup.
+NamedScheme MakeOwan(core::SchedulingPolicy policy =
+                         core::SchedulingPolicy::kShortestJobFirst,
+                     int anneal_iterations = 300);
+NamedScheme MakeOwanLevel(core::ControlLevel level, const char* name);
+NamedScheme MakeMaxFlow();
+NamedScheme MakeMaxMinFract();
+NamedScheme MakeSwan();
+NamedScheme MakeTempus();
+NamedScheme MakeAmoeba(double slot_seconds = 300.0);
+NamedScheme MakeGreedy();
+
+struct RunStats {
+  std::string scheme;
+  double load = 0.0;
+  util::Summary completion;              // seconds
+  std::array<util::Summary, 3> by_bin;   // small / middle / large
+  double makespan = 0.0;
+  double pct_deadline_met = 0.0;
+  double pct_bytes_by_deadline = 0.0;
+  std::array<double, 3> deadline_by_bin{0.0, 0.0, 0.0};
+  sim::SimResult raw;
+};
+
+RunStats RunOne(const topo::Wan& wan, const std::vector<core::Request>& reqs,
+                const NamedScheme& scheme, double load,
+                const sim::SimOptions& options = {});
+
+// Workload for a topology at a given load factor; deadline_factor <= 1 for
+// the completion-time experiments.
+workload::WorkloadParams ParamsFor(const topo::Wan& wan, double load,
+                                   double deadline_factor = 0.0,
+                                   uint64_t seed = 17);
+
+// Printing helpers.
+void PrintHeader(const std::string& title);
+void PrintImprovementRow(const RunStats& owan, const RunStats& baseline);
+void PrintBinImprovementRows(const RunStats& owan, const RunStats& baseline);
+void PrintCdf(const RunStats& stats, size_t points = 10);
+
+}  // namespace owan::bench
+
+#endif  // OWAN_BENCH_HARNESS_H_

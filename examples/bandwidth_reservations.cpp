@@ -1,0 +1,66 @@
+// Bandwidth reservations (§6 future work): clients book guaranteed rates
+// between sites over time windows. Admission checks a per-slot capacity
+// ledger over the network-layer topology; when the packet layer is full
+// but a router port and optical resources are spare, the service lights an
+// extra circuit for the window — reconfigurability improving reservations,
+// as the paper suggests exploring.
+
+#include <cstdio>
+
+#include "control/reservation.h"
+#include "topo/topologies.h"
+
+using namespace owan;
+
+namespace {
+
+void Show(const char* what,
+          const std::optional<control::Reservation>& r) {
+  if (r) {
+    std::printf("  %-34s ADMITTED (%zu paths%s)\n", what, r->paths.size(),
+                r->used_extra_circuit ? ", lit extra circuit" : "");
+  } else {
+    std::printf("  %-34s rejected\n", what);
+  }
+}
+
+}  // namespace
+
+int main() {
+  topo::Wan wan = topo::MakeInternet2();
+  control::ReservationService svc(wan.default_topology, wan.optical, {});
+
+  const int sea = wan.SiteByName("SEA");
+  const int nyc = wan.SiteByName("NYC");
+  const int lax = wan.SiteByName("LAX");
+  const int chi = wan.SiteByName("CHI");
+
+  std::printf("available SEA->NYC over [0, 30min): %.0f Gbps\n",
+              svc.AvailableRate(sea, nyc, 0.0, 1800.0));
+
+  auto r1 = svc.Request(sea, nyc, 10.0, 0.0, 1800.0);
+  Show("SEA->NYC 10G for 30 min", r1);
+  auto r2 = svc.Request(sea, nyc, 10.0, 0.0, 1800.0);
+  Show("SEA->NYC another 10G, same window", r2);
+  auto r3 = svc.Request(sea, nyc, 10.0, 0.0, 1800.0);
+  Show("SEA->NYC a third 10G, same window", r3);
+  auto r4 = svc.Request(sea, nyc, 10.0, 1800.0, 3600.0);
+  Show("SEA->NYC 10G, NEXT half hour", r4);
+  auto r5 = svc.Request(lax, chi, 15.0, 0.0, 1800.0);
+  Show("LAX->CHI 15G for 30 min", r5);
+
+  std::printf("\nledger after admissions: SEA->NYC available %.0f Gbps, "
+              "LAX->CHI available %.0f Gbps\n",
+              svc.AvailableRate(sea, nyc, 0.0, 1800.0),
+              svc.AvailableRate(lax, chi, 0.0, 1800.0));
+
+  if (r1) {
+    svc.Release(r1->id);
+    std::printf("released the first reservation; SEA->NYC available "
+                "%.0f Gbps again\n",
+                svc.AvailableRate(sea, nyc, 0.0, 1800.0));
+  }
+  std::printf("extra circuits lit by admission control: %d\n",
+              svc.BoostCircuits());
+  return 0;
+}

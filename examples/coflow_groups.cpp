@@ -1,0 +1,76 @@
+// Group transfers (§3.4): an application pushes content to several sites
+// and only the LAST copy's completion matters. Compares treating members
+// as independent SJF transfers vs Smallest-Effective-Bottleneck-First
+// (SEBF) group scheduling.
+//
+// Scenario (4-router WAN, fixed topology, direct paths): group A has a
+// small copy on the contended R0-R1 link and a huge copy on R2-R3; group B
+// has one medium copy on R0-R1. A is gated by its huge copy no matter
+// what, so SJF letting A's small copy go first on R0-R1 only delays B.
+// SEBF keys A's members by the group bottleneck, so B goes first and
+// finishes a slot earlier while A is unaffected.
+
+#include <cstdio>
+
+#include "core/coflow.h"
+#include "core/owan.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "topo/topologies.h"
+
+using namespace owan;
+
+int main() {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  core::CoflowRegistry registry;
+  std::vector<core::Request> reqs;
+
+  auto add = [&](int id, int src, int dst, double gigabits, int group) {
+    core::Request r;
+    r.id = id;
+    r.src = src;
+    r.dst = dst;
+    r.size = gigabits;
+    r.arrival = 0.0;
+    reqs.push_back(r);
+    registry.AddMember(group, r.id);
+  };
+  add(0, 0, 1, 300.0, /*group A*/ 0);    // small copy, contended link
+  add(1, 2, 3, 6000.0, /*group A*/ 0);   // huge copy, A's real bottleneck
+  add(2, 0, 1, 3000.0, /*group B*/ 1);   // medium copy, contended link
+
+  auto run = [&](const core::CoflowRegistry* coflows, const char* label) {
+    core::OwanOptions opt;
+    opt.control = core::ControlLevel::kRateAndRouting;  // fixed topology
+    opt.anneal.routing.max_hops = 1;                    // direct paths only
+    opt.coflows = coflows;
+    core::OwanTe te(opt);
+    auto res = sim::RunSimulation(wan, reqs, te);
+    std::vector<int> ids;
+    std::vector<double> arrivals, completions;
+    for (const auto& t : res.transfers) {
+      ids.push_back(t.request.id);
+      arrivals.push_back(t.request.arrival);
+      completions.push_back(t.completed_at);
+    }
+    std::printf("%s:\n", label);
+    double total = 0.0;
+    int n = 0;
+    for (const auto& g :
+         core::GroupCompletions(registry, ids, arrivals, completions)) {
+      std::printf("  group %s: done after %5.0fs%s\n",
+                  g.group_id == 0 ? "A (small+huge)" : "B (medium)    ",
+                  g.completion_time, g.complete ? "" : " (incomplete)");
+      total += g.completion_time;
+      ++n;
+    }
+    std::printf("  average group completion: %.0fs\n\n", total / n);
+    return total / n;
+  };
+
+  const double sjf = run(nullptr, "Independent SJF members");
+  const double sebf = run(&registry, "SEBF group scheduling");
+  std::printf("SEBF improves average group completion by %.2fx\n",
+              sjf / sebf);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Failure handling (§3.4): a fiber cut tears down the circuits crossing
+// it; the controller recomputes the network state around the failure at the
+// next slot, and a controller crash is survived via checkpoint/restore.
+
+#include <cstdio>
+#include <memory>
+
+#include "control/controller.h"
+#include "core/owan.h"
+#include "topo/topologies.h"
+#include "util/units.h"
+
+using namespace owan;
+
+namespace {
+
+std::unique_ptr<core::OwanTe> MakeScheme() {
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = 250;
+  return std::make_unique<core::OwanTe>(opt);
+}
+
+}  // namespace
+
+int main() {
+  topo::Wan wan = topo::MakeInternet2();
+  control::Controller controller(&wan, MakeScheme());
+
+  const int sea = wan.SiteByName("SEA");
+  const int nyc = wan.SiteByName("NYC");
+  controller.Submit(sea, nyc, util::GB(4000));
+  controller.Tick();
+  std::printf("t=%4.0fs  links=%2d units=%2d  (steady state)\n",
+              controller.now(), controller.topology().NumLinks(),
+              controller.topology().TotalUnits());
+
+  // Cut the SEA-SLC fiber (fiber id 0 in the Internet2 build).
+  controller.ReportFiberFailure(0);
+  std::printf("fiber SEA-SLC cut: topology now %d units\n",
+              controller.topology().TotalUnits());
+
+  controller.Tick();
+  std::printf("t=%4.0fs  links=%2d units=%2d  (recomputed around failure)\n",
+              controller.now(), controller.topology().NumLinks(),
+              controller.topology().TotalUnits());
+
+  // Controller failover: checkpoint, "crash", restore, keep scheduling.
+  const std::string snapshot = controller.Checkpoint();
+  control::Controller restored =
+      control::Controller::Restore(&wan, MakeScheme(), snapshot);
+  std::printf("restored controller at t=%.0fs with %d active transfers\n",
+              restored.now(), restored.ActiveTransfers());
+
+  int guard = 0;
+  while (restored.ActiveTransfers() > 0 && guard++ < 100) restored.Tick();
+  for (const auto& [id, t] : restored.transfers()) {
+    std::printf("transfer %d %s at t=%.0fs\n", id,
+                t.completed ? "completed" : "STILL PENDING", t.completed_at);
+  }
+  return 0;
+}

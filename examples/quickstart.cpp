@@ -1,0 +1,61 @@
+// Quickstart: submit bulk transfers to the Owan controller and watch it
+// jointly reconfigure the optical layer and route traffic, slot by slot.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "control/controller.h"
+#include "core/owan.h"
+#include "topo/topologies.h"
+#include "util/units.h"
+
+int main() {
+  using namespace owan;
+
+  // The 9-site Internet2 WAN from the paper's testbed (Fig. 1).
+  topo::Wan wan = topo::MakeInternet2();
+
+  // The Owan TE scheme: simulated-annealing topology search + SJF routing.
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = 300;
+  auto scheme = std::make_unique<core::OwanTe>(opt);
+
+  control::Controller controller(&wan, std::move(scheme));
+
+  // Submit a few bulk transfers (sizes in gigabits; 500 GB = 4000 Gb).
+  const int sea = wan.SiteByName("SEA");
+  const int nyc = wan.SiteByName("NYC");
+  const int lax = wan.SiteByName("LAX");
+  const int chi = wan.SiteByName("CHI");
+  controller.Submit(sea, nyc, util::GB(500));
+  controller.Submit(lax, chi, util::GB(750));
+  controller.Submit(sea, nyc, util::GB(250), /*deadline=*/util::Minutes(30));
+
+  std::printf("site count: %d, default links: %d\n", wan.optical.NumSites(),
+              wan.default_topology.NumLinks());
+
+  int slot = 0;
+  while (controller.ActiveTransfers() > 0 && slot < 50) {
+    controller.Tick();
+    ++slot;
+    std::printf("slot %2d | t=%6.0fs | active=%d | topology links=%d | "
+                "update ops=%zu (makespan %.2fs)\n",
+                slot, controller.now(), controller.ActiveTransfers(),
+                controller.topology().NumLinks(),
+                controller.last_update_plan().ops.size(),
+                controller.last_update_schedule().makespan);
+  }
+
+  std::printf("\ntransfer completions:\n");
+  for (const auto& [id, t] : controller.transfers()) {
+    std::printf("  transfer %d: %s in %.0fs (size %.0f Gb)\n", id,
+                t.completed ? "done" : "unfinished",
+                t.completed ? t.completed_at - t.request.arrival : -1.0,
+                t.request.size);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "control/client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace owan::control {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst) {
+  if (rate < 0.0 || burst < 0.0) {
+    throw std::invalid_argument("TokenBucket: negative rate or burst");
+  }
+}
+
+double TokenBucket::available(double now) const {
+  const double dt = std::max(0.0, now - last_refill_);
+  return std::min(burst_, tokens_ + rate_ * dt);
+}
+
+double TokenBucket::Consume(double want, double now) {
+  if (now > last_refill_) {
+    tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+    last_refill_ = now;
+  }
+  const double granted = std::min(want, tokens_);
+  tokens_ -= granted;
+  return granted;
+}
+
+double TokenBucket::ConsumeWindow(double want, double now, double duration) {
+  if (now > last_refill_) {
+    tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+    last_refill_ = now;
+  }
+  duration = std::max(0.0, duration);
+  // A sender transmitting throughout the window sees its opening tokens
+  // plus everything minted while it sends.
+  const double capacity = tokens_ + rate_ * duration;
+  const double granted = std::min(want, capacity);
+  tokens_ = std::min(burst_, capacity - granted);
+  last_refill_ = now + duration;
+  return granted;
+}
+
+FlowAssignment SplitByPrefix(const core::TransferAllocation& alloc,
+                             int num_flows) {
+  FlowAssignment out;
+  const size_t n = alloc.paths.size();
+  out.flows_per_path.assign(n, 0);
+  out.achieved_rates.assign(n, 0.0);
+  const double total = alloc.TotalRate();
+  if (n == 0 || total <= 0.0 || num_flows <= 0) return out;
+
+  // Largest-remainder apportionment of flows to paths by rate share.
+  std::vector<double> exact(n);
+  int assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    exact[i] = alloc.paths[i].rate / total * num_flows;
+    out.flows_per_path[i] = static_cast<int>(exact[i]);
+    assigned += out.flows_per_path[i];
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&exact, &out](size_t a, size_t b) {
+    const double ra = exact[a] - out.flows_per_path[a];
+    const double rb = exact[b] - out.flows_per_path[b];
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  for (size_t k = 0; assigned < num_flows; ++k) {
+    ++out.flows_per_path[order[k % n]];
+    ++assigned;
+  }
+
+  // Each flow carries an equal share of the transfer's aggregate rate; a
+  // path's achieved rate is its flow count times that share (this is the
+  // quantization the paper measured against the simulator).
+  const double per_flow = total / num_flows;
+  for (size_t i = 0; i < n; ++i) {
+    out.achieved_rates[i] = out.flows_per_path[i] * per_flow;
+    out.total_achieved += out.achieved_rates[i];
+  }
+  return out;
+}
+
+ClientEndpoint::ClientEndpoint(const core::TransferAllocation& alloc,
+                               int num_flows, double burst_seconds) {
+  const FlowAssignment split = SplitByPrefix(alloc, num_flows);
+  for (size_t i = 0; i < alloc.paths.size(); ++i) {
+    const double rate = split.achieved_rates[i];
+    buckets_.emplace_back(rate, rate * burst_seconds);
+  }
+}
+
+double ClientEndpoint::ConfiguredRate() const {
+  double total = 0.0;
+  for (const TokenBucket& b : buckets_) total += b.rate();
+  return total;
+}
+
+double ClientEndpoint::Transmit(double now, double duration, double backlog) {
+  double delivered = 0.0;
+  for (TokenBucket& b : buckets_) {
+    if (backlog - delivered <= 0.0) break;
+    delivered += b.ConsumeWindow(backlog - delivered, now, duration);
+  }
+  return std::min(delivered, backlog);
+}
+
+}  // namespace owan::control

@@ -1,0 +1,74 @@
+#ifndef OWAN_CONTROL_CLIENT_H_
+#define OWAN_CONTROL_CLIENT_H_
+
+#include <vector>
+
+#include "core/transfer.h"
+
+namespace owan::control {
+
+// End-host machinery of the paper's client module (§4.2): the controller
+// hands each client a per-path rate allocation; the client enforces it with
+// token buckets (Linux tc in the prototype) and implements multi-path
+// routing by splitting the transfer into flows assigned to paths by prefix
+// ("prefix splitting"). Both mechanisms are imperfect in exactly the ways
+// the paper blames for its <10% testbed/simulator gap: token buckets allow
+// short bursts, and prefix splitting quantizes rates to whole flows.
+
+// Token-bucket rate limiter. Rates in Gbps, time in seconds, volume in
+// gigabits.
+class TokenBucket {
+ public:
+  // `rate` tokens/second refill, up to `burst` tokens capacity.
+  TokenBucket(double rate, double burst);
+
+  // Advances the clock and returns how much of `want` gigabits may be sent.
+  double Consume(double want, double now);
+
+  // Continuous sending over [now, now + duration]: grants up to the tokens
+  // on hand plus everything minted during the window.
+  double ConsumeWindow(double want, double now, double duration);
+
+  double rate() const { return rate_; }
+  double available(double now) const;
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+// Splits a transfer into `num_flows` equal flows and assigns them to paths
+// so the per-path flow counts approximate the allocated rate ratios (the
+// prototype hashes destination-prefix buckets; equal flows is the same
+// model). Quantization error shrinks as 1/num_flows.
+struct FlowAssignment {
+  std::vector<int> flows_per_path;     // parallel to the allocation's paths
+  std::vector<double> achieved_rates;  // rate actually carried per path
+  double total_achieved = 0.0;
+};
+
+FlowAssignment SplitByPrefix(const core::TransferAllocation& alloc,
+                             int num_flows);
+
+// One end host executing an allocation: a token bucket per path at the
+// granted rate. Transmit() advances time and returns delivered gigabits.
+class ClientEndpoint {
+ public:
+  ClientEndpoint(const core::TransferAllocation& alloc, int num_flows = 16,
+                 double burst_seconds = 0.1);
+
+  // Sends for `duration` seconds starting at `now`; never delivers more
+  // than `backlog` gigabits. Returns the delivered volume.
+  double Transmit(double now, double duration, double backlog);
+
+  double ConfiguredRate() const;  // sum of enforced per-path rates
+
+ private:
+  std::vector<TokenBucket> buckets_;
+};
+
+}  // namespace owan::control
+
+#endif  // OWAN_CONTROL_CLIENT_H_

@@ -1,0 +1,231 @@
+#include "control/controller.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/provisioned_state.h"
+#include "core/repair.h"
+
+namespace owan::control {
+
+Controller::Controller(const topo::Wan* wan,
+                       std::unique_ptr<core::TeScheme> scheme,
+                       ControllerOptions options)
+    : wan_(wan),
+      scheme_(std::move(scheme)),
+      options_(options),
+      topology_(wan->default_topology),
+      optical_(wan->optical) {
+  if (!scheme_) throw std::invalid_argument("Controller: null scheme");
+}
+
+int Controller::Submit(net::NodeId src, net::NodeId dst,
+                       double size_gigabits, double deadline) {
+  if (src == dst || size_gigabits <= 0.0) {
+    throw std::invalid_argument("Controller::Submit: bad request");
+  }
+  core::Request r;
+  r.id = next_id_++;
+  r.src = src;
+  r.dst = dst;
+  r.size = size_gigabits;
+  r.arrival = now_;
+  r.deadline = deadline;
+
+  TrackedTransfer t;
+  t.request = r;
+  t.remaining = size_gigabits;
+  transfers_.emplace(r.id, t);
+  scheme_->Admit(r, now_);
+  return r.id;
+}
+
+int Controller::ActiveTransfers() const {
+  int n = 0;
+  for (const auto& [id, t] : transfers_) {
+    (void)id;
+    if (!t.completed) ++n;
+  }
+  return n;
+}
+
+void Controller::Tick() {
+  // Build the demand set.
+  core::TeInput input;
+  input.topology = &topology_;
+  input.optical = &optical_;
+  input.slot_seconds = options_.slot_seconds;
+  input.now = now_;
+  std::vector<int> ids;
+  for (const auto& [id, t] : transfers_) {
+    if (t.completed) continue;
+    core::TransferDemand d;
+    d.id = id;
+    d.src = t.request.src;
+    d.dst = t.request.dst;
+    d.remaining = t.remaining;
+    d.rate_cap = t.remaining / options_.slot_seconds;
+    d.deadline = t.request.deadline;
+    d.slots_waited = t.slots_waited;
+    input.demands.push_back(d);
+    ids.push_back(id);
+  }
+
+  core::TeOutput output = scheme_->Compute(input);
+
+  // Plan and "execute" the cross-layer update.
+  std::set<std::pair<net::NodeId, net::NodeId>> changed;
+  if (output.new_topology && !(*output.new_topology == topology_)) {
+    last_plan_ = update::BuildUpdatePlan(topology_, *output.new_topology,
+                                         last_allocations_,
+                                         output.allocations,
+                                         options_.durations);
+    last_schedule_ = update::ScheduleConsistent(last_plan_);
+    auto [add, remove] = output.new_topology->Diff(topology_);
+    auto key = [](net::NodeId a, net::NodeId b) {
+      return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    };
+    for (const core::Link& l : add) changed.insert(key(l.u, l.v));
+    for (const core::Link& l : remove) changed.insert(key(l.u, l.v));
+    topology_ = *output.new_topology;
+  } else {
+    last_plan_ = {};
+    last_schedule_ = {};
+  }
+  last_allocations_ = output.allocations;
+
+  // Progress transfers. Transfers whose paths cross a reconfigured link
+  // start transmitting after the update makespan (consistent updates are
+  // hitless for everyone else — Fig. 10b).
+  const double update_cost =
+      options_.hitless_updates ? 0.0 : last_schedule_.makespan;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TrackedTransfer& t = transfers_[ids[i]];
+    const core::TransferAllocation& alloc =
+        i < output.allocations.size() ? output.allocations[i]
+                                      : core::TransferAllocation{};
+    const double rate = alloc.TotalRate();
+    bool crosses_changed = false;
+    for (const core::PathAllocation& pa : alloc.paths) {
+      for (size_t k = 0; k + 1 < pa.path.nodes.size(); ++k) {
+        auto lk = pa.path.nodes[k] < pa.path.nodes[k + 1]
+                      ? std::make_pair(pa.path.nodes[k], pa.path.nodes[k + 1])
+                      : std::make_pair(pa.path.nodes[k + 1],
+                                       pa.path.nodes[k]);
+        if (changed.count(lk)) {
+          crosses_changed = true;
+          break;
+        }
+      }
+      if (crosses_changed) break;
+    }
+    const double penalty = crosses_changed ? update_cost : 0.0;
+    const double eff_seconds =
+        std::max(0.0, options_.slot_seconds - penalty);
+    const double delivered = std::min(t.remaining, rate * eff_seconds);
+    const bool finishes =
+        rate > 0.0 &&
+        (t.remaining - delivered <= 1e-3 ||
+         penalty + t.remaining / rate <= options_.slot_seconds + 1e-9);
+    if (finishes) {
+      t.completed = true;
+      t.completed_at =
+          now_ + std::min(options_.slot_seconds,
+                          penalty + t.remaining / rate);
+      t.remaining = 0.0;
+      t.slots_waited = 0;
+    } else {
+      t.remaining -= delivered;
+      t.slots_waited = delivered > 1e-9 ? 0 : t.slots_waited + 1;
+    }
+  }
+
+  now_ += options_.slot_seconds;
+}
+
+std::string Controller::Checkpoint() const {
+  // Line-oriented text snapshot: clock, topology links, transfers.
+  std::ostringstream os;
+  os << "owan-checkpoint v1\n";
+  os << "now " << now_ << "\n";
+  os << "next_id " << next_id_ << "\n";
+  os << "topology " << topology_.NumSites() << "\n";
+  for (const core::Link& l : topology_.Links()) {
+    os << "link " << l.u << " " << l.v << " " << l.units << "\n";
+  }
+  for (const auto& [id, t] : transfers_) {
+    os << "transfer " << id << " " << t.request.src << " " << t.request.dst
+       << " " << t.request.size << " " << t.request.arrival << " "
+       << t.request.deadline << " " << t.remaining << " " << t.completed
+       << " " << t.completed_at << " " << t.slots_waited << "\n";
+  }
+  return os.str();
+}
+
+Controller Controller::Restore(const topo::Wan* wan,
+                               std::unique_ptr<core::TeScheme> scheme,
+                               const std::string& checkpoint,
+                               ControllerOptions options) {
+  Controller c(wan, std::move(scheme), options);
+  std::istringstream is(checkpoint);
+  std::string line;
+  if (!std::getline(is, line) || line != "owan-checkpoint v1") {
+    throw std::invalid_argument("Controller::Restore: bad checkpoint header");
+  }
+  core::Topology topo;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "now") {
+      ls >> c.now_;
+    } else if (tag == "next_id") {
+      ls >> c.next_id_;
+    } else if (tag == "topology") {
+      int n = 0;
+      ls >> n;
+      topo = core::Topology(n);
+    } else if (tag == "link") {
+      int u, v, units;
+      ls >> u >> v >> units;
+      topo.AddUnits(u, v, units);
+    } else if (tag == "transfer") {
+      TrackedTransfer t;
+      int id;
+      ls >> id >> t.request.src >> t.request.dst >> t.request.size >>
+          t.request.arrival >> t.request.deadline >> t.remaining >>
+          t.completed >> t.completed_at >> t.slots_waited;
+      t.request.id = id;
+      c.transfers_.emplace(id, t);
+    }
+    if (ls.fail()) {
+      throw std::invalid_argument("Controller::Restore: corrupt line: " +
+                                  line);
+    }
+  }
+  if (topo.NumSites() > 0) c.topology_ = topo;
+  return c;
+}
+
+void Controller::ReportFiberFailure(net::EdgeId fiber) {
+  // Fail the fiber in the plant view, then try to realise the current
+  // topology over the surviving fibers: circuits whose fiber path died are
+  // re-provisioned along alternate routes where the optical layer allows.
+  // Only units with no feasible alternate circuit drop out of the topology
+  // (their router ports stay dark until the fiber is repaired).
+  optical_.FailFiber(fiber);
+  core::ProvisionedState state(optical_);
+  state.SyncTo(topology_);
+  // Units that could not re-route leave router ports dark; re-pair them
+  // into whatever feasible links remain (possibly different neighbors).
+  std::vector<int> ports;
+  ports.reserve(static_cast<size_t>(optical_.NumSites()));
+  for (int v = 0; v < optical_.NumSites(); ++v) {
+    ports.push_back(optical_.site(v).router_ports);
+  }
+  topology_ = core::RepairDarkPorts(state.realized(), optical_, ports);
+}
+
+}  // namespace owan::control

@@ -1,0 +1,101 @@
+#ifndef OWAN_CONTROL_CONTROLLER_H_
+#define OWAN_CONTROL_CONTROLLER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/te_scheme.h"
+#include "core/topology.h"
+#include "topo/topologies.h"
+#include "update/scheduler.h"
+
+namespace owan::control {
+
+struct ControllerOptions {
+  double slot_seconds = 300.0;
+  update::UpdateDurations durations;
+  // Consistent staged updates keep traffic flowing (Fig. 10b), so by
+  // default the update makespan does not eat into transfers' slots. Set
+  // false to charge transfers crossing reconfigured links the makespan
+  // (one-shot-style disruption).
+  bool hitless_updates = true;
+};
+
+// State of one transfer as tracked by the controller.
+struct TrackedTransfer {
+  core::Request request;
+  double remaining = 0.0;
+  bool completed = false;
+  double completed_at = -1.0;
+  int slots_waited = 0;
+};
+
+// The centralized Owan controller (§3.1): accepts transfer requests,
+// invokes the TE scheme each time slot, turns topology deltas into a
+// consistent cross-layer update schedule, and feeds rate allocations back
+// to clients. All scheduling state needed to survive a failover is
+// serializable through Checkpoint()/Restore() (§3.4: the algorithm itself
+// is stateless, so topology + transfers suffice).
+class Controller {
+ public:
+  Controller(const topo::Wan* wan, std::unique_ptr<core::TeScheme> scheme,
+             ControllerOptions options = {});
+
+  // Submits a request; returns its id.
+  int Submit(net::NodeId src, net::NodeId dst, double size_gigabits,
+             double deadline = core::kNoDeadline);
+
+  // Runs one time slot: compute state -> schedule updates -> progress
+  // transfers by their allocated rates.
+  void Tick();
+
+  double now() const { return now_; }
+  const core::Topology& topology() const { return topology_; }
+  const std::vector<core::TransferAllocation>& last_allocations() const {
+    return last_allocations_;
+  }
+  const update::Schedule& last_update_schedule() const {
+    return last_schedule_;
+  }
+  const update::UpdatePlan& last_update_plan() const { return last_plan_; }
+
+  const std::map<int, TrackedTransfer>& transfers() const {
+    return transfers_;
+  }
+  int ActiveTransfers() const;
+
+  // ---- failover (§3.4) ----
+  std::string Checkpoint() const;
+  // Rebuilds a controller from a checkpoint; the new instance resumes at
+  // the next time slot with the stored topology and transfer set.
+  static Controller Restore(const topo::Wan* wan,
+                            std::unique_ptr<core::TeScheme> scheme,
+                            const std::string& checkpoint,
+                            ControllerOptions options = {});
+
+  // ---- failure handling (§3.4) ----
+  // A fiber failure tears down circuits; the controller shrinks the
+  // topology accordingly and the next Tick recomputes around it.
+  void ReportFiberFailure(net::EdgeId fiber);
+
+ private:
+  const topo::Wan* wan_;
+  std::unique_ptr<core::TeScheme> scheme_;
+  ControllerOptions options_;
+
+  core::Topology topology_;
+  optical::OpticalNetwork optical_;  // plant view with failures applied
+  std::map<int, TrackedTransfer> transfers_;
+  int next_id_ = 0;
+  double now_ = 0.0;
+
+  std::vector<core::TransferAllocation> last_allocations_;
+  update::UpdatePlan last_plan_;
+  update::Schedule last_schedule_;
+};
+
+}  // namespace owan::control
+
+#endif  // OWAN_CONTROL_CONTROLLER_H_

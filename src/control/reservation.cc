@@ -1,0 +1,204 @@
+#include "control/reservation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/provisioned_state.h"
+
+namespace owan::control {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+ReservationService::ReservationService(const core::Topology& topology,
+                                       const optical::OpticalNetwork& optical,
+                                       ReservationOptions options)
+    : topology_(topology),
+      graph_(topology.ToGraph(optical.wavelength_capacity())),
+      optical_(optical),
+      options_(options) {
+  if (options_.slot_seconds <= 0.0) {
+    throw std::invalid_argument("ReservationService: slot_seconds > 0");
+  }
+  // Claim the plant's view of the current topology so boosts only use
+  // genuinely spare optical resources.
+  core::ProvisionedState seed(optical_);
+  seed.SyncTo(topology_);
+  optical_ = seed.optical();
+}
+
+std::vector<double>& ReservationService::SlotResidual(int64_t slot) {
+  auto it = residual_.find(slot);
+  if (it == residual_.end()) {
+    std::vector<double> caps(static_cast<size_t>(graph_.NumEdges()));
+    for (net::EdgeId e = 0; e < graph_.NumEdges(); ++e) {
+      caps[static_cast<size_t>(e)] = graph_.edge(e).capacity;
+    }
+    it = residual_.emplace(slot, std::move(caps)).first;
+  }
+  return it->second;
+}
+
+double ReservationService::Residual(int64_t slot, net::EdgeId e) const {
+  auto it = residual_.find(slot);
+  if (it == residual_.end()) return graph_.edge(e).capacity;
+  return it->second[static_cast<size_t>(e)];
+}
+
+std::optional<Reservation> ReservationService::Request(
+    net::NodeId src, net::NodeId dst, double rate, double start,
+    double end) {
+  if (src == dst || rate <= 0.0 || end <= start) return std::nullopt;
+
+  const int64_t first = FirstSlot(start);
+  const int64_t last = LastSlot(end);
+  const auto paths =
+      net::KShortestPaths(graph_, src, dst, options_.k_paths);
+
+  // Per-path rate: the minimum residual across every slot of the window.
+  std::vector<double> path_rate(paths.size(), 0.0);
+  for (size_t pi = 0; pi < paths.size(); ++pi) {
+    double r = rate;
+    for (int64_t s = first; s <= last && r > kEps; ++s) {
+      for (net::EdgeId e : paths[pi].edges) {
+        r = std::min(r, Residual(s, e));
+      }
+    }
+    path_rate[pi] = std::max(0.0, r);
+  }
+
+  // Greedy split over paths (shortest first), respecting shared edges by
+  // committing tentatively slot by slot.
+  Reservation res;
+  res.id = next_id_;
+  res.src = src;
+  res.dst = dst;
+  res.rate = rate;
+  res.start = start;
+  res.end = end;
+
+  double remaining = rate;
+  std::map<int64_t, std::vector<double>> tentative;
+  for (size_t pi = 0; pi < paths.size() && remaining > kEps; ++pi) {
+    double take = std::min(remaining, path_rate[pi]);
+    // Re-check against tentative bookings on shared edges.
+    for (int64_t s = first; s <= last && take > kEps; ++s) {
+      auto& tent = tentative[s];
+      if (tent.empty()) {
+        tent.assign(static_cast<size_t>(graph_.NumEdges()), 0.0);
+      }
+      for (net::EdgeId e : paths[pi].edges) {
+        take = std::min(take,
+                        Residual(s, e) - tent[static_cast<size_t>(e)]);
+      }
+    }
+    take = std::max(0.0, take);
+    if (take <= kEps) continue;
+    for (int64_t s = first; s <= last; ++s) {
+      auto& tent = tentative[s];
+      for (net::EdgeId e : paths[pi].edges) {
+        tent[static_cast<size_t>(e)] += take;
+      }
+    }
+    res.paths.push_back(core::PathAllocation{paths[pi], take});
+    remaining -= take;
+  }
+
+  // Optical boost: if the packet topology cannot host the leftover, see
+  // whether a spare circuit (one wavelength) between the endpoints could —
+  // this requires spare ROADM-side resources AND a leftover router port on
+  // each end.
+  if (remaining > kEps && options_.allow_optical_boost &&
+      remaining <= optical_.wavelength_capacity() + kEps) {
+    const bool ports_free =
+        topology_.PortsUsed(src) < optical_.site(src).router_ports &&
+        topology_.PortsUsed(dst) < optical_.site(dst).router_ports;
+    if (ports_free) {
+      auto circuit = optical_.ProvisionCircuit(src, dst);
+      if (circuit) {
+        ++boost_circuits_;
+        res.used_extra_circuit = true;
+        topology_.AddUnits(src, dst, 1);
+        const net::EdgeId e =
+            graph_.AddEdge(src, dst, 1.0, optical_.wavelength_capacity());
+        // Older slots' residual vectors must grow to cover the new edge.
+        for (auto& [slot, caps] : residual_) {
+          (void)slot;
+          caps.push_back(optical_.wavelength_capacity());
+        }
+        net::Path direct;
+        direct.nodes = {src, dst};
+        direct.edges = {e};
+        direct.length = 1.0;
+        for (int64_t s = first; s <= last; ++s) {
+          auto& tent = tentative[s];
+          tent.resize(static_cast<size_t>(graph_.NumEdges()), 0.0);
+          tent[static_cast<size_t>(e)] += remaining;
+        }
+        res.paths.push_back(core::PathAllocation{direct, remaining});
+        remaining = 0.0;
+      }
+    }
+  }
+
+  if (remaining > kEps) return std::nullopt;  // cannot guarantee
+
+  // Commit.
+  for (auto& [s, tent] : tentative) {
+    auto& caps = SlotResidual(s);
+    caps.resize(tent.size(), optical_.wavelength_capacity());
+    for (size_t e = 0; e < tent.size(); ++e) caps[e] -= tent[e];
+  }
+  ++next_id_;
+  reservations_.emplace(res.id, res);
+  return res;
+}
+
+void ReservationService::Release(int reservation_id) {
+  auto it = reservations_.find(reservation_id);
+  if (it == reservations_.end()) {
+    throw std::invalid_argument("ReservationService: unknown reservation");
+  }
+  const Reservation& res = it->second;
+  for (int64_t s = FirstSlot(res.start); s <= LastSlot(res.end); ++s) {
+    auto& caps = SlotResidual(s);
+    for (const core::PathAllocation& pa : res.paths) {
+      for (net::EdgeId e : pa.path.edges) {
+        caps[static_cast<size_t>(e)] += pa.rate;
+      }
+    }
+  }
+  // Note: boost circuits stay lit until released topology-side; keeping
+  // them is harmless for correctness (capacity only grows).
+  reservations_.erase(it);
+}
+
+double ReservationService::AvailableRate(net::NodeId src, net::NodeId dst,
+                                         double start, double end) const {
+  const auto paths = net::KShortestPaths(graph_, src, dst, options_.k_paths);
+  // Greedy commit over a scratch ledger — the same procedure admission
+  // uses, so the answer is exactly what a Request could obtain.
+  std::map<net::EdgeId, double> scratch;  // window-min residual per edge
+  auto window_min = [&](net::EdgeId e) {
+    auto it = scratch.find(e);
+    if (it != scratch.end()) return it->second;
+    double r = graph_.edge(e).capacity;
+    for (int64_t s = FirstSlot(start); s <= LastSlot(end); ++s) {
+      r = std::min(r, Residual(s, e));
+    }
+    scratch[e] = r;
+    return r;
+  };
+  double total = 0.0;
+  for (const net::Path& p : paths) {
+    double r = 1e18;
+    for (net::EdgeId e : p.edges) r = std::min(r, window_min(e));
+    if (r >= 1e18 || r <= 0.0) continue;
+    for (net::EdgeId e : p.edges) scratch[e] -= r;
+    total += r;
+  }
+  return total;
+}
+
+}  // namespace owan::control

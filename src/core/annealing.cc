@@ -1,0 +1,198 @@
+#include "core/annealing.h"
+
+#include <cmath>
+#include <utility>
+
+namespace owan::core {
+
+std::optional<Topology> ComputeNeighbor(const Topology& s, util::Rng& rng,
+                                        const std::vector<int>* port_budget) {
+  const std::vector<Link> links = s.Links();
+  constexpr int kMaxTries = 32;
+
+  // Re-home move: only available when dark ports exist.
+  if (port_budget && !links.empty()) {
+    std::vector<net::NodeId> free_sites;
+    for (net::NodeId v = 0; v < s.NumSites(); ++v) {
+      if (s.PortsUsed(v) < (*port_budget)[static_cast<size_t>(v)]) {
+        free_sites.push_back(v);
+      }
+    }
+    if (!free_sites.empty() && rng.Chance(0.5)) {
+      for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+        const Link& l = links[rng.Index(links.size())];
+        net::NodeId keep = l.u, drop = l.v;
+        if (rng.Chance(0.5)) std::swap(keep, drop);
+        const net::NodeId w = free_sites[rng.Index(free_sites.size())];
+        if (w == keep || w == drop) continue;
+        Topology t = s;
+        t.AddUnits(keep, drop, -1);
+        t.AddUnits(keep, w, +1);
+        return t;
+      }
+    }
+  }
+
+  if (links.size() < 2) return std::nullopt;
+
+  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+    const size_t i = rng.Index(links.size());
+    size_t j = rng.Index(links.size());
+    if (i == j) continue;
+    net::NodeId u = links[i].u, v = links[i].v;
+    net::NodeId p = links[j].u, q = links[j].v;
+    // Randomly flip one link's orientation so both pairings are reachable.
+    if (rng.Chance(0.5)) std::swap(p, q);
+    // New links (u,p) and (v,q) must not be self loops.
+    if (u == p || v == q) {
+      std::swap(p, q);
+      if (u == p || v == q) continue;
+    }
+    Topology t = s;
+    t.AddUnits(u, v, -1);
+    t.AddUnits(p, q, -1);
+    t.AddUnits(u, p, +1);
+    t.AddUnits(v, q, +1);
+    // Links sharing a node can make the rotation a no-op (e.g. removing
+    // (u,v),(v,q) and adding them back); retry for a real move.
+    if (t == s) continue;
+    return t;
+  }
+  return std::nullopt;
+}
+
+AnnealResult ComputeNetworkState(const Topology& current,
+                                 const optical::OpticalNetwork& blank_optical,
+                                 const std::vector<TransferDemand>& demands,
+                                 const AnnealOptions& options,
+                                 util::Rng& rng) {
+  std::vector<int> port_budget;
+  port_budget.reserve(static_cast<size_t>(blank_optical.NumSites()));
+  for (int v = 0; v < blank_optical.NumSites(); ++v) {
+    port_budget.push_back(blank_optical.site(v).router_ports);
+  }
+
+  Topology start = current;
+  if (!options.warm_start) {
+    for (int i = 0; i < options.cold_start_moves; ++i) {
+      auto t = ComputeNeighbor(start, rng, &port_budget);
+      if (t) start = std::move(*t);
+    }
+  }
+
+  ProvisionedState cur_state{blank_optical};
+  cur_state.SyncTo(start);
+  RoutingOutcome cur_routing = AssignRoutesAndRates(
+      cur_state.CapacityGraph(), demands, options.routing);
+  double cur_energy = cur_routing.throughput;
+
+  const double start_energy = cur_energy;
+  const ProvisionedState start_state = cur_state;
+  const RoutingOutcome start_routing = cur_routing;
+
+  AnnealResult best;
+  best.best_topology = start;
+  best.best_energy = cur_energy;
+  best.state = cur_state;
+  best.routing = cur_routing;
+
+  Topology cur_topo = start;
+
+  // Initial temperature = current throughput (Algorithm 1, line 4); guard
+  // against an all-idle network.
+  const double t0 = cur_energy > 0.0 ? cur_energy : 1.0;
+  double temperature = t0;
+  const double floor = t0 * options.epsilon_ratio;
+
+  // Indices of transfers past the starvation threshold: the search treats
+  // serving them as lexicographically more important than raw throughput.
+  std::vector<size_t> starved;
+  for (size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].slots_waited >= options.routing.policy.starvation_slots) {
+      starved.push_back(i);
+    }
+  }
+  auto starved_served = [&starved](const RoutingOutcome& r) {
+    int n = 0;
+    for (size_t i : starved) {
+      if (r.allocations[i].TotalRate() > 1e-9) ++n;
+    }
+    return n;
+  };
+
+  int iters = 0;
+  int best_dist = best.best_topology.DistanceTo(current);
+  int best_starved = starved_served(best.routing);
+  while (temperature > floor && iters < options.max_iterations) {
+    ++iters;
+    auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
+    if (!neighbor) break;
+    if (options.max_distance > 0 &&
+        neighbor->DistanceTo(current) > options.max_distance) {
+      temperature *= options.alpha;
+      continue;  // out of the allowed update radius
+    }
+
+    ProvisionedState nb_state = cur_state;
+    nb_state.SyncTo(*neighbor);
+    RoutingOutcome nb_routing = AssignRoutesAndRates(
+        nb_state.CapacityGraph(), demands, options.routing);
+    const double nb_energy = nb_routing.throughput;
+
+    // Track the best state lexicographically: serve starved transfers
+    // first, then throughput, then proximity to the current topology (so
+    // updates stay incremental).
+    const int nb_dist = neighbor->DistanceTo(current);
+    const int nb_starved = starved_served(nb_routing);
+    const bool better =
+        nb_starved > best_starved ||
+        (nb_starved == best_starved &&
+         (nb_energy > best.best_energy + 1e-9 ||
+          (nb_energy > best.best_energy - 1e-9 && nb_dist < best_dist)));
+    if (better) {
+      best.best_topology = *neighbor;
+      best.best_energy = nb_energy;
+      best.state = nb_state;
+      best.routing = nb_routing;
+      best_dist = nb_dist;
+      best_starved = nb_starved;
+    }
+
+    // Accept uphill always; downhill with Boltzmann probability.
+    bool accept = nb_energy >= cur_energy;
+    if (!accept) {
+      const double prob = std::exp((nb_energy - cur_energy) / temperature);
+      accept = rng.Uniform() < prob;
+    }
+    if (accept) {
+      cur_topo = std::move(*neighbor);
+      cur_state = std::move(nb_state);
+      cur_routing = std::move(nb_routing);
+      cur_energy = nb_energy;
+      ++best.accepted;
+    }
+    temperature *= options.alpha;
+  }
+
+  // Marginal improvements do not justify taking circuits dark: stick with
+  // the starting topology unless the win clears the adoption threshold —
+  // EXCEPT when the candidate rescues a starved transfer the current
+  // topology cannot serve at all (the §3.2 starvation guard must be able
+  // to force a reconfiguration, not just reorder transfers).
+  const bool rescues_starved =
+      starved_served(best.routing) > starved_served(start_routing);
+  if (!rescues_starved &&
+      best.best_energy <
+          start_energy * (1.0 + options.min_adopt_gain) + 1e-9) {
+    best.best_topology = start;
+    best.best_energy = start_energy;
+    best.state = start_state;
+    best.routing = start_routing;
+  }
+
+  best.iterations = iters;
+  best.circuit_changes = best.best_topology.DistanceTo(current);
+  return best;
+}
+
+}  // namespace owan::core

@@ -1,0 +1,74 @@
+#ifndef OWAN_CORE_ANNEALING_H_
+#define OWAN_CORE_ANNEALING_H_
+
+#include <optional>
+
+#include "core/provisioned_state.h"
+#include "core/routing.h"
+#include "core/topology.h"
+#include "core/transfer.h"
+#include "util/rng.h"
+
+namespace owan::core {
+
+// Algorithm 2: one random neighbor move. Picks two links (u,v) and (p,q),
+// removes one unit of capacity from each and adds one unit to (u,p) and
+// (v,q) (or the mirrored pairing) — four link changes that leave every
+// site's port usage unchanged. Returns nullopt if no valid move exists
+// (fewer than two links, or every pairing would self-loop).
+//
+// When `port_budget` is given (ports per site from the optical plant) and
+// some ports are dark — normally only after failures — the move set also
+// includes re-homing one endpoint of a link onto a free port, so the search
+// can recover capacity the strict rotation could never reach.
+std::optional<Topology> ComputeNeighbor(
+    const Topology& s, util::Rng& rng,
+    const std::vector<int>* port_budget = nullptr);
+
+struct AnnealOptions {
+  // Geometric cooling factor (Algorithm 1, line 16).
+  double alpha = 0.95;
+  // Stop when T < epsilon_ratio * T0.
+  double epsilon_ratio = 1e-3;
+  // Hard iteration cap (used by the Fig. 10d running-time sweep).
+  int max_iterations = 400;
+  // Paper default: start from the current topology. false = cold start from
+  // a randomly shuffled topology (ablation).
+  bool warm_start = true;
+  int cold_start_moves = 64;
+  // Keep the current topology unless the best candidate beats it by this
+  // relative margin. Reconfiguration is not free (circuits go dark for
+  // seconds), so marginal wins are not worth the churn.
+  double min_adopt_gain = 0.02;
+  // If > 0, candidate states farther than this many circuit changes from
+  // the current topology are never explored — a hard cap on per-slot
+  // update size (keeps the Fig. 10b transition small and fast).
+  int max_distance = 0;
+  RoutingOptions routing;
+};
+
+struct AnnealResult {
+  Topology best_topology;
+  double best_energy = 0.0;
+  std::optional<ProvisionedState> state;  // provisioned at best_topology
+  RoutingOutcome routing;        // allocation on the realized topology
+  int iterations = 0;            // neighbor evaluations performed
+  int accepted = 0;              // moves accepted
+  int circuit_changes = 0;       // DistanceTo(current) of the best topology
+};
+
+// Algorithm 1: simulated-annealing search for the next network state.
+//
+// `current` is this slot's topology; `blank_optical` is the optical plant
+// with *no* topology circuits provisioned (the search re-provisions from
+// scratch and keeps incremental deltas thereafter). Energy is the total
+// throughput achievable for `demands` on the candidate topology.
+AnnealResult ComputeNetworkState(const Topology& current,
+                                 const optical::OpticalNetwork& blank_optical,
+                                 const std::vector<TransferDemand>& demands,
+                                 const AnnealOptions& options,
+                                 util::Rng& rng);
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_ANNEALING_H_

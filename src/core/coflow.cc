@@ -1,0 +1,88 @@
+#include "core/coflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace owan::core {
+
+void CoflowRegistry::AddMember(int group_id, int request_id) {
+  if (group_id == kNoGroup) {
+    throw std::invalid_argument("CoflowRegistry: invalid group id");
+  }
+  auto [it, inserted] = member_to_group_.emplace(request_id, group_id);
+  if (!inserted) {
+    throw std::invalid_argument("CoflowRegistry: transfer already grouped");
+  }
+  groups_[group_id].push_back(request_id);
+}
+
+int CoflowRegistry::GroupOf(int request_id) const {
+  auto it = member_to_group_.find(request_id);
+  return it == member_to_group_.end() ? kNoGroup : it->second;
+}
+
+const std::vector<int>& CoflowRegistry::Members(int group_id) const {
+  static const std::vector<int> kEmpty;
+  auto it = groups_.find(group_id);
+  return it == groups_.end() ? kEmpty : it->second;
+}
+
+std::map<int, double> CoflowRegistry::SebfKeys(
+    const std::vector<TransferDemand>& demands) const {
+  // Bottleneck = max remaining volume among a group's live members.
+  std::map<int, double> group_bottleneck;
+  for (const TransferDemand& d : demands) {
+    const int g = GroupOf(d.id);
+    if (g == kNoGroup) continue;
+    double& b = group_bottleneck[g];
+    b = std::max(b, d.remaining);
+  }
+  std::map<int, double> keys;
+  for (const TransferDemand& d : demands) {
+    const int g = GroupOf(d.id);
+    keys[d.id] = g == kNoGroup ? d.remaining : group_bottleneck[g];
+  }
+  return keys;
+}
+
+std::vector<TransferDemand> CoflowRegistry::ApplySebf(
+    const std::vector<TransferDemand>& demands) const {
+  const auto keys = SebfKeys(demands);
+  std::vector<TransferDemand> out = demands;
+  for (TransferDemand& d : out) {
+    d.remaining = keys.at(d.id);
+  }
+  return out;
+}
+
+std::vector<GroupCompletion> GroupCompletions(
+    const CoflowRegistry& registry, const std::vector<int>& request_ids,
+    const std::vector<double>& arrivals,
+    const std::vector<double>& completed_at) {
+  std::map<int, GroupCompletion> acc;
+  std::map<int, double> earliest_arrival;
+  std::map<int, double> last_completion;
+  std::map<int, size_t> seen_members;
+
+  for (size_t i = 0; i < request_ids.size(); ++i) {
+    const int g = registry.GroupOf(request_ids[i]);
+    if (g == kNoGroup) continue;
+    auto [ait, a_new] = earliest_arrival.emplace(g, arrivals[i]);
+    if (!a_new) ait->second = std::min(ait->second, arrivals[i]);
+    auto [cit, c_new] = last_completion.emplace(g, completed_at[i]);
+    if (!c_new) cit->second = std::max(cit->second, completed_at[i]);
+    ++seen_members[g];
+  }
+
+  std::vector<GroupCompletion> out;
+  for (const auto& [g, n] : seen_members) {
+    GroupCompletion gc;
+    gc.group_id = g;
+    gc.complete = n == registry.Members(g).size();
+    gc.completion_time = last_completion[g] - earliest_arrival[g];
+    out.push_back(gc);
+  }
+  return out;
+}
+
+}  // namespace owan::core

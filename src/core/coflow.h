@@ -1,0 +1,71 @@
+#ifndef OWAN_CORE_COFLOW_H_
+#define OWAN_CORE_COFLOW_H_
+
+#include <map>
+#include <vector>
+
+#include "core/transfer.h"
+
+namespace owan::core {
+
+// Group transfers (§3.4): some applications push the same data to multiple
+// destinations and only the LAST completion matters — the WAN analogue of
+// the coflow abstraction. Owan can either treat members as independent
+// transfers or order them with Smallest-Effective-Bottleneck-First (SEBF,
+// Varys): groups whose slowest member finishes soonest go first, which
+// minimizes average group completion time the same way SJF does for single
+// transfers.
+
+inline constexpr int kNoGroup = -1;
+
+// A group of member transfer requests sharing a group id.
+struct TransferGroup {
+  int group_id = kNoGroup;
+  std::vector<int> member_ids;
+};
+
+// Registry mapping transfers to their groups and computing SEBF keys.
+class CoflowRegistry {
+ public:
+  // Registers `request_id` as a member of `group_id` (creating the group).
+  void AddMember(int group_id, int request_id);
+
+  int GroupOf(int request_id) const;  // kNoGroup if ungrouped
+  const std::vector<int>& Members(int group_id) const;
+  int NumGroups() const { return static_cast<int>(groups_.size()); }
+
+  // SEBF key per demand: the group's effective bottleneck — the largest
+  // remaining member volume in the group (an ungrouped transfer is its own
+  // group). Demands sharing a group share a key, so the whole group is
+  // scheduled as one unit ordered by its slowest member.
+  std::map<int, double> SebfKeys(
+      const std::vector<TransferDemand>& demands) const;
+
+  // Rewrites each demand's `remaining` scheduling key to its group's SEBF
+  // key so the standard SJF policy (Algorithm 3 ordering) becomes SEBF.
+  // Returns the rewritten demand vector; rate caps are untouched.
+  std::vector<TransferDemand> ApplySebf(
+      const std::vector<TransferDemand>& demands) const;
+
+ private:
+  std::map<int, int> member_to_group_;
+  std::map<int, std::vector<int>> groups_;
+};
+
+// Group completion statistics over finished transfers: a group's
+// completion time is its last member's.
+struct GroupCompletion {
+  int group_id = kNoGroup;
+  double completion_time = 0.0;  // relative to the earliest member arrival
+  bool complete = false;
+};
+
+std::vector<GroupCompletion> GroupCompletions(
+    const CoflowRegistry& registry,
+    const std::vector<int>& request_ids,
+    const std::vector<double>& arrivals,
+    const std::vector<double>& completed_at);
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_COFLOW_H_

@@ -1,0 +1,92 @@
+#include "core/owan.h"
+
+#include <algorithm>
+
+#include "net/shortest_path.h"
+
+namespace owan::core {
+
+OwanTe::OwanTe(OwanOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::string OwanTe::name() const {
+  switch (options_.control) {
+    case ControlLevel::kRateOnly:
+      return "Owan(rate)";
+    case ControlLevel::kRateAndRouting:
+      return "Owan(rate+routing)";
+    case ControlLevel::kFull:
+      return "Owan";
+  }
+  return "Owan";
+}
+
+TeOutput OwanTe::ComputeFixedTopology(const TeInput& input, bool multipath) {
+  TeOutput out;
+  const net::Graph g =
+      input.topology->ToGraph(input.optical->wavelength_capacity());
+  if (multipath) {
+    RoutingOutcome r =
+        AssignRoutesAndRates(g, input.demands, options_.anneal.routing);
+    out.allocations = std::move(r.allocations);
+    return out;
+  }
+
+  // Rate-only control: every transfer is pinned to its single shortest path
+  // (by hops); the controller can only pick sending rates in policy order.
+  out.allocations.resize(input.demands.size());
+  std::vector<double> residual(static_cast<size_t>(g.NumEdges()));
+  for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    residual[static_cast<size_t>(e)] = g.edge(e).capacity;
+  }
+  const std::vector<size_t> order =
+      ScheduleOrder(input.demands, options_.anneal.routing.policy);
+  for (size_t oi : order) {
+    const TransferDemand& d = input.demands[oi];
+    out.allocations[oi].id = d.id;
+    if (d.src == d.dst) continue;
+    auto path = net::ShortestPath(g, d.src, d.dst);
+    if (!path || path->edges.empty()) continue;
+    double bottleneck = std::max(0.0, d.rate_cap);
+    for (net::EdgeId e : path->edges) {
+      bottleneck = std::min(bottleneck, residual[static_cast<size_t>(e)]);
+    }
+    if (bottleneck <= 0.0) continue;
+    for (net::EdgeId e : path->edges) {
+      residual[static_cast<size_t>(e)] -= bottleneck;
+    }
+    out.allocations[oi].paths.push_back(PathAllocation{*path, bottleneck});
+  }
+  return out;
+}
+
+TeOutput OwanTe::Compute(const TeInput& input) {
+  // Let EDF ordering see the clock so expired deadlines are demoted.
+  options_.anneal.routing.policy.now = input.now;
+  // Group transfers: swap SJF keys for SEBF keys (§3.4).
+  TeInput sebf_input;
+  const TeInput* effective = &input;
+  if (options_.coflows != nullptr) {
+    sebf_input = input;
+    sebf_input.demands = options_.coflows->ApplySebf(input.demands);
+    effective = &sebf_input;
+  }
+  const TeInput& in = *effective;
+  switch (options_.control) {
+    case ControlLevel::kRateOnly:
+      return ComputeFixedTopology(in, /*multipath=*/false);
+    case ControlLevel::kRateAndRouting:
+      return ComputeFixedTopology(in, /*multipath=*/true);
+    case ControlLevel::kFull:
+      break;
+  }
+
+  last_ = ComputeNetworkState(*in.topology, *in.optical, in.demands,
+                              options_.anneal, rng_);
+  TeOutput out;
+  out.allocations = last_.routing.allocations;
+  out.new_topology = last_.best_topology;
+  return out;
+}
+
+}  // namespace owan::core

@@ -1,0 +1,54 @@
+#ifndef OWAN_CORE_OWAN_H_
+#define OWAN_CORE_OWAN_H_
+
+#include <string>
+
+#include "core/annealing.h"
+#include "core/coflow.h"
+#include "core/te_scheme.h"
+#include "util/rng.h"
+
+namespace owan::core {
+
+// Which knobs Owan may turn — the Fig. 10c "breakdown of gains" ablation.
+enum class ControlLevel {
+  kRateOnly,          // fixed topology, fixed single path, rate control only
+  kRateAndRouting,    // fixed topology, multi-path routing + rates
+  kFull,              // topology + routing + rates (the real Owan)
+};
+
+struct OwanOptions {
+  AnnealOptions anneal;
+  ControlLevel control = ControlLevel::kFull;
+  uint64_t seed = 1;
+  // Optional group-transfer support (§3.4): when set, SJF ordering keys are
+  // replaced with Smallest-Effective-Bottleneck-First keys so each group is
+  // scheduled as a unit by its slowest member. Not owned.
+  const CoflowRegistry* coflows = nullptr;
+};
+
+// The Owan traffic-engineering scheme: per slot, search for a better
+// network-layer topology with simulated annealing (jointly scoring circuit
+// feasibility and routing/rate assignment), then emit the new topology and
+// the transfer allocations on it.
+class OwanTe : public TeScheme {
+ public:
+  explicit OwanTe(OwanOptions options);
+
+  std::string name() const override;
+  TeOutput Compute(const TeInput& input) override;
+
+  // Statistics from the last Compute call (for microbenchmarks).
+  const AnnealResult& last_anneal() const { return last_; }
+
+ private:
+  TeOutput ComputeFixedTopology(const TeInput& input, bool multipath);
+
+  OwanOptions options_;
+  util::Rng rng_;
+  AnnealResult last_;
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_OWAN_H_

@@ -1,0 +1,67 @@
+#ifndef OWAN_CORE_POLICY_H_
+#define OWAN_CORE_POLICY_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/transfer.h"
+
+namespace owan::core {
+
+// Transfer ordering used by the routing/rate assignment step of the energy
+// function (Algorithm 3, line 16).
+enum class SchedulingPolicy {
+  kShortestJobFirst,    // order by remaining size (completion-time runs)
+  kEarliestDeadlineFirst,  // order by absolute deadline (deadline runs)
+};
+
+struct PolicyOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kShortestJobFirst;
+  // Starvation guard t-hat (§3.2): a transfer unscheduled for this many
+  // consecutive slots jumps to the front of the order.
+  int starvation_slots = 3;
+  // Current time; under EDF, transfers whose deadline already passed are
+  // demoted to the back (they cannot meet it anymore, so they only soak up
+  // leftover capacity instead of cascading more misses).
+  double now = 0.0;
+};
+
+// Returns indices into `demands` in scheduling order: starved transfers
+// first (FIFO by how long they starved), then by the policy key, with id as
+// the final deterministic tie break.
+inline std::vector<size_t> ScheduleOrder(
+    const std::vector<TransferDemand>& demands, const PolicyOptions& opt) {
+  std::vector<size_t> order(demands.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto key_less = [&](size_t a, size_t b) {
+    const TransferDemand& da = demands[a];
+    const TransferDemand& db = demands[b];
+    const bool sa = da.slots_waited >= opt.starvation_slots;
+    const bool sb = db.slots_waited >= opt.starvation_slots;
+    if (sa != sb) return sa;  // starved transfers first
+    if (sa && sb && da.slots_waited != db.slots_waited) {
+      return da.slots_waited > db.slots_waited;
+    }
+    double ka, kb;
+    if (opt.policy == SchedulingPolicy::kShortestJobFirst) {
+      ka = da.remaining;
+      kb = db.remaining;
+    } else {
+      auto edf_key = [&opt](const TransferDemand& d) {
+        if (d.deadline <= 0) return 1e300;       // no deadline: last
+        if (d.deadline < opt.now) return 1e200 + d.deadline;  // expired
+        return d.deadline;
+      };
+      ka = edf_key(da);
+      kb = edf_key(db);
+    }
+    if (ka != kb) return ka < kb;
+    return da.id < db.id;
+  };
+  std::sort(order.begin(), order.end(), key_less);
+  return order;
+}
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_POLICY_H_

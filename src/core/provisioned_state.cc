@@ -1,0 +1,73 @@
+#include "core/provisioned_state.h"
+
+#include <algorithm>
+
+namespace owan::core {
+
+ProvisionedState::ProvisionedState(optical::OpticalNetwork optical)
+    : optical_(std::move(optical)),
+      requested_(optical_.NumSites()),
+      realized_(optical_.NumSites()) {}
+
+int ProvisionedState::SyncTo(const Topology& target) {
+  // Release first so freed wavelengths/regenerators can serve the additions.
+  auto [to_add, to_remove] = target.Diff(requested_);
+  for (const Link& l : to_remove) {
+    auto key = Key(l.u, l.v);
+    auto& circuits = link_circuits_[key];
+    for (int i = 0; i < l.units && !circuits.empty(); ++i) {
+      optical_.ReleaseCircuit(circuits.back());
+      circuits.pop_back();
+      realized_.AddUnits(l.u, l.v, -1);
+    }
+    if (circuits.empty()) link_circuits_.erase(key);
+  }
+
+  int failed_units = 0;
+  for (const Link& l : to_add) {
+    for (int i = 0; i < l.units; ++i) {
+      auto id = optical_.ProvisionCircuit(l.u, l.v);
+      if (id) {
+        link_circuits_[Key(l.u, l.v)].push_back(*id);
+        realized_.AddUnits(l.u, l.v, 1);
+      } else {
+        ++failed_units;
+      }
+    }
+  }
+  requested_ = target;
+  return failed_units;
+}
+
+std::vector<optical::CircuitId> ProvisionedState::LinkCircuits(
+    net::NodeId u, net::NodeId v) const {
+  auto it = link_circuits_.find(Key(u, v));
+  if (it == link_circuits_.end()) return {};
+  return it->second;
+}
+
+std::vector<Link> ProvisionedState::HandleFiberFailure(net::EdgeId fiber) {
+  const std::vector<optical::CircuitId> victims = optical_.FailFiber(fiber);
+  std::vector<Link> lost;
+  for (optical::CircuitId id : victims) {
+    for (auto& [key, circuits] : link_circuits_) {
+      auto it = std::find(circuits.begin(), circuits.end(), id);
+      if (it == circuits.end()) continue;
+      circuits.erase(it);
+      realized_.AddUnits(key.first, key.second, -1);
+      bool merged = false;
+      for (Link& l : lost) {
+        if (Key(l.u, l.v) == key) {
+          ++l.units;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) lost.push_back(Link{key.first, key.second, 1});
+      break;
+    }
+  }
+  return lost;
+}
+
+}  // namespace owan::core

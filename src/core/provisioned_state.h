@@ -1,0 +1,66 @@
+#ifndef OWAN_CORE_PROVISIONED_STATE_H_
+#define OWAN_CORE_PROVISIONED_STATE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/topology.h"
+#include "optical/optical_network.h"
+
+namespace owan::core {
+
+// A network-layer topology together with the optical circuits that realise
+// it (Algorithm 3, step 1).
+//
+// The class owns a *copy* of the optical network so the annealing loop can
+// clone it cheaply per neighbor evaluation: SyncTo releases circuits only
+// for links losing units and provisions circuits only for links gaining
+// units, which keeps one SA iteration proportional to the size of the move
+// (4 link changes), not the size of the network.
+//
+// `realized()` may fall short of the requested topology when wavelengths or
+// regenerators run out (Algorithm 3, lines 13-14): the missing units simply
+// do not appear in the realized capacity.
+class ProvisionedState {
+ public:
+  explicit ProvisionedState(optical::OpticalNetwork optical);
+
+  // Adjusts circuits so the realized topology approaches `target`.
+  // Returns the number of units that could not be provisioned.
+  int SyncTo(const Topology& target);
+
+  const Topology& requested() const { return requested_; }
+  const Topology& realized() const { return realized_; }
+  const optical::OpticalNetwork& optical() const { return optical_; }
+
+  // Capacity graph of the realized topology (one edge per link).
+  net::Graph CapacityGraph() const {
+    return realized_.ToGraph(optical_.wavelength_capacity());
+  }
+
+  // Circuits currently implementing link (u, v).
+  std::vector<optical::CircuitId> LinkCircuits(net::NodeId u,
+                                               net::NodeId v) const;
+
+  // Tears down circuits crossing a failed fiber and shrinks the realized
+  // topology accordingly; returns affected (u,v,units_lost) links.
+  std::vector<Link> HandleFiberFailure(net::EdgeId fiber);
+
+ private:
+  static std::pair<net::NodeId, net::NodeId> Key(net::NodeId u,
+                                                 net::NodeId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  }
+
+  optical::OpticalNetwork optical_;
+  Topology requested_;
+  Topology realized_;
+  std::map<std::pair<net::NodeId, net::NodeId>,
+           std::vector<optical::CircuitId>>
+      link_circuits_;
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_PROVISIONED_STATE_H_

@@ -1,0 +1,58 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/provisioned_state.h"
+
+namespace owan::core {
+
+Topology RepairDarkPorts(const Topology& topo,
+                         const optical::OpticalNetwork& optical,
+                         const std::vector<int>& port_budget) {
+  Topology repaired = topo;
+  const int n = repaired.NumSites();
+
+  auto free_ports = [&](net::NodeId v) {
+    return port_budget[static_cast<size_t>(v)] - repaired.PortsUsed(v);
+  };
+
+  // Candidate pairs ordered by fiber distance so repairs prefer short,
+  // regeneration-free circuits.
+  struct Cand {
+    double dist;
+    net::NodeId u, v;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<Cand> cands;
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (free_ports(u) <= 0) continue;
+      for (net::NodeId v = u + 1; v < n; ++v) {
+        if (free_ports(v) <= 0) continue;
+        const double d = optical.FiberDistanceKm(u, v);
+        if (d == std::numeric_limits<double>::infinity()) continue;
+        cands.push_back(Cand{d, u, v});
+      }
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      if (a.u != b.u) return a.u < b.u;
+      return a.v < b.v;
+    });
+    for (const Cand& c : cands) {
+      Topology t = repaired;
+      t.AddUnits(c.u, c.v, 1);
+      ProvisionedState trial(optical);
+      if (trial.SyncTo(t) == 0) {
+        repaired = std::move(t);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return repaired;
+}
+
+}  // namespace owan::core

@@ -1,0 +1,27 @@
+#ifndef OWAN_CORE_REPAIR_H_
+#define OWAN_CORE_REPAIR_H_
+
+#include <vector>
+
+#include "core/topology.h"
+#include "optical/optical_network.h"
+
+namespace owan::core {
+
+// Re-pairs "dark" router ports — ports the topology leaves unused, e.g.
+// after a fiber failure killed circuits that could not re-route — into new
+// feasible links (§3.4 failure handling: the controller recomputes the
+// network state against the updated physical network).
+//
+// `port_budget[v]` is the number of WAN-facing ports at site v. Candidate
+// links are tried shortest-fiber-distance first; a link is kept only if a
+// circuit for it (on top of everything already in `topo`) can actually be
+// provisioned on `optical`. Returns the repaired topology (a superset of
+// `topo`).
+Topology RepairDarkPorts(const Topology& topo,
+                         const optical::OpticalNetwork& optical,
+                         const std::vector<int>& port_budget);
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_REPAIR_H_

@@ -1,0 +1,145 @@
+#include "core/routing.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/shortest_path.h"
+
+namespace owan::core {
+
+namespace {
+constexpr double kRateEps = 1e-9;
+}
+
+RoutingOutcome AssignRoutesAndRates(const net::Graph& topo,
+                                    const std::vector<TransferDemand>& demands,
+                                    const RoutingOptions& options) {
+  RoutingOutcome out;
+  out.allocations.resize(demands.size());
+  for (size_t i = 0; i < demands.size(); ++i) {
+    out.allocations[i].id = demands[i].id;
+  }
+
+  std::vector<double> residual(static_cast<size_t>(topo.NumEdges()));
+  for (net::EdgeId e = 0; e < topo.NumEdges(); ++e) {
+    residual[static_cast<size_t>(e)] = topo.edge(e).capacity;
+  }
+  std::vector<double> unmet(demands.size());
+  for (size_t i = 0; i < demands.size(); ++i) {
+    unmet[i] = std::max(0.0, demands[i].rate_cap);
+  }
+
+  const std::vector<size_t> order = ScheduleOrder(demands, options.policy);
+
+  // Cache enumerated paths per (src, dst) pair; several transfers often
+  // share endpoints. Pairs farther apart than max_hops fall back to their
+  // k shortest paths of any length — Algorithm 3's length rounds are
+  // unbounded, only the enumeration is capped for cost.
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<net::Path>>
+      path_cache;
+  int longest_hops = options.max_hops;
+  auto paths_for = [&](net::NodeId s,
+                       net::NodeId d) -> const std::vector<net::Path>& {
+    auto key = std::make_pair(s, d);
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) {
+      std::vector<net::Path> paths = net::PathsUpToHops(
+          topo, s, d, options.max_hops, options.max_paths_per_pair);
+      if (paths.empty()) {
+        paths = net::KShortestPaths(topo, s, d, 2);
+        for (const net::Path& p : paths) {
+          longest_hops =
+              std::max(longest_hops, static_cast<int>(p.HopCount()));
+        }
+      }
+      it = path_cache.emplace(key, std::move(paths)).first;
+    }
+    return it->second;
+  };
+  // Prime the cache so longest_hops covers every demand's fallback paths.
+  for (const TransferDemand& d : demands) {
+    if (d.src != d.dst && d.src != net::kInvalidNode) paths_for(d.src, d.dst);
+  }
+
+  // Serves one transfer across all of its paths (shortest first).
+  auto serve_fully = [&](size_t oi) {
+    const TransferDemand& d = demands[oi];
+    if (d.src == d.dst || d.src == net::kInvalidNode) return;
+    for (const net::Path& p : paths_for(d.src, d.dst)) {
+      if (unmet[oi] <= kRateEps) break;
+      double bottleneck = unmet[oi];
+      for (net::EdgeId e : p.edges) {
+        bottleneck = std::min(bottleneck, residual[static_cast<size_t>(e)]);
+      }
+      if (bottleneck <= kRateEps) continue;
+      for (net::EdgeId e : p.edges) {
+        residual[static_cast<size_t>(e)] -= bottleneck;
+      }
+      unmet[oi] -= bottleneck;
+      out.throughput += bottleneck;
+      out.allocations[oi].paths.push_back(PathAllocation{p, bottleneck});
+    }
+  };
+
+  if (options.strict_priority) {
+    for (size_t oi : order) serve_fully(oi);
+    return out;
+  }
+
+  // Starvation pre-pass (§3.2 t-hat guard): a transfer unscheduled for
+  // t-hat slots claims capacity across ALL its path lengths before the
+  // round-based allocation starts — otherwise transfers whose shortest
+  // path is long lose every round-l to shorter-path traffic forever.
+  for (size_t oi : order) {
+    if (demands[oi].slots_waited < options.policy.starvation_slots) break;
+    serve_fully(oi);
+  }
+
+  for (int hops = 1; hops <= longest_hops; ++hops) {
+    bool any_capacity = false;
+    for (double r : residual) {
+      if (r > kRateEps) {
+        any_capacity = true;
+        break;
+      }
+    }
+    bool any_demand = false;
+    for (double u : unmet) {
+      if (u > kRateEps) {
+        any_demand = true;
+        break;
+      }
+    }
+    if (!any_capacity || !any_demand) break;
+
+    for (size_t oi : order) {
+      if (unmet[oi] <= kRateEps) continue;
+      const TransferDemand& d = demands[oi];
+      if (d.src == d.dst || d.src == net::kInvalidNode) continue;
+      for (const net::Path& p : paths_for(d.src, d.dst)) {
+        if (static_cast<int>(p.HopCount()) != hops) continue;
+        if (unmet[oi] <= kRateEps) break;
+        double bottleneck = unmet[oi];
+        for (net::EdgeId e : p.edges) {
+          bottleneck = std::min(bottleneck, residual[static_cast<size_t>(e)]);
+        }
+        if (bottleneck <= kRateEps) continue;
+        for (net::EdgeId e : p.edges) {
+          residual[static_cast<size_t>(e)] -= bottleneck;
+        }
+        unmet[oi] -= bottleneck;
+        out.throughput += bottleneck;
+        out.allocations[oi].paths.push_back(PathAllocation{p, bottleneck});
+      }
+    }
+  }
+  return out;
+}
+
+double ComputeThroughput(const net::Graph& topo,
+                         const std::vector<TransferDemand>& demands,
+                         const RoutingOptions& options) {
+  return AssignRoutesAndRates(topo, demands, options).throughput;
+}
+
+}  // namespace owan::core

@@ -1,0 +1,46 @@
+#ifndef OWAN_CORE_ROUTING_H_
+#define OWAN_CORE_ROUTING_H_
+
+#include <vector>
+
+#include "core/policy.h"
+#include "core/transfer.h"
+#include "net/graph.h"
+
+namespace owan::core {
+
+struct RoutingOptions {
+  PolicyOptions policy;
+  // Longest routing path considered (hop rounds l = 1..max_hops,
+  // Algorithm 3 lines 17-25).
+  int max_hops = 4;
+  // Cap on enumerated simple paths per (src, dst) pair.
+  size_t max_paths_per_pair = 24;
+  // false (paper Algorithm 3): round l serves every transfer's l-hop paths
+  // before anyone uses l+1 hops. true: each transfer exhausts all its path
+  // lengths before the next transfer gets anything (the strict SJF of the
+  // motivating example's Plan B).
+  bool strict_priority = false;
+};
+
+struct RoutingOutcome {
+  double throughput = 0.0;  // sum of allocated rates (the SA energy)
+  std::vector<TransferAllocation> allocations;  // parallel to input demands
+};
+
+// Algorithm 3, step 2: assigns multi-path routes and rates over the given
+// network-layer capacity graph. Transfers are ordered by the scheduling
+// policy; round l considers only paths of exactly l hops, so higher-priority
+// transfers claim short paths before anyone may use long ones.
+RoutingOutcome AssignRoutesAndRates(const net::Graph& topo,
+                                    const std::vector<TransferDemand>& demands,
+                                    const RoutingOptions& options);
+
+// Convenience: just the throughput (used as the annealing energy).
+double ComputeThroughput(const net::Graph& topo,
+                         const std::vector<TransferDemand>& demands,
+                         const RoutingOptions& options);
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_ROUTING_H_

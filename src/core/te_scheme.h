@@ -1,0 +1,53 @@
+#ifndef OWAN_CORE_TE_SCHEME_H_
+#define OWAN_CORE_TE_SCHEME_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/topology.h"
+#include "core/transfer.h"
+#include "optical/optical_network.h"
+
+namespace owan::core {
+
+// Everything a traffic-engineering scheme sees at the start of a time slot.
+struct TeInput {
+  // Current network-layer topology (in wavelength units).
+  const Topology* topology = nullptr;
+  // The optical plant with no topology circuits provisioned. Only
+  // optical-aware schemes (Owan) use it; network-layer-only baselines treat
+  // the topology as fixed, exactly as in the paper's comparison.
+  const optical::OpticalNetwork* optical = nullptr;
+  // Active transfers with remaining demand.
+  std::vector<TransferDemand> demands;
+  double slot_seconds = 300.0;
+  double now = 0.0;  // absolute time at slot start
+};
+
+struct TeOutput {
+  // One allocation per input demand (same order).
+  std::vector<TransferAllocation> allocations;
+  // Set only by schemes that reconfigure the optical layer.
+  std::optional<Topology> new_topology;
+};
+
+// Interface implemented by Owan and every baseline (§5.1 list).
+class TeScheme {
+ public:
+  virtual ~TeScheme() = default;
+  virtual std::string name() const = 0;
+  virtual TeOutput Compute(const TeInput& input) = 0;
+
+  // Called by the simulator when a new request enters the system; only
+  // admission-control schemes (Amoeba) care.
+  virtual bool Admit(const Request& request, double now) {
+    (void)request;
+    (void)now;
+    return true;
+  }
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_TE_SCHEME_H_

@@ -1,0 +1,115 @@
+#include "core/topology.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace owan::core {
+
+int Topology::Units(net::NodeId u, net::NodeId v) const {
+  auto it = units_.find(Key(u, v));
+  return it == units_.end() ? 0 : it->second;
+}
+
+void Topology::AddUnits(net::NodeId u, net::NodeId v, int delta) {
+  if (u == v) throw std::invalid_argument("Topology: self link");
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) {
+    throw std::out_of_range("Topology: site out of range");
+  }
+  auto key = Key(u, v);
+  int& cur = units_[key];
+  cur += delta;
+  if (cur < 0) {
+    throw std::logic_error("Topology: negative units on link");
+  }
+  if (cur == 0) units_.erase(key);
+}
+
+void Topology::SetUnits(net::NodeId u, net::NodeId v, int units) {
+  AddUnits(u, v, units - Units(u, v));
+}
+
+int Topology::PortsUsed(net::NodeId v) const {
+  int total = 0;
+  for (const auto& [key, units] : units_) {
+    if (key.first == v || key.second == v) total += units;
+  }
+  return total;
+}
+
+std::vector<Link> Topology::Links() const {
+  std::vector<Link> out;
+  out.reserve(units_.size());
+  for (const auto& [key, units] : units_) {
+    out.push_back(Link{key.first, key.second, units});
+  }
+  return out;
+}
+
+int Topology::NumLinks() const { return static_cast<int>(units_.size()); }
+
+int Topology::TotalUnits() const {
+  int total = 0;
+  for (const auto& [key, units] : units_) {
+    (void)key;
+    total += units;
+  }
+  return total;
+}
+
+net::Graph Topology::ToGraph(double theta) const {
+  net::Graph g(n_);
+  for (const auto& [key, units] : units_) {
+    g.AddEdge(key.first, key.second, 1.0, units * theta);
+  }
+  return g;
+}
+
+std::pair<std::vector<Link>, std::vector<Link>> Topology::Diff(
+    const Topology& other) const {
+  std::vector<Link> to_add;
+  std::vector<Link> to_remove;
+  // Links in this with more units than other.
+  for (const auto& [key, units] : units_) {
+    const int delta = units - other.Units(key.first, key.second);
+    if (delta > 0) to_add.push_back(Link{key.first, key.second, delta});
+  }
+  for (const auto& [key, units] : other.units_) {
+    const int delta = units - Units(key.first, key.second);
+    if (delta > 0) to_remove.push_back(Link{key.first, key.second, delta});
+  }
+  return {to_add, to_remove};
+}
+
+int Topology::DistanceTo(const Topology& other) const {
+  auto [add, remove] = Diff(other);
+  int d = 0;
+  for (const Link& l : add) d += l.units;
+  for (const Link& l : remove) d += l.units;
+  return d;
+}
+
+std::string Topology::DebugString() const {
+  std::ostringstream os;
+  os << "Topology(" << n_ << " sites:";
+  for (const auto& [key, units] : units_) {
+    os << " " << key.first << "-" << key.second << "x" << units;
+  }
+  os << ")";
+  return os.str();
+}
+
+uint64_t Topology::Hash() const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(n_));
+  for (const auto& [key, units] : units_) {
+    mix(static_cast<uint64_t>(key.first) << 32 |
+        static_cast<uint32_t>(key.second));
+    mix(static_cast<uint64_t>(units));
+  }
+  return h;
+}
+
+}  // namespace owan::core

@@ -1,0 +1,79 @@
+#ifndef OWAN_CORE_TOPOLOGY_H_
+#define OWAN_CORE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace owan::core {
+
+// A network-layer link: an unordered site pair carrying `units` parallel
+// circuits of one wavelength (theta Gbps) each.
+struct Link {
+  net::NodeId u = net::kInvalidNode;
+  net::NodeId v = net::kInvalidNode;
+  int units = 0;
+};
+
+// The network-layer topology expressed in integral wavelength units — the
+// state variable of the simulated-annealing search (paper §3.2). Each unit
+// of capacity on link (u,v) consumes one WAN-facing router port at u and one
+// at v and is implemented by one optical circuit.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(int num_sites) : n_(num_sites) {}
+
+  int NumSites() const { return n_; }
+
+  int Units(net::NodeId u, net::NodeId v) const;
+  void AddUnits(net::NodeId u, net::NodeId v, int delta);
+  void SetUnits(net::NodeId u, net::NodeId v, int units);
+
+  // Total ports used at site v (sum of incident units). The neighbor move
+  // keeps this invariant per site.
+  int PortsUsed(net::NodeId v) const;
+
+  // All links with units > 0, canonical (u < v) order.
+  std::vector<Link> Links() const;
+  int NumLinks() const;
+  int TotalUnits() const;
+
+  // Network-layer capacity graph: one edge per link, capacity units*theta,
+  // weight 1 (so shortest paths count hops).
+  net::Graph ToGraph(double theta) const;
+
+  bool operator==(const Topology& o) const {
+    return n_ == o.n_ && units_ == o.units_;
+  }
+
+  // Links present in `this` but with more units than in `other`, i.e. what
+  // must be provisioned when moving other -> this, and vice versa.
+  // Returns (to_add, to_remove) as (u,v,delta_units) triples.
+  std::pair<std::vector<Link>, std::vector<Link>> Diff(
+      const Topology& other) const;
+
+  // Number of single-circuit changes between two topologies.
+  int DistanceTo(const Topology& other) const;
+
+  std::string DebugString() const;
+
+  uint64_t Hash() const;
+
+ private:
+  static std::pair<net::NodeId, net::NodeId> Key(net::NodeId u,
+                                                 net::NodeId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  }
+
+  int n_ = 0;
+  std::map<std::pair<net::NodeId, net::NodeId>, int> units_;
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_TOPOLOGY_H_

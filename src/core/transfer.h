@@ -1,0 +1,58 @@
+#ifndef OWAN_CORE_TRANSFER_H_
+#define OWAN_CORE_TRANSFER_H_
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace owan::core {
+
+inline constexpr double kNoDeadline = -1.0;
+
+// A bulk-transfer request as submitted by a client (paper §3.1): the tuple
+// (src, dst, size, deadline). Sizes are in gigabits; times in seconds.
+struct Request {
+  int id = -1;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  double size = 0.0;          // gigabits
+  double arrival = 0.0;       // seconds since experiment start
+  double deadline = kNoDeadline;  // absolute time; kNoDeadline if none
+
+  bool HasDeadline() const { return deadline > 0.0; }
+};
+
+// A transfer as the controller sees it at scheduling time: its identity,
+// how much is left, and its scheduling keys.
+struct TransferDemand {
+  int id = -1;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  double remaining = 0.0;     // gigabits still to deliver
+  double rate_cap = 0.0;      // max useful rate this slot (remaining/slot)
+  double deadline = kNoDeadline;  // absolute deadline, if any
+  int slots_waited = 0;       // consecutive slots with zero allocation
+};
+
+// Rate assigned to one routing path of one transfer.
+struct PathAllocation {
+  net::Path path;
+  double rate = 0.0;  // Gbps
+};
+
+// The routing configuration rc_f of a single transfer: its paths and the
+// rate limit on each (Table 1).
+struct TransferAllocation {
+  int id = -1;
+  std::vector<PathAllocation> paths;
+
+  double TotalRate() const {
+    double total = 0.0;
+    for (const PathAllocation& p : paths) total += p.rate;
+    return total;
+  }
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_TRANSFER_H_

@@ -1,0 +1,65 @@
+#ifndef OWAN_LP_MCF_H_
+#define OWAN_LP_MCF_H_
+
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "net/graph.h"
+#include "net/shortest_path.h"
+
+namespace owan::lp {
+
+// One commodity of a multi-commodity flow: demand units of flow from src to
+// dst (in rate units, e.g. Gbps for a single time slot).
+struct Commodity {
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  double demand = 0.0;
+};
+
+// Path-based multi-commodity-flow LP builder.
+//
+// For each commodity it enumerates up to `k_paths` loopless shortest paths
+// (Yen) over the given network-layer topology, introduces one rate variable
+// per (commodity, path), and adds
+//   * per-edge capacity rows:  sum of rates crossing the edge <= capacity
+//   * per-commodity demand rows: sum of the commodity's path rates <= demand
+// Baselines then attach their own objectives / extra rows (fairness
+// fractions etc.) before solving.
+class McfBuilder {
+ public:
+  McfBuilder(const net::Graph& topo, std::vector<Commodity> commodities,
+             int k_paths);
+
+  LpProblem& lp() { return lp_; }
+  const LpProblem& lp() const { return lp_; }
+
+  int NumCommodities() const { return static_cast<int>(commodities_.size()); }
+  const Commodity& commodity(int i) const { return commodities_[i]; }
+
+  // Paths enumerated for commodity i (may be empty if disconnected).
+  const std::vector<net::Path>& PathsFor(int i) const { return paths_[i]; }
+
+  // LP variable index for (commodity i, path j).
+  int RateVar(int i, int j) const { return rate_vars_[i][j]; }
+
+  // Total rate allocated to commodity i in a solution.
+  double TotalRate(int i, const LpSolution& sol) const;
+
+  // Per-path rates for commodity i in a solution.
+  std::vector<double> PathRates(int i, const LpSolution& sol) const;
+
+  // Sets the objective to "maximize total throughput" (sum of all rates).
+  void ObjectiveMaxThroughput();
+
+ private:
+  const net::Graph& topo_;
+  std::vector<Commodity> commodities_;
+  std::vector<std::vector<net::Path>> paths_;
+  std::vector<std::vector<int>> rate_vars_;
+  LpProblem lp_;
+};
+
+}  // namespace owan::lp
+
+#endif  // OWAN_LP_MCF_H_

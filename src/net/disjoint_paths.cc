@@ -1,0 +1,136 @@
+#include "net/disjoint_paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace owan::net {
+
+namespace {
+
+struct Arc {
+  NodeId from;
+  NodeId to;
+  double cost;
+  EdgeId edge;
+};
+
+}  // namespace
+
+std::optional<std::pair<Path, Path>> EdgeDisjointPair(
+    const Graph& g, NodeId src, NodeId dst, const EdgeFilter& filter) {
+  if (src == dst || src < 0 || dst < 0 || src >= g.NumNodes() ||
+      dst >= g.NumNodes()) {
+    return std::nullopt;
+  }
+
+  // First path: plain shortest path.
+  auto p1 = ShortestPath(g, src, dst, filter);
+  if (!p1 || p1->edges.empty()) return std::nullopt;
+
+  // Direction in which P1 traverses each of its edges.
+  std::map<EdgeId, std::pair<NodeId, NodeId>> p1_dir;
+  for (size_t i = 0; i < p1->edges.size(); ++i) {
+    p1_dir[p1->edges[i]] = {p1->nodes[i], p1->nodes[i + 1]};
+  }
+
+  // Residual arcs (Bhandari's variant: P1 edges only backwards at negative
+  // cost, everything else in both directions).
+  std::vector<Arc> arcs;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (filter && !filter(e)) continue;
+    const Edge& edge = g.edge(e);
+    auto it = p1_dir.find(e);
+    if (it != p1_dir.end()) {
+      arcs.push_back(Arc{it->second.second, it->second.first, -edge.weight,
+                         e});
+    } else {
+      arcs.push_back(Arc{edge.u, edge.v, edge.weight, e});
+      arcs.push_back(Arc{edge.v, edge.u, edge.weight, e});
+    }
+  }
+
+  // Bellman-Ford (negative arcs, no negative cycles by construction).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<size_t>(g.NumNodes()), kInf);
+  std::vector<int> parent_arc(static_cast<size_t>(g.NumNodes()), -1);
+  dist[static_cast<size_t>(src)] = 0.0;
+  for (int round = 0; round < g.NumNodes(); ++round) {
+    bool changed = false;
+    for (size_t ai = 0; ai < arcs.size(); ++ai) {
+      const Arc& a = arcs[ai];
+      if (dist[static_cast<size_t>(a.from)] == kInf) continue;
+      const double nd = dist[static_cast<size_t>(a.from)] + a.cost;
+      if (nd < dist[static_cast<size_t>(a.to)] - 1e-12) {
+        dist[static_cast<size_t>(a.to)] = nd;
+        parent_arc[static_cast<size_t>(a.to)] = static_cast<int>(ai);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[static_cast<size_t>(dst)] == kInf) return std::nullopt;
+
+  // Arcs of P2 (reverse walk along parents).
+  std::vector<Arc> p2_arcs;
+  for (NodeId cur = dst; cur != src;) {
+    const int ai = parent_arc[static_cast<size_t>(cur)];
+    if (ai < 0) return std::nullopt;  // defensive
+    p2_arcs.push_back(arcs[static_cast<size_t>(ai)]);
+    cur = arcs[static_cast<size_t>(ai)].from;
+  }
+
+  // Combine: P1 forward arcs plus P2 arcs, cancelling opposite pairs on the
+  // same edge.
+  struct DirArc {
+    NodeId from;
+    NodeId to;
+    EdgeId edge;
+  };
+  std::vector<DirArc> pool;
+  for (size_t i = 0; i < p1->edges.size(); ++i) {
+    pool.push_back(DirArc{p1->nodes[i], p1->nodes[i + 1], p1->edges[i]});
+  }
+  for (const Arc& a : p2_arcs) {
+    // Cancellation: P2 traversing edge e backwards against P1 removes it.
+    auto it = std::find_if(pool.begin(), pool.end(), [&a](const DirArc& d) {
+      return d.edge == a.edge && d.from == a.to && d.to == a.from;
+    });
+    if (it != pool.end()) {
+      pool.erase(it);
+    } else {
+      pool.push_back(DirArc{a.from, a.to, a.edge});
+    }
+  }
+
+  // The pool now decomposes into exactly two arc-disjoint src->dst paths.
+  auto extract = [&pool, &g, src, dst]() -> std::optional<Path> {
+    Path p;
+    p.nodes.push_back(src);
+    NodeId cur = src;
+    std::set<NodeId> visited{src};
+    while (cur != dst) {
+      auto it = std::find_if(pool.begin(), pool.end(),
+                             [cur](const DirArc& d) { return d.from == cur; });
+      if (it == pool.end()) return std::nullopt;
+      p.edges.push_back(it->edge);
+      p.length += g.edge(it->edge).weight;
+      cur = it->to;
+      if (visited.count(cur) && cur != dst) return std::nullopt;  // defensive
+      visited.insert(cur);
+      p.nodes.push_back(cur);
+      pool.erase(it);
+    }
+    return p;
+  };
+
+  auto a = extract();
+  auto b = extract();
+  if (!a || !b) return std::nullopt;
+  if (b->length < a->length) std::swap(*a, *b);
+  return std::make_pair(std::move(*a), std::move(*b));
+}
+
+}  // namespace owan::net

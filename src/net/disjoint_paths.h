@@ -1,0 +1,28 @@
+#ifndef OWAN_NET_DISJOINT_PATHS_H_
+#define OWAN_NET_DISJOINT_PATHS_H_
+
+#include <optional>
+#include <utility>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+
+namespace owan::net {
+
+// Suurballe/Bhandari: a pair of edge-disjoint paths between src and dst
+// with minimum total weight, computed as two augmentations of a unit-cost
+// flow (the second augmentation may traverse first-path edges backwards,
+// which "untangles" into two disjoint paths).
+//
+// Used by the optical layer to provision 1+1 protected circuits whose
+// working and backup paths share no fiber (cf. the diverse-circuit
+// provisioning systems the paper builds on, Xu et al. [14]).
+//
+// Returns nullopt if no two edge-disjoint paths exist. The pair is ordered
+// by weight (first is the shorter).
+std::optional<std::pair<Path, Path>> EdgeDisjointPair(
+    const Graph& g, NodeId src, NodeId dst, const EdgeFilter& filter = {});
+
+}  // namespace owan::net
+
+#endif  // OWAN_NET_DISJOINT_PATHS_H_

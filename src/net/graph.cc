@@ -1,0 +1,87 @@
+#include "net/graph.h"
+
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace owan::net {
+
+std::string ToString(const Path& p) {
+  std::ostringstream os;
+  for (size_t i = 0; i < p.nodes.size(); ++i) {
+    if (i) os << "-";
+    os << p.nodes[i];
+  }
+  return os.str();
+}
+
+NodeId Graph::AddNode() {
+  incident_.emplace_back();
+  return static_cast<NodeId>(incident_.size()) - 1;
+}
+
+EdgeId Graph::AddEdge(NodeId u, NodeId v, double weight, double capacity) {
+  if (u < 0 || v < 0 || u >= NumNodes() || v >= NumNodes()) {
+    throw std::out_of_range("Graph::AddEdge: node id out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("Graph::AddEdge: self loops not supported");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight, capacity});
+  incident_[u].push_back(id);
+  incident_[v].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Graph::Neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  out.reserve(incident_[n].size());
+  for (EdgeId e : incident_[n]) out.push_back(edges_[e].Other(n));
+  return out;
+}
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  for (EdgeId e : incident_[u]) {
+    if (edges_[e].Other(u) == v) return e;
+  }
+  return kInvalidEdge;
+}
+
+std::vector<EdgeId> Graph::FindEdges(NodeId u, NodeId v) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : incident_[u]) {
+    if (edges_[e].Other(u) == v) out.push_back(e);
+  }
+  return out;
+}
+
+bool Graph::IsConnected() const {
+  if (NumNodes() == 0) return true;
+  std::vector<bool> seen(NumNodes(), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  int visited = 1;
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (EdgeId e : incident_[n]) {
+      const NodeId m = edges_[e].Other(n);
+      if (!seen[m]) {
+        seen[m] = true;
+        ++visited;
+        q.push(m);
+      }
+    }
+  }
+  return visited == NumNodes();
+}
+
+double Graph::TotalCapacity() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.capacity;
+  return total;
+}
+
+}  // namespace owan::net

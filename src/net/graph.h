@@ -1,0 +1,92 @@
+#ifndef OWAN_NET_GRAPH_H_
+#define OWAN_NET_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace owan::net {
+
+using NodeId = int;
+using EdgeId = int;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+// An undirected (multi-)edge with a weight (e.g. fiber length in km) and a
+// capacity (e.g. Gbps). Parallel edges between the same endpoints are
+// allowed; they model parallel fibers or parallel circuits.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double weight = 1.0;
+  double capacity = 0.0;
+
+  NodeId Other(NodeId n) const { return n == u ? v : u; }
+};
+
+// A simple path through the graph: the node sequence plus the edge ids used
+// between consecutive nodes (edges.size() == nodes.size() - 1).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  double length = 0.0;  // sum of edge weights
+
+  size_t HopCount() const { return edges.size(); }
+  bool empty() const { return nodes.empty(); }
+  NodeId src() const { return nodes.empty() ? kInvalidNode : nodes.front(); }
+  NodeId dst() const { return nodes.empty() ? kInvalidNode : nodes.back(); }
+  bool operator==(const Path& o) const { return nodes == o.nodes; }
+};
+
+std::string ToString(const Path& p);
+
+// Undirected capacitated multigraph with stable edge ids.
+//
+// This is the shared substrate for the optical layer (fiber plant), the
+// network layer (router adjacencies), and the regenerator graph. Nodes are
+// dense integers [0, NumNodes()).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes) : incident_(num_nodes) {}
+
+  int NumNodes() const { return static_cast<int>(incident_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  NodeId AddNode();
+  EdgeId AddEdge(NodeId u, NodeId v, double weight = 1.0,
+                 double capacity = 0.0);
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  Edge& edge(EdgeId e) { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Edge ids incident to `n` (both endpoints).
+  const std::vector<EdgeId>& Incident(NodeId n) const { return incident_[n]; }
+
+  // Neighbor node ids of `n` (duplicates possible for parallel edges).
+  std::vector<NodeId> Neighbors(NodeId n) const;
+
+  // First edge between u and v, or kInvalidEdge.
+  EdgeId FindEdge(NodeId u, NodeId v) const;
+
+  // All edges between u and v.
+  std::vector<EdgeId> FindEdges(NodeId u, NodeId v) const;
+
+  // Degree counting parallel edges.
+  int Degree(NodeId n) const { return static_cast<int>(incident_[n].size()); }
+
+  bool IsConnected() const;
+
+  // Sum of capacities over all edges.
+  double TotalCapacity() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+}  // namespace owan::net
+
+#endif  // OWAN_NET_GRAPH_H_

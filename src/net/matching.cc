@@ -1,0 +1,145 @@
+#include "net/matching.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace owan::net {
+
+namespace {
+
+// Classic O(V^3) blossom implementation. Adjacency is materialised as a
+// boolean matrix since matching instances here are small (ports per site).
+class Blossom {
+ public:
+  explicit Blossom(const Graph& g) : n_(g.NumNodes()), adj_(n_) {
+    for (const Edge& e : g.edges()) {
+      adj_[e.u].push_back(e.v);
+      adj_[e.v].push_back(e.u);
+    }
+    mate_.assign(n_, -1);
+    for (int v = 0; v < n_; ++v) {
+      std::sort(adj_[v].begin(), adj_[v].end());
+      adj_[v].erase(std::unique(adj_[v].begin(), adj_[v].end()),
+                    adj_[v].end());
+    }
+  }
+
+  std::vector<NodeId> Solve() {
+    for (int v = 0; v < n_; ++v) {
+      if (mate_[v] == -1) Augment(v);
+    }
+    return mate_;
+  }
+
+ private:
+  int Lca(int a, int b) {
+    std::vector<bool> used(n_, false);
+    for (;;) {
+      a = base_[a];
+      used[a] = true;
+      if (mate_[a] == -1) break;
+      a = parent_[mate_[a]];
+    }
+    for (;;) {
+      b = base_[b];
+      if (used[b]) return b;
+      b = parent_[mate_[b]];
+    }
+  }
+
+  void MarkPath(int v, int b, int child, std::vector<bool>& blossom) {
+    while (base_[v] != b) {
+      blossom[base_[v]] = true;
+      blossom[base_[mate_[v]]] = true;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  void Augment(int root) {
+    parent_.assign(n_, -1);
+    base_.resize(n_);
+    for (int i = 0; i < n_; ++i) base_[i] = i;
+    std::vector<bool> used(n_, false);
+    std::queue<int> q;
+    used[root] = true;
+    q.push(root);
+    int finish = -1;
+    while (!q.empty() && finish == -1) {
+      const int v = q.front();
+      q.pop();
+      for (int to : adj_[v]) {
+        if (base_[v] == base_[to] || mate_[v] == to) continue;
+        if (to == root || (mate_[to] != -1 && parent_[mate_[to]] != -1)) {
+          // Found a blossom; contract it.
+          const int cur_base = Lca(v, to);
+          std::vector<bool> blossom(n_, false);
+          MarkPath(v, cur_base, to, blossom);
+          MarkPath(to, cur_base, v, blossom);
+          for (int i = 0; i < n_; ++i) {
+            if (blossom[base_[i]]) {
+              base_[i] = cur_base;
+              if (!used[i]) {
+                used[i] = true;
+                q.push(i);
+              }
+            }
+          }
+        } else if (parent_[to] == -1) {
+          parent_[to] = v;
+          if (mate_[to] == -1) {
+            finish = to;
+            break;
+          }
+          used[mate_[to]] = true;
+          q.push(mate_[to]);
+        }
+      }
+    }
+    if (finish == -1) return;
+    // Flip matching along the augmenting path.
+    int v = finish;
+    while (v != -1) {
+      const int pv = parent_[v];
+      const int ppv = mate_[pv];
+      mate_[v] = pv;
+      mate_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  int n_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<NodeId> mate_;
+  std::vector<int> parent_;
+  std::vector<int> base_;
+};
+
+}  // namespace
+
+std::vector<NodeId> MaximumMatching(const Graph& g) {
+  return Blossom(g).Solve();
+}
+
+int MatchingSize(const std::vector<NodeId>& mate) {
+  int matched = 0;
+  for (NodeId m : mate) {
+    if (m != kInvalidNode) ++matched;
+  }
+  return matched / 2;
+}
+
+bool IsValidMatching(const Graph& g, const std::vector<NodeId>& mate) {
+  if (static_cast<int>(mate.size()) != g.NumNodes()) return false;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const NodeId m = mate[v];
+    if (m == kInvalidNode) continue;
+    if (m < 0 || m >= g.NumNodes()) return false;
+    if (mate[m] != v) return false;
+    if (g.FindEdge(v, m) == kInvalidEdge) return false;
+  }
+  return true;
+}
+
+}  // namespace owan::net

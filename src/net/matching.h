@@ -1,0 +1,30 @@
+#ifndef OWAN_NET_MATCHING_H_
+#define OWAN_NET_MATCHING_H_
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace owan::net {
+
+// Maximum-cardinality matching in a general (non-bipartite) graph using
+// Edmonds' blossom algorithm (O(V^3)).
+//
+// The Owan controller uses this when synthesising feasible network-layer
+// topologies: free router ports at different sites form the nodes and
+// candidate adjacencies form the edges; a maximum matching pairs up as many
+// ports as possible (paper §4.2 cites the blossom algorithm for exactly this
+// purpose).
+//
+// Returns mate[n] = matched partner of n, or kInvalidNode if unmatched.
+std::vector<NodeId> MaximumMatching(const Graph& g);
+
+// Number of matched pairs in a mate vector.
+int MatchingSize(const std::vector<NodeId>& mate);
+
+// Checks that `mate` is a valid matching for `g` (symmetric, edges exist).
+bool IsValidMatching(const Graph& g, const std::vector<NodeId>& mate);
+
+}  // namespace owan::net
+
+#endif  // OWAN_NET_MATCHING_H_

@@ -1,0 +1,96 @@
+#include "net/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace owan::net {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+MaxFlow::MaxFlow(int num_nodes) : adj_(num_nodes) {}
+
+int MaxFlow::AddArc(NodeId u, NodeId v, double capacity) {
+  if (u < 0 || v < 0 || u >= NumNodes() || v >= NumNodes()) {
+    throw std::out_of_range("MaxFlow::AddArc: node out of range");
+  }
+  const int fwd_slot = static_cast<int>(adj_[u].size());
+  const int bwd_slot = static_cast<int>(adj_[v].size());
+  adj_[u].push_back(Arc{v, capacity, capacity, bwd_slot});
+  adj_[v].push_back(Arc{u, 0.0, 0.0, fwd_slot});
+  arc_index_.emplace_back(u, fwd_slot);
+  return static_cast<int>(arc_index_.size()) - 1;
+}
+
+void MaxFlow::AddUndirected(NodeId u, NodeId v, double capacity) {
+  AddArc(u, v, capacity);
+  AddArc(v, u, capacity);
+}
+
+bool MaxFlow::Bfs(NodeId s, NodeId t) {
+  level_.assign(NumNodes(), -1);
+  std::queue<NodeId> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Arc& a : adj_[u]) {
+      if (a.cap > kEps && level_[a.to] < 0) {
+        level_[a.to] = level_[u] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::Dfs(NodeId u, NodeId t, double pushed) {
+  if (u == t) return pushed;
+  for (size_t& i = iter_[u]; i < adj_[u].size(); ++i) {
+    Arc& a = adj_[u][i];
+    if (a.cap > kEps && level_[a.to] == level_[u] + 1) {
+      const double got = Dfs(a.to, t, std::min(pushed, a.cap));
+      if (got > kEps) {
+        a.cap -= got;
+        adj_[a.to][a.rev].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Solve(NodeId s, NodeId t) {
+  if (s == t) return 0.0;
+  double flow = 0.0;
+  while (Bfs(s, t)) {
+    iter_.assign(NumNodes(), 0);
+    while (true) {
+      const double got =
+          Dfs(s, t, std::numeric_limits<double>::infinity());
+      if (got <= kEps) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+double MaxFlow::FlowOn(int arc_id) const {
+  const auto [node, slot] = arc_index_.at(static_cast<size_t>(arc_id));
+  const Arc& a = adj_[node][slot];
+  return a.orig - a.cap;
+}
+
+double MinCut(const Graph& g, NodeId s, NodeId t) {
+  MaxFlow mf(g.NumNodes());
+  for (const Edge& e : g.edges()) {
+    mf.AddUndirected(e.u, e.v, e.capacity);
+  }
+  return mf.Solve(s, t);
+}
+
+}  // namespace owan::net

@@ -1,0 +1,230 @@
+#include "net/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace owan::net {
+
+Path SpTree::Extract(NodeId dst) const {
+  Path p;
+  if (dst < 0 || dst >= static_cast<NodeId>(dist.size()) || !Reachable(dst)) {
+    return p;
+  }
+  NodeId cur = dst;
+  while (cur != -1) {
+    p.nodes.push_back(cur);
+    const EdgeId pe = parent_edge[cur];
+    if (pe != kInvalidEdge) p.edges.push_back(pe);
+    cur = parent[cur];
+  }
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  p.length = dist[dst];
+  return p;
+}
+
+SpTree Dijkstra(const Graph& g, NodeId src, const EdgeFilter& filter) {
+  const int n = g.NumNodes();
+  SpTree t;
+  t.dist.assign(n, kInfDist);
+  t.parent.assign(n, -1);
+  t.parent_edge.assign(n, kInvalidEdge);
+  if (src < 0 || src >= n) return t;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  t.dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > t.dist[u]) continue;
+    for (EdgeId e : g.Incident(u)) {
+      if (filter && !filter(e)) continue;
+      const Edge& edge = g.edge(e);
+      const NodeId v = edge.Other(u);
+      const double nd = d + edge.weight;
+      if (nd < t.dist[v]) {
+        t.dist[v] = nd;
+        t.parent[v] = u;
+        t.parent_edge[v] = e;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return t;
+}
+
+SpTree BfsTree(const Graph& g, NodeId src, const EdgeFilter& filter) {
+  const int n = g.NumNodes();
+  SpTree t;
+  t.dist.assign(n, kInfDist);
+  t.parent.assign(n, -1);
+  t.parent_edge.assign(n, kInvalidEdge);
+  if (src < 0 || src >= n) return t;
+  std::queue<NodeId> q;
+  t.dist[src] = 0.0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (EdgeId e : g.Incident(u)) {
+      if (filter && !filter(e)) continue;
+      const NodeId v = g.edge(e).Other(u);
+      if (t.dist[v] == kInfDist) {
+        t.dist[v] = t.dist[u] + 1.0;
+        t.parent[v] = u;
+        t.parent_edge[v] = e;
+        q.push(v);
+      }
+    }
+  }
+  return t;
+}
+
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
+                                 const EdgeFilter& filter) {
+  if (src == dst) {
+    Path p;
+    p.nodes = {src};
+    return p;
+  }
+  const SpTree t = Dijkstra(g, src, filter);
+  if (!t.Reachable(dst)) return std::nullopt;
+  return t.Extract(dst);
+}
+
+namespace {
+
+// Orders candidate paths in Yen's algorithm: by length, then lexicographic
+// node sequence for determinism.
+struct PathLess {
+  bool operator()(const Path& a, const Path& b) const {
+    if (a.length != b.length) return a.length < b.length;
+    return a.nodes < b.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> KShortestPaths(const Graph& g, NodeId src, NodeId dst,
+                                 int k, const EdgeFilter& filter) {
+  std::vector<Path> result;
+  if (k <= 0) return result;
+  auto first = ShortestPath(g, src, dst, filter);
+  if (!first) return result;
+  result.push_back(*first);
+
+  std::set<Path, PathLess> candidates;
+  std::set<std::vector<NodeId>> known;
+  known.insert(first->nodes);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    // For each node in the previous path except the last, branch off.
+    for (size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+      // Root: prev.nodes[0..i].
+      std::vector<NodeId> root(prev.nodes.begin(),
+                               prev.nodes.begin() + static_cast<long>(i) + 1);
+      std::vector<EdgeId> root_edges(
+          prev.edges.begin(), prev.edges.begin() + static_cast<long>(i));
+
+      // Mask edges that would recreate an already-known path sharing this
+      // root, and mask root nodes (except the spur) to keep paths loopless.
+      std::set<EdgeId> banned_edges;
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root.begin(), root.end(), p.nodes.begin())) {
+          banned_edges.insert(p.edges[i]);
+        }
+      }
+      std::set<NodeId> banned_nodes(root.begin(), root.end());
+      banned_nodes.erase(spur);
+
+      EdgeFilter spur_filter = [&](EdgeId e) {
+        if (filter && !filter(e)) return false;
+        if (banned_edges.count(e)) return false;
+        const Edge& edge = g.edge(e);
+        if (banned_nodes.count(edge.u) || banned_nodes.count(edge.v)) {
+          return false;
+        }
+        return true;
+      };
+
+      auto spur_path = ShortestPath(g, spur, dst, spur_filter);
+      if (!spur_path) continue;
+
+      Path total;
+      total.nodes = root;
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin() + 1,
+                         spur_path->nodes.end());
+      total.edges = root_edges;
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                         spur_path->edges.end());
+      total.length = 0.0;
+      for (EdgeId e : total.edges) total.length += g.edge(e).weight;
+      if (!known.count(total.nodes)) {
+        known.insert(total.nodes);
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+namespace {
+
+void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
+              size_t max_paths, std::vector<NodeId>& nodes,
+              std::vector<EdgeId>& edges, std::vector<bool>& visited,
+              double length, std::vector<Path>& out) {
+  if (out.size() >= max_paths) return;
+  if (cur == dst) {
+    Path p;
+    p.nodes = nodes;
+    p.edges = edges;
+    p.length = length;
+    out.push_back(std::move(p));
+    return;
+  }
+  if (static_cast<int>(edges.size()) >= max_hops) return;
+  for (EdgeId e : g.Incident(cur)) {
+    const NodeId nxt = g.edge(e).Other(cur);
+    if (visited[nxt]) continue;
+    visited[nxt] = true;
+    nodes.push_back(nxt);
+    edges.push_back(e);
+    PathsDfs(g, nxt, dst, max_hops, max_paths, nodes, edges, visited,
+             length + g.edge(e).weight, out);
+    edges.pop_back();
+    nodes.pop_back();
+    visited[nxt] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
+                                int max_hops, size_t max_paths) {
+  std::vector<Path> out;
+  if (src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes()) {
+    return out;
+  }
+  std::vector<bool> visited(g.NumNodes(), false);
+  std::vector<NodeId> nodes{src};
+  std::vector<EdgeId> edges;
+  visited[src] = true;
+  PathsDfs(g, src, dst, max_hops, max_paths, nodes, edges, visited, 0.0, out);
+  std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
+    if (a.HopCount() != b.HopCount()) return a.HopCount() < b.HopCount();
+    if (a.length != b.length) return a.length < b.length;
+    return a.nodes < b.nodes;
+  });
+  return out;
+}
+
+}  // namespace owan::net

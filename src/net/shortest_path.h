@@ -1,0 +1,54 @@
+#ifndef OWAN_NET_SHORTEST_PATH_H_
+#define OWAN_NET_SHORTEST_PATH_H_
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace owan::net {
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+// Predicate deciding whether an edge may be traversed; used by Yen's
+// algorithm to mask edges and by the circuit provisioner to skip fibers with
+// no free wavelengths.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+// Result of a single-source shortest-path computation.
+struct SpTree {
+  std::vector<double> dist;       // dist[n] == kInfDist if unreachable
+  std::vector<NodeId> parent;     // parent node on shortest path, or -1
+  std::vector<EdgeId> parent_edge;  // edge used to reach n, or -1
+
+  bool Reachable(NodeId n) const { return dist[n] < kInfDist; }
+  // Reconstruct the path from the tree root to `dst`; empty if unreachable.
+  Path Extract(NodeId dst) const;
+};
+
+// Dijkstra by edge weight from `src`. Edges failing `filter` (if given) are
+// ignored. Weights must be non-negative.
+SpTree Dijkstra(const Graph& g, NodeId src, const EdgeFilter& filter = {});
+
+// Breadth-first shortest path by hop count.
+SpTree BfsTree(const Graph& g, NodeId src, const EdgeFilter& filter = {});
+
+// Convenience: the single shortest (by weight) path src->dst, if any.
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
+                                 const EdgeFilter& filter = {});
+
+// Yen's algorithm: up to k loopless shortest paths by weight, ascending.
+std::vector<Path> KShortestPaths(const Graph& g, NodeId src, NodeId dst,
+                                 int k, const EdgeFilter& filter = {});
+
+// All loopless paths from src to dst with at most `max_hops` hops, sorted by
+// hop count then weight. Exponential in general; intended for the small
+// per-link path sets the energy function iterates over.
+std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
+                                int max_hops, size_t max_paths = 64);
+
+}  // namespace owan::net
+
+#endif  // OWAN_NET_SHORTEST_PATH_H_

@@ -1,0 +1,46 @@
+#ifndef OWAN_NET_UNION_FIND_H_
+#define OWAN_NET_UNION_FIND_H_
+
+#include <numeric>
+#include <vector>
+
+namespace owan::net {
+
+// Disjoint-set forest with path compression and union by size. Used by the
+// topology generators to keep synthesised meshes connected.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if the two sets were merged (were previously disjoint).
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool Same(int a, int b) { return Find(a) == Find(b); }
+  int SizeOf(int x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace owan::net
+
+#endif  // OWAN_NET_UNION_FIND_H_

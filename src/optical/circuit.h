@@ -1,0 +1,53 @@
+#ifndef OWAN_OPTICAL_CIRCUIT_H_
+#define OWAN_OPTICAL_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace owan::optical {
+
+using CircuitId = int;
+inline constexpr CircuitId kInvalidCircuit = -1;
+
+// One regeneration segment of an optical circuit: a contiguous run of fibers
+// carrying the same wavelength. Wavelength continuity must hold within a
+// segment; a regenerator at the segment boundary may shift the signal to a
+// different wavelength (paper §3.2, constraint 3).
+struct Segment {
+  std::vector<net::EdgeId> fibers;  // fiber edge ids in traversal order
+  int wavelength = -1;              // index into the fiber's wavelength grid
+  double length_km = 0.0;
+};
+
+// An end-to-end optical circuit implementing one network-layer link. The
+// circuit occupies one wavelength on every fiber it crosses and one
+// regenerator at every interior regen site.
+struct Circuit {
+  CircuitId id = kInvalidCircuit;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  std::vector<net::NodeId> regen_sites;  // interior regeneration points
+  std::vector<Segment> segments;         // regen_sites.size() + 1 segments
+
+  double TotalLengthKm() const {
+    double total = 0.0;
+    for (const Segment& s : segments) total += s.length_km;
+    return total;
+  }
+
+  // Full site sequence src, [regens...], dst.
+  std::vector<net::NodeId> SiteSequence() const {
+    std::vector<net::NodeId> seq{src};
+    seq.insert(seq.end(), regen_sites.begin(), regen_sites.end());
+    seq.push_back(dst);
+    return seq;
+  }
+};
+
+std::string ToString(const Circuit& c);
+
+}  // namespace owan::optical
+
+#endif  // OWAN_OPTICAL_CIRCUIT_H_

@@ -1,0 +1,423 @@
+#include "optical/optical_network.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/disjoint_paths.h"
+#include "net/shortest_path.h"
+#include "optical/regen_graph.h"
+
+namespace owan::optical {
+
+namespace {
+// How many regenerator-site sequences and how many alternate fiber paths per
+// segment the provisioner tries before giving up.
+constexpr int kMaxSequences = 8;
+constexpr int kMaxFiberPathsPerSegment = 4;
+}  // namespace
+
+std::string ToString(const Circuit& c) {
+  std::ostringstream os;
+  os << "circuit#" << c.id << " " << c.src << "->" << c.dst << " via [";
+  for (size_t i = 0; i < c.regen_sites.size(); ++i) {
+    if (i) os << ",";
+    os << c.regen_sites[i];
+  }
+  os << "] segments=" << c.segments.size()
+     << " length=" << c.TotalLengthKm() << "km";
+  return os.str();
+}
+
+OpticalNetwork::OpticalNetwork(std::vector<SiteInfo> sites, double reach_km,
+                               double wavelength_capacity)
+    : sites_(std::move(sites)),
+      fiber_graph_(static_cast<int>(sites_.size())),
+      reach_km_(reach_km),
+      wavelength_capacity_(wavelength_capacity) {
+  if (reach_km_ <= 0.0 || wavelength_capacity_ <= 0.0) {
+    throw std::invalid_argument("OpticalNetwork: reach and capacity > 0");
+  }
+  regens_free_.reserve(sites_.size());
+  for (const SiteInfo& s : sites_) regens_free_.push_back(s.regenerators);
+}
+
+net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
+                                     double length_km, int num_wavelengths) {
+  if (length_km <= 0.0 || num_wavelengths <= 0) {
+    throw std::invalid_argument("AddFiber: bad length or wavelength count");
+  }
+  const net::EdgeId id = fiber_graph_.AddEdge(u, v, length_km);
+  fibers_.push_back(FiberInfo{length_km, num_wavelengths});
+  lambda_used_.emplace_back(num_wavelengths, false);
+  if (static_cast<int>(lambda_usage_.size()) < num_wavelengths) {
+    lambda_usage_.resize(static_cast<size_t>(num_wavelengths), 0);
+  }
+  fiber_failed_.push_back(false);
+  return id;
+}
+
+int OpticalNetwork::FreeWavelengths(net::EdgeId fiber) const {
+  if (fiber_failed_[fiber]) return 0;
+  int free = 0;
+  for (bool used : lambda_used_[fiber]) {
+    if (!used) ++free;
+  }
+  return free;
+}
+
+std::vector<int> OpticalNetwork::WavelengthOrder(int grid) const {
+  std::vector<int> order(static_cast<size_t>(grid));
+  for (int i = 0; i < grid; ++i) order[static_cast<size_t>(i)] = i;
+  if (lambda_policy_ == WavelengthPolicy::kFirstFit) return order;
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    const int ua = lambda_usage_[static_cast<size_t>(a)];
+    const int ub = lambda_usage_[static_cast<size_t>(b)];
+    if (ua != ub) {
+      return lambda_policy_ == WavelengthPolicy::kMostUsed ? ua > ub
+                                                           : ua < ub;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+int OpticalNetwork::FindCommonWavelength(
+    const std::vector<net::EdgeId>& fibers) const {
+  if (fibers.empty()) return -1;
+  int min_grid = fibers_[fibers[0]].num_wavelengths;
+  for (net::EdgeId f : fibers) {
+    if (fiber_failed_[f]) return -1;
+    min_grid = std::min(min_grid, fibers_[f].num_wavelengths);
+  }
+  for (int lambda : WavelengthOrder(min_grid)) {
+    bool ok = true;
+    for (net::EdgeId f : fibers) {
+      if (lambda_used_[f][lambda]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return lambda;
+  }
+  return -1;
+}
+
+double OpticalNetwork::FiberDistanceKm(net::NodeId u, net::NodeId v) const {
+  const net::SpTree t = net::Dijkstra(
+      fiber_graph_, u, [this](net::EdgeId e) { return !fiber_failed_[e]; });
+  return t.dist[v];
+}
+
+std::optional<Circuit> OpticalNetwork::RealizeSequence(
+    const std::vector<net::NodeId>& seq) const {
+  Circuit c;
+  c.src = seq.front();
+  c.dst = seq.back();
+  c.regen_sites.assign(seq.begin() + 1, seq.end() - 1);
+
+  // Tentative wavelength bookings (fiber -> lambdas) so that two segments of
+  // the same circuit never double-book a wavelength.
+  std::map<net::EdgeId, std::set<int>> tentative;
+
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const net::NodeId a = seq[i];
+    const net::NodeId b = seq[i + 1];
+    // Candidate fiber routes for this segment, within optical reach.
+    const auto routes = net::KShortestPaths(
+        fiber_graph_, a, b, kMaxFiberPathsPerSegment,
+        [this](net::EdgeId e) { return !fiber_failed_[e]; });
+    bool segment_done = false;
+    for (const net::Path& route : routes) {
+      if (route.length > reach_km_) break;  // sorted ascending; none fit
+      // Smallest wavelength free on every fiber of the route, also
+      // excluding this circuit's own tentative bookings.
+      int min_grid = fibers_[route.edges.front()].num_wavelengths;
+      for (net::EdgeId f : route.edges) {
+        min_grid = std::min(min_grid, fibers_[f].num_wavelengths);
+      }
+      int chosen = -1;
+      for (int lambda : WavelengthOrder(min_grid)) {
+        bool ok = true;
+        for (net::EdgeId f : route.edges) {
+          if (lambda_used_[f][lambda]) {
+            ok = false;
+            break;
+          }
+          auto it = tentative.find(f);
+          if (it != tentative.end() && it->second.count(lambda)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          chosen = lambda;
+          break;
+        }
+      }
+      if (chosen < 0) continue;
+      Segment s;
+      s.fibers = route.edges;
+      s.wavelength = chosen;
+      s.length_km = route.length;
+      for (net::EdgeId f : s.fibers) tentative[f].insert(chosen);
+      c.segments.push_back(std::move(s));
+      segment_done = true;
+      break;
+    }
+    if (!segment_done) return std::nullopt;
+  }
+  return c;
+}
+
+void OpticalNetwork::Commit(Circuit& c) {
+  c.id = next_circuit_id_++;
+  for (const Segment& s : c.segments) {
+    for (net::EdgeId f : s.fibers) {
+      lambda_used_[f][s.wavelength] = true;
+      ++lambda_usage_[static_cast<size_t>(s.wavelength)];
+    }
+  }
+  for (net::NodeId r : c.regen_sites) {
+    --regens_free_[r];
+  }
+  circuits_.emplace(c.id, c);
+}
+
+std::optional<CircuitId> OpticalNetwork::ProvisionCircuit(net::NodeId src,
+                                                          net::NodeId dst) {
+  if (src == dst || src < 0 || dst < 0 || src >= NumSites() ||
+      dst >= NumSites()) {
+    return std::nullopt;
+  }
+  const RegenGraph rg(*this, src, dst, balance_regens_);
+  for (const auto& seq : rg.CandidateSequences(kMaxSequences)) {
+    // Every interior site consumes a regenerator; check availability (the
+    // regen graph only contains sites with >= 1 free, but a sequence might
+    // not be realisable if it revisits constraints another way).
+    bool regens_ok = true;
+    std::map<net::NodeId, int> needed;
+    for (size_t i = 1; i + 1 < seq.size(); ++i) ++needed[seq[i]];
+    for (const auto& [site, cnt] : needed) {
+      if (regens_free_[site] < cnt) {
+        regens_ok = false;
+        break;
+      }
+    }
+    if (!regens_ok) continue;
+    auto circuit = RealizeSequence(seq);
+    if (circuit) {
+      Commit(*circuit);
+      return circuit->id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CircuitId> OpticalNetwork::ProvisionCircuitAlongRoute(
+    const net::Path& route) {
+  if (route.edges.empty()) return std::nullopt;
+  for (net::EdgeId f : route.edges) {
+    if (fiber_failed_[f]) return std::nullopt;
+  }
+
+  // Min-regenerator segmentation along the route: BFS over breakpoint
+  // indices, where hop i->j is allowed if the fiber distance fits the
+  // optical reach and interior breakpoints have a free regenerator.
+  const size_t m = route.nodes.size();
+  std::vector<double> prefix(m, 0.0);
+  for (size_t i = 1; i < m; ++i) {
+    prefix[i] = prefix[i - 1] + fibers_[route.edges[i - 1]].length_km;
+  }
+  std::vector<int> hops(m, -1);
+  std::vector<size_t> back(m, 0);
+  hops[0] = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (hops[i] < 0) continue;
+    if (i > 0 && i + 1 < m && regens_free_[route.nodes[i]] <= 0) continue;
+    for (size_t j = i + 1; j < m; ++j) {
+      if (prefix[j] - prefix[i] > reach_km_ + 1e-9) break;
+      if (hops[j] < 0 || hops[j] > hops[i] + 1) {
+        hops[j] = hops[i] + 1;
+        back[j] = i;
+      }
+    }
+  }
+  if (hops[m - 1] < 0) return std::nullopt;
+
+  std::vector<size_t> breakpoints;
+  for (size_t cur = m - 1; cur != 0; cur = back[cur]) {
+    breakpoints.push_back(cur);
+  }
+  breakpoints.push_back(0);
+  std::reverse(breakpoints.begin(), breakpoints.end());
+
+  Circuit c;
+  c.src = route.nodes.front();
+  c.dst = route.nodes.back();
+  std::map<net::EdgeId, std::set<int>> tentative;
+  for (size_t bi = 0; bi + 1 < breakpoints.size(); ++bi) {
+    const size_t a = breakpoints[bi];
+    const size_t b = breakpoints[bi + 1];
+    Segment s;
+    s.fibers.assign(route.edges.begin() + static_cast<long>(a),
+                    route.edges.begin() + static_cast<long>(b));
+    s.length_km = prefix[b] - prefix[a];
+    int min_grid = fibers_[s.fibers.front()].num_wavelengths;
+    for (net::EdgeId f : s.fibers) {
+      min_grid = std::min(min_grid, fibers_[f].num_wavelengths);
+    }
+    int chosen = -1;
+    for (int lambda : WavelengthOrder(min_grid)) {
+      bool ok = true;
+      for (net::EdgeId f : s.fibers) {
+        if (lambda_used_[f][lambda] ||
+            (tentative.count(f) && tentative[f].count(lambda))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        chosen = lambda;
+        break;
+      }
+    }
+    if (chosen < 0) return std::nullopt;
+    s.wavelength = chosen;
+    for (net::EdgeId f : s.fibers) tentative[f].insert(chosen);
+    c.segments.push_back(std::move(s));
+    if (bi + 2 < breakpoints.size()) {
+      c.regen_sites.push_back(route.nodes[b]);
+    }
+  }
+  Commit(c);
+  return c.id;
+}
+
+std::optional<std::pair<CircuitId, CircuitId>>
+OpticalNetwork::ProvisionProtectedPair(net::NodeId src, net::NodeId dst) {
+  auto pair = net::EdgeDisjointPair(
+      fiber_graph_, src, dst,
+      [this](net::EdgeId e) { return !fiber_failed_[e]; });
+  if (!pair) return std::nullopt;
+  auto working = ProvisionCircuitAlongRoute(pair->first);
+  if (!working) return std::nullopt;
+  auto backup = ProvisionCircuitAlongRoute(pair->second);
+  if (!backup) {
+    ReleaseCircuit(*working);
+    return std::nullopt;
+  }
+  return std::make_pair(*working, *backup);
+}
+
+void OpticalNetwork::ReleaseCircuit(CircuitId id) {
+  auto it = circuits_.find(id);
+  if (it == circuits_.end()) {
+    throw std::invalid_argument("ReleaseCircuit: unknown circuit");
+  }
+  const Circuit& c = it->second;
+  for (const Segment& s : c.segments) {
+    for (net::EdgeId f : s.fibers) {
+      lambda_used_[f][s.wavelength] = false;
+      --lambda_usage_[static_cast<size_t>(s.wavelength)];
+    }
+  }
+  for (net::NodeId r : c.regen_sites) ++regens_free_[r];
+  circuits_.erase(it);
+}
+
+std::vector<CircuitId> OpticalNetwork::CircuitsBetween(net::NodeId u,
+                                                       net::NodeId v) const {
+  std::vector<CircuitId> out;
+  for (const auto& [id, c] : circuits_) {
+    if ((c.src == u && c.dst == v) || (c.src == v && c.dst == u)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool OpticalNetwork::CheckInvariants(std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  // Recompute wavelength occupancy and regen usage from circuits.
+  std::vector<std::vector<bool>> lam(lambda_used_.size());
+  for (size_t f = 0; f < lambda_used_.size(); ++f) {
+    lam[f].assign(lambda_used_[f].size(), false);
+  }
+  std::vector<int> regen_used(sites_.size(), 0);
+  for (const auto& [id, c] : circuits_) {
+    (void)id;
+    if (c.segments.size() != c.regen_sites.size() + 1) {
+      return fail("segment/regen count mismatch in " + ToString(c));
+    }
+    for (const Segment& s : c.segments) {
+      if (s.length_km > reach_km_ + 1e-6) {
+        return fail("segment exceeds optical reach in " + ToString(c));
+      }
+      for (net::EdgeId f : s.fibers) {
+        if (s.wavelength < 0 ||
+            s.wavelength >= fibers_[f].num_wavelengths) {
+          return fail("wavelength out of grid in " + ToString(c));
+        }
+        if (lam[f][s.wavelength]) {
+          return fail("wavelength double-booked in " + ToString(c));
+        }
+        lam[f][s.wavelength] = true;
+      }
+    }
+    for (net::NodeId r : c.regen_sites) ++regen_used[r];
+  }
+  for (size_t f = 0; f < lambda_used_.size(); ++f) {
+    if (lam[f] != lambda_used_[f]) {
+      return fail("wavelength occupancy bitmap out of sync on fiber " +
+                  std::to_string(f));
+    }
+  }
+  // Global per-wavelength usage counters must match occupancy.
+  std::vector<int> usage(lambda_usage_.size(), 0);
+  for (size_t f = 0; f < lam.size(); ++f) {
+    for (size_t l = 0; l < lam[f].size(); ++l) {
+      if (lam[f][l]) ++usage[l];
+    }
+  }
+  if (usage != lambda_usage_) {
+    return fail("wavelength usage counters out of sync");
+  }
+  for (size_t v = 0; v < sites_.size(); ++v) {
+    if (regens_free_[v] + regen_used[v] != sites_[v].regenerators) {
+      return fail("regenerator accounting broken at site " +
+                  std::to_string(v));
+    }
+    if (regens_free_[v] < 0) {
+      return fail("negative free regens at site " + std::to_string(v));
+    }
+  }
+  return true;
+}
+
+std::vector<CircuitId> OpticalNetwork::FailFiber(net::EdgeId fiber) {
+  std::vector<CircuitId> victims;
+  for (const auto& [id, c] : circuits_) {
+    for (const Segment& s : c.segments) {
+      if (std::find(s.fibers.begin(), s.fibers.end(), fiber) !=
+          s.fibers.end()) {
+        victims.push_back(id);
+        break;
+      }
+    }
+  }
+  for (CircuitId id : victims) ReleaseCircuit(id);
+  fiber_failed_[fiber] = true;
+  return victims;
+}
+
+void OpticalNetwork::RestoreFiber(net::EdgeId fiber) {
+  fiber_failed_[fiber] = false;
+}
+
+}  // namespace owan::optical

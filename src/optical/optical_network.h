@@ -1,0 +1,160 @@
+#ifndef OWAN_OPTICAL_OPTICAL_NETWORK_H_
+#define OWAN_OPTICAL_OPTICAL_NETWORK_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+#include "optical/circuit.h"
+
+namespace owan::optical {
+
+// Static description of one WAN site: the ROADM co-located with (at most)
+// one router, the number of WAN-facing router ports connected to the ROADM
+// (fp_v in the paper), and the number of pre-deployed regenerators (rg_v).
+struct SiteInfo {
+  std::string name;
+  int router_ports = 0;
+  int regenerators = 0;
+  bool has_router = true;
+};
+
+// Static description of one fiber pair between two ROADMs.
+struct FiberInfo {
+  double length_km = 0.0;
+  int num_wavelengths = 0;  // phi in the paper
+};
+
+// How a circuit picks among the wavelengths free along its segment.
+// kFirstFit is the classic default; kMostUsed packs popular wavelengths to
+// fight fragmentation (better for long-haul continuity); kLeastUsed spreads
+// load (fewer collisions on short-lived circuits).
+enum class WavelengthPolicy { kFirstFit, kMostUsed, kLeastUsed };
+
+// The optical layer: ROADM sites connected by fibers, plus the dynamic
+// resource state (which wavelengths each fiber carries, how many
+// regenerators each site has left) and the set of provisioned circuits.
+//
+// The class is copyable by design: the simulated-annealing energy function
+// provisions circuits against a scratch copy when scoring candidate
+// topologies, leaving the live network untouched.
+class OpticalNetwork {
+ public:
+  // reach_km is the optical reach (eta); wavelength capacity is theta (Gbps).
+  OpticalNetwork(std::vector<SiteInfo> sites, double reach_km,
+                 double wavelength_capacity);
+
+  // Adds a fiber pair between sites u and v. Returns the fiber's edge id.
+  net::EdgeId AddFiber(net::NodeId u, net::NodeId v, double length_km,
+                       int num_wavelengths);
+
+  int NumSites() const { return static_cast<int>(sites_.size()); }
+  const SiteInfo& site(net::NodeId v) const { return sites_[v]; }
+  const net::Graph& fiber_graph() const { return fiber_graph_; }
+  const FiberInfo& fiber(net::EdgeId e) const { return fibers_[e]; }
+  int NumFibers() const { return static_cast<int>(fibers_.size()); }
+
+  double reach_km() const { return reach_km_; }
+  double wavelength_capacity() const { return wavelength_capacity_; }
+
+  WavelengthPolicy wavelength_policy() const { return lambda_policy_; }
+  void set_wavelength_policy(WavelengthPolicy p) { lambda_policy_ = p; }
+
+  // Regenerator-balancing ablation: when disabled, circuit search ignores
+  // how many regens a site has left (DESIGN.md §4).
+  bool balance_regens() const { return balance_regens_; }
+  void set_balance_regens(bool b) { balance_regens_ = b; }
+
+  // Wavelength indices 0..grid-1 in the order the current policy tries
+  // them (ties broken by index for determinism).
+  std::vector<int> WavelengthOrder(int grid) const;
+
+  // ---- dynamic resource state ----
+
+  int FreeRegens(net::NodeId v) const { return regens_free_[v]; }
+  int FreeWavelengths(net::EdgeId fiber) const;
+  bool WavelengthUsed(net::EdgeId fiber, int lambda) const {
+    return lambda_used_[fiber][lambda];
+  }
+
+  // Lowest-index wavelength free on every fiber of `fibers`, or -1.
+  int FindCommonWavelength(const std::vector<net::EdgeId>& fibers) const;
+
+  // ---- circuit lifecycle ----
+
+  // Attempts to provision a circuit between src and dst under the reach,
+  // wavelength, and regenerator constraints (Algorithm 3, lines 2-14 of the
+  // paper). Returns the circuit id, or nullopt if no feasible circuit
+  // exists with the current resources.
+  std::optional<CircuitId> ProvisionCircuit(net::NodeId src, net::NodeId dst);
+
+  // Provisions a circuit constrained to an explicit fiber route (node
+  // sequence over the fiber graph): regeneration points are chosen along
+  // the route by a min-regenerator segmentation, then each segment gets a
+  // wavelength free on all its fibers. Used for protection paths.
+  std::optional<CircuitId> ProvisionCircuitAlongRoute(
+      const net::Path& fiber_route);
+
+  // 1+1 protection: provisions a working and a backup circuit on
+  // fiber-disjoint routes (Suurballe pair over the fiber plant), so a
+  // single fiber cut never kills both. Returns (working, backup).
+  std::optional<std::pair<CircuitId, CircuitId>> ProvisionProtectedPair(
+      net::NodeId src, net::NodeId dst);
+
+  // Releases a circuit, freeing its wavelengths and regenerators.
+  void ReleaseCircuit(CircuitId id);
+
+  const Circuit& circuit(CircuitId id) const { return circuits_.at(id); }
+  const std::map<CircuitId, Circuit>& circuits() const { return circuits_; }
+  int NumCircuits() const { return static_cast<int>(circuits_.size()); }
+
+  // All circuits between the given site pair (either direction).
+  std::vector<CircuitId> CircuitsBetween(net::NodeId u, net::NodeId v) const;
+
+  // Validates internal resource accounting (used by property tests): every
+  // in-use wavelength belongs to exactly one circuit, regen counts add up,
+  // every segment respects the optical reach.
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+  // Shortest fiber distance (km) between two sites, ignoring resources.
+  double FiberDistanceKm(net::NodeId u, net::NodeId v) const;
+
+  // ---- failure handling (§3.4) ----
+
+  // Marks a fiber as failed: existing circuits crossing it are torn down
+  // (their ids are returned) and no new circuit may use it.
+  std::vector<CircuitId> FailFiber(net::EdgeId fiber);
+  void RestoreFiber(net::EdgeId fiber);
+  bool FiberFailed(net::EdgeId fiber) const { return fiber_failed_[fiber]; }
+
+ private:
+  friend class RegenGraphBuilder;
+
+  // Tries to realise the given site sequence as a circuit; returns nullopt
+  // if some segment lacks fiber path, reach, or a common free wavelength.
+  std::optional<Circuit> RealizeSequence(
+      const std::vector<net::NodeId>& sites) const;
+
+  void Commit(Circuit& c);
+
+  std::vector<SiteInfo> sites_;
+  net::Graph fiber_graph_;  // edge weight = fiber length (km)
+  std::vector<FiberInfo> fibers_;
+  double reach_km_;
+  double wavelength_capacity_;
+
+  std::vector<std::vector<bool>> lambda_used_;  // [fiber][wavelength]
+  std::vector<int> lambda_usage_;  // global per-index usage (policy input)
+  WavelengthPolicy lambda_policy_ = WavelengthPolicy::kFirstFit;
+  bool balance_regens_ = true;
+  std::vector<bool> fiber_failed_;
+  std::vector<int> regens_free_;
+  std::map<CircuitId, Circuit> circuits_;
+  CircuitId next_circuit_id_ = 0;
+};
+
+}  // namespace owan::optical
+
+#endif  // OWAN_OPTICAL_OPTICAL_NETWORK_H_

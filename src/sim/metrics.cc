@@ -1,0 +1,81 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace owan::sim {
+
+util::Summary CompletionTimes(const SimResult& result) {
+  util::Summary s;
+  for (const TransferRecord& t : result.transfers) {
+    if (t.completed_at >= 0.0) s.Add(t.CompletionTime());
+  }
+  return s;
+}
+
+namespace {
+
+// Thresholds splitting the transfer population into thirds by size.
+std::pair<double, double> SizeTerciles(const SimResult& r) {
+  std::vector<double> sizes;
+  sizes.reserve(r.transfers.size());
+  for (const TransferRecord& t : r.transfers) sizes.push_back(t.request.size);
+  std::sort(sizes.begin(), sizes.end());
+  if (sizes.empty()) return {0.0, 0.0};
+  const double lo = sizes[sizes.size() / 3];
+  const double hi = sizes[2 * sizes.size() / 3];
+  return {lo, hi};
+}
+
+int BinOf(double size, const std::pair<double, double>& cuts) {
+  if (size < cuts.first) return 0;
+  if (size < cuts.second) return 1;
+  return 2;
+}
+
+}  // namespace
+
+std::array<util::Summary, 3> CompletionTimesBySizeBin(const SimResult& r) {
+  std::array<util::Summary, 3> bins;
+  const auto cuts = SizeTerciles(r);
+  for (const TransferRecord& t : r.transfers) {
+    if (t.completed_at < 0.0) continue;
+    bins[static_cast<size_t>(BinOf(t.request.size, cuts))].Add(
+        t.CompletionTime());
+  }
+  return bins;
+}
+
+std::array<double, 3> DeadlineMetBySizeBin(const SimResult& r) {
+  std::array<int, 3> total{0, 0, 0};
+  std::array<int, 3> met{0, 0, 0};
+  const auto cuts = SizeTerciles(r);
+  for (const TransferRecord& t : r.transfers) {
+    if (!t.request.HasDeadline()) continue;
+    const int b = BinOf(t.request.size, cuts);
+    ++total[static_cast<size_t>(b)];
+    if (t.MetDeadline()) ++met[static_cast<size_t>(b)];
+  }
+  std::array<double, 3> out{0.0, 0.0, 0.0};
+  for (size_t b = 0; b < 3; ++b) {
+    out[b] = total[b] == 0 ? 0.0
+                           : static_cast<double>(met[b]) /
+                                 static_cast<double>(total[b]);
+  }
+  return out;
+}
+
+double ImprovementFactor(double baseline_value, double owan_value) {
+  if (owan_value <= 0.0) return 0.0;
+  return baseline_value / owan_value;
+}
+
+std::string CdfToTsv(const util::Summary& s, size_t points) {
+  std::ostringstream os;
+  for (const auto& [value, frac] : s.Cdf(points)) {
+    os << value << "\t" << frac << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace owan::sim

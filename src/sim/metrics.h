@@ -1,0 +1,32 @@
+#ifndef OWAN_SIM_METRICS_H_
+#define OWAN_SIM_METRICS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace owan::sim {
+
+// Completion-time statistics of a run (only completed-or-capped transfers).
+util::Summary CompletionTimes(const SimResult& result);
+
+// The paper buckets transfers into thirds by size: small / middle / large
+// (Fig. 7b etc.). Index 0 = small, 1 = middle, 2 = large.
+std::array<util::Summary, 3> CompletionTimesBySizeBin(const SimResult& r);
+
+// Deadline-met fraction per size bin (Fig. 9c).
+std::array<double, 3> DeadlineMetBySizeBin(const SimResult& r);
+
+// "Factor of improvement" of `baseline` over `owan` (baseline time divided
+// by Owan time) on a statistic of completion time.
+double ImprovementFactor(double baseline_value, double owan_value);
+
+// Formats a (value, fraction) CDF as TSV rows for plotting.
+std::string CdfToTsv(const util::Summary& s, size_t points = 50);
+
+}  // namespace owan::sim
+
+#endif  // OWAN_SIM_METRICS_H_

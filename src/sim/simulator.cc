@@ -1,0 +1,245 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/provisioned_state.h"
+#include "core/repair.h"
+
+namespace owan::sim {
+
+namespace {
+
+using LinkKey = std::pair<net::NodeId, net::NodeId>;
+
+LinkKey Key(net::NodeId a, net::NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+// Links whose unit counts differ between two topologies.
+std::set<LinkKey> ChangedLinks(const core::Topology& a,
+                               const core::Topology& b) {
+  std::set<LinkKey> changed;
+  auto [add, remove] = a.Diff(b);
+  for (const core::Link& l : add) changed.insert(Key(l.u, l.v));
+  for (const core::Link& l : remove) changed.insert(Key(l.u, l.v));
+  return changed;
+}
+
+}  // namespace
+
+double SimResult::FractionMeetingDeadline() const {
+  int with_deadline = 0;
+  int met = 0;
+  for (const TransferRecord& t : transfers) {
+    if (!t.request.HasDeadline()) continue;
+    ++with_deadline;
+    if (t.MetDeadline()) ++met;
+  }
+  return with_deadline == 0
+             ? 0.0
+             : static_cast<double>(met) / static_cast<double>(with_deadline);
+}
+
+double SimResult::FractionBytesByDeadline() const {
+  double total = 0.0;
+  double by_deadline = 0.0;
+  for (const TransferRecord& t : transfers) {
+    if (!t.request.HasDeadline()) continue;
+    total += t.request.size;
+    by_deadline += t.delivered_by_deadline;
+  }
+  return total == 0.0 ? 0.0 : by_deadline / total;
+}
+
+SimResult RunSimulation(const topo::Wan& wan,
+                        const std::vector<core::Request>& requests,
+                        core::TeScheme& scheme, const SimOptions& options) {
+  SimResult result;
+  result.transfers.reserve(requests.size());
+  for (const core::Request& r : requests) {
+    TransferRecord rec;
+    rec.request = r;
+    result.transfers.push_back(rec);
+  }
+
+  struct Active {
+    size_t index;       // into result.transfers
+    double remaining;   // gigabits
+    int slots_waited = 0;
+  };
+  std::vector<Active> active;
+  size_t next_arrival = 0;
+
+  core::Topology topology = wan.default_topology;
+  // Mutable plant view so injected fiber failures can be applied.
+  optical::OpticalNetwork plant = wan.optical;
+  std::vector<std::pair<double, net::EdgeId>> pending_failures =
+      options.fiber_failures;
+  std::sort(pending_failures.begin(), pending_failures.end());
+  std::vector<int> port_budget;
+  for (int v = 0; v < plant.NumSites(); ++v) {
+    port_budget.push_back(plant.site(v).router_ports);
+  }
+
+  double now = 0.0;
+  while (now < options.max_time_s) {
+    // Apply due fiber cuts: re-route what the plant still supports and
+    // re-pair any ports that went dark.
+    bool failed_any = false;
+    while (!pending_failures.empty() &&
+           pending_failures.front().first <= now + 1e-9) {
+      plant.FailFiber(pending_failures.front().second);
+      pending_failures.erase(pending_failures.begin());
+      failed_any = true;
+    }
+    if (failed_any) {
+      core::ProvisionedState state(plant);
+      state.SyncTo(topology);
+      topology = core::RepairDarkPorts(state.realized(), plant, port_budget);
+    }
+    // Admit transfers that have arrived by the start of this slot.
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival <= now + 1e-9) {
+      const core::Request& r = requests[next_arrival];
+      TransferRecord& rec = result.transfers[next_arrival];
+      rec.admitted = scheme.Admit(r, now);
+      active.push_back(Active{next_arrival, r.size});
+      ++next_arrival;
+    }
+
+    if (active.empty()) {
+      if (next_arrival >= requests.size()) break;  // drained everything
+      // Jump to the slot containing the next arrival.
+      const double arr = requests[next_arrival].arrival;
+      const double slots_ahead =
+          std::floor(arr / options.slot_seconds);
+      now = std::max(now + options.slot_seconds,
+                     slots_ahead * options.slot_seconds);
+      continue;
+    }
+
+    // Build the controller's view.
+    core::TeInput input;
+    input.topology = &topology;
+    input.optical = &plant;
+    input.slot_seconds = options.slot_seconds;
+    input.now = now;
+    input.demands.reserve(active.size());
+    for (const Active& a : active) {
+      const core::Request& r = result.transfers[a.index].request;
+      core::TransferDemand d;
+      d.id = r.id;
+      d.src = r.src;
+      d.dst = r.dst;
+      d.remaining = a.remaining;
+      d.rate_cap = a.remaining / options.slot_seconds;
+      d.deadline = r.deadline;
+      d.slots_waited = a.slots_waited;
+      input.demands.push_back(d);
+    }
+
+    core::TeOutput output = scheme.Compute(input);
+
+    // Apply topology change and its reconfiguration penalty.
+    std::set<LinkKey> changed;
+    if (output.new_topology) {
+      changed = ChangedLinks(topology, *output.new_topology);
+      result.topology_changes += topology.DistanceTo(*output.new_topology);
+      topology = *output.new_topology;
+    }
+
+    // Progress transfers.
+    ++result.slots;
+    double slot_rate = 0.0;
+    for (const core::TransferAllocation& a : output.allocations) {
+      slot_rate += a.TotalRate();
+    }
+    result.slot_throughput.emplace_back(now, slot_rate);
+    std::vector<Active> still_active;
+    still_active.reserve(active.size());
+    for (size_t ai = 0; ai < active.size(); ++ai) {
+      Active a = active[ai];
+      TransferRecord& rec = result.transfers[a.index];
+      const core::TransferAllocation& alloc =
+          ai < output.allocations.size() ? output.allocations[ai]
+                                         : core::TransferAllocation{};
+
+      double delivered = 0.0;
+      double total_rate = 0.0;
+      double deadline_part = 0.0;
+      double penalty_max = 0.0;
+      const core::Request& r = rec.request;
+      for (const core::PathAllocation& pa : alloc.paths) {
+        // Paths crossing a reconfigured link lose the reconfig window.
+        bool crosses_changed = false;
+        for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
+          if (changed.count(Key(pa.path.nodes[i], pa.path.nodes[i + 1]))) {
+            crosses_changed = true;
+            break;
+          }
+        }
+        const double penalty =
+            crosses_changed ? options.reconfig_penalty_s : 0.0;
+        const double eff = options.slot_seconds - penalty;
+        penalty_max = std::max(penalty_max, penalty);
+        delivered += pa.rate * eff;
+        total_rate += pa.rate;
+        if (r.HasDeadline() && r.deadline > now) {
+          const double usable = std::min(
+              eff, std::max(0.0, r.deadline - now -
+                                     (crosses_changed
+                                          ? options.reconfig_penalty_s
+                                          : 0.0)));
+          deadline_part += pa.rate * usable;
+        }
+      }
+
+      delivered = std::min(delivered, a.remaining);
+      if (r.HasDeadline()) {
+        rec.delivered_by_deadline += std::min(deadline_part, delivered);
+      }
+      rec.delivered += delivered;
+
+      // A transfer is complete once less than a megabit is outstanding;
+      // without this epsilon the reconfiguration penalty can shave a
+      // geometrically vanishing sliver forever.
+      constexpr double kResidualEps = 1e-3;
+      const bool finishes =
+          total_rate > 0.0 &&
+          (a.remaining - delivered <= kResidualEps ||
+           penalty_max + a.remaining / total_rate <=
+               options.slot_seconds + 1e-9);
+      if (finishes) {
+        rec.completed = true;
+        // Transmission starts after the reconfiguration window, so the
+        // penalty shifts the finish time within the slot instead of
+        // spilling a sliver into the next one.
+        rec.completed_at =
+            now + std::min(options.slot_seconds,
+                           penalty_max + a.remaining / total_rate);
+        result.makespan = std::max(result.makespan, rec.completed_at);
+      } else {
+        a.remaining -= delivered;
+        a.slots_waited = delivered > 1e-9 ? 0 : a.slots_waited + 1;
+        still_active.push_back(a);
+      }
+    }
+    active = std::move(still_active);
+    now += options.slot_seconds;
+  }
+
+  // Anything still unfinished at the cap counts as completing at the cap
+  // (pessimistic, applied identically to every scheme).
+  for (TransferRecord& rec : result.transfers) {
+    if (!rec.completed) {
+      rec.completed_at = options.max_time_s;
+      result.makespan = std::max(result.makespan, options.max_time_s);
+    }
+  }
+  return result;
+}
+
+}  // namespace owan::sim

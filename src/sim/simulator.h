@@ -1,0 +1,69 @@
+#ifndef OWAN_SIM_SIMULATOR_H_
+#define OWAN_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "core/te_scheme.h"
+#include "core/topology.h"
+#include "core/transfer.h"
+#include "topo/topologies.h"
+
+namespace owan::sim {
+
+struct SimOptions {
+  double slot_seconds = 300.0;  // paper: reconfiguration every five minutes
+  // Capacity on links whose circuits change is unavailable for this long at
+  // the start of the slot (the §5.4 three-to-five-second circuit time).
+  // Defaults to 0 because Owan's consistent update scheduling is hitless
+  // (Fig. 10b) — raise it to model one-shot updates or slower optics.
+  double reconfig_penalty_s = 0.0;
+  // Safety cap on simulated time.
+  double max_time_s = 72.0 * 3600.0;
+  // Fiber cuts injected during the run: (absolute time, fiber edge id).
+  // Applied at the start of the first slot at or after the given time;
+  // circuits re-route where the plant allows and dark ports are re-paired
+  // (§3.4 failure handling).
+  std::vector<std::pair<double, net::EdgeId>> fiber_failures;
+};
+
+// Outcome for one transfer after the run.
+struct TransferRecord {
+  core::Request request;
+  bool admitted = true;
+  bool completed = false;
+  double completed_at = -1.0;       // absolute seconds
+  double delivered = 0.0;           // gigabits delivered in total
+  double delivered_by_deadline = 0.0;
+
+  double CompletionTime() const { return completed_at - request.arrival; }
+  bool MetDeadline() const {
+    return request.HasDeadline() && completed &&
+           completed_at <= request.deadline + 1e-6;
+  }
+};
+
+struct SimResult {
+  std::vector<TransferRecord> transfers;
+  double makespan = 0.0;  // time the last transfer finished
+  int slots = 0;
+  int topology_changes = 0;  // total circuit changes across the run
+  // Per-slot (start_time, total allocated Gbps) series — the Fig. 10a
+  // throughput-over-time view.
+  std::vector<std::pair<double, double>> slot_throughput;
+
+  // Deadline metrics (only meaningful for deadline workloads).
+  double FractionMeetingDeadline() const;
+  double FractionBytesByDeadline() const;
+};
+
+// Runs the discrete-time flow-based simulation: per slot the scheme sees
+// the active transfers and emits allocations (and, for optical-aware
+// schemes, a new topology); transfers progress at their allocated rates,
+// minus the reconfiguration penalty on links whose circuits changed.
+SimResult RunSimulation(const topo::Wan& wan,
+                        const std::vector<core::Request>& requests,
+                        core::TeScheme& scheme, const SimOptions& options = {});
+
+}  // namespace owan::sim
+
+#endif  // OWAN_SIM_SIMULATOR_H_

@@ -1,0 +1,56 @@
+#ifndef OWAN_TE_AMOEBA_H_
+#define OWAN_TE_AMOEBA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/te_scheme.h"
+#include "net/shortest_path.h"
+
+namespace owan::te {
+
+// "Amoeba" baseline (Zhang et al., EuroSys'15): deadline-guaranteed
+// admission control with future-slot reservations over a fixed topology.
+//
+// On arrival, the transfer's volume is greedily packed into the earliest
+// slots before its deadline along k shortest paths; if the whole volume
+// fits, the transfer is admitted and the reservations are kept, otherwise
+// it is rejected (and later served best-effort with leftover capacity).
+class AmoebaTe : public core::TeScheme {
+ public:
+  AmoebaTe(const net::Graph& fixed_topology, double slot_seconds,
+           int k_paths = 3);
+
+  std::string name() const override { return "Amoeba"; }
+  bool Admit(const core::Request& request, double now) override;
+  core::TeOutput Compute(const core::TeInput& input) override;
+
+  int admitted() const { return admitted_; }
+  int rejected() const { return rejected_; }
+
+ private:
+  // Residual edge capacity (gigabits of volume) for a future slot; lazily
+  // created at full capacity.
+  std::vector<double>& SlotResidual(int64_t slot);
+
+  const net::Graph topo_;
+  const double slot_seconds_;
+  const int k_paths_;
+
+  std::map<int64_t, std::vector<double>> residual_;  // slot -> per-edge Gb
+  // request id -> slot -> (path, volume Gb) reservations
+  struct PathVolume {
+    net::Path path;
+    double volume;
+  };
+  std::map<int, std::map<int64_t, std::vector<PathVolume>>> reservations_;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<net::Path>>
+      path_cache_;
+  int admitted_ = 0;
+  int rejected_ = 0;
+};
+
+}  // namespace owan::te
+
+#endif  // OWAN_TE_AMOEBA_H_

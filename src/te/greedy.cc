@@ -1,0 +1,105 @@
+#include "te/greedy.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/provisioned_state.h"
+#include "net/union_find.h"
+
+namespace owan::te {
+
+core::TeOutput GreedyOwanTe::Compute(const core::TeInput& input) {
+  const int n = input.topology->NumSites();
+  const double theta = input.optical->wavelength_capacity();
+
+  // Port budget per site comes from the current topology (every WAN port is
+  // in use by invariant).
+  std::vector<int> ports(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    ports[static_cast<size_t>(v)] = input.topology->PortsUsed(v);
+  }
+
+  // Unserved demand per unordered pair, in rate units for this slot.
+  std::map<std::pair<int, int>, double> demand;
+  for (const core::TransferDemand& d : input.demands) {
+    if (d.src == d.dst) continue;
+    auto key = d.src < d.dst ? std::make_pair(d.src, d.dst)
+                             : std::make_pair(d.dst, d.src);
+    demand[key] += d.rate_cap;
+  }
+
+  core::Topology topo(n);
+  std::vector<int> free = ports;
+  for (;;) {
+    std::pair<int, int> best{-1, -1};
+    double best_demand = 0.0;
+    for (const auto& [key, dem] : demand) {
+      if (dem > best_demand && free[static_cast<size_t>(key.first)] > 0 &&
+          free[static_cast<size_t>(key.second)] > 0) {
+        best_demand = dem;
+        best = key;
+      }
+    }
+    if (best.first < 0) break;
+    topo.AddUnits(best.first, best.second, 1);
+    --free[static_cast<size_t>(best.first)];
+    --free[static_cast<size_t>(best.second)];
+    demand[best] -= theta;
+  }
+
+  // Connectivity pass: join disconnected components along the current
+  // topology's links where ports remain, so demand-chasing does not strand
+  // whole sites.
+  {
+    net::UnionFind uf(n);
+    for (const core::Link& l : topo.Links()) uf.Union(l.u, l.v);
+    for (const core::Link& l : input.topology->Links()) {
+      if (free[static_cast<size_t>(l.u)] > 0 &&
+          free[static_cast<size_t>(l.v)] > 0 && uf.Union(l.u, l.v)) {
+        topo.AddUnits(l.u, l.v, 1);
+        --free[static_cast<size_t>(l.u)];
+        --free[static_cast<size_t>(l.v)];
+      }
+    }
+    // Last resort: bridge any remaining components over free ports.
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (free[static_cast<size_t>(u)] > 0 &&
+            free[static_cast<size_t>(v)] > 0 && uf.Union(u, v)) {
+          topo.AddUnits(u, v, 1);
+          --free[static_cast<size_t>(u)];
+          --free[static_cast<size_t>(v)];
+        }
+      }
+    }
+  }
+
+  // Leftover ports: reproduce the current topology's links where possible
+  // so the network stays connected for multi-hop traffic.
+  for (const core::Link& l : input.topology->Links()) {
+    for (int i = 0; i < l.units; ++i) {
+      if (free[static_cast<size_t>(l.u)] > 0 &&
+          free[static_cast<size_t>(l.v)] > 0) {
+        topo.AddUnits(l.u, l.v, 1);
+        --free[static_cast<size_t>(l.u)];
+        --free[static_cast<size_t>(l.v)];
+      }
+    }
+  }
+
+  // Provision circuits for the chosen topology, then route on whatever was
+  // realisable.
+  core::ProvisionedState state(*input.optical);
+  state.SyncTo(topo);
+  core::RoutingOutcome r =
+      core::AssignRoutesAndRates(state.CapacityGraph(), input.demands,
+                                 routing_);
+
+  core::TeOutput out;
+  out.allocations = std::move(r.allocations);
+  out.new_topology = state.realized();
+  return out;
+}
+
+}  // namespace owan::te

@@ -1,0 +1,31 @@
+#ifndef OWAN_TE_GREEDY_H_
+#define OWAN_TE_GREEDY_H_
+
+#include <string>
+
+#include "core/routing.h"
+#include "core/te_scheme.h"
+
+namespace owan::te {
+
+// The decoupled "greedy" comparison of §5.4 / Fig. 10a: first build a
+// network-layer topology purely from the pairwise demand matrix (most
+// demanding pair gets the next wavelength, no joint consideration of
+// routing), then provision circuits for it, then run the same routing/rate
+// routine as Owan. It optimizes the optical layer and the network layer
+// separately and makes no attempt to minimize topology churn.
+class GreedyOwanTe : public core::TeScheme {
+ public:
+  explicit GreedyOwanTe(core::RoutingOptions routing = {})
+      : routing_(routing) {}
+
+  std::string name() const override { return "Greedy"; }
+  core::TeOutput Compute(const core::TeInput& input) override;
+
+ private:
+  core::RoutingOptions routing_;
+};
+
+}  // namespace owan::te
+
+#endif  // OWAN_TE_GREEDY_H_

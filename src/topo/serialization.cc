@@ -1,0 +1,150 @@
+#include "topo/serialization.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace owan::topo {
+
+namespace {
+
+[[noreturn]] void Fail(int line, const std::string& msg) {
+  throw std::invalid_argument("wan parse error at line " +
+                              std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+void Serialize(const Wan& wan, std::ostream& os) {
+  os << "# owan WAN description\n";
+  os << "wan " << wan.name << " reach_km " << wan.optical.reach_km()
+     << " wavelength_gbps " << wan.optical.wavelength_capacity() << "\n";
+  for (int v = 0; v < wan.optical.NumSites(); ++v) {
+    const optical::SiteInfo& s = wan.optical.site(v);
+    os << "site " << s.name << " ports " << s.router_ports << " regens "
+       << s.regenerators << "\n";
+  }
+  const net::Graph& g = wan.optical.fiber_graph();
+  for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const net::Edge& edge = g.edge(e);
+    os << "fiber " << wan.site_names[static_cast<size_t>(edge.u)] << " "
+       << wan.site_names[static_cast<size_t>(edge.v)] << " km "
+       << wan.optical.fiber(e).length_km << " wavelengths "
+       << wan.optical.fiber(e).num_wavelengths << "\n";
+  }
+  for (const core::Link& l : wan.default_topology.Links()) {
+    os << "link " << wan.site_names[static_cast<size_t>(l.u)] << " "
+       << wan.site_names[static_cast<size_t>(l.v)] << " units " << l.units
+       << "\n";
+  }
+}
+
+std::string Serialize(const Wan& wan) {
+  std::ostringstream os;
+  Serialize(wan, os);
+  return os.str();
+}
+
+Wan Parse(std::istream& is) {
+  std::string name = "unnamed";
+  double reach = 0.0;
+  double theta = 0.0;
+  struct SiteLine {
+    std::string name;
+    int ports;
+    int regens;
+  };
+  struct FiberLine {
+    std::string a, b;
+    double km;
+    int wavelengths;
+  };
+  struct LinkLine {
+    std::string a, b;
+    int units;
+  };
+  std::vector<SiteLine> sites;
+  std::vector<FiberLine> fibers;
+  std::vector<LinkLine> links;
+  bool saw_wan = false;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // blank
+    if (tag == "wan") {
+      std::string k1, k2;
+      if (!(ls >> name >> k1 >> reach >> k2 >> theta) || k1 != "reach_km" ||
+          k2 != "wavelength_gbps") {
+        Fail(lineno, "expected: wan <name> reach_km <x> wavelength_gbps <y>");
+      }
+      saw_wan = true;
+    } else if (tag == "site") {
+      SiteLine s;
+      std::string k1, k2;
+      if (!(ls >> s.name >> k1 >> s.ports >> k2 >> s.regens) ||
+          k1 != "ports" || k2 != "regens") {
+        Fail(lineno, "expected: site <name> ports <n> regens <n>");
+      }
+      sites.push_back(s);
+    } else if (tag == "fiber") {
+      FiberLine f;
+      std::string k1, k2;
+      if (!(ls >> f.a >> f.b >> k1 >> f.km >> k2 >> f.wavelengths) ||
+          k1 != "km" || k2 != "wavelengths") {
+        Fail(lineno, "expected: fiber <a> <b> km <x> wavelengths <n>");
+      }
+      fibers.push_back(f);
+    } else if (tag == "link") {
+      LinkLine l;
+      std::string k1;
+      if (!(ls >> l.a >> l.b >> k1 >> l.units) || k1 != "units") {
+        Fail(lineno, "expected: link <a> <b> units <n>");
+      }
+      links.push_back(l);
+    } else {
+      Fail(lineno, "unknown directive '" + tag + "'");
+    }
+  }
+  if (!saw_wan) Fail(0, "missing 'wan' header line");
+  if (sites.empty()) Fail(0, "no sites declared");
+
+  std::map<std::string, int> index;
+  std::vector<optical::SiteInfo> site_infos;
+  std::vector<std::string> site_names;
+  for (const SiteLine& s : sites) {
+    if (index.count(s.name)) Fail(0, "duplicate site '" + s.name + "'");
+    index[s.name] = static_cast<int>(site_infos.size());
+    site_infos.push_back(optical::SiteInfo{s.name, s.ports, s.regens, true});
+    site_names.push_back(s.name);
+  }
+  auto site_id = [&index](const std::string& n) {
+    auto it = index.find(n);
+    if (it == index.end()) Fail(0, "unknown site '" + n + "'");
+    return it->second;
+  };
+
+  optical::OpticalNetwork on(std::move(site_infos), reach, theta);
+  for (const FiberLine& f : fibers) {
+    on.AddFiber(site_id(f.a), site_id(f.b), f.km, f.wavelengths);
+  }
+  core::Topology topo(on.NumSites());
+  for (const LinkLine& l : links) {
+    topo.AddUnits(site_id(l.a), site_id(l.b), l.units);
+  }
+  return Wan{name, std::move(on), std::move(topo), std::move(site_names)};
+}
+
+Wan Parse(const std::string& text) {
+  std::istringstream is(text);
+  return Parse(is);
+}
+
+}  // namespace owan::topo

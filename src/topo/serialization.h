@@ -1,0 +1,32 @@
+#ifndef OWAN_TOPO_SERIALIZATION_H_
+#define OWAN_TOPO_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topologies.h"
+
+namespace owan::topo {
+
+// Text format for WAN descriptions so deployments can load their own
+// plants instead of the built-in generators. Line-oriented, '#' comments:
+//
+//   wan <name> reach_km <eta> wavelength_gbps <theta>
+//   site <name> ports <fp> regens <rg>
+//   fiber <siteA> <siteB> km <length> wavelengths <phi>
+//   link <siteA> <siteB> units <n>          # default network-layer link
+//
+// Sites must be declared before fibers/links referencing them.
+
+// Serializes a Wan (plant + default topology) to the text format.
+std::string Serialize(const Wan& wan);
+void Serialize(const Wan& wan, std::ostream& os);
+
+// Parses the text format. Throws std::invalid_argument with a line number
+// on malformed input.
+Wan Parse(const std::string& text);
+Wan Parse(std::istream& is);
+
+}  // namespace owan::topo
+
+#endif  // OWAN_TOPO_SERIALIZATION_H_

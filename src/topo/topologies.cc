@@ -1,0 +1,259 @@
+#include "topo/topologies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/union_find.h"
+#include "util/rng.h"
+
+namespace owan::topo {
+
+namespace {
+
+struct FiberSpec {
+  int u;
+  int v;
+  double km;
+};
+
+Wan Assemble(std::string name, std::vector<optical::SiteInfo> sites,
+             const std::vector<FiberSpec>& fibers, const WanParams& p) {
+  // Port count per site = degree in the fiber mesh: the default IP topology
+  // mirrors the fiber plant with one wavelength per adjacency, so every
+  // WAN-facing port starts out in use.
+  std::vector<int> degree(sites.size(), 0);
+  for (const FiberSpec& f : fibers) {
+    ++degree[static_cast<size_t>(f.u)];
+    ++degree[static_cast<size_t>(f.v)];
+  }
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].router_ports == 0) sites[i].router_ports = degree[i];
+  }
+
+  std::vector<std::string> site_names;
+  site_names.reserve(sites.size());
+  for (const optical::SiteInfo& s : sites) site_names.push_back(s.name);
+
+  optical::OpticalNetwork on(std::move(sites), p.reach_km, p.wavelength_gbps);
+  core::Topology topo(on.NumSites());
+  for (const FiberSpec& f : fibers) {
+    on.AddFiber(f.u, f.v, f.km, p.wavelengths_per_fiber);
+    topo.AddUnits(f.u, f.v, 1);
+  }
+  return Wan{std::move(name), std::move(on), std::move(topo),
+             std::move(site_names)};
+}
+
+}  // namespace
+
+net::NodeId Wan::SiteByName(const std::string& n) const {
+  for (size_t i = 0; i < site_names.size(); ++i) {
+    if (site_names[i] == n) return static_cast<net::NodeId>(i);
+  }
+  return net::kInvalidNode;
+}
+
+Wan MakeInternet2(const WanParams& params) {
+  // Sites in Fig. 1, west to east. Regenerators are pre-deployed at the
+  // interior concentration sites (§2.1).
+  std::vector<optical::SiteInfo> sites = {
+      {"SEA", 0, 0},  {"LAX", 0, 4},  {"SLC", 0, 6}, {"HOU", 0, 6},
+      {"KAN", 0, 6},  {"CHI", 0, 6},  {"ATL", 0, 6}, {"WAS", 0, 4},
+      {"NYC", 0, 0},
+  };
+  enum { SEA, LAX, SLC, HOU, KAN, CHI, ATL, WAS, NYC };
+  const std::vector<FiberSpec> fibers = {
+      {SEA, SLC, 1300}, {SEA, LAX, 1800}, {LAX, SLC, 1100},
+      {LAX, HOU, 1950}, {SLC, KAN, 1500}, {KAN, HOU, 1200},
+      {KAN, CHI, 800},  {HOU, ATL, 1300}, {ATL, WAS, 1000},
+      {CHI, WAS, 1100}, {CHI, NYC, 1300}, {WAS, NYC, 400},
+  };
+  return Assemble("internet2", std::move(sites), fibers, params);
+}
+
+namespace {
+
+double Dist(const std::pair<double, double>& a,
+            const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Wan MakeIspBackbone(uint64_t seed, int num_sites, const WanParams& params) {
+  if (num_sites < 4) throw std::invalid_argument("need >= 4 sites");
+  util::Rng rng(seed);
+
+  // Scatter sites over a continental footprint, then grow a connected
+  // irregular mesh: spanning tree by nearest-neighbor attachment plus extra
+  // short edges until the average degree reaches ~3.2 (ISP-like).
+  std::vector<std::pair<double, double>> pos;
+  pos.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    pos.emplace_back(rng.Uniform(0.0, 4500.0), rng.Uniform(0.0, 2500.0));
+  }
+
+  const double kFiberFactor = 1.25;  // fibers do not run straight lines
+  std::vector<FiberSpec> fibers;
+  auto has_edge = [&fibers](int a, int b) {
+    for (const FiberSpec& f : fibers) {
+      if ((f.u == a && f.v == b) || (f.u == b && f.v == a)) return true;
+    }
+    return false;
+  };
+  std::vector<int> degree(static_cast<size_t>(num_sites), 0);
+  auto add_edge = [&](int a, int b) {
+    const double km =
+        std::min(Dist(pos[static_cast<size_t>(a)],
+                      pos[static_cast<size_t>(b)]) * kFiberFactor,
+                 params.reach_km * 0.95);
+    fibers.push_back(FiberSpec{a, b, std::max(km, 50.0)});
+    ++degree[static_cast<size_t>(a)];
+    ++degree[static_cast<size_t>(b)];
+  };
+
+  // Spanning tree: attach each site to its nearest already-placed site.
+  for (int i = 1; i < num_sites; ++i) {
+    int best = 0;
+    double best_d = Dist(pos[static_cast<size_t>(i)], pos[0]);
+    for (int j = 1; j < i; ++j) {
+      const double d =
+          Dist(pos[static_cast<size_t>(i)], pos[static_cast<size_t>(j)]);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    add_edge(i, best);
+  }
+
+  // Extra edges: candidate pairs sorted by distance, accepted while under
+  // the degree caps; sprinkle a little randomness for irregularity.
+  struct Cand {
+    double d;
+    int a, b;
+  };
+  std::vector<Cand> cands;
+  for (int a = 0; a < num_sites; ++a) {
+    for (int b = a + 1; b < num_sites; ++b) {
+      const double d =
+          Dist(pos[static_cast<size_t>(a)], pos[static_cast<size_t>(b)]);
+      if (d * kFiberFactor < params.reach_km * 0.9) {
+        cands.push_back(Cand{d, a, b});
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.d < y.d; });
+  const int target_edges = static_cast<int>(num_sites * 1.6);
+  const int max_degree = 5;
+  for (const Cand& c : cands) {
+    if (static_cast<int>(fibers.size()) >= target_edges) break;
+    if (has_edge(c.a, c.b)) continue;
+    if (degree[static_cast<size_t>(c.a)] >= max_degree ||
+        degree[static_cast<size_t>(c.b)] >= max_degree) {
+      continue;
+    }
+    if (rng.Chance(0.25)) continue;  // keep the mesh irregular
+    add_edge(c.a, c.b);
+  }
+
+  // Regenerators at the highest-degree concentration sites.
+  std::vector<int> by_degree(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) by_degree[static_cast<size_t>(i)] = i;
+  std::sort(by_degree.begin(), by_degree.end(), [&degree](int a, int b) {
+    if (degree[static_cast<size_t>(a)] != degree[static_cast<size_t>(b)]) {
+      return degree[static_cast<size_t>(a)] > degree[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  std::vector<optical::SiteInfo> sites(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    sites[static_cast<size_t>(i)].name = "S" + std::to_string(i);
+  }
+  const int num_concentration = std::max(4, num_sites / 5);
+  for (int i = 0; i < num_concentration; ++i) {
+    sites[static_cast<size_t>(by_degree[static_cast<size_t>(i)])]
+        .regenerators = 10;
+  }
+
+  return Assemble("isp", std::move(sites), fibers, params);
+}
+
+Wan MakeInterDc(uint64_t seed, int num_sites, const WanParams& params) {
+  if (num_sites < 8) throw std::invalid_argument("need >= 8 sites");
+  util::Rng rng(seed);
+  const int kSuperCores = 4;
+  const int leaves = num_sites - kSuperCores;
+
+  // Super cores sit at the corners of the footprint, leaves scatter around
+  // them (§5.1: "super cores connected to many smaller sites, connected in
+  // a ring").
+  std::vector<std::pair<double, double>> pos;
+  pos.reserve(static_cast<size_t>(num_sites));
+  pos.emplace_back(800.0, 600.0);
+  pos.emplace_back(3700.0, 600.0);
+  pos.emplace_back(3700.0, 1900.0);
+  pos.emplace_back(800.0, 1900.0);
+  for (int i = 0; i < leaves; ++i) {
+    pos.emplace_back(rng.Uniform(200.0, 4300.0), rng.Uniform(200.0, 2300.0));
+  }
+
+  std::vector<FiberSpec> fibers;
+  const double kFiberFactor = 1.25;
+  auto add_edge = [&](int a, int b) {
+    const double km =
+        std::min(Dist(pos[static_cast<size_t>(a)],
+                      pos[static_cast<size_t>(b)]) * kFiberFactor,
+                 params.reach_km * 0.95);
+    fibers.push_back(FiberSpec{a, b, std::max(km, 50.0)});
+  };
+
+  // Super-core ring plus one chord.
+  add_edge(0, 1);
+  add_edge(1, 2);
+  add_edge(2, 3);
+  add_edge(3, 0);
+  add_edge(0, 2);
+
+  // Each leaf dual-homes to its two nearest super cores.
+  for (int l = kSuperCores; l < num_sites; ++l) {
+    std::vector<std::pair<double, int>> dist;
+    for (int sc = 0; sc < kSuperCores; ++sc) {
+      dist.emplace_back(
+          Dist(pos[static_cast<size_t>(l)], pos[static_cast<size_t>(sc)]),
+          sc);
+    }
+    std::sort(dist.begin(), dist.end());
+    add_edge(l, dist[0].second);
+    add_edge(l, dist[1].second);
+  }
+
+  std::vector<optical::SiteInfo> sites(static_cast<size_t>(num_sites));
+  for (int i = 0; i < kSuperCores; ++i) {
+    sites[static_cast<size_t>(i)].name = "SC" + std::to_string(i);
+    sites[static_cast<size_t>(i)].regenerators = 12;
+  }
+  for (int i = kSuperCores; i < num_sites; ++i) {
+    sites[static_cast<size_t>(i)].name = "DC" + std::to_string(i);
+  }
+
+  return Assemble("interdc", std::move(sites), fibers, params);
+}
+
+Wan MakeMotivatingExample() {
+  WanParams p;
+  p.wavelength_gbps = 10.0;
+  p.wavelengths_per_fiber = 2;
+  p.reach_km = 10000.0;
+  std::vector<optical::SiteInfo> sites = {
+      {"R0", 0, 0}, {"R1", 0, 0}, {"R2", 0, 0}, {"R3", 0, 0}};
+  const std::vector<FiberSpec> fibers = {
+      {0, 1, 500}, {0, 2, 500}, {1, 3, 500}, {2, 3, 500}};
+  return Assemble("motivating", std::move(sites), fibers, p);
+}
+
+}  // namespace owan::topo

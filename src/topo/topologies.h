@@ -1,0 +1,49 @@
+#ifndef OWAN_TOPO_TOPOLOGIES_H_
+#define OWAN_TOPO_TOPOLOGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/topology.h"
+#include "optical/optical_network.h"
+
+namespace owan::topo {
+
+// A complete WAN description: the optical plant plus the default
+// network-layer topology (what a fixed-topology baseline runs on, and what
+// Owan starts from). The default topology uses every WAN-facing router
+// port, matching the paper's port-conservation invariant.
+struct Wan {
+  std::string name;
+  optical::OpticalNetwork optical;
+  core::Topology default_topology;
+  std::vector<std::string> site_names;
+
+  net::NodeId SiteByName(const std::string& n) const;
+};
+
+struct WanParams {
+  double wavelength_gbps = 10.0;   // theta
+  int wavelengths_per_fiber = 40;  // phi
+  double reach_km = 2000.0;        // eta
+};
+
+// The 9-site Internet2 network the testbed emulates (paper Fig. 1).
+Wan MakeInternet2(const WanParams& params = {});
+
+// A ~40-site ISP backbone: irregular mesh, as described in §5.1.
+// Deterministic for a given seed.
+Wan MakeIspBackbone(uint64_t seed = 7, int num_sites = 40,
+                    const WanParams& params = {.wavelength_gbps = 100.0});
+
+// A ~25-site inter-DC WAN: ring-connected super cores with leaf sites.
+Wan MakeInterDc(uint64_t seed = 11, int num_sites = 25,
+                const WanParams& params = {.wavelength_gbps = 100.0});
+
+// The 4-router square used by the paper's motivating example (Fig. 2/3):
+// every router has two WAN ports, every wavelength carries 10 units.
+Wan MakeMotivatingExample();
+
+}  // namespace owan::topo
+
+#endif  // OWAN_TOPO_TOPOLOGIES_H_

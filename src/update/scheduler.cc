@@ -1,0 +1,367 @@
+#include "update/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "net/shortest_path.h"
+
+namespace owan::update {
+
+namespace {
+
+using LinkKey = std::pair<net::NodeId, net::NodeId>;
+
+LinkKey Key(net::NodeId a, net::NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+const ScheduledOp* Schedule::Find(int op_id) const {
+  for (const ScheduledOp& s : items) {
+    if (s.op_id == op_id) return &s;
+  }
+  return nullptr;
+}
+
+Schedule ScheduleOneShot(const UpdatePlan& plan) {
+  Schedule s;
+  for (const UpdateOp& op : plan.ops) {
+    s.items.push_back(ScheduledOp{op.id, 0.0, op.duration_s, false});
+    s.makespan = std::max(s.makespan, op.duration_s);
+  }
+  return s;
+}
+
+Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
+  Schedule out;
+  const size_t n = input_plan.ops.size();
+  if (n == 0) return out;
+  if (wave_size < 1) wave_size = 1;
+
+  // Stage circuit ops into waves: RemoveCircuits of wave w wait for the
+  // AddCircuits of wave w-1; AddCircuits of wave w wait for the
+  // RemoveCircuits of wave w (whose completions free their ports); a
+  // draining RemoveRoute fires with the earliest wave that needs it gone.
+  UpdatePlan plan = input_plan;
+  std::vector<int> remove_ids, add_ids;
+  for (const UpdateOp& op : plan.ops) {
+    if (op.type == OpType::kRemoveCircuit) remove_ids.push_back(op.id);
+    if (op.type == OpType::kAddCircuit) add_ids.push_back(op.id);
+  }
+  auto wave_of = [wave_size](size_t idx) {
+    return static_cast<int>(idx) / wave_size;
+  };
+  std::map<int, int> op_wave;  // circuit op id -> wave
+  for (size_t i = 0; i < remove_ids.size(); ++i) {
+    op_wave[remove_ids[i]] = wave_of(i);
+  }
+  for (size_t i = 0; i < add_ids.size(); ++i) {
+    op_wave[add_ids[i]] = wave_of(i);
+  }
+  for (size_t i = 0; i < remove_ids.size(); ++i) {
+    const int w = wave_of(i);
+    if (w == 0) continue;
+    for (size_t j = 0; j < add_ids.size(); ++j) {
+      if (wave_of(j) == w - 1) {
+        plan.ops[static_cast<size_t>(remove_ids[i])].deps.push_back(
+            add_ids[j]);
+      }
+    }
+  }
+  for (size_t j = 0; j < add_ids.size(); ++j) {
+    const int w = wave_of(j);
+    for (size_t i = 0; i < remove_ids.size(); ++i) {
+      if (wave_of(i) == w) {
+        plan.ops[static_cast<size_t>(add_ids[j])].deps.push_back(
+            remove_ids[i]);
+      }
+    }
+  }
+  // A draining route keeps carrying traffic until the EARLIEST wave that
+  // needs it gone; gate it on the adds of the wave before that one.
+  std::map<int, int> route_min_wave;
+  for (const UpdateOp& op : input_plan.ops) {
+    if (op.type != OpType::kRemoveCircuit) continue;
+    for (int route_id : op.deps) {
+      auto it = route_min_wave.find(route_id);
+      const int w = op_wave[op.id];
+      if (it == route_min_wave.end() || w < it->second) {
+        route_min_wave[route_id] = w;
+      }
+    }
+  }
+  for (const auto& [route_id, w] : route_min_wave) {
+    if (w == 0) continue;
+    for (size_t j = 0; j < add_ids.size(); ++j) {
+      if (wave_of(j) == w - 1) {
+        plan.ops[static_cast<size_t>(route_id)].deps.push_back(add_ids[j]);
+      }
+    }
+  }
+
+  enum class St { kPending, kRunning, kDone };
+  std::vector<St> state(n, St::kPending);
+  std::vector<double> end_time(n, 0.0);
+
+  // Draining RemoveRoutes are those some RemoveCircuit depends on.
+  std::set<int> draining;
+  for (const UpdateOp& op : plan.ops) {
+    if (op.type == OpType::kRemoveCircuit) {
+      for (int d : op.deps) draining.insert(d);
+    }
+  }
+  // Cleanup RemoveRoutes wait for the same transfer's AddRoutes.
+  std::map<int, std::vector<int>> transfer_add_routes;
+  for (const UpdateOp& op : plan.ops) {
+    if (op.type == OpType::kAddRoute) {
+      transfer_add_routes[op.transfer_index].push_back(op.id);
+    }
+  }
+
+  // Port ledger: every port starts busy; RemoveCircuit completions free
+  // one port at each endpoint, AddCircuit starts consume them.
+  std::map<net::NodeId, int> free_ports;
+
+  auto deps_done = [&](const UpdateOp& op) {
+    for (int d : op.deps) {
+      if (state[static_cast<size_t>(d)] != St::kDone) return false;
+    }
+    if (op.type == OpType::kRemoveRoute && !draining.count(op.id)) {
+      auto it = transfer_add_routes.find(op.transfer_index);
+      if (it != transfer_add_routes.end()) {
+        for (int a : it->second) {
+          if (state[static_cast<size_t>(a)] != St::kDone) return false;
+        }
+      }
+    }
+    return true;
+  };
+  auto ports_available = [&](const UpdateOp& op) {
+    if (op.type != OpType::kAddCircuit) return true;
+    return free_ports[op.u] > 0 && free_ports[op.v] > 0;
+  };
+
+  double now = 0.0;
+  size_t remaining = n;
+  while (remaining > 0) {
+    // Start everything that is ready at `now`.
+    bool started = true;
+    while (started) {
+      started = false;
+      for (const UpdateOp& op : plan.ops) {
+        if (state[static_cast<size_t>(op.id)] != St::kPending) continue;
+        if (!deps_done(op) || !ports_available(op)) continue;
+        if (op.type == OpType::kAddCircuit) {
+          --free_ports[op.u];
+          --free_ports[op.v];
+        }
+        state[static_cast<size_t>(op.id)] = St::kRunning;
+        end_time[static_cast<size_t>(op.id)] = now + op.duration_s;
+        out.items.push_back(
+            ScheduledOp{op.id, now, now + op.duration_s, false});
+        started = true;
+      }
+    }
+
+    // Advance to the next completion.
+    double next = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i] == St::kRunning) next = std::min(next, end_time[i]);
+    }
+    if (next == std::numeric_limits<double>::infinity()) {
+      // Stall: force the pending op with the fewest unmet dependencies.
+      int victim = -1;
+      size_t best_unmet = std::numeric_limits<size_t>::max();
+      for (const UpdateOp& op : plan.ops) {
+        if (state[static_cast<size_t>(op.id)] != St::kPending) continue;
+        size_t unmet = 0;
+        for (int d : op.deps) {
+          if (state[static_cast<size_t>(d)] != St::kDone) ++unmet;
+        }
+        if (unmet < best_unmet) {
+          best_unmet = unmet;
+          victim = op.id;
+        }
+      }
+      if (victim < 0) break;  // defensive; cannot happen with remaining > 0
+      const UpdateOp& op = plan.ops[static_cast<size_t>(victim)];
+      state[static_cast<size_t>(victim)] = St::kRunning;
+      end_time[static_cast<size_t>(victim)] = now + op.duration_s;
+      out.items.push_back(
+          ScheduledOp{victim, now, now + op.duration_s, true});
+      continue;
+    }
+
+    now = next;
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i] == St::kRunning && end_time[i] <= now) {
+        state[i] = St::kDone;
+        --remaining;
+        const UpdateOp& op = plan.ops[i];
+        if (op.type == OpType::kRemoveCircuit) {
+          ++free_ports[op.u];
+          ++free_ports[op.v];
+        }
+      }
+    }
+  }
+  out.makespan = now;
+  return out;
+}
+
+std::vector<TraceSample> TraceThroughput(
+    const core::Topology& from, double theta, const UpdatePlan& plan,
+    const Schedule& schedule,
+    const std::vector<core::TransferAllocation>& old_routes,
+    const std::vector<core::TransferAllocation>& new_routes,
+    bool adaptive_reroute) {
+  // Event times: every op start/end, plus 0 and makespan + margin.
+  std::set<double> times{0.0};
+  for (const ScheduledOp& s : schedule.items) {
+    times.insert(s.start);
+    times.insert(s.end);
+  }
+  times.insert(schedule.makespan + 1.0);
+
+  auto capacity_at = [&](double t) {
+    std::map<LinkKey, double> cap;
+    for (const core::Link& l : from.Links()) {
+      cap[Key(l.u, l.v)] = l.units * theta;
+    }
+    for (const ScheduledOp& s : schedule.items) {
+      const UpdateOp& op = plan.ops[static_cast<size_t>(s.op_id)];
+      // A removed circuit is dark from the moment its teardown starts; an
+      // added circuit lights up when provisioning completes.
+      if (op.type == OpType::kRemoveCircuit && s.start <= t) {
+        cap[Key(op.u, op.v)] -= theta;
+      } else if (op.type == OpType::kAddCircuit && s.end <= t) {
+        cap[Key(op.u, op.v)] += theta;
+      }
+    }
+    return cap;
+  };
+
+  // Which route ops have executed by time t.
+  auto route_state_at = [&](double t) {
+    std::map<std::pair<int, int>, bool> old_removed;
+    std::map<std::pair<int, int>, bool> new_added;
+    for (const ScheduledOp& s : schedule.items) {
+      const UpdateOp& op = plan.ops[static_cast<size_t>(s.op_id)];
+      // Route changes take effect when the router finishes applying them.
+      if (op.type == OpType::kRemoveRoute && s.end <= t) {
+        old_removed[{op.transfer_index, op.path_index}] = true;
+      } else if (op.type == OpType::kAddRoute && s.end <= t) {
+        new_added[{op.transfer_index, op.path_index}] = true;
+      }
+    }
+    return std::make_pair(old_removed, new_added);
+  };
+
+  std::vector<TraceSample> trace;
+  for (double t : times) {
+    auto cap = capacity_at(t);
+    auto [old_removed, new_added] = route_state_at(t);
+
+    double total = 0.0;
+    const size_t num_transfers =
+        std::max(old_routes.size(), new_routes.size());
+    for (size_t ti = 0; ti < num_transfers; ++ti) {
+      // Paths currently installed for this transfer.
+      std::vector<const core::PathAllocation*> installed;
+      double old_rate = 0.0;
+      double new_rate = 0.0;
+      bool any_old = false, any_new = false;
+      if (ti < old_routes.size()) {
+        for (size_t pi = 0; pi < old_routes[ti].paths.size(); ++pi) {
+          old_rate += old_routes[ti].paths[pi].rate;
+          if (!old_removed.count({static_cast<int>(ti),
+                                  static_cast<int>(pi)})) {
+            installed.push_back(&old_routes[ti].paths[pi]);
+            any_old = true;
+          }
+        }
+      }
+      if (ti < new_routes.size()) {
+        for (size_t pi = 0; pi < new_routes[ti].paths.size(); ++pi) {
+          new_rate += new_routes[ti].paths[pi].rate;
+          if (new_added.count(
+                  {static_cast<int>(ti), static_cast<int>(pi)})) {
+            installed.push_back(&new_routes[ti].paths[pi]);
+            any_new = true;
+          }
+        }
+      }
+      // What the transfer tries to send: the larger of its installed
+      // allocations; mid-transition (nothing installed) it keeps pushing
+      // toward its upcoming allocation, unless the new state drops it.
+      double want;
+      if (any_old && any_new) {
+        want = std::max(old_rate, new_rate);
+      } else if (any_new) {
+        want = new_rate;
+      } else if (any_old) {
+        want = old_rate;
+      } else {
+        want = new_rate > 0.0 ? std::max(old_rate, new_rate) : 0.0;
+      }
+      net::NodeId src = net::kInvalidNode, dst = net::kInvalidNode;
+      for (const core::PathAllocation* pa : installed) {
+        if (want <= 0.0) break;
+        // Each installed path carries at most its allocated rate (rate
+        // limits stay enforced); drained traffic falls to the adaptive
+        // detour below instead of stealing other transfers' shares.
+        double avail = std::min(want, pa->rate);
+        for (size_t i = 0; i + 1 < pa->path.nodes.size(); ++i) {
+          const LinkKey lk = Key(pa->path.nodes[i], pa->path.nodes[i + 1]);
+          auto it = cap.find(lk);
+          avail = std::min(avail, it == cap.end() ? 0.0 : it->second);
+        }
+        avail = std::max(0.0, avail);
+        for (size_t i = 0; i + 1 < pa->path.nodes.size(); ++i) {
+          const LinkKey lk = Key(pa->path.nodes[i], pa->path.nodes[i + 1]);
+          auto it = cap.find(lk);
+          if (it != cap.end()) it->second -= avail;
+        }
+        want -= avail;
+        total += avail;
+      }
+      // Endpoints for the adaptive detour come from any known path.
+      if (ti < old_routes.size() && !old_routes[ti].paths.empty()) {
+        src = old_routes[ti].paths[0].path.src();
+        dst = old_routes[ti].paths[0].path.dst();
+      } else if (ti < new_routes.size() && !new_routes[ti].paths.empty()) {
+        src = new_routes[ti].paths[0].path.src();
+        dst = new_routes[ti].paths[0].path.dst();
+      }
+      if (adaptive_reroute && want > 1e-9 && src != net::kInvalidNode) {
+        // The controller migrates the leftover rate over whatever lit
+        // capacity remains (greedy shortest detours, up to 3 attempts).
+        for (int attempt = 0; attempt < 3 && want > 1e-9; ++attempt) {
+          net::Graph g(from.NumSites());
+          for (const auto& [lk, c] : cap) {
+            if (c > 1e-9) g.AddEdge(lk.first, lk.second, 1.0, c);
+          }
+          auto path = net::ShortestPath(g, src, dst);
+          if (!path || path->edges.empty()) break;
+          double avail = want;
+          for (net::EdgeId e : path->edges) {
+            avail = std::min(avail, g.edge(e).capacity);
+          }
+          if (avail <= 1e-9) break;
+          for (size_t i = 0; i + 1 < path->nodes.size(); ++i) {
+            cap[Key(path->nodes[i], path->nodes[i + 1])] -= avail;
+          }
+          want -= avail;
+          total += avail;
+        }
+      }
+    }
+    trace.push_back(TraceSample{t, total});
+  }
+  return trace;
+}
+
+}  // namespace owan::update

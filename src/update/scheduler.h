@@ -1,0 +1,71 @@
+#ifndef OWAN_UPDATE_SCHEDULER_H_
+#define OWAN_UPDATE_SCHEDULER_H_
+
+#include <vector>
+
+#include "update/update_plan.h"
+
+namespace owan::update {
+
+struct ScheduledOp {
+  int op_id = -1;
+  double start = 0.0;
+  double end = 0.0;
+  bool forced = false;  // started despite unmet deps (stall breaking)
+};
+
+struct Schedule {
+  std::vector<ScheduledOp> items;
+  double makespan = 0.0;
+
+  const ScheduledOp* Find(int op_id) const;
+};
+
+// One-shot update: every operation fires at t=0 (the paper's comparison
+// point in Fig. 10b). Circuits go dark for their whole duration while
+// routes already point at them.
+Schedule ScheduleOneShot(const UpdatePlan& plan);
+
+// Dionysus-style consistent scheduling extended with circuit nodes:
+//   * draining RemoveRoute ops run just before their circuit's wave,
+//   * a RemoveCircuit starts once the routes over it are gone,
+//   * an AddCircuit starts once its router ports are free (each endpoint
+//     port is freed by a RemoveCircuit completion),
+//   * AddRoute ops wait for all their new circuits to light up,
+//   * cleanup RemoveRoute ops (pure route swaps) run after the transfer's
+//     new routes are installed (make-before-break).
+//
+// Circuit changes are additionally staged into waves of at most `wave_size`
+// circuits: only a small slice of capacity is ever dark at once, so live
+// traffic keeps flowing on the rest (this is what makes the update hitless
+// in Fig. 10b, at the cost of a longer update makespan).
+// If the dependency graph stalls (cyclic resource waits), the op with the
+// fewest unmet dependencies is forced, mirroring Dionysus' deadlock
+// breaking.
+Schedule ScheduleConsistent(const UpdatePlan& plan, int wave_size = 4);
+
+// Total throughput (Gbps) over time while the schedule executes: transfers
+// keep sending on every installed-and-lit path, redistributing up to the
+// capacity that is currently lit. Samples are emitted at every event edge
+// plus a final steady-state sample.
+//
+// With `adaptive_reroute` (the consistent scheduler's behaviour: the
+// controller keeps migrating rates Dionysus-style while the update runs),
+// a transfer whose paths are being drained is temporarily detoured over
+// whatever lit capacity remains. A one-shot update pushes all state at once
+// and walks away, so its traffic is stuck on whatever the new routes say.
+struct TraceSample {
+  double t = 0.0;
+  double gbps = 0.0;
+};
+
+std::vector<TraceSample> TraceThroughput(
+    const core::Topology& from, double theta, const UpdatePlan& plan,
+    const Schedule& schedule,
+    const std::vector<core::TransferAllocation>& old_routes,
+    const std::vector<core::TransferAllocation>& new_routes,
+    bool adaptive_reroute = false);
+
+}  // namespace owan::update
+
+#endif  // OWAN_UPDATE_SCHEDULER_H_

@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace owan::util {
+
+void Summary::Add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_valid_ = false;
+}
+
+void Summary::Merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty");
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty");
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::Variance() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = Mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(samples_.size() - 1);
+}
+
+double Summary::Stddev() const { return std::sqrt(Variance()); }
+
+double Summary::Percentile(double pct) const {
+  if (samples_.empty()) throw std::logic_error("Summary::Percentile on empty");
+  if (pct < 0.0) pct = 0.0;
+  if (pct > 100.0) pct = 100.0;
+  EnsureSorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = pct / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Summary::Cdf(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  EnsureSorted();
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const size_t idx = std::min(
+        sorted_.size() - 1,
+        static_cast<size_t>(frac * static_cast<double>(sorted_.size())));
+    out.emplace_back(sorted_[idx], frac);
+  }
+  return out;
+}
+
+}  // namespace owan::util

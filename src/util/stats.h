@@ -1,0 +1,51 @@
+#ifndef OWAN_UTIL_STATS_H_
+#define OWAN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace owan::util {
+
+// Online and batch summary statistics over a sample of doubles.
+//
+// Used by the simulator's metrics collection (completion times, deadline
+// slack, throughput series) and by the benchmark harness to print the
+// rows/series the paper reports.
+class Summary {
+ public:
+  Summary() = default;
+
+  void Add(double x);
+  void Merge(const Summary& other);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double Variance() const;
+  double Stddev() const;
+
+  // Percentile in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double pct) const;
+  double Median() const { return Percentile(50.0); }
+
+  // Empirical CDF sampled at `points` evenly spaced quantiles; each entry is
+  // (value, cumulative_fraction).
+  std::vector<std::pair<double, double>> Cdf(size_t points = 100) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace owan::util
+
+#endif  // OWAN_UTIL_STATS_H_

@@ -1,0 +1,27 @@
+#ifndef OWAN_UTIL_UNITS_H_
+#define OWAN_UTIL_UNITS_H_
+
+namespace owan::util {
+
+// The library measures data in gigabits (Gb), rates in gigabits per second
+// (Gbps), time in seconds, and fiber distance in kilometers. These helpers
+// exist so call sites read like the paper ("500 GB transfers", "40 Gbps
+// wavelengths") without unit mistakes.
+
+constexpr double kBitsPerByte = 8.0;
+
+constexpr double GB(double gigabytes) { return gigabytes * kBitsPerByte; }
+constexpr double TB(double terabytes) { return terabytes * 1000.0 * kBitsPerByte; }
+constexpr double Gb(double gigabits) { return gigabits; }
+
+constexpr double Gbps(double r) { return r; }
+
+constexpr double Seconds(double s) { return s; }
+constexpr double Minutes(double m) { return m * 60.0; }
+constexpr double Hours(double h) { return h * 3600.0; }
+
+constexpr double Km(double km) { return km; }
+
+}  // namespace owan::util
+
+#endif  // OWAN_UTIL_UNITS_H_

@@ -1,0 +1,110 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace owan::workload {
+
+std::vector<double> SiteBudgets(const topo::Wan& wan,
+                                const WorkloadParams& params,
+                                util::Rng& rng) {
+  const int n = wan.optical.NumSites();
+  std::vector<double> budgets(static_cast<size_t>(n), 0.0);
+  const double theta = wan.optical.wavelength_capacity();
+  for (int v = 0; v < n; ++v) {
+    // A site's traffic scales with its attached WAN capacity — the stand-in
+    // for summing the site's trace counters (§5.1) — times a random
+    // per-site factor, times lambda. The 0.25 utilisation factor keeps
+    // lambda=1 demand around what the default topology can drain over the
+    // run, so the load sweep crosses from underload to overload.
+    const double ports = wan.optical.site(v).router_ports;
+    const double site_factor = rng.Uniform(0.5, 1.5);
+    budgets[static_cast<size_t>(v)] = params.load_factor * site_factor *
+                                      ports * theta * params.duration_s *
+                                      0.25;
+  }
+  return budgets;
+}
+
+std::vector<core::Request> GenerateWorkload(const topo::Wan& wan,
+                                            const WorkloadParams& params) {
+  util::Rng rng(params.seed);
+  const int n = wan.optical.NumSites();
+  std::vector<double> budget = SiteBudgets(wan, params, rng);
+
+  std::vector<core::Request> reqs;
+  int next_id = 0;
+  // Hotspot schedule: one hot site per period (inter-DC §5.1).
+  auto hotspot_at = [&](double t) {
+    const auto period = static_cast<uint64_t>(t / params.hotspot_period_s);
+    util::Rng hs(params.seed * 1315423911ULL + period);
+    return static_cast<net::NodeId>(hs.Index(static_cast<size_t>(n)));
+  };
+
+  // Keep drawing transfers until the per-site budgets are exhausted (no
+  // site pair has budget for an average transfer).
+  const int kMaxFailures = 256;
+  int consecutive_failures = 0;
+  while (consecutive_failures < kMaxFailures) {
+    const double arrival = rng.Uniform(0.0, params.duration_s);
+    double size = rng.Exponential(params.mean_size);
+    size = std::clamp(size, params.mean_size * 0.02, params.mean_size * 8.0);
+
+    net::NodeId src;
+    net::NodeId dst;
+    bool hotspot_burst = false;
+    if (params.hotspots && rng.Chance(params.hotspot_bias)) {
+      // Hotspot bursts model a site suddenly generating lots of transfers
+      // on top of its steady-state demand (§5.1 inter-DC behaviour), so
+      // they are exempt from the source budget.
+      src = hotspot_at(arrival);
+      dst = static_cast<net::NodeId>(rng.Index(static_cast<size_t>(n)));
+      hotspot_burst = true;
+    } else {
+      src = static_cast<net::NodeId>(rng.Index(static_cast<size_t>(n)));
+      dst = static_cast<net::NodeId>(rng.Index(static_cast<size_t>(n)));
+    }
+    if (src == dst ||
+        (!hotspot_burst && budget[static_cast<size_t>(src)] < size) ||
+        budget[static_cast<size_t>(dst)] < size) {
+      ++consecutive_failures;
+      continue;
+    }
+    consecutive_failures = 0;
+    if (!hotspot_burst) budget[static_cast<size_t>(src)] -= size;
+    budget[static_cast<size_t>(dst)] -= size;
+
+    core::Request r;
+    r.id = next_id++;
+    r.src = src;
+    r.dst = dst;
+    r.size = size;
+    r.arrival = arrival;
+    if (params.deadline_factor > 1.0) {
+      r.deadline = arrival + rng.Uniform(params.slot_seconds,
+                                         params.deadline_factor *
+                                             params.slot_seconds);
+    }
+    reqs.push_back(r);
+  }
+
+  std::sort(reqs.begin(), reqs.end(),
+            [](const core::Request& a, const core::Request& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
+            });
+  return reqs;
+}
+
+std::vector<std::vector<double>> DemandMatrix(
+    int num_sites, const std::vector<core::Request>& reqs) {
+  std::vector<std::vector<double>> m(
+      static_cast<size_t>(num_sites),
+      std::vector<double>(static_cast<size_t>(num_sites), 0.0));
+  for (const core::Request& r : reqs) {
+    m[static_cast<size_t>(r.src)][static_cast<size_t>(r.dst)] += r.size;
+  }
+  return m;
+}
+
+}  // namespace owan::workload

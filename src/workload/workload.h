@@ -1,0 +1,47 @@
+#ifndef OWAN_WORKLOAD_WORKLOAD_H_
+#define OWAN_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "core/transfer.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace owan::workload {
+
+// Parameters of the §5.1 synthetic transfer model. Sizes are exponential;
+// arrivals span `duration` seconds; site pairs are drawn subject to
+// per-site traffic budgets derived from the (synthetic) demand matrix and
+// scaled by the load factor lambda; deadlines (if enabled) are uniform in
+// [T, sigma*T] after arrival where T is the slot length.
+struct WorkloadParams {
+  double duration_s = 2.0 * 3600.0;
+  double mean_size = 4000.0;      // gigabits (500 GB)
+  double load_factor = 1.0;       // lambda
+  double deadline_factor = 0.0;   // sigma; <= 1 disables deadlines
+  double slot_seconds = 300.0;    // T
+  uint64_t seed = 42;
+  bool hotspots = false;          // inter-DC "moving hotspot" behaviour
+  double hotspot_period_s = 1800.0;
+  double hotspot_bias = 0.5;      // chance a transfer originates at the spot
+};
+
+// Per-site traffic budgets standing in for the paper's router traffic
+// counters: proportional to each site's attached capacity with a random
+// site-specific factor, scaled by lambda.
+std::vector<double> SiteBudgets(const topo::Wan& wan,
+                                const WorkloadParams& params,
+                                util::Rng& rng);
+
+// Generates the full request stream, sorted by arrival time.
+std::vector<core::Request> GenerateWorkload(const topo::Wan& wan,
+                                            const WorkloadParams& params);
+
+// Aggregate site-to-site demand (gigabits) of a request set; used by the
+// greedy decoupled baseline to build a demand-proportional topology.
+std::vector<std::vector<double>> DemandMatrix(int num_sites,
+                                              const std::vector<core::Request>& reqs);
+
+}  // namespace owan::workload
+
+#endif  // OWAN_WORKLOAD_WORKLOAD_H_

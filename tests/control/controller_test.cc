@@ -1,0 +1,145 @@
+#include "control/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/owan.h"
+#include "topo/topologies.h"
+
+namespace owan::control {
+namespace {
+
+std::unique_ptr<core::OwanTe> MakeOwan(int iters = 150) {
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = iters;
+  return std::make_unique<core::OwanTe>(opt);
+}
+
+TEST(ControllerTest, SubmitValidation) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan());
+  EXPECT_THROW(c.Submit(0, 0, 100.0), std::invalid_argument);
+  EXPECT_THROW(c.Submit(0, 1, -5.0), std::invalid_argument);
+  EXPECT_EQ(c.Submit(0, 1, 100.0), 0);
+  EXPECT_EQ(c.Submit(0, 1, 100.0), 1);
+  EXPECT_EQ(c.ActiveTransfers(), 2);
+}
+
+TEST(ControllerTest, TickAdvancesClockAndDelivers) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan());
+  c.Submit(0, 1, 1500.0);
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.Tick();
+  EXPECT_DOUBLE_EQ(c.now(), 300.0);
+  EXPECT_EQ(c.ActiveTransfers(), 0);
+  const TrackedTransfer& t = c.transfers().at(0);
+  EXPECT_TRUE(t.completed);
+  EXPECT_GT(t.completed_at, 0.0);
+}
+
+TEST(ControllerTest, TopologyEvolvesUnderOwan) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan(250));
+  // Heavy parallel demand on 0->1 and 2->3 pushes Owan to plan C.
+  c.Submit(0, 1, 50000.0);
+  c.Submit(2, 3, 50000.0);
+  c.Tick();
+  EXPECT_EQ(c.topology().Units(0, 1), 2);
+  EXPECT_EQ(c.topology().Units(2, 3), 2);
+  // The tick should also have produced a consistent update schedule.
+  EXPECT_GT(c.last_update_plan().ops.size(), 0u);
+  EXPECT_GT(c.last_update_schedule().makespan, 0.0);
+}
+
+TEST(ControllerTest, AllocationsExposed) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan());
+  c.Submit(0, 1, 3000.0);
+  c.Tick();
+  ASSERT_EQ(c.last_allocations().size(), 1u);
+  EXPECT_GT(c.last_allocations()[0].TotalRate(), 0.0);
+}
+
+TEST(ControllerTest, CheckpointRoundTrip) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan(250));
+  c.Submit(0, 1, 90000.0);
+  c.Submit(2, 3, 90000.0);
+  c.Tick();
+  const std::string snap = c.Checkpoint();
+
+  Controller restored = Controller::Restore(&wan, MakeOwan(250), snap);
+  EXPECT_DOUBLE_EQ(restored.now(), c.now());
+  EXPECT_TRUE(restored.topology() == c.topology());
+  ASSERT_EQ(restored.transfers().size(), c.transfers().size());
+  for (const auto& [id, t] : c.transfers()) {
+    const TrackedTransfer& rt = restored.transfers().at(id);
+    EXPECT_DOUBLE_EQ(rt.remaining, t.remaining);
+    EXPECT_EQ(rt.completed, t.completed);
+  }
+  // The restored controller keeps working.
+  restored.Tick();
+  EXPECT_DOUBLE_EQ(restored.now(), c.now() + 300.0);
+}
+
+TEST(ControllerTest, RestoreRejectsGarbage) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  EXPECT_THROW(Controller::Restore(&wan, MakeOwan(), "not a checkpoint"),
+               std::invalid_argument);
+}
+
+TEST(ControllerTest, CheckpointSurvivesNewRequestsAfterRestore) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan());
+  c.Submit(0, 1, 3000.0);
+  const std::string snap = c.Checkpoint();
+  Controller restored = Controller::Restore(&wan, MakeOwan(), snap);
+  // New ids continue after the checkpointed counter.
+  EXPECT_EQ(restored.Submit(2, 3, 100.0), 1);
+}
+
+TEST(ControllerTest, FiberFailureReroutesCircuitsWherePossible) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan(250));
+  c.Submit(0, 1, 50000.0);
+  const int before = c.topology().TotalUnits();
+  // Cutting the 0-1 fiber alone is survivable: the 0-1 circuit re-routes
+  // over 0-2-3-1 on a free wavelength, so no units are lost.
+  c.ReportFiberFailure(0);
+  EXPECT_EQ(c.topology().TotalUnits(), before);
+  // Cutting 0-2 as well isolates router 0 in the optical plant; its units
+  // must drop out of the topology.
+  c.ReportFiberFailure(1);
+  EXPECT_LT(c.topology().TotalUnits(), before);
+  EXPECT_EQ(c.topology().PortsUsed(0), 0);
+}
+
+TEST(ControllerTest, ProgressContinuesAfterFiberFailure) {
+  topo::Wan wan = topo::MakeInternet2();
+  Controller c(&wan, MakeOwan(250));
+  c.Submit(wan.SiteByName("SEA"), wan.SiteByName("NYC"), 3000.0);
+  c.ReportFiberFailure(0);  // SEA-SLC
+  c.Tick();
+  EXPECT_GT(c.transfers().at(0).request.size,
+            c.transfers().at(0).remaining);
+}
+
+TEST(ControllerTest, NullSchemeRejected) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  EXPECT_THROW(Controller(&wan, nullptr), std::invalid_argument);
+}
+
+TEST(ControllerTest, MultipleTicksDrainQueue) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeOwan());
+  c.Submit(0, 1, 9000.0);
+  int guard = 0;
+  while (c.ActiveTransfers() > 0 && guard++ < 50) c.Tick();
+  EXPECT_EQ(c.ActiveTransfers(), 0);
+  EXPECT_LT(guard, 50);
+}
+
+}  // namespace
+}  // namespace owan::control

@@ -1,0 +1,132 @@
+#include "core/owan.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topologies.h"
+
+namespace owan::core {
+namespace {
+
+TransferDemand Demand(int id, int src, int dst, double rate) {
+  TransferDemand d;
+  d.id = id;
+  d.src = src;
+  d.dst = dst;
+  d.rate_cap = rate;
+  d.remaining = rate * 300.0;
+  return d;
+}
+
+class OwanTeTest : public ::testing::Test {
+ protected:
+  OwanTeTest() : wan_(topo::MakeMotivatingExample()) {}
+
+  TeInput MakeInput(std::vector<TransferDemand> demands) {
+    TeInput in;
+    in.topology = &wan_.default_topology;
+    in.optical = &wan_.optical;
+    in.demands = std::move(demands);
+    in.slot_seconds = 300.0;
+    return in;
+  }
+
+  topo::Wan wan_;
+};
+
+TEST_F(OwanTeTest, FullControlReconfiguresTopology) {
+  OwanOptions opt;
+  opt.anneal.max_iterations = 250;
+  OwanTe te(opt);
+  auto out =
+      te.Compute(MakeInput({Demand(0, 0, 1, 20.0), Demand(1, 2, 3, 20.0)}));
+  ASSERT_TRUE(out.new_topology.has_value());
+  EXPECT_EQ(out.new_topology->Units(0, 1), 2);
+  EXPECT_EQ(out.new_topology->Units(2, 3), 2);
+  EXPECT_NEAR(out.allocations[0].TotalRate() + out.allocations[1].TotalRate(),
+              40.0, 1e-9);
+}
+
+TEST_F(OwanTeTest, RateOnlyKeepsTopologyAndSinglePath) {
+  OwanOptions opt;
+  opt.control = ControlLevel::kRateOnly;
+  OwanTe te(opt);
+  auto out = te.Compute(MakeInput({Demand(0, 0, 1, 15.0)}));
+  EXPECT_FALSE(out.new_topology.has_value());
+  ASSERT_EQ(out.allocations.size(), 1u);
+  ASSERT_EQ(out.allocations[0].paths.size(), 1u);
+  // Single shortest path saturates at link capacity 10 < demand 15.
+  EXPECT_NEAR(out.allocations[0].TotalRate(), 10.0, 1e-9);
+}
+
+TEST_F(OwanTeTest, RateAndRoutingUsesMultipath) {
+  OwanOptions opt;
+  opt.control = ControlLevel::kRateAndRouting;
+  OwanTe te(opt);
+  auto out = te.Compute(MakeInput({Demand(0, 0, 1, 15.0)}));
+  EXPECT_FALSE(out.new_topology.has_value());
+  EXPECT_NEAR(out.allocations[0].TotalRate(), 15.0, 1e-9);
+  EXPECT_GE(out.allocations[0].paths.size(), 2u);
+}
+
+TEST_F(OwanTeTest, ControlLevelsMonotoneThroughput) {
+  // More control never yields less throughput on the same input.
+  std::vector<TransferDemand> demands = {Demand(0, 0, 1, 20.0),
+                                         Demand(1, 2, 3, 20.0)};
+  double rates[3];
+  const ControlLevel levels[] = {ControlLevel::kRateOnly,
+                                 ControlLevel::kRateAndRouting,
+                                 ControlLevel::kFull};
+  for (int i = 0; i < 3; ++i) {
+    OwanOptions opt;
+    opt.control = levels[i];
+    opt.anneal.max_iterations = 250;
+    OwanTe te(opt);
+    auto out = te.Compute(MakeInput(demands));
+    double total = 0.0;
+    for (const auto& a : out.allocations) total += a.TotalRate();
+    rates[i] = total;
+  }
+  EXPECT_LE(rates[0], rates[1] + 1e-9);
+  EXPECT_LE(rates[1], rates[2] + 1e-9);
+}
+
+TEST_F(OwanTeTest, NamesReflectControlLevel) {
+  OwanOptions opt;
+  EXPECT_EQ(OwanTe(opt).name(), "Owan");
+  opt.control = ControlLevel::kRateOnly;
+  EXPECT_EQ(OwanTe(opt).name(), "Owan(rate)");
+  opt.control = ControlLevel::kRateAndRouting;
+  EXPECT_EQ(OwanTe(opt).name(), "Owan(rate+routing)");
+}
+
+TEST_F(OwanTeTest, LastAnnealStatsExposed) {
+  OwanOptions opt;
+  opt.anneal.max_iterations = 50;
+  OwanTe te(opt);
+  te.Compute(MakeInput({Demand(0, 0, 1, 20.0)}));
+  EXPECT_GT(te.last_anneal().iterations, 0);
+}
+
+TEST_F(OwanTeTest, DeterministicForSeed) {
+  std::vector<TransferDemand> demands = {Demand(0, 0, 1, 20.0),
+                                         Demand(1, 2, 3, 20.0)};
+  OwanOptions opt;
+  opt.seed = 99;
+  opt.anneal.max_iterations = 100;
+  OwanTe a(opt), b(opt);
+  auto oa = a.Compute(MakeInput(demands));
+  auto ob = b.Compute(MakeInput(demands));
+  ASSERT_TRUE(oa.new_topology && ob.new_topology);
+  EXPECT_TRUE(*oa.new_topology == *ob.new_topology);
+}
+
+TEST_F(OwanTeTest, EmptyDemandsNoCrash) {
+  OwanOptions opt;
+  opt.anneal.max_iterations = 20;
+  OwanTe te(opt);
+  auto out = te.Compute(MakeInput({}));
+  EXPECT_TRUE(out.allocations.empty());
+}
+
+}  // namespace
+}  // namespace owan::core

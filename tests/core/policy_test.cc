@@ -1,0 +1,95 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace owan::core {
+namespace {
+
+TransferDemand D(int id, double remaining, double deadline = kNoDeadline,
+                 int waited = 0) {
+  TransferDemand d;
+  d.id = id;
+  d.src = 0;
+  d.dst = 1;
+  d.remaining = remaining;
+  d.rate_cap = 1.0;
+  d.deadline = deadline;
+  d.slots_waited = waited;
+  return d;
+}
+
+TEST(PolicyTest, SjfOrdersBySizeAscending) {
+  std::vector<TransferDemand> v = {D(0, 300.0), D(1, 100.0), D(2, 200.0)};
+  auto order = ScheduleOrder(v, {});
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(PolicyTest, EdfOrdersByDeadlineAscending) {
+  PolicyOptions opt;
+  opt.policy = SchedulingPolicy::kEarliestDeadlineFirst;
+  std::vector<TransferDemand> v = {D(0, 1.0, 900.0), D(1, 1.0, 300.0),
+                                   D(2, 1.0, 600.0)};
+  auto order = ScheduleOrder(v, opt);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(PolicyTest, EdfNoDeadlineGoesLast) {
+  PolicyOptions opt;
+  opt.policy = SchedulingPolicy::kEarliestDeadlineFirst;
+  std::vector<TransferDemand> v = {D(0, 1.0), D(1, 1.0, 300.0)};
+  auto order = ScheduleOrder(v, opt);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(PolicyTest, EdfExpiredDemotedBehindLive) {
+  PolicyOptions opt;
+  opt.policy = SchedulingPolicy::kEarliestDeadlineFirst;
+  opt.now = 500.0;
+  std::vector<TransferDemand> v = {D(0, 1.0, 300.0),   // expired
+                                   D(1, 1.0, 900.0)};  // live
+  auto order = ScheduleOrder(v, opt);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(PolicyTest, EdfExpiredStillBeforeNoDeadline) {
+  PolicyOptions opt;
+  opt.policy = SchedulingPolicy::kEarliestDeadlineFirst;
+  opt.now = 500.0;
+  std::vector<TransferDemand> v = {D(0, 1.0), D(1, 1.0, 300.0)};
+  auto order = ScheduleOrder(v, opt);
+  EXPECT_EQ(order[0], 1u);  // expired beats deadline-less
+}
+
+TEST(PolicyTest, StarvedJumpToFront) {
+  std::vector<TransferDemand> v = {D(0, 100.0), D(1, 900.0, kNoDeadline, 4)};
+  auto order = ScheduleOrder(v, {});
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(PolicyTest, StarvedOrderedByHunger) {
+  std::vector<TransferDemand> v = {D(0, 100.0, kNoDeadline, 4),
+                                   D(1, 900.0, kNoDeadline, 7)};
+  auto order = ScheduleOrder(v, {});
+  EXPECT_EQ(order[0], 1u);  // waited longer
+}
+
+TEST(PolicyTest, StarvationThresholdConfigurable) {
+  PolicyOptions opt;
+  opt.starvation_slots = 10;
+  std::vector<TransferDemand> v = {D(0, 100.0), D(1, 900.0, kNoDeadline, 4)};
+  auto order = ScheduleOrder(v, opt);
+  EXPECT_EQ(order[0], 0u);  // 4 < 10: not starved, SJF applies
+}
+
+TEST(PolicyTest, IdBreaksAllTies) {
+  std::vector<TransferDemand> v = {D(5, 100.0), D(3, 100.0), D(4, 100.0)};
+  auto order = ScheduleOrder(v, {});
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(PolicyTest, EmptyInput) {
+  EXPECT_TRUE(ScheduleOrder({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace owan::core

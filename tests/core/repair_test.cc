@@ -1,0 +1,71 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topologies.h"
+
+namespace owan::core {
+namespace {
+
+std::vector<int> Ports(const topo::Wan& wan) {
+  std::vector<int> p;
+  for (int v = 0; v < wan.optical.NumSites(); ++v) {
+    p.push_back(wan.optical.site(v).router_ports);
+  }
+  return p;
+}
+
+TEST(RepairTest, NoDarkPortsNoChange) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Topology r =
+      RepairDarkPorts(wan.default_topology, wan.optical, Ports(wan));
+  EXPECT_TRUE(r == wan.default_topology);
+}
+
+TEST(RepairTest, RepairsSingleLostLink) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Topology t = wan.default_topology;
+  t.AddUnits(0, 1, -1);  // ports at 0 and 1 go dark
+  Topology r = RepairDarkPorts(t, wan.optical, Ports(wan));
+  EXPECT_EQ(r.PortsUsed(0), 2);
+  EXPECT_EQ(r.PortsUsed(1), 2);
+  EXPECT_EQ(r.TotalUnits(), wan.default_topology.TotalUnits());
+}
+
+TEST(RepairTest, PrefersShortLinks) {
+  topo::Wan wan = topo::MakeInternet2();
+  Topology t = wan.default_topology;
+  // Free one port at WAS and one at NYC (they are 400 km apart, the
+  // shortest possible re-pairing).
+  t.AddUnits(wan.SiteByName("WAS"), wan.SiteByName("NYC"), -1);
+  Topology r = RepairDarkPorts(t, wan.optical, Ports(wan));
+  EXPECT_EQ(r.Units(wan.SiteByName("WAS"), wan.SiteByName("NYC")), 1);
+}
+
+TEST(RepairTest, IsolatedSiteStaysDark) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  optical::OpticalNetwork on = wan.optical;
+  on.FailFiber(0);  // 0-1
+  on.FailFiber(1);  // 0-2: node 0 unreachable
+  Topology t(4);
+  t.AddUnits(1, 3, 1);
+  t.AddUnits(2, 3, 1);
+  Topology r = RepairDarkPorts(t, on, Ports(wan));
+  EXPECT_EQ(r.PortsUsed(0), 0);
+  // Remaining free ports at 1, 2 get paired if feasible (1-3 and 2-3
+  // fibers are alive; 1-2 needs 1-3-2 path).
+  EXPECT_GT(r.TotalUnits(), t.TotalUnits());
+}
+
+TEST(RepairTest, RespectsWavelengthLimits) {
+  // One fiber with one wavelength, two ports per site: only one unit fits.
+  std::vector<optical::SiteInfo> sites = {{"A", 2, 0}, {"B", 2, 0}};
+  optical::OpticalNetwork on(std::move(sites), 1000.0, 10.0);
+  on.AddFiber(0, 1, 100.0, 1);
+  Topology empty(2);
+  Topology r = RepairDarkPorts(empty, on, {2, 2});
+  EXPECT_EQ(r.Units(0, 1), 1);
+}
+
+}  // namespace
+}  // namespace owan::core

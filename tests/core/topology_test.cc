@@ -1,0 +1,123 @@
+#include "core/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace owan::core {
+namespace {
+
+TEST(TopologyTest, EmptyTopology) {
+  Topology t(4);
+  EXPECT_EQ(t.NumSites(), 4);
+  EXPECT_EQ(t.NumLinks(), 0);
+  EXPECT_EQ(t.TotalUnits(), 0);
+  EXPECT_EQ(t.Units(0, 1), 0);
+}
+
+TEST(TopologyTest, AddAndQueryUnits) {
+  Topology t(4);
+  t.AddUnits(0, 1, 2);
+  EXPECT_EQ(t.Units(0, 1), 2);
+  EXPECT_EQ(t.Units(1, 0), 2);  // unordered
+  t.AddUnits(1, 0, 1);
+  EXPECT_EQ(t.Units(0, 1), 3);
+}
+
+TEST(TopologyTest, SetUnits) {
+  Topology t(3);
+  t.SetUnits(0, 2, 5);
+  EXPECT_EQ(t.Units(0, 2), 5);
+  t.SetUnits(0, 2, 1);
+  EXPECT_EQ(t.Units(0, 2), 1);
+  t.SetUnits(0, 2, 0);
+  EXPECT_EQ(t.NumLinks(), 0);
+}
+
+TEST(TopologyTest, NegativeUnitsRejected) {
+  Topology t(3);
+  t.AddUnits(0, 1, 1);
+  EXPECT_THROW(t.AddUnits(0, 1, -2), std::logic_error);
+}
+
+TEST(TopologyTest, SelfAndOutOfRangeRejected) {
+  Topology t(3);
+  EXPECT_THROW(t.AddUnits(1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(t.AddUnits(0, 3, 1), std::out_of_range);
+}
+
+TEST(TopologyTest, PortsUsedSumsIncidentUnits) {
+  Topology t(4);
+  t.AddUnits(0, 1, 2);
+  t.AddUnits(0, 2, 1);
+  EXPECT_EQ(t.PortsUsed(0), 3);
+  EXPECT_EQ(t.PortsUsed(1), 2);
+  EXPECT_EQ(t.PortsUsed(3), 0);
+}
+
+TEST(TopologyTest, LinksCanonicalOrder) {
+  Topology t(4);
+  t.AddUnits(3, 1, 2);
+  auto links = t.Links();
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].u, 1);
+  EXPECT_EQ(links[0].v, 3);
+  EXPECT_EQ(links[0].units, 2);
+}
+
+TEST(TopologyTest, ZeroUnitLinksDisappear) {
+  Topology t(3);
+  t.AddUnits(0, 1, 1);
+  t.AddUnits(0, 1, -1);
+  EXPECT_EQ(t.NumLinks(), 0);
+  EXPECT_TRUE(t.Links().empty());
+}
+
+TEST(TopologyTest, ToGraphCapacities) {
+  Topology t(3);
+  t.AddUnits(0, 1, 3);
+  t.AddUnits(1, 2, 1);
+  net::Graph g = t.ToGraph(10.0);
+  EXPECT_EQ(g.NumEdges(), 2);
+  const net::EdgeId e = g.FindEdge(0, 1);
+  ASSERT_NE(e, net::kInvalidEdge);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 30.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 1.0);
+}
+
+TEST(TopologyTest, DiffSymmetric) {
+  Topology a(4), b(4);
+  a.AddUnits(0, 1, 2);
+  a.AddUnits(1, 2, 1);
+  b.AddUnits(0, 1, 1);
+  b.AddUnits(2, 3, 1);
+  auto [add, remove] = a.Diff(b);  // moving b -> a
+  // a has 0-1 x2 (b has 1): add 1; a has 1-2 (b none): add 1.
+  int add_units = 0;
+  for (const Link& l : add) add_units += l.units;
+  EXPECT_EQ(add_units, 2);
+  int rem_units = 0;
+  for (const Link& l : remove) rem_units += l.units;
+  EXPECT_EQ(rem_units, 1);  // b's 2-3
+  EXPECT_EQ(a.DistanceTo(b), 3);
+  EXPECT_EQ(b.DistanceTo(a), 3);
+  EXPECT_EQ(a.DistanceTo(a), 0);
+}
+
+TEST(TopologyTest, EqualityAndHash) {
+  Topology a(3), b(3);
+  a.AddUnits(0, 1, 2);
+  b.AddUnits(1, 0, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.AddUnits(1, 2, 1);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(TopologyTest, DebugStringMentionsLinks) {
+  Topology t(3);
+  t.AddUnits(0, 2, 4);
+  EXPECT_NE(t.DebugString().find("0-2x4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace owan::core

@@ -1,0 +1,146 @@
+// End-to-end integration tests: full workload -> scheme -> simulator runs
+// on every topology, checking cross-module invariants and the headline
+// qualitative results (Owan >= fixed-topology baselines).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/owan.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "te/amoeba.h"
+#include "te/greedy.h"
+#include "te/lp_baselines.h"
+#include "topo/topologies.h"
+#include "workload/workload.h"
+
+namespace owan {
+namespace {
+
+topo::Wan WanByName(const std::string& name) {
+  if (name == "internet2") return topo::MakeInternet2();
+  if (name == "isp") return topo::MakeIspBackbone();
+  return topo::MakeInterDc();
+}
+
+workload::WorkloadParams SmallParams(const topo::Wan& wan,
+                                     double deadline_factor = 0.0) {
+  workload::WorkloadParams wp;
+  wp.duration_s = 1800.0;
+  wp.mean_size = wan.name == "internet2" ? 2000.0 : 20000.0;
+  wp.load_factor = 1.0;
+  wp.deadline_factor = deadline_factor;
+  wp.seed = 99;
+  return wp;
+}
+
+void CheckSane(const sim::SimResult& res, size_t num_reqs) {
+  ASSERT_EQ(res.transfers.size(), num_reqs);
+  int completed = 0;
+  for (const auto& t : res.transfers) {
+    if (t.completed) {
+      ++completed;
+      EXPECT_GE(t.completed_at, t.request.arrival);
+      EXPECT_NEAR(t.delivered, t.request.size, t.request.size * 0.01 + 1.0);
+    }
+  }
+  // The small workloads drain completely.
+  EXPECT_EQ(completed, static_cast<int>(num_reqs));
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_GT(res.slots, 0);
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EndToEnd, OwanDrainsWorkload) {
+  topo::Wan wan = WanByName(GetParam());
+  const auto reqs = workload::GenerateWorkload(wan, SmallParams(wan));
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = 120;
+  core::OwanTe te(opt);
+  auto res = sim::RunSimulation(wan, reqs, te);
+  CheckSane(res, reqs.size());
+}
+
+TEST_P(EndToEnd, BaselinesDrainWorkload) {
+  topo::Wan wan = WanByName(GetParam());
+  const auto reqs = workload::GenerateWorkload(wan, SmallParams(wan));
+  te::MaxFlowTe mf;
+  auto res = sim::RunSimulation(wan, reqs, mf);
+  CheckSane(res, reqs.size());
+  te::GreedyOwanTe gr;
+  auto res2 = sim::RunSimulation(wan, reqs, gr);
+  ASSERT_EQ(res2.transfers.size(), reqs.size());
+}
+
+TEST_P(EndToEnd, OwanAtLeastMatchesSwan) {
+  topo::Wan wan = WanByName(GetParam());
+  const auto reqs = workload::GenerateWorkload(wan, SmallParams(wan));
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = 200;
+  core::OwanTe owan_te(opt);
+  te::SwanTe swan;
+  const double owan_avg =
+      sim::CompletionTimes(sim::RunSimulation(wan, reqs, owan_te)).Mean();
+  const double swan_avg =
+      sim::CompletionTimes(sim::RunSimulation(wan, reqs, swan)).Mean();
+  EXPECT_LE(owan_avg, swan_avg * 1.05);
+}
+
+TEST_P(EndToEnd, DeadlineRunProducesMetrics) {
+  topo::Wan wan = WanByName(GetParam());
+  const auto reqs =
+      workload::GenerateWorkload(wan, SmallParams(wan, /*sigma=*/15.0));
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = 120;
+  opt.anneal.routing.policy.policy =
+      core::SchedulingPolicy::kEarliestDeadlineFirst;
+  core::OwanTe te(opt);
+  auto res = sim::RunSimulation(wan, reqs, te);
+  const double met = res.FractionMeetingDeadline();
+  const double bytes = res.FractionBytesByDeadline();
+  EXPECT_GE(met, 0.0);
+  EXPECT_LE(met, 1.0);
+  EXPECT_GE(bytes, met - 1e-9);  // whole transfers imply their bytes
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, EndToEnd,
+                         ::testing::Values("internet2", "isp", "interdc"));
+
+TEST(EndToEndDeterminism, SameSeedSameResult) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto reqs = workload::GenerateWorkload(wan, SmallParams(wan));
+  auto run = [&] {
+    core::OwanOptions opt;
+    opt.anneal.max_iterations = 100;
+    opt.seed = 7;
+    core::OwanTe te(opt);
+    return sim::RunSimulation(wan, reqs, te);
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.transfers.size(), b.transfers.size());
+  for (size_t i = 0; i < a.transfers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.transfers[i].completed_at, b.transfers[i].completed_at);
+  }
+  EXPECT_EQ(a.topology_changes, b.topology_changes);
+}
+
+TEST(EndToEndAmoeba, AdmissionControlImprovesOnMaxFlowDeadlines) {
+  topo::Wan wan = topo::MakeInternet2();
+  workload::WorkloadParams wp = SmallParams(wan, /*sigma=*/8.0);
+  wp.load_factor = 1.5;  // pressure makes admission control matter
+  const auto reqs = workload::GenerateWorkload(wan, wp);
+  te::AmoebaTe amoeba(
+      wan.default_topology.ToGraph(wan.optical.wavelength_capacity()),
+      300.0);
+  te::MaxMinFractTe mmf;
+  const double am =
+      sim::RunSimulation(wan, reqs, amoeba).FractionMeetingDeadline();
+  const double mm =
+      sim::RunSimulation(wan, reqs, mmf).FractionMeetingDeadline();
+  EXPECT_GT(am, mm);
+}
+
+}  // namespace
+}  // namespace owan

@@ -1,0 +1,122 @@
+#include "lp/mcf.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "net/max_flow.h"
+
+namespace owan::lp {
+namespace {
+
+net::Graph Square(double cap) {
+  net::Graph g(4);
+  g.AddEdge(0, 1, 1.0, cap);
+  g.AddEdge(0, 2, 1.0, cap);
+  g.AddEdge(1, 3, 1.0, cap);
+  g.AddEdge(2, 3, 1.0, cap);
+  return g;
+}
+
+TEST(McfTest, SingleCommodityUsesBothPaths) {
+  net::Graph g = Square(10.0);
+  McfBuilder mcf(g, {{0, 3, 25.0}}, 3);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  // Min-cut is 20 < demand 25.
+  EXPECT_NEAR(mcf.TotalRate(0, sol), 20.0, 1e-6);
+}
+
+TEST(McfTest, DemandCapsAllocation) {
+  net::Graph g = Square(10.0);
+  McfBuilder mcf(g, {{0, 3, 5.0}}, 3);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(mcf.TotalRate(0, sol), 5.0, 1e-6);
+}
+
+TEST(McfTest, ThroughputMatchesMaxFlowOracle) {
+  net::Graph g(5);
+  g.AddEdge(0, 1, 1.0, 7.0);
+  g.AddEdge(1, 4, 1.0, 4.0);
+  g.AddEdge(0, 2, 1.0, 3.0);
+  g.AddEdge(2, 4, 1.0, 8.0);
+  g.AddEdge(1, 2, 1.0, 2.0);
+  McfBuilder mcf(g, {{0, 4, 100.0}}, 6);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  const double oracle = net::MinCut(g, 0, 4);
+  EXPECT_NEAR(mcf.TotalRate(0, sol), oracle, 1e-6);
+}
+
+TEST(McfTest, TwoCommoditiesShareCapacity) {
+  // Two commodities over the same single link.
+  net::Graph g(2);
+  g.AddEdge(0, 1, 1.0, 10.0);
+  McfBuilder mcf(g, {{0, 1, 8.0}, {0, 1, 8.0}}, 2);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(mcf.TotalRate(0, sol) + mcf.TotalRate(1, sol), 10.0, 1e-6);
+}
+
+TEST(McfTest, DisconnectedCommodityGetsNothing) {
+  net::Graph g(3);
+  g.AddEdge(0, 1, 1.0, 10.0);
+  McfBuilder mcf(g, {{0, 2, 5.0}, {0, 1, 5.0}}, 2);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(mcf.PathsFor(0).empty());
+  EXPECT_NEAR(mcf.TotalRate(0, sol), 0.0, 1e-9);
+  EXPECT_NEAR(mcf.TotalRate(1, sol), 5.0, 1e-6);
+}
+
+TEST(McfTest, ZeroDemandIgnored) {
+  net::Graph g = Square(10.0);
+  McfBuilder mcf(g, {{0, 3, 0.0}}, 3);
+  EXPECT_TRUE(mcf.PathsFor(0).empty());
+  EXPECT_EQ(mcf.lp().NumVariables(), 0);
+}
+
+TEST(McfTest, PathRatesSumToTotal) {
+  net::Graph g = Square(10.0);
+  McfBuilder mcf(g, {{0, 3, 30.0}}, 3);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  double sum = 0.0;
+  for (double r : mcf.PathRates(0, sol)) sum += r;
+  EXPECT_NEAR(sum, mcf.TotalRate(0, sol), 1e-9);
+}
+
+TEST(McfTest, SelfCommoditySkipped) {
+  net::Graph g = Square(10.0);
+  McfBuilder mcf(g, {{1, 1, 5.0}}, 3);
+  EXPECT_TRUE(mcf.PathsFor(0).empty());
+}
+
+TEST(McfTest, SolutionRespectsEdgeCapacities) {
+  net::Graph g = Square(6.0);
+  McfBuilder mcf(g, {{0, 3, 20.0}, {1, 2, 20.0}}, 4);
+  mcf.ObjectiveMaxThroughput();
+  auto sol = Solve(mcf.lp());
+  ASSERT_TRUE(sol.ok());
+  std::vector<double> used(static_cast<size_t>(g.NumEdges()), 0.0);
+  for (int c = 0; c < mcf.NumCommodities(); ++c) {
+    const auto rates = mcf.PathRates(c, sol);
+    for (size_t j = 0; j < rates.size(); ++j) {
+      for (net::EdgeId e : mcf.PathsFor(c)[j].edges) {
+        used[static_cast<size_t>(e)] += rates[j];
+      }
+    }
+  }
+  for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_LE(used[static_cast<size_t>(e)], g.edge(e).capacity + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace owan::lp

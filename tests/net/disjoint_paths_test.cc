@@ -1,0 +1,146 @@
+#include "net/disjoint_paths.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace owan::net {
+namespace {
+
+void ExpectDisjoint(const Path& a, const Path& b) {
+  std::set<EdgeId> ea(a.edges.begin(), a.edges.end());
+  for (EdgeId e : b.edges) {
+    EXPECT_FALSE(ea.count(e)) << "edge " << e << " shared";
+  }
+}
+
+TEST(DisjointPathsTest, SquareHasTwoPaths) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  auto pair = EdgeDisjointPair(g, 0, 3);
+  ASSERT_TRUE(pair);
+  ExpectDisjoint(pair->first, pair->second);
+  EXPECT_DOUBLE_EQ(pair->first.length + pair->second.length, 4.0);
+}
+
+TEST(DisjointPathsTest, BridgeGraphHasNone) {
+  // Two triangles connected by one bridge: no two edge-disjoint paths
+  // across the bridge.
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);  // bridge
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 3);
+  EXPECT_FALSE(EdgeDisjointPair(g, 0, 5).has_value());
+}
+
+TEST(DisjointPathsTest, TrapCaseNeedsUntangling) {
+  // Classic Suurballe trap: the single shortest path uses the middle edge
+  // that both disjoint paths would want; the algorithm must traverse it
+  // backwards to untangle.
+  Graph g(6);
+  g.AddEdge(0, 1, 1.0);  // 0
+  g.AddEdge(1, 5, 1.0);  // 1
+  g.AddEdge(0, 2, 2.0);  // 2
+  g.AddEdge(2, 1, 0.5);  // 3 (tempting shortcut)
+  g.AddEdge(2, 3, 2.0);  // 4
+  g.AddEdge(3, 5, 2.0);  // 5
+  auto pair = EdgeDisjointPair(g, 0, 5);
+  ASSERT_TRUE(pair);
+  ExpectDisjoint(pair->first, pair->second);
+  EXPECT_EQ(pair->first.src(), 0);
+  EXPECT_EQ(pair->first.dst(), 5);
+  EXPECT_EQ(pair->second.src(), 0);
+  EXPECT_EQ(pair->second.dst(), 5);
+}
+
+TEST(DisjointPathsTest, OrderedByLength) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 2, 3.0);
+  g.AddEdge(2, 3, 3.0);
+  auto pair = EdgeDisjointPair(g, 0, 3);
+  ASSERT_TRUE(pair);
+  EXPECT_LE(pair->first.length, pair->second.length);
+  EXPECT_DOUBLE_EQ(pair->first.length, 2.0);
+  EXPECT_DOUBLE_EQ(pair->second.length, 6.0);
+}
+
+TEST(DisjointPathsTest, ParallelEdgesCount) {
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 2.0);
+  auto pair = EdgeDisjointPair(g, 0, 1);
+  ASSERT_TRUE(pair);
+  ExpectDisjoint(pair->first, pair->second);
+}
+
+TEST(DisjointPathsTest, FilterRespected) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  // Block one side: no disjoint pair remains.
+  auto pair = EdgeDisjointPair(g, 0, 3, [](EdgeId e) { return e != 1; });
+  EXPECT_FALSE(pair.has_value());
+}
+
+TEST(DisjointPathsTest, InvalidInputs) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(EdgeDisjointPair(g, 0, 0).has_value());
+  EXPECT_FALSE(EdgeDisjointPair(g, -1, 1).has_value());
+  EXPECT_FALSE(EdgeDisjointPair(g, 0, 2).has_value());
+}
+
+TEST(DisjointPathsTest, TotalWeightIsMinimalOnRandomGraphs) {
+  // Cross-check against brute force over Yen path pairs on small graphs.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g(6);
+    for (int i = 0; i < 12; ++i) {
+      const int u = static_cast<int>(rng.Index(6));
+      const int v = static_cast<int>(rng.Index(6));
+      if (u != v) g.AddEdge(u, v, rng.Uniform(1.0, 4.0));
+    }
+    auto pair = EdgeDisjointPair(g, 0, 5);
+    // Exhaustive enumeration of simple paths (6 nodes -> <= 5 hops).
+    auto paths = PathsUpToHops(g, 0, 5, 5, 20000);
+    double brute = 1e18;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      for (size_t j = i + 1; j < paths.size(); ++j) {
+        std::set<EdgeId> ea(paths[i].edges.begin(), paths[i].edges.end());
+        bool disjoint = true;
+        for (EdgeId e : paths[j].edges) {
+          if (ea.count(e)) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (disjoint) {
+          brute = std::min(brute, paths[i].length + paths[j].length);
+        }
+      }
+    }
+    if (pair) {
+      ExpectDisjoint(pair->first, pair->second);
+      EXPECT_NEAR(pair->first.length + pair->second.length, brute, 1e-9)
+          << "trial " << trial;
+    } else {
+      EXPECT_EQ(brute, 1e18) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace owan::net

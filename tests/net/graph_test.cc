@@ -1,0 +1,105 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace owan::net {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.NumNodes(), 3);
+  const EdgeId e = g.AddEdge(0, 1, 2.5, 10.0);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 1);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 2.5);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 10.0);
+}
+
+TEST(GraphTest, AddNodeGrows) {
+  Graph g(1);
+  const NodeId n = g.AddNode();
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(g.NumNodes(), 2);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.AddEdge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.AddEdge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.AddEdge(-1, 0), std::out_of_range);
+}
+
+TEST(GraphTest, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.FindEdges(0, 1).size(), 2u);
+}
+
+TEST(GraphTest, EdgeOther) {
+  Graph g(2);
+  const EdgeId e = g.AddEdge(0, 1);
+  EXPECT_EQ(g.edge(e).Other(0), 1);
+  EXPECT_EQ(g.edge(e).Other(1), 0);
+}
+
+TEST(GraphTest, NeighborsAndIncident) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  auto nb = g.Neighbors(0);
+  EXPECT_EQ(nb.size(), 2u);
+  EXPECT_EQ(g.Incident(3).size(), 0u);
+}
+
+TEST(GraphTest, FindEdgeMissing) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.FindEdge(0, 2), kInvalidEdge);
+  EXPECT_NE(g.FindEdge(1, 0), kInvalidEdge);
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, TotalCapacity) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0, 10.0);
+  g.AddEdge(1, 2, 1.0, 30.0);
+  EXPECT_DOUBLE_EQ(g.TotalCapacity(), 40.0);
+}
+
+TEST(PathTest, Accessors) {
+  Path p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.src(), kInvalidNode);
+  p.nodes = {3, 1, 2};
+  p.edges = {0, 1};
+  EXPECT_EQ(p.src(), 3);
+  EXPECT_EQ(p.dst(), 2);
+  EXPECT_EQ(p.HopCount(), 2u);
+  EXPECT_EQ(ToString(p), "3-1-2");
+}
+
+}  // namespace
+}  // namespace owan::net

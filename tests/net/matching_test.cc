@@ -1,0 +1,114 @@
+#include "net/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace owan::net {
+namespace {
+
+TEST(MatchingTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(MatchingSize(MaximumMatching(g)), 0);
+}
+
+TEST(MatchingTest, SingleEdge) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  auto mate = MaximumMatching(g);
+  EXPECT_EQ(MatchingSize(mate), 1);
+  EXPECT_EQ(mate[0], 1);
+  EXPECT_EQ(mate[1], 0);
+  EXPECT_TRUE(IsValidMatching(g, mate));
+}
+
+TEST(MatchingTest, PathOfThree) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  auto mate = MaximumMatching(g);
+  EXPECT_EQ(MatchingSize(mate), 1);
+  EXPECT_TRUE(IsValidMatching(g, mate));
+}
+
+TEST(MatchingTest, EvenCycle) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  EXPECT_EQ(MatchingSize(MaximumMatching(g)), 2);
+}
+
+TEST(MatchingTest, OddCycleNeedsBlossom) {
+  // Triangle: max matching is 1.
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_EQ(MatchingSize(MaximumMatching(g)), 1);
+}
+
+TEST(MatchingTest, PetersenLikeBlossomCase) {
+  // Two triangles joined by a path force blossom contraction.
+  Graph g(8);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 7);
+  g.AddEdge(7, 5);
+  auto mate = MaximumMatching(g);
+  EXPECT_EQ(MatchingSize(mate), 4);
+  EXPECT_TRUE(IsValidMatching(g, mate));
+}
+
+TEST(MatchingTest, CompleteGraphPerfect) {
+  Graph g(6);
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) g.AddEdge(u, v);
+  }
+  EXPECT_EQ(MatchingSize(MaximumMatching(g)), 3);
+}
+
+TEST(MatchingTest, StarGraph) {
+  Graph g(5);
+  for (int v = 1; v < 5; ++v) g.AddEdge(0, v);
+  EXPECT_EQ(MatchingSize(MaximumMatching(g)), 1);
+}
+
+TEST(MatchingTest, RandomGraphsAreValidAndMaximal) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g(10);
+    for (int i = 0; i < 18; ++i) {
+      const int u = static_cast<int>(rng.Index(10));
+      const int v = static_cast<int>(rng.Index(10));
+      if (u != v && g.FindEdge(u, v) == kInvalidEdge) g.AddEdge(u, v);
+    }
+    auto mate = MaximumMatching(g);
+    EXPECT_TRUE(IsValidMatching(g, mate));
+    // Maximality: no edge with both endpoints unmatched.
+    for (const Edge& e : g.edges()) {
+      EXPECT_FALSE(mate[e.u] == kInvalidNode && mate[e.v] == kInvalidNode)
+          << "edge " << e.u << "-" << e.v << " could extend the matching";
+    }
+  }
+}
+
+TEST(MatchingTest, ValidityChecker) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  std::vector<NodeId> bad{1, 0, 3, 2};  // 2-3 edge does not exist
+  EXPECT_FALSE(IsValidMatching(g, bad));
+  std::vector<NodeId> asym{1, kInvalidNode, kInvalidNode, kInvalidNode};
+  EXPECT_FALSE(IsValidMatching(g, asym));
+  std::vector<NodeId> wrong_size{1, 0};
+  EXPECT_FALSE(IsValidMatching(g, wrong_size));
+}
+
+}  // namespace
+}  // namespace owan::net

@@ -1,0 +1,105 @@
+#include "net/max_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace owan::net {
+namespace {
+
+TEST(MaxFlowTest, SingleArc) {
+  MaxFlow mf(2);
+  const int a = mf.AddArc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(mf.FlowOn(a), 5.0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlow mf(3);
+  mf.AddArc(0, 1, 10.0);
+  mf.AddArc(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 2), 3.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.AddArc(0, 1, 4.0);
+  mf.AddArc(1, 3, 4.0);
+  mf.AddArc(0, 2, 6.0);
+  mf.AddArc(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 3), 9.0);
+}
+
+TEST(MaxFlowTest, ClassicAugmentingCase) {
+  // Diamond with a cross edge that tempts a greedy path.
+  MaxFlow mf(4);
+  mf.AddArc(0, 1, 1.0);
+  mf.AddArc(0, 2, 1.0);
+  mf.AddArc(1, 2, 1.0);
+  mf.AddArc(1, 3, 1.0);
+  mf.AddArc(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 3), 2.0);
+}
+
+TEST(MaxFlowTest, DisconnectedZero) {
+  MaxFlow mf(3);
+  mf.AddArc(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 2), 0.0);
+}
+
+TEST(MaxFlowTest, SourceEqualsSink) {
+  MaxFlow mf(2);
+  mf.AddArc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 0), 0.0);
+}
+
+TEST(MaxFlowTest, UndirectedHelper) {
+  MaxFlow mf(2);
+  mf.AddUndirected(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(mf.Solve(0, 1), 5.0);
+}
+
+TEST(MaxFlowTest, FlowConservation) {
+  util::Rng rng(5);
+  MaxFlow mf(6);
+  std::vector<int> arcs;
+  std::vector<std::pair<int, int>> ends;
+  for (int i = 0; i < 14; ++i) {
+    const int u = static_cast<int>(rng.Index(6));
+    const int v = static_cast<int>(rng.Index(6));
+    if (u == v) continue;
+    arcs.push_back(mf.AddArc(u, v, rng.Uniform(1.0, 10.0)));
+    ends.emplace_back(u, v);
+  }
+  const double total = mf.Solve(0, 5);
+  // Net flow out of each interior node is zero.
+  std::vector<double> net(6, 0.0);
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    const double f = mf.FlowOn(arcs[i]);
+    EXPECT_GE(f, -1e-9);
+    net[static_cast<size_t>(ends[i].first)] -= f;
+    net[static_cast<size_t>(ends[i].second)] += f;
+  }
+  for (int n = 1; n < 5; ++n) EXPECT_NEAR(net[static_cast<size_t>(n)], 0.0, 1e-9);
+  EXPECT_NEAR(net[5], total, 1e-9);
+  EXPECT_NEAR(net[0], -total, 1e-9);
+}
+
+TEST(MinCutTest, MatchesGraphCapacity) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0, 10.0);
+  g.AddEdge(0, 2, 1.0, 10.0);
+  g.AddEdge(1, 3, 1.0, 10.0);
+  g.AddEdge(2, 3, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(MinCut(g, 0, 3), 20.0);
+}
+
+TEST(MinCutTest, BottleneckEdge) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0, 100.0);
+  g.AddEdge(1, 2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(MinCut(g, 0, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace owan::net

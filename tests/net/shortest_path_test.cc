@@ -1,0 +1,192 @@
+#include "net/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace owan::net {
+namespace {
+
+Graph Square() {
+  // 0-1, 0-2, 1-3, 2-3 square with unit weights.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(DijkstraTest, DistancesOnSquare) {
+  Graph g = Square();
+  SpTree t = Dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(t.dist[3], 2.0);
+}
+
+TEST(DijkstraTest, WeightedPreference) {
+  Graph g(3);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 1, 1.0);
+  auto p = ShortestPath(g, 0, 1);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(p->length, 2.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInf) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  SpTree t = Dijkstra(g, 0);
+  EXPECT_FALSE(t.Reachable(2));
+  EXPECT_TRUE(t.Extract(2).empty());
+}
+
+TEST(DijkstraTest, FilterExcludesEdges) {
+  Graph g = Square();
+  // Block 0-1: path to 1 must go around.
+  SpTree t = Dijkstra(g, 0, [](EdgeId e) { return e != 0; });
+  EXPECT_DOUBLE_EQ(t.dist[1], 3.0);
+}
+
+TEST(DijkstraTest, ExtractReturnsEdgeIds) {
+  Graph g = Square();
+  SpTree t = Dijkstra(g, 0);
+  Path p = t.Extract(3);
+  ASSERT_EQ(p.edges.size(), 2u);
+  ASSERT_EQ(p.nodes.size(), 3u);
+  // Edges must actually connect the node sequence.
+  for (size_t i = 0; i < p.edges.size(); ++i) {
+    const Edge& e = g.edge(p.edges[i]);
+    EXPECT_TRUE((e.u == p.nodes[i] && e.v == p.nodes[i + 1]) ||
+                (e.v == p.nodes[i] && e.u == p.nodes[i + 1]));
+  }
+}
+
+TEST(BfsTest, CountsHops) {
+  Graph g(4);
+  g.AddEdge(0, 1, 100.0);  // heavy but direct
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  g.AddEdge(3, 1, 1.0);
+  SpTree t = BfsTree(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[1], 1.0);  // BFS ignores weights
+}
+
+TEST(ShortestPathTest, TrivialSrcEqualsDst) {
+  Graph g = Square();
+  auto p = ShortestPath(g, 2, 2);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{2}));
+  EXPECT_EQ(p->HopCount(), 0u);
+}
+
+TEST(KShortestTest, FindsBothSquarePaths) {
+  Graph g = Square();
+  auto paths = KShortestPaths(g, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].HopCount(), 2u);
+  EXPECT_EQ(paths[1].HopCount(), 2u);
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+}
+
+TEST(KShortestTest, OrderedByLength) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 2.0);
+  g.AddEdge(2, 3, 2.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 3, 10.0);
+  auto paths = KShortestPaths(g, 0, 3, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_LE(paths[0].length, paths[1].length);
+  EXPECT_LE(paths[1].length, paths[2].length);
+  EXPECT_DOUBLE_EQ(paths[0].length, 2.0);
+}
+
+TEST(KShortestTest, PathsAreLoopless) {
+  util::Rng rng(17);
+  Graph g(8);
+  for (int i = 0; i < 16; ++i) {
+    const int u = static_cast<int>(rng.Index(8));
+    const int v = static_cast<int>(rng.Index(8));
+    if (u != v) g.AddEdge(u, v, rng.Uniform(1.0, 5.0));
+  }
+  auto paths = KShortestPaths(g, 0, 7, 10);
+  for (const Path& p : paths) {
+    std::set<NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << ToString(p);
+  }
+}
+
+TEST(KShortestTest, NoDuplicatePaths) {
+  Graph g = Square();
+  g.AddEdge(0, 3, 5.0);
+  auto paths = KShortestPaths(g, 0, 3, 10);
+  std::set<std::vector<NodeId>> unique;
+  for (const Path& p : paths) unique.insert(p.nodes);
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(KShortestTest, DisconnectedReturnsEmpty) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(KShortestPaths(g, 0, 2, 3).empty());
+}
+
+TEST(KShortestTest, RespectsK) {
+  Graph g = Square();
+  g.AddEdge(0, 3, 5.0);
+  EXPECT_EQ(KShortestPaths(g, 0, 3, 1).size(), 1u);
+  EXPECT_EQ(KShortestPaths(g, 0, 3, 2).size(), 2u);
+}
+
+TEST(PathsUpToHopsTest, EnumeratesAllSimplePaths) {
+  Graph g = Square();
+  auto paths = PathsUpToHops(g, 0, 3, 4);
+  // Square: exactly two simple paths 0->3.
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].HopCount(), 2u);
+}
+
+TEST(PathsUpToHopsTest, HopLimitCutsLongPaths) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_TRUE(PathsUpToHops(g, 0, 4, 3).empty());
+  EXPECT_EQ(PathsUpToHops(g, 0, 4, 4).size(), 1u);
+}
+
+TEST(PathsUpToHopsTest, SortedByHopsThenLength) {
+  Graph g(4);
+  g.AddEdge(0, 3, 9.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 3, 3.0);
+  auto paths = PathsUpToHops(g, 0, 3, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].HopCount(), 1u);  // direct even though heavier
+  EXPECT_EQ(paths[1].HopCount(), 2u);
+  EXPECT_LT(paths[1].length, paths[2].length);
+}
+
+TEST(PathsUpToHopsTest, MaxPathsCap) {
+  // Complete-ish graph generates many paths; the cap must hold.
+  Graph g(7);
+  for (int u = 0; u < 7; ++u) {
+    for (int v = u + 1; v < 7; ++v) g.AddEdge(u, v);
+  }
+  auto paths = PathsUpToHops(g, 0, 6, 5, 10);
+  EXPECT_EQ(paths.size(), 10u);
+}
+
+}  // namespace
+}  // namespace owan::net

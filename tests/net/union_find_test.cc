@@ -1,0 +1,40 @@
+#include "net/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace owan::net {
+namespace {
+
+TEST(UnionFindTest, InitiallyDisjoint) {
+  UnionFind uf(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) EXPECT_FALSE(uf.Same(i, j));
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+}
+
+TEST(UnionFindTest, Transitivity) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(0, 3));
+}
+
+TEST(UnionFindTest, SizeTracking) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.SizeOf(0), 1);
+  uf.Union(0, 1);
+  uf.Union(0, 2);
+  EXPECT_EQ(uf.SizeOf(2), 3);
+  EXPECT_EQ(uf.SizeOf(5), 1);
+}
+
+}  // namespace
+}  // namespace owan::net

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "optical/optical_network.h"
+#include "topo/topologies.h"
+
+namespace owan::optical {
+namespace {
+
+// Ring of five sites, 600 km per span, reach 1000 km: going the long way
+// around needs regenerators.
+OpticalNetwork MakeRing(int regens_each = 2) {
+  std::vector<SiteInfo> sites;
+  for (int i = 0; i < 5; ++i) {
+    sites.push_back({"R" + std::to_string(i), 2, regens_each});
+  }
+  OpticalNetwork on(std::move(sites), 1000.0, 10.0);
+  for (int i = 0; i < 5; ++i) on.AddFiber(i, (i + 1) % 5, 600.0, 4);
+  return on;
+}
+
+TEST(ProtectionTest, RouteConstrainedCircuit) {
+  OpticalNetwork on = MakeRing();
+  net::Path route;
+  route.nodes = {0, 1, 2};
+  route.edges = {on.fiber_graph().FindEdge(0, 1),
+                 on.fiber_graph().FindEdge(1, 2)};
+  auto id = on.ProvisionCircuitAlongRoute(route);
+  ASSERT_TRUE(id);
+  const Circuit& c = on.circuit(*id);
+  EXPECT_EQ(c.src, 0);
+  EXPECT_EQ(c.dst, 2);
+  // 1200 km > 1000 reach: exactly one regen, at site 1.
+  ASSERT_EQ(c.regen_sites.size(), 1u);
+  EXPECT_EQ(c.regen_sites[0], 1);
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(ProtectionTest, SingleSegmentRouteNoRegens) {
+  OpticalNetwork on = MakeRing();
+  net::Path route;
+  route.nodes = {0, 1};
+  route.edges = {on.fiber_graph().FindEdge(0, 1)};
+  auto id = on.ProvisionCircuitAlongRoute(route);
+  ASSERT_TRUE(id);
+  EXPECT_TRUE(on.circuit(*id).regen_sites.empty());
+}
+
+TEST(ProtectionTest, RouteWithoutRegensFails) {
+  OpticalNetwork on = MakeRing(/*regens_each=*/0);
+  net::Path route;
+  route.nodes = {0, 1, 2};
+  route.edges = {on.fiber_graph().FindEdge(0, 1),
+                 on.fiber_graph().FindEdge(1, 2)};
+  EXPECT_FALSE(on.ProvisionCircuitAlongRoute(route).has_value());
+}
+
+TEST(ProtectionTest, ProtectedPairIsFiberDisjoint) {
+  OpticalNetwork on = MakeRing();
+  auto pair = on.ProvisionProtectedPair(0, 2);
+  ASSERT_TRUE(pair);
+  const Circuit& w = on.circuit(pair->first);
+  const Circuit& b = on.circuit(pair->second);
+  std::set<net::EdgeId> wf;
+  for (const Segment& s : w.segments) wf.insert(s.fibers.begin(), s.fibers.end());
+  for (const Segment& s : b.segments) {
+    for (net::EdgeId f : s.fibers) EXPECT_FALSE(wf.count(f));
+  }
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(ProtectionTest, SingleFiberCutSparesOneCircuit) {
+  OpticalNetwork on = MakeRing();
+  auto pair = on.ProvisionProtectedPair(0, 2);
+  ASSERT_TRUE(pair);
+  // Cut any one fiber of the working path: the backup must survive.
+  const Circuit& w = on.circuit(pair->first);
+  const net::EdgeId cut = w.segments[0].fibers[0];
+  auto victims = on.FailFiber(cut);
+  for (CircuitId v : victims) EXPECT_NE(v, pair->second);
+  EXPECT_NO_THROW(on.circuit(pair->second));
+}
+
+TEST(ProtectionTest, NoPairOnTree) {
+  // A path graph has no disjoint pair.
+  std::vector<SiteInfo> sites = {{"A", 2, 2}, {"B", 2, 2}, {"C", 2, 2}};
+  OpticalNetwork on(std::move(sites), 1000.0, 10.0);
+  on.AddFiber(0, 1, 500.0, 4);
+  on.AddFiber(1, 2, 500.0, 4);
+  EXPECT_FALSE(on.ProvisionProtectedPair(0, 2).has_value());
+}
+
+TEST(ProtectionTest, FailedRouteRejected) {
+  OpticalNetwork on = MakeRing();
+  net::Path route;
+  route.nodes = {0, 1};
+  route.edges = {on.fiber_graph().FindEdge(0, 1)};
+  on.FailFiber(route.edges[0]);
+  EXPECT_FALSE(on.ProvisionCircuitAlongRoute(route).has_value());
+}
+
+TEST(ProtectionTest, WavelengthExhaustionOnRoute) {
+  OpticalNetwork on = MakeRing();
+  net::Path route;
+  route.nodes = {0, 1};
+  route.edges = {on.fiber_graph().FindEdge(0, 1)};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(on.ProvisionCircuitAlongRoute(route).has_value());
+  }
+  EXPECT_FALSE(on.ProvisionCircuitAlongRoute(route).has_value());
+}
+
+TEST(ProtectionTest, Internet2ProtectedCoastToCoast) {
+  topo::Wan wan = topo::MakeInternet2();
+  optical::OpticalNetwork on = wan.optical;
+  auto pair = on.ProvisionProtectedPair(wan.SiteByName("SEA"),
+                                        wan.SiteByName("NYC"));
+  ASSERT_TRUE(pair);
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace owan::optical

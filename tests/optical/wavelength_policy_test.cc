@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "optical/optical_network.h"
+
+namespace owan::optical {
+namespace {
+
+OpticalNetwork TwoFibers(WavelengthPolicy policy) {
+  std::vector<SiteInfo> sites = {{"A", 4, 0}, {"B", 4, 0}, {"C", 4, 0}};
+  OpticalNetwork on(std::move(sites), 2000.0, 10.0);
+  on.AddFiber(0, 1, 500.0, 4);
+  on.AddFiber(1, 2, 500.0, 4);
+  on.set_wavelength_policy(policy);
+  return on;
+}
+
+TEST(WavelengthPolicyTest, FirstFitPicksLowestIndex) {
+  OpticalNetwork on = TwoFibers(WavelengthPolicy::kFirstFit);
+  auto a = on.ProvisionCircuit(0, 1);
+  auto b = on.ProvisionCircuit(0, 1);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(on.circuit(*a).segments[0].wavelength, 0);
+  EXPECT_EQ(on.circuit(*b).segments[0].wavelength, 1);
+}
+
+TEST(WavelengthPolicyTest, MostUsedPacks) {
+  OpticalNetwork on = TwoFibers(WavelengthPolicy::kMostUsed);
+  // Occupy lambda 2 on fiber A-B so it becomes the most-used index.
+  on.set_wavelength_policy(WavelengthPolicy::kFirstFit);
+  auto seed1 = on.ProvisionCircuit(0, 1);
+  auto seed2 = on.ProvisionCircuit(0, 1);
+  auto seed3 = on.ProvisionCircuit(0, 1);
+  ASSERT_TRUE(seed1 && seed2 && seed3);  // lambdas 0,1,2 used on A-B
+  on.ReleaseCircuit(*seed1);
+  on.ReleaseCircuit(*seed2);  // now only lambda 2 used globally
+  on.set_wavelength_policy(WavelengthPolicy::kMostUsed);
+  // A circuit on the OTHER fiber should pick lambda 2 (most used).
+  auto c = on.ProvisionCircuit(1, 2);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(on.circuit(*c).segments[0].wavelength, 2);
+}
+
+TEST(WavelengthPolicyTest, LeastUsedSpreads) {
+  OpticalNetwork on = TwoFibers(WavelengthPolicy::kLeastUsed);
+  auto a = on.ProvisionCircuit(0, 1);  // lambda 0 (all equal, index tiebreak)
+  auto b = on.ProvisionCircuit(1, 2);  // lambda 1 (0 now used once)
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(on.circuit(*a).segments[0].wavelength, 0);
+  EXPECT_EQ(on.circuit(*b).segments[0].wavelength, 1);
+}
+
+TEST(WavelengthPolicyTest, OrderIsDeterministicPermutation) {
+  OpticalNetwork on = TwoFibers(WavelengthPolicy::kMostUsed);
+  auto order = on.WavelengthOrder(4);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WavelengthPolicyTest, UsageCountersSurviveChurn) {
+  OpticalNetwork on = TwoFibers(WavelengthPolicy::kMostUsed);
+  auto a = on.ProvisionCircuit(0, 2);
+  ASSERT_TRUE(a);
+  on.ReleaseCircuit(*a);
+  std::string err;
+  EXPECT_TRUE(on.CheckInvariants(&err)) << err;
+}
+
+TEST(WavelengthPolicyTest, MostUsedPreservesContinuityOdds) {
+  // Fragmentation scenario: with first-fit, short circuits scatter across
+  // wavelengths per fiber; most-used keeps a common wavelength free across
+  // fibers longer. Here we just assert both policies still provision the
+  // same number of circuits when resources suffice.
+  for (auto policy :
+       {WavelengthPolicy::kFirstFit, WavelengthPolicy::kMostUsed,
+        WavelengthPolicy::kLeastUsed}) {
+    OpticalNetwork on = TwoFibers(policy);
+    int provisioned = 0;
+    while (on.ProvisionCircuit(0, 2).has_value()) ++provisioned;
+    EXPECT_EQ(provisioned, 4) << static_cast<int>(policy);
+  }
+}
+
+}  // namespace
+}  // namespace owan::optical

@@ -1,0 +1,230 @@
+// Parameterized property tests: invariants that must hold across
+// topologies, seeds, and loads, exercised as sweeps (TEST_P).
+#include <gtest/gtest.h>
+
+#include "core/annealing.h"
+#include "core/provisioned_state.h"
+#include "core/routing.h"
+#include "net/max_flow.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace owan {
+namespace {
+
+topo::Wan WanByName(const std::string& name) {
+  if (name == "internet2") return topo::MakeInternet2();
+  if (name == "isp") return topo::MakeIspBackbone();
+  if (name == "interdc") return topo::MakeInterDc();
+  return topo::MakeMotivatingExample();
+}
+
+std::vector<core::TransferDemand> RandomDemands(const topo::Wan& wan,
+                                                uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<core::TransferDemand> out;
+  const int n = wan.optical.NumSites();
+  for (int i = 0; i < count; ++i) {
+    core::TransferDemand d;
+    d.id = i;
+    d.src = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    d.dst = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    if (d.dst == d.src) d.dst = (d.dst + 1) % n;
+    d.rate_cap = rng.Uniform(1.0, wan.optical.wavelength_capacity());
+    d.remaining = d.rate_cap * 300.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+// ---- Routing invariants over (topology, seed) ----
+
+using RoutingParam = std::tuple<std::string, int>;
+
+class RoutingProperty : public ::testing::TestWithParam<RoutingParam> {};
+
+TEST_P(RoutingProperty, CapacityNeverExceeded) {
+  const auto& [name, seed] = GetParam();
+  topo::Wan wan = WanByName(name);
+  const net::Graph g =
+      wan.default_topology.ToGraph(wan.optical.wavelength_capacity());
+  const auto demands =
+      RandomDemands(wan, static_cast<uint64_t>(seed), 24);
+  const auto out = core::AssignRoutesAndRates(g, demands, {});
+
+  std::vector<double> used(static_cast<size_t>(g.NumEdges()), 0.0);
+  for (const auto& a : out.allocations) {
+    for (const auto& pa : a.paths) {
+      EXPECT_GT(pa.rate, 0.0);
+      for (net::EdgeId e : pa.path.edges) {
+        used[static_cast<size_t>(e)] += pa.rate;
+      }
+    }
+  }
+  for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_LE(used[static_cast<size_t>(e)], g.edge(e).capacity + 1e-6);
+  }
+}
+
+TEST_P(RoutingProperty, ThroughputEqualsAllocationSum) {
+  const auto& [name, seed] = GetParam();
+  topo::Wan wan = WanByName(name);
+  const net::Graph g =
+      wan.default_topology.ToGraph(wan.optical.wavelength_capacity());
+  const auto demands = RandomDemands(wan, static_cast<uint64_t>(seed), 24);
+  const auto out = core::AssignRoutesAndRates(g, demands, {});
+  double sum = 0.0;
+  for (const auto& a : out.allocations) sum += a.TotalRate();
+  EXPECT_NEAR(sum, out.throughput, 1e-6);
+}
+
+TEST_P(RoutingProperty, NoTransferExceedsItsDemand) {
+  const auto& [name, seed] = GetParam();
+  topo::Wan wan = WanByName(name);
+  const net::Graph g =
+      wan.default_topology.ToGraph(wan.optical.wavelength_capacity());
+  const auto demands = RandomDemands(wan, static_cast<uint64_t>(seed), 24);
+  const auto out = core::AssignRoutesAndRates(g, demands, {});
+  for (size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_LE(out.allocations[i].TotalRate(), demands[i].rate_cap + 1e-6);
+  }
+}
+
+TEST_P(RoutingProperty, SingleTransferBoundedByMinCut) {
+  const auto& [name, seed] = GetParam();
+  topo::Wan wan = WanByName(name);
+  const net::Graph g =
+      wan.default_topology.ToGraph(wan.optical.wavelength_capacity());
+  util::Rng rng(static_cast<uint64_t>(seed) * 31 + 7);
+  const int n = wan.optical.NumSites();
+  core::TransferDemand d;
+  d.id = 0;
+  d.src = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+  d.dst = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+  if (d.dst == d.src) d.dst = (d.dst + 1) % n;
+  d.rate_cap = 1e9;
+  d.remaining = 1e12;
+  const auto out = core::AssignRoutesAndRates(g, {d}, {});
+  EXPECT_LE(out.throughput, net::MinCut(g, d.src, d.dst) + 1e-6);
+}
+
+TEST_P(RoutingProperty, PathsAreSimpleAndConnectEndpoints) {
+  const auto& [name, seed] = GetParam();
+  topo::Wan wan = WanByName(name);
+  const net::Graph g =
+      wan.default_topology.ToGraph(wan.optical.wavelength_capacity());
+  const auto demands = RandomDemands(wan, static_cast<uint64_t>(seed), 24);
+  const auto out = core::AssignRoutesAndRates(g, demands, {});
+  for (size_t i = 0; i < demands.size(); ++i) {
+    for (const auto& pa : out.allocations[i].paths) {
+      EXPECT_EQ(pa.path.src(), demands[i].src);
+      EXPECT_EQ(pa.path.dst(), demands[i].dst);
+      std::set<net::NodeId> seen(pa.path.nodes.begin(), pa.path.nodes.end());
+      EXPECT_EQ(seen.size(), pa.path.nodes.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoutingProperty,
+    ::testing::Combine(::testing::Values("internet2", "isp", "interdc"),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<RoutingParam>& info) {
+      return std::get<0>(info.param) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- Annealing invariants over seeds ----
+
+class AnnealProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnealProperty, RealizedTopologyAlwaysProvisionable) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands =
+      RandomDemands(wan, static_cast<uint64_t>(GetParam()), 12);
+  core::AnnealOptions opt;
+  opt.max_iterations = 80;
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  auto res = core::ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng);
+  ASSERT_TRUE(res.state.has_value());
+  EXPECT_TRUE(res.state->optical().CheckInvariants());
+  // Re-provision the adopted topology on a fresh plant: it must fit.
+  core::ProvisionedState fresh(wan.optical);
+  EXPECT_EQ(fresh.SyncTo(res.best_topology), 0);
+}
+
+TEST_P(AnnealProperty, PortBudgetsHold) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands =
+      RandomDemands(wan, static_cast<uint64_t>(GetParam()) + 100, 12);
+  core::AnnealOptions opt;
+  opt.max_iterations = 80;
+  util::Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  auto res = core::ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng);
+  for (int v = 0; v < wan.optical.NumSites(); ++v) {
+    EXPECT_LE(res.best_topology.PortsUsed(v),
+              wan.optical.site(v).router_ports);
+  }
+}
+
+TEST_P(AnnealProperty, EnergyAtLeastCurrentTopology) {
+  topo::Wan wan = topo::MakeInterDc();
+  const auto demands =
+      RandomDemands(wan, static_cast<uint64_t>(GetParam()) + 200, 20);
+  core::AnnealOptions opt;
+  opt.max_iterations = 60;
+  core::ProvisionedState start(wan.optical);
+  start.SyncTo(wan.default_topology);
+  const double base =
+      core::ComputeThroughput(start.CapacityGraph(), demands, opt.routing);
+  util::Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  auto res = core::ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng);
+  EXPECT_GE(res.best_energy, base - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealProperty,
+                         ::testing::Range(1, 7));
+
+// ---- Optical provisioning invariants over repeated provision/release ----
+
+class OpticalChurnProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpticalChurnProperty, ResourceAccountingSurvivesChurn) {
+  topo::Wan wan = topo::MakeIspBackbone();
+  optical::OpticalNetwork on = wan.optical;
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 1);
+  std::vector<optical::CircuitId> live;
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.Chance(0.6)) {
+      const int a = static_cast<int>(rng.Index(40));
+      int b = static_cast<int>(rng.Index(40));
+      if (a == b) b = (b + 1) % 40;
+      auto id = on.ProvisionCircuit(a, b);
+      if (id) live.push_back(*id);
+    } else {
+      const size_t k = rng.Index(live.size());
+      on.ReleaseCircuit(live[k]);
+      live.erase(live.begin() + static_cast<long>(k));
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(on.CheckInvariants(&err)) << err;
+  // Releasing everything returns the plant to pristine state.
+  for (optical::CircuitId id : live) on.ReleaseCircuit(id);
+  EXPECT_EQ(on.NumCircuits(), 0);
+  for (int v = 0; v < on.NumSites(); ++v) {
+    EXPECT_EQ(on.FreeRegens(v), on.site(v).regenerators);
+  }
+  for (int f = 0; f < on.NumFibers(); ++f) {
+    EXPECT_EQ(on.FreeWavelengths(f), on.fiber(f).num_wavelengths);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpticalChurnProperty,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace owan

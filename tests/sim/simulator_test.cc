@@ -1,0 +1,259 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/owan.h"
+#include "sim/metrics.h"
+#include "te/lp_baselines.h"
+
+namespace owan::sim {
+namespace {
+
+// A deliberately dumb scheme: every transfer gets its single shortest path
+// at a fixed rate (or link capacity if lower), first-come-first-served.
+// Used to make simulator arithmetic predictable.
+class FixedRateScheme : public core::TeScheme {
+ public:
+  explicit FixedRateScheme(double rate) : rate_(rate) {}
+  std::string name() const override { return "FixedRate"; }
+  core::TeOutput Compute(const core::TeInput& input) override {
+    core::TeOutput out;
+    out.allocations.resize(input.demands.size());
+    net::Graph g =
+        input.topology->ToGraph(input.optical->wavelength_capacity());
+    std::vector<double> residual(static_cast<size_t>(g.NumEdges()));
+    for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+      residual[static_cast<size_t>(e)] = g.edge(e).capacity;
+    }
+    for (size_t i = 0; i < input.demands.size(); ++i) {
+      const auto& d = input.demands[i];
+      out.allocations[i].id = d.id;
+      auto p = net::ShortestPath(g, d.src, d.dst);
+      if (!p || p->edges.empty()) continue;
+      // Deliberately ignores rate_cap so tests can observe mid-slot
+      // completions (real schemes cap at remaining/slot).
+      double r = rate_;
+      for (net::EdgeId e : p->edges) {
+        r = std::min(r, residual[static_cast<size_t>(e)]);
+      }
+      if (r <= 0.0) continue;
+      for (net::EdgeId e : p->edges) residual[static_cast<size_t>(e)] -= r;
+      out.allocations[i].paths.push_back(core::PathAllocation{*p, r});
+    }
+    return out;
+  }
+
+ private:
+  double rate_;
+};
+
+core::Request Req(int id, int src, int dst, double size, double arrival,
+                  double deadline = core::kNoDeadline) {
+  core::Request r;
+  r.id = id;
+  r.src = src;
+  r.dst = dst;
+  r.size = size;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(SimulatorTest, SingleTransferExactCompletion) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  // 3000 Gb at 10 Gbps = 300 s = exactly one slot.
+  FixedRateScheme scheme(1e9);
+  auto res = RunSimulation(wan, {Req(0, 0, 1, 3000.0, 0.0)}, scheme);
+  ASSERT_EQ(res.transfers.size(), 1u);
+  EXPECT_TRUE(res.transfers[0].completed);
+  EXPECT_NEAR(res.transfers[0].completed_at, 300.0, 1e-6);
+  EXPECT_NEAR(res.transfers[0].CompletionTime(), 300.0, 1e-6);
+}
+
+TEST(SimulatorTest, MidSlotCompletionInterpolated) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  // 1500 Gb at 10 Gbps completes halfway through the first slot.
+  auto res = RunSimulation(wan, {Req(0, 0, 1, 1500.0, 0.0)}, scheme);
+  EXPECT_NEAR(res.transfers[0].completed_at, 150.0, 1e-6);
+}
+
+TEST(SimulatorTest, MultiSlotTransfer) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  auto res = RunSimulation(wan, {Req(0, 0, 1, 7500.0, 0.0)}, scheme);
+  // 7500 Gb / 10 Gbps = 750 s: two full slots plus half of the third.
+  EXPECT_NEAR(res.transfers[0].completed_at, 750.0, 1e-6);
+  EXPECT_EQ(res.slots, 3);
+}
+
+TEST(SimulatorTest, ArrivalsActivateAtSlotBoundaries) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  // Arrives at t=450 (mid-slot 1); first service in slot starting 600.
+  auto res = RunSimulation(wan, {Req(0, 0, 1, 3000.0, 450.0)}, scheme);
+  EXPECT_NEAR(res.transfers[0].completed_at, 900.0, 1e-6);
+}
+
+TEST(SimulatorTest, IdleGapSkipsToNextArrival) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  auto res = RunSimulation(
+      wan, {Req(0, 0, 1, 1500.0, 0.0), Req(1, 0, 1, 1500.0, 7200.0)},
+      scheme);
+  EXPECT_TRUE(res.transfers[1].completed);
+  EXPECT_NEAR(res.transfers[1].completed_at, 7200.0 + 150.0, 1e-6);
+  // Simulator should not have burned thousands of empty slots.
+  EXPECT_LE(res.slots, 4);
+}
+
+TEST(SimulatorTest, SharedLinkContention) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  // Two transfers on 0->1: FCFS gives the first the whole link.
+  auto res = RunSimulation(
+      wan, {Req(0, 0, 1, 3000.0, 0.0), Req(1, 0, 1, 3000.0, 0.0)}, scheme);
+  EXPECT_NEAR(res.transfers[0].completed_at, 300.0, 1e-6);
+  EXPECT_NEAR(res.transfers[1].completed_at, 600.0, 1e-6);
+  EXPECT_NEAR(res.makespan, 600.0, 1e-6);
+}
+
+TEST(SimulatorTest, DeadlineMetricsComputed) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  auto res = RunSimulation(wan,
+                           {Req(0, 0, 1, 3000.0, 0.0, /*deadline=*/400.0),
+                            Req(1, 0, 1, 3000.0, 0.0, /*deadline=*/400.0)},
+                           scheme);
+  // First meets 300 <= 400; second finishes at 600 > 400.
+  EXPECT_TRUE(res.transfers[0].MetDeadline());
+  EXPECT_FALSE(res.transfers[1].MetDeadline());
+  EXPECT_NEAR(res.FractionMeetingDeadline(), 0.5, 1e-9);
+  // Bytes by deadline: transfer 0 fully (3000), transfer 1 partially
+  // (100 s of slot 2 at 10 Gbps = 1000).
+  EXPECT_NEAR(res.FractionBytesByDeadline(), (3000.0 + 1000.0) / 6000.0,
+              1e-6);
+}
+
+TEST(SimulatorTest, ReconfigPenaltyReducesDelivery) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+
+  // A scheme that flips the topology every slot to force the penalty.
+  class Flipper : public core::TeScheme {
+   public:
+    std::string name() const override { return "Flipper"; }
+    core::TeOutput Compute(const core::TeInput& input) override {
+      core::TeOutput out;
+      out.allocations.resize(input.demands.size());
+      core::Topology t(4);
+      if (flip_) {
+        t.AddUnits(0, 1, 2);
+        t.AddUnits(2, 3, 2);
+      } else {
+        t.AddUnits(0, 1, 1);
+        t.AddUnits(0, 2, 1);
+        t.AddUnits(1, 3, 1);
+        t.AddUnits(2, 3, 1);
+      }
+      flip_ = !flip_;
+      out.new_topology = t;
+      for (size_t i = 0; i < input.demands.size(); ++i) {
+        const auto& d = input.demands[i];
+        out.allocations[i].id = d.id;
+        net::Graph g = t.ToGraph(10.0);
+        auto p = net::ShortestPath(g, d.src, d.dst);
+        if (p && !p->edges.empty()) {
+          out.allocations[i].paths.push_back(
+              core::PathAllocation{*p, std::min(10.0, d.rate_cap)});
+        }
+      }
+      return out;
+    }
+    bool flip_ = true;  // first slot already reconfigures
+  };
+
+  Flipper scheme;
+  SimOptions opt;
+  opt.reconfig_penalty_s = 50.0;  // exaggerated for visibility
+  auto res =
+      RunSimulation(wan, {Req(0, 0, 1, 3000.0, 0.0)}, scheme, opt);
+  // First slot delivers only (300-50)*10 = 2500 on the changed link, so the
+  // transfer needs a second slot.
+  EXPECT_GT(res.transfers[0].completed_at, 300.0);
+  EXPECT_GT(res.topology_changes, 0);
+}
+
+TEST(SimulatorTest, UnfinishableTransfersCappedNotLost) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  FixedRateScheme scheme(1e9);
+  SimOptions opt;
+  opt.max_time_s = 600.0;
+  auto res = RunSimulation(
+      wan, {Req(0, 2, 2 == 2 ? 3 : 3, 1e9, 0.0)}, scheme, opt);
+  EXPECT_FALSE(res.transfers[0].completed);
+  EXPECT_DOUBLE_EQ(res.transfers[0].completed_at, 600.0);
+}
+
+TEST(SimulatorTest, OwanEndToEndOnMotivatingExample) {
+  // Fig. 3: Owan should reach plan-C behaviour and finish both transfers in
+  // about half the time of the fixed topology.
+  topo::Wan wan = topo::MakeMotivatingExample();
+  core::OwanOptions opt;
+  opt.anneal.max_iterations = 200;
+  core::OwanTe owan(opt);
+  auto res = RunSimulation(
+      wan, {Req(0, 0, 1, 3000.0, 0.0), Req(1, 2, 3, 3000.0, 0.0)}, owan);
+  // With the doubled links both finish in 150 s instead of 300.
+  EXPECT_TRUE(res.transfers[0].completed);
+  EXPECT_TRUE(res.transfers[1].completed);
+  EXPECT_LE(res.transfers[0].completed_at, 300.0);
+  EXPECT_LE(res.transfers[1].completed_at, 300.0);
+}
+
+TEST(MetricsTest, CompletionSummary) {
+  SimResult r;
+  for (double ct : {100.0, 200.0, 300.0}) {
+    TransferRecord t;
+    t.request.arrival = 0.0;
+    t.completed = true;
+    t.completed_at = ct;
+    r.transfers.push_back(t);
+  }
+  auto s = CompletionTimes(r);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 200.0);
+}
+
+TEST(MetricsTest, SizeBinsSplitInThirds) {
+  SimResult r;
+  for (int i = 0; i < 9; ++i) {
+    TransferRecord t;
+    t.request.size = 100.0 * (i + 1);
+    t.request.arrival = 0.0;
+    t.completed = true;
+    t.completed_at = 10.0 * (i + 1);
+    r.transfers.push_back(t);
+  }
+  auto bins = CompletionTimesBySizeBin(r);
+  EXPECT_EQ(bins[0].count(), 3u);
+  EXPECT_EQ(bins[1].count(), 3u);
+  EXPECT_EQ(bins[2].count(), 3u);
+  EXPECT_LT(bins[0].Mean(), bins[2].Mean());
+}
+
+TEST(MetricsTest, ImprovementFactor) {
+  EXPECT_DOUBLE_EQ(ImprovementFactor(400.0, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(ImprovementFactor(100.0, 0.0), 0.0);
+}
+
+TEST(MetricsTest, CdfTsvFormat) {
+  util::Summary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  const std::string tsv = CdfToTsv(s, 2);
+  EXPECT_NE(tsv.find('\t'), std::string::npos);
+  EXPECT_NE(tsv.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace owan::sim

@@ -1,0 +1,83 @@
+// Tests for the pair-aggregation layer under the LP baselines.
+#include <gtest/gtest.h>
+
+#include "te/lp_baselines.h"
+#include "topo/topologies.h"
+
+namespace owan::te {
+namespace {
+
+core::TransferDemand Demand(int id, int src, int dst, double rate) {
+  core::TransferDemand d;
+  d.id = id;
+  d.src = src;
+  d.dst = dst;
+  d.rate_cap = rate;
+  d.remaining = rate * 300.0;
+  return d;
+}
+
+TEST(AggregationTest, MergesSamePair) {
+  std::vector<core::TransferDemand> demands = {
+      Demand(0, 0, 1, 4.0), Demand(1, 0, 1, 6.0), Demand(2, 1, 0, 5.0)};
+  std::vector<double> targets = {4.0, 6.0, 5.0};
+  auto agg = LpTeBase::Aggregate(demands, targets);
+  // (0,1) and (1,0) are distinct commodities (direction matters).
+  ASSERT_EQ(agg.pair_demands.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.pair_demands[0].rate_cap, 10.0);
+  EXPECT_DOUBLE_EQ(agg.pair_targets[0], 10.0);
+  EXPECT_EQ(agg.members[0].size(), 2u);
+  EXPECT_NEAR(agg.weights[0][0], 0.4, 1e-9);
+  EXPECT_NEAR(agg.weights[0][1], 0.6, 1e-9);
+}
+
+TEST(AggregationTest, ZeroTargetsSplitEqually) {
+  std::vector<core::TransferDemand> demands = {Demand(0, 0, 1, 0.0),
+                                               Demand(1, 0, 1, 0.0)};
+  std::vector<double> targets = {0.0, 0.0};
+  auto agg = LpTeBase::Aggregate(demands, targets);
+  EXPECT_NEAR(agg.weights[0][0], 0.5, 1e-9);
+}
+
+TEST(AggregationTest, ExpandDistributesProportionally) {
+  std::vector<core::TransferDemand> demands = {Demand(7, 0, 1, 4.0),
+                                               Demand(9, 0, 1, 6.0)};
+  std::vector<double> targets = {4.0, 6.0};
+  auto agg = LpTeBase::Aggregate(demands, targets);
+
+  core::TransferAllocation pair_alloc;
+  pair_alloc.id = 0;
+  core::PathAllocation pa;
+  pa.path.nodes = {0, 1};
+  pa.rate = 10.0;
+  pair_alloc.paths.push_back(pa);
+
+  auto out = LpTeBase::Expand(agg, {pair_alloc}, demands);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 7);
+  EXPECT_NEAR(out[0].TotalRate(), 4.0, 1e-9);
+  EXPECT_NEAR(out[1].TotalRate(), 6.0, 1e-9);
+}
+
+TEST(AggregationTest, AggregatedEqualsPerTransferOptimum) {
+  // MaxFlow over many same-pair transfers must equal the single-commodity
+  // optimum.
+  topo::Wan wan = topo::MakeMotivatingExample();
+  core::TeInput in;
+  in.topology = &wan.default_topology;
+  in.optical = &wan.optical;
+  for (int i = 0; i < 6; ++i) in.demands.push_back(Demand(i, 0, 3, 5.0));
+  MaxFlowTe te;
+  auto out = te.Compute(in);
+  double total = 0.0;
+  for (const auto& a : out.allocations) total += a.TotalRate();
+  // Min-cut 0->3 is 20; total demand 30.
+  EXPECT_NEAR(total, 20.0, 1e-5);
+  // Every same-pair member gets a proportional (equal) share.
+  for (const auto& a : out.allocations) {
+    EXPECT_NEAR(a.TotalRate(), 20.0 / 6.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace owan::te

@@ -1,0 +1,96 @@
+#include "topo/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "core/provisioned_state.h"
+
+namespace owan::topo {
+namespace {
+
+TEST(SerializationTest, RoundTripInternet2) {
+  Wan original = MakeInternet2();
+  const std::string text = Serialize(original);
+  Wan parsed = Parse(text);
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.site_names, original.site_names);
+  EXPECT_EQ(parsed.optical.NumSites(), original.optical.NumSites());
+  EXPECT_EQ(parsed.optical.NumFibers(), original.optical.NumFibers());
+  EXPECT_DOUBLE_EQ(parsed.optical.reach_km(), original.optical.reach_km());
+  EXPECT_DOUBLE_EQ(parsed.optical.wavelength_capacity(),
+                   original.optical.wavelength_capacity());
+  EXPECT_TRUE(parsed.default_topology == original.default_topology);
+  for (int v = 0; v < parsed.optical.NumSites(); ++v) {
+    EXPECT_EQ(parsed.optical.site(v).router_ports,
+              original.optical.site(v).router_ports);
+    EXPECT_EQ(parsed.optical.site(v).regenerators,
+              original.optical.site(v).regenerators);
+  }
+}
+
+TEST(SerializationTest, RoundTripGeneratedTopologies) {
+  for (const Wan& w : {MakeIspBackbone(), MakeInterDc()}) {
+    Wan parsed = Parse(Serialize(w));
+    EXPECT_TRUE(parsed.default_topology == w.default_topology) << w.name;
+    EXPECT_EQ(parsed.optical.NumFibers(), w.optical.NumFibers()) << w.name;
+  }
+}
+
+TEST(SerializationTest, ParsedWanIsProvisionable) {
+  Wan parsed = Parse(Serialize(MakeInternet2()));
+  core::ProvisionedState s(parsed.optical);
+  EXPECT_EQ(s.SyncTo(parsed.default_topology), 0);
+}
+
+TEST(SerializationTest, HandWrittenInput) {
+  const char* text = R"(
+# tiny triangle
+wan triangle reach_km 1000 wavelength_gbps 10
+site A ports 2 regens 0
+site B ports 2 regens 1
+site C ports 2 regens 0
+fiber A B km 400 wavelengths 8
+fiber B C km 400 wavelengths 8
+fiber A C km 700 wavelengths 8
+link A B units 1
+link B C units 1
+link A C units 1
+)";
+  Wan wan = Parse(text);
+  EXPECT_EQ(wan.name, "triangle");
+  EXPECT_EQ(wan.optical.NumSites(), 3);
+  EXPECT_EQ(wan.SiteByName("B"), 1);
+  EXPECT_EQ(wan.default_topology.Units(0, 2), 1);
+  EXPECT_EQ(wan.optical.site(1).regenerators, 1);
+}
+
+TEST(SerializationTest, CommentsAndBlankLines) {
+  const char* text =
+      "wan t reach_km 100 wavelength_gbps 10\n"
+      "\n"
+      "site A ports 1 regens 0  # the left one\n"
+      "site B ports 1 regens 0\n"
+      "fiber A B km 50 wavelengths 2\n";
+  Wan wan = Parse(text);
+  EXPECT_EQ(wan.optical.NumFibers(), 1);
+}
+
+TEST(SerializationTest, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(Parse("site A ports 1"), std::invalid_argument);
+  EXPECT_THROW(Parse("wan t reach_km 100 wavelength_gbps 10\nbogus x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Parse("wan t reach_km 100 wavelength_gbps 10\n"
+            "site A ports 1 regens 0\n"
+            "fiber A Z km 10 wavelengths 2\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Parse("wan t reach_km 100 wavelength_gbps 10\n"
+            "site A ports 1 regens 0\n"
+            "site A ports 1 regens 0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(Parse(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace owan::topo

@@ -1,0 +1,178 @@
+#include "topo/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include "core/provisioned_state.h"
+
+namespace owan::topo {
+namespace {
+
+TEST(Internet2Test, NineSites) {
+  Wan wan = MakeInternet2();
+  EXPECT_EQ(wan.optical.NumSites(), 9);
+  EXPECT_EQ(wan.site_names.size(), 9u);
+  EXPECT_EQ(wan.name, "internet2");
+}
+
+TEST(Internet2Test, SiteLookup) {
+  Wan wan = MakeInternet2();
+  EXPECT_EQ(wan.SiteByName("SEA"), 0);
+  EXPECT_NE(wan.SiteByName("NYC"), net::kInvalidNode);
+  EXPECT_EQ(wan.SiteByName("XXX"), net::kInvalidNode);
+}
+
+TEST(Internet2Test, FiberPlantConnected) {
+  Wan wan = MakeInternet2();
+  EXPECT_TRUE(wan.optical.fiber_graph().IsConnected());
+}
+
+TEST(Internet2Test, DefaultTopologyUsesAllPorts) {
+  Wan wan = MakeInternet2();
+  for (int v = 0; v < wan.optical.NumSites(); ++v) {
+    EXPECT_EQ(wan.default_topology.PortsUsed(v),
+              wan.optical.site(v).router_ports)
+        << wan.site_names[static_cast<size_t>(v)];
+  }
+}
+
+TEST(Internet2Test, DefaultTopologyFullyProvisionable) {
+  Wan wan = MakeInternet2();
+  core::ProvisionedState s(wan.optical);
+  EXPECT_EQ(s.SyncTo(wan.default_topology), 0);
+  EXPECT_TRUE(s.optical().CheckInvariants());
+}
+
+TEST(Internet2Test, AllFibersWithinReach) {
+  Wan wan = MakeInternet2();
+  for (int f = 0; f < wan.optical.NumFibers(); ++f) {
+    EXPECT_LE(wan.optical.fiber(f).length_km, wan.optical.reach_km());
+  }
+}
+
+TEST(Internet2Test, CrossCountryCircuitPossible) {
+  // SEA -> NYC spans the continent and must use regenerators.
+  Wan wan = MakeInternet2();
+  optical::OpticalNetwork on = wan.optical;
+  auto id = on.ProvisionCircuit(wan.SiteByName("SEA"), wan.SiteByName("NYC"));
+  ASSERT_TRUE(id);
+  EXPECT_GE(on.circuit(*id).regen_sites.size(), 1u);
+}
+
+TEST(IspTest, DefaultShape) {
+  Wan wan = MakeIspBackbone();
+  EXPECT_EQ(wan.optical.NumSites(), 40);
+  EXPECT_TRUE(wan.optical.fiber_graph().IsConnected());
+  EXPECT_DOUBLE_EQ(wan.optical.wavelength_capacity(), 100.0);
+}
+
+TEST(IspTest, DeterministicForSeed) {
+  Wan a = MakeIspBackbone(7);
+  Wan b = MakeIspBackbone(7);
+  EXPECT_TRUE(a.default_topology == b.default_topology);
+  EXPECT_EQ(a.optical.NumFibers(), b.optical.NumFibers());
+  Wan c = MakeIspBackbone(8);
+  EXPECT_FALSE(a.default_topology == c.default_topology);
+}
+
+TEST(IspTest, IrregularMeshDegrees) {
+  Wan wan = MakeIspBackbone();
+  const net::Graph& g = wan.optical.fiber_graph();
+  int min_deg = 1000, max_deg = 0;
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    min_deg = std::min(min_deg, g.Degree(v));
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  EXPECT_GE(min_deg, 1);
+  EXPECT_LE(max_deg, 6);
+  EXPECT_GT(max_deg, min_deg);  // irregular
+}
+
+TEST(IspTest, HasRegeneratorConcentrationSites) {
+  Wan wan = MakeIspBackbone();
+  int sites_with_regens = 0;
+  int total = 0;
+  for (int v = 0; v < wan.optical.NumSites(); ++v) {
+    if (wan.optical.site(v).regenerators > 0) {
+      ++sites_with_regens;
+      total += wan.optical.site(v).regenerators;
+    }
+  }
+  EXPECT_GE(sites_with_regens, 4);
+  EXPECT_LT(sites_with_regens, wan.optical.NumSites() / 2);
+  EXPECT_GT(total, 0);
+}
+
+TEST(IspTest, DefaultTopologyMostlyProvisionable) {
+  Wan wan = MakeIspBackbone();
+  core::ProvisionedState s(wan.optical);
+  const int failed = s.SyncTo(wan.default_topology);
+  // The default topology mirrors the fiber plant one-to-one and must fit.
+  EXPECT_EQ(failed, 0);
+}
+
+TEST(InterDcTest, SuperCoreShape) {
+  Wan wan = MakeInterDc();
+  EXPECT_EQ(wan.optical.NumSites(), 25);
+  EXPECT_TRUE(wan.optical.fiber_graph().IsConnected());
+  // Super cores have much higher degree than leaves.
+  const net::Graph& g = wan.optical.fiber_graph();
+  for (int sc = 0; sc < 4; ++sc) EXPECT_GE(g.Degree(sc), 4);
+  for (int leaf = 4; leaf < 25; ++leaf) EXPECT_EQ(g.Degree(leaf), 2);
+}
+
+TEST(InterDcTest, LeavesDualHomed) {
+  Wan wan = MakeInterDc();
+  const net::Graph& g = wan.optical.fiber_graph();
+  for (int leaf = 4; leaf < 25; ++leaf) {
+    for (net::NodeId nb : g.Neighbors(leaf)) EXPECT_LT(nb, 4);
+  }
+}
+
+TEST(InterDcTest, SuperCoreRingPresent) {
+  Wan wan = MakeInterDc();
+  const net::Graph& g = wan.optical.fiber_graph();
+  EXPECT_NE(g.FindEdge(0, 1), net::kInvalidEdge);
+  EXPECT_NE(g.FindEdge(1, 2), net::kInvalidEdge);
+  EXPECT_NE(g.FindEdge(2, 3), net::kInvalidEdge);
+  EXPECT_NE(g.FindEdge(3, 0), net::kInvalidEdge);
+}
+
+TEST(InterDcTest, RegensOnlyAtSuperCores) {
+  Wan wan = MakeInterDc();
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_GT(wan.optical.site(v).regenerators, 0);
+  }
+  for (int v = 4; v < 25; ++v) {
+    EXPECT_EQ(wan.optical.site(v).regenerators, 0);
+  }
+}
+
+TEST(InterDcTest, DefaultTopologyProvisionable) {
+  Wan wan = MakeInterDc();
+  core::ProvisionedState s(wan.optical);
+  EXPECT_EQ(s.SyncTo(wan.default_topology), 0);
+}
+
+TEST(MotivatingTest, SquareOfFour) {
+  Wan wan = MakeMotivatingExample();
+  EXPECT_EQ(wan.optical.NumSites(), 4);
+  EXPECT_EQ(wan.default_topology.TotalUnits(), 4);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(wan.default_topology.PortsUsed(v), 2);
+  }
+  EXPECT_DOUBLE_EQ(wan.optical.wavelength_capacity(), 10.0);
+}
+
+TEST(WanParamsTest, CustomParamsRespected) {
+  WanParams p;
+  p.wavelength_gbps = 40.0;
+  p.wavelengths_per_fiber = 80;
+  p.reach_km = 2500.0;
+  Wan wan = MakeInternet2(p);
+  EXPECT_DOUBLE_EQ(wan.optical.wavelength_capacity(), 40.0);
+  EXPECT_DOUBLE_EQ(wan.optical.reach_km(), 2500.0);
+  EXPECT_EQ(wan.optical.fiber(0).num_wavelengths, 80);
+}
+
+}  // namespace
+}  // namespace owan::topo

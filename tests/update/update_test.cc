@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "update/scheduler.h"
+#include "update/update_plan.h"
+
+namespace owan::update {
+namespace {
+
+// Square topologies A (default) and B (0-1 doubled, 2-3 doubled): the
+// motivating example's reconfiguration.
+core::Topology SquareA() {
+  core::Topology t(4);
+  t.AddUnits(0, 1, 1);
+  t.AddUnits(0, 2, 1);
+  t.AddUnits(1, 3, 1);
+  t.AddUnits(2, 3, 1);
+  return t;
+}
+
+core::Topology SquareB() {
+  core::Topology t(4);
+  t.AddUnits(0, 1, 2);
+  t.AddUnits(2, 3, 2);
+  return t;
+}
+
+core::TransferAllocation Alloc(int id, std::vector<net::NodeId> nodes,
+                               double rate) {
+  core::TransferAllocation a;
+  a.id = id;
+  core::PathAllocation pa;
+  pa.path.nodes = std::move(nodes);
+  pa.rate = rate;
+  a.paths.push_back(pa);
+  return a;
+}
+
+TEST(UpdatePlanTest, CircuitOpsMatchDiff) {
+  UpdatePlan plan = BuildUpdatePlan(SquareA(), SquareB(), {}, {});
+  EXPECT_EQ(plan.CountType(OpType::kRemoveCircuit), 2);  // 0-2 and 1-3
+  EXPECT_EQ(plan.CountType(OpType::kAddCircuit), 2);     // +0-1 and +2-3
+}
+
+TEST(UpdatePlanTest, NoChangeNoCircuitOps) {
+  UpdatePlan plan = BuildUpdatePlan(SquareA(), SquareA(), {}, {});
+  EXPECT_EQ(plan.CountType(OpType::kRemoveCircuit), 0);
+  EXPECT_EQ(plan.CountType(OpType::kAddCircuit), 0);
+}
+
+TEST(UpdatePlanTest, RemoveCircuitDependsOnDrainingRoutes) {
+  // Old route crosses the shrinking 0-2 link.
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 2, 3}, 5.0)};
+  UpdatePlan plan = BuildUpdatePlan(SquareA(), SquareB(), old_routes, {});
+  bool found = false;
+  for (const UpdateOp& op : plan.ops) {
+    if (op.type == OpType::kRemoveCircuit && op.u == 0 && op.v == 2) {
+      EXPECT_FALSE(op.deps.empty());
+      for (int d : op.deps) {
+        EXPECT_EQ(plan.ops[static_cast<size_t>(d)].type,
+                  OpType::kRemoveRoute);
+      }
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UpdatePlanTest, AddRouteDependsOnNewCircuits) {
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 20.0)};
+  UpdatePlan plan = BuildUpdatePlan(SquareA(), SquareB(), {}, new_routes);
+  bool found = false;
+  for (const UpdateOp& op : plan.ops) {
+    if (op.type == OpType::kAddRoute) {
+      EXPECT_FALSE(op.deps.empty());
+      for (int d : op.deps) {
+        EXPECT_EQ(plan.ops[static_cast<size_t>(d)].type,
+                  OpType::kAddCircuit);
+      }
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchedulerTest, OneShotStartsEverythingAtZero) {
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 2, 3}, 5.0)};
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 20.0)};
+  UpdatePlan plan =
+      BuildUpdatePlan(SquareA(), SquareB(), old_routes, new_routes);
+  Schedule s = ScheduleOneShot(plan);
+  ASSERT_EQ(s.items.size(), plan.ops.size());
+  for (const ScheduledOp& it : s.items) EXPECT_DOUBLE_EQ(it.start, 0.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 3.0);
+}
+
+TEST(SchedulerTest, ConsistentOrdering) {
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 2, 3}, 5.0), Alloc(1, {0, 1}, 10.0)};
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {2, 3}, 20.0), Alloc(1, {0, 1}, 20.0)};
+  UpdatePlan plan =
+      BuildUpdatePlan(SquareA(), SquareB(), old_routes, new_routes);
+  Schedule s = ScheduleConsistent(plan);
+  ASSERT_EQ(s.items.size(), plan.ops.size());
+
+  for (const UpdateOp& op : plan.ops) {
+    const ScheduledOp* so = s.Find(op.id);
+    ASSERT_NE(so, nullptr);
+    for (int d : op.deps) {
+      const ScheduledOp* dep = s.Find(d);
+      ASSERT_NE(dep, nullptr);
+      EXPECT_GE(so->start, dep->end - 1e-9)
+          << ToString(op.type) << " started before its dependency finished";
+    }
+  }
+}
+
+TEST(SchedulerTest, PortsGateAddCircuits) {
+  // All ports are in use in A, so every AddCircuit must start at or after
+  // some RemoveCircuit completes.
+  UpdatePlan plan = BuildUpdatePlan(SquareA(), SquareB(), {}, {});
+  Schedule s = ScheduleConsistent(plan);
+  double earliest_remove_end = 1e18;
+  for (const ScheduledOp& it : s.items) {
+    const UpdateOp& op = plan.ops[static_cast<size_t>(it.op_id)];
+    if (op.type == OpType::kRemoveCircuit) {
+      earliest_remove_end = std::min(earliest_remove_end, it.end);
+    }
+  }
+  for (const ScheduledOp& it : s.items) {
+    const UpdateOp& op = plan.ops[static_cast<size_t>(it.op_id)];
+    if (op.type == OpType::kAddCircuit) {
+      EXPECT_GE(it.start, earliest_remove_end - 1e-9);
+    }
+  }
+}
+
+TEST(SchedulerTest, EmptyPlan) {
+  UpdatePlan plan;
+  Schedule s = ScheduleConsistent(plan);
+  EXPECT_TRUE(s.items.empty());
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+TEST(TraceTest, UntouchedRoutesKeepCarrying) {
+  // Neither old route crosses a removed link, so even a one-shot update
+  // leaves them carrying; the added capacity lights up at the end.
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 10.0), Alloc(1, {2, 3}, 10.0)};
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 20.0), Alloc(1, {2, 3}, 20.0)};
+  UpdatePlan plan =
+      BuildUpdatePlan(SquareA(), SquareB(), old_routes, new_routes);
+
+  const double theta = 10.0;
+  Schedule cons = ScheduleConsistent(plan);
+  Schedule shot = ScheduleOneShot(plan);
+  auto trace_cons =
+      TraceThroughput(SquareA(), theta, plan, cons, old_routes, new_routes);
+  auto trace_shot =
+      TraceThroughput(SquareA(), theta, plan, shot, old_routes, new_routes);
+
+  for (const TraceSample& t : trace_cons) EXPECT_GE(t.gbps, 20.0 - 1e-6);
+  for (const TraceSample& t : trace_shot) EXPECT_GE(t.gbps, 20.0 - 1e-6);
+  EXPECT_NEAR(trace_cons.back().gbps, 40.0, 1e-6);
+  EXPECT_NEAR(trace_shot.back().gbps, 40.0, 1e-6);
+}
+
+TEST(TraceTest, OneShotDipsDeeperThanConsistent) {
+  // F0: 0->1 direct at 5. F1: 0->1 over the 0-2-3-1 detour at 10 — the
+  // detour crosses both links being removed. The consistent scheduler
+  // drains F1 and (with adaptive rerouting) detours it over the residual
+  // 0-1 capacity; the one-shot update leaves F1 dark until the new
+  // circuits light.
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 5.0), Alloc(1, {0, 2, 3, 1}, 10.0)};
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 5.0), Alloc(1, {0, 1}, 10.0)};
+  UpdatePlan plan =
+      BuildUpdatePlan(SquareA(), SquareB(), old_routes, new_routes);
+
+  const double theta = 10.0;
+  Schedule cons = ScheduleConsistent(plan);
+  Schedule shot = ScheduleOneShot(plan);
+  auto trace_cons = TraceThroughput(SquareA(), theta, plan, cons, old_routes,
+                                    new_routes, /*adaptive_reroute=*/true);
+  auto trace_shot = TraceThroughput(SquareA(), theta, plan, shot, old_routes,
+                                    new_routes, /*adaptive_reroute=*/false);
+
+  double min_cons = 1e18, min_shot = 1e18;
+  for (const TraceSample& t : trace_cons) min_cons = std::min(min_cons, t.gbps);
+  for (const TraceSample& t : trace_shot) min_shot = std::min(min_shot, t.gbps);
+
+  // Steady state is 15; one-shot loses F1 entirely while circuits are
+  // dark, consistent keeps at least the residual direct capacity flowing.
+  EXPECT_LT(min_shot, 10.0 + 1e-6);
+  EXPECT_GT(min_cons, min_shot + 1e-6);
+  EXPECT_NEAR(trace_cons.back().gbps, 15.0, 1e-6);
+  EXPECT_NEAR(trace_shot.back().gbps, 15.0, 1e-6);
+}
+
+TEST(TraceTest, SteadyStateWithoutChanges) {
+  auto routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 1}, 7.0)};
+  UpdatePlan plan = BuildUpdatePlan(SquareA(), SquareA(), routes, routes);
+  Schedule s = ScheduleConsistent(plan);
+  auto trace = TraceThroughput(SquareA(), 10.0, plan, s, routes, routes);
+  for (const TraceSample& t : trace) EXPECT_NEAR(t.gbps, 7.0, 1e-6);
+}
+
+TEST(OpTypeTest, Names) {
+  EXPECT_EQ(ToString(OpType::kAddCircuit), "add-circuit");
+  EXPECT_EQ(ToString(OpType::kRemoveRoute), "remove-route");
+}
+
+}  // namespace
+}  // namespace owan::update

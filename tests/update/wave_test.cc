@@ -1,0 +1,103 @@
+// Tests for the staged (wave-based) consistent scheduler.
+#include <gtest/gtest.h>
+
+#include "update/scheduler.h"
+#include "update/update_plan.h"
+
+namespace owan::update {
+namespace {
+
+// Builds topologies that differ by `pairs` disjoint link swaps, yielding
+// 2*pairs removes and 2*pairs adds.
+std::pair<core::Topology, core::Topology> BigDiff(int pairs) {
+  const int n = 4 * pairs;
+  core::Topology a(n), b(n);
+  for (int p = 0; p < pairs; ++p) {
+    const int base = 4 * p;
+    a.AddUnits(base + 0, base + 1, 1);
+    a.AddUnits(base + 2, base + 3, 1);
+    b.AddUnits(base + 0, base + 2, 1);
+    b.AddUnits(base + 1, base + 3, 1);
+  }
+  return {a, b};
+}
+
+TEST(WaveTest, WavesSerializeCircuitWork) {
+  auto [a, b] = BigDiff(4);  // 4 removes, 4 adds
+  UpdatePlan plan = BuildUpdatePlan(a, b, {}, {});
+  Schedule s2 = ScheduleConsistent(plan, /*wave_size=*/2);
+  Schedule s4 = ScheduleConsistent(plan, /*wave_size=*/4);
+  // Smaller waves take longer end to end.
+  EXPECT_GT(s2.makespan, s4.makespan);
+  // Both finish everything.
+  EXPECT_EQ(s2.items.size(), plan.ops.size());
+  EXPECT_EQ(s4.items.size(), plan.ops.size());
+}
+
+TEST(WaveTest, AtMostWaveSizeCircuitsDarkAtOnce) {
+  auto [a, b] = BigDiff(4);
+  UpdatePlan plan = BuildUpdatePlan(a, b, {}, {});
+  const int wave_size = 2;
+  Schedule s = ScheduleConsistent(plan, wave_size);
+  // Count concurrently-dark capacity: a removed circuit is dark from its
+  // start; an added circuit is dark until its end. Sample midpoints of all
+  // intervals.
+  std::vector<double> times;
+  for (const ScheduledOp& it : s.items) {
+    times.push_back((it.start + it.end) / 2.0);
+  }
+  for (double t : times) {
+    int removals_running = 0;
+    int adds_running = 0;
+    for (const ScheduledOp& it : s.items) {
+      const UpdateOp& op = plan.ops[static_cast<size_t>(it.op_id)];
+      if (op.type == OpType::kRemoveCircuit && it.start <= t && t < it.end) {
+        ++removals_running;
+      }
+      if (op.type == OpType::kAddCircuit && it.start <= t && t < it.end) {
+        ++adds_running;
+      }
+    }
+    EXPECT_LE(removals_running, wave_size);
+    EXPECT_LE(adds_running, wave_size);
+  }
+}
+
+TEST(WaveTest, WaveSizeOneIsFullySerial) {
+  auto [a, b] = BigDiff(2);  // 2 removes, 2 adds
+  UpdatePlan plan = BuildUpdatePlan(a, b, {}, {});
+  Schedule s = ScheduleConsistent(plan, 1);
+  // Serial: remove, add, remove, add -> makespan ~ 4 circuit times.
+  EXPECT_GE(s.makespan, 4 * 3.0 - 1e-6);
+}
+
+TEST(WaveTest, DependenciesStillRespected) {
+  auto [a, b] = BigDiff(3);
+  core::TransferAllocation route;
+  route.id = 0;
+  core::PathAllocation pa;
+  pa.path.nodes = {0, 1};  // crosses a removed link
+  pa.rate = 5.0;
+  route.paths.push_back(pa);
+  UpdatePlan plan = BuildUpdatePlan(a, b, {route}, {});
+  Schedule s = ScheduleConsistent(plan, 2);
+  for (const UpdateOp& op : plan.ops) {
+    const ScheduledOp* so = s.Find(op.id);
+    ASSERT_NE(so, nullptr) << "op " << op.id << " unscheduled";
+    for (int d : op.deps) {
+      const ScheduledOp* dep = s.Find(d);
+      ASSERT_NE(dep, nullptr);
+      EXPECT_GE(so->start, dep->end - 1e-9);
+    }
+  }
+}
+
+TEST(WaveTest, DegenerateWaveSizeClamped) {
+  auto [a, b] = BigDiff(1);
+  UpdatePlan plan = BuildUpdatePlan(a, b, {}, {});
+  Schedule s = ScheduleConsistent(plan, 0);  // clamped to 1
+  EXPECT_EQ(s.items.size(), plan.ops.size());
+}
+
+}  // namespace
+}  // namespace owan::update

@@ -1,0 +1,175 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace owan::util {
+namespace {
+
+TEST(SummaryTest, EmptyBasics) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.Percentile(50), std::logic_error);
+}
+
+TEST(SummaryTest, MeanMinMax) {
+  Summary s;
+  for (double x : {3.0, 1.0, 2.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  for (int i = 1; i <= 5; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.0);
+}
+
+TEST(SummaryTest, PercentileClampsOutOfRange) {
+  Summary s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-5), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(200), 7.0);
+}
+
+TEST(SummaryTest, SingleSample) {
+  Summary s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(95), 42.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(SummaryTest, VarianceOfKnownSample) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SummaryTest, MergeCombinesSamples) {
+  Summary a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(SummaryTest, CdfIsMonotone) {
+  Summary s;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) s.Add(rng.Uniform());
+  auto cdf = s.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SummaryTest, AddAfterPercentileResorts) {
+  Summary s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  s.Add(30.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 30.0);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(5.0, 10.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 10.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.UniformInt(2, 4);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 4);
+    saw_lo |= (x == 2);
+    saw_hi |= (x == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(3);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.Index(5)];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(9);
+  Rng b = a.Fork();
+  // The fork should not replay the parent's stream.
+  bool differ = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.Uniform() != b.Uniform()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(GB(500), 4000.0);
+  EXPECT_DOUBLE_EQ(TB(5), 40000.0);
+  EXPECT_DOUBLE_EQ(Minutes(5), 300.0);
+  EXPECT_DOUBLE_EQ(Hours(2), 7200.0);
+  EXPECT_DOUBLE_EQ(Gbps(10), 10.0);
+}
+
+}  // namespace
+}  // namespace owan::util

@@ -1,0 +1,162 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace owan::workload {
+namespace {
+
+WorkloadParams Small() {
+  WorkloadParams p;
+  p.duration_s = 3600.0;
+  p.mean_size = 4000.0;
+  p.seed = 5;
+  return p;
+}
+
+TEST(WorkloadTest, GeneratesTransfers) {
+  topo::Wan wan = topo::MakeInternet2();
+  auto reqs = GenerateWorkload(wan, Small());
+  EXPECT_GT(reqs.size(), 5u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  topo::Wan wan = topo::MakeInternet2();
+  auto a = GenerateWorkload(wan, Small());
+  auto b = GenerateWorkload(wan, Small());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_DOUBLE_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST(WorkloadTest, SortedByArrival) {
+  topo::Wan wan = topo::MakeInternet2();
+  auto reqs = GenerateWorkload(wan, Small());
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_LE(reqs[i - 1].arrival, reqs[i].arrival);
+  }
+}
+
+TEST(WorkloadTest, ValidEndpointsAndSizes) {
+  topo::Wan wan = topo::MakeInternet2();
+  auto reqs = GenerateWorkload(wan, Small());
+  for (const core::Request& r : reqs) {
+    EXPECT_NE(r.src, r.dst);
+    EXPECT_GE(r.src, 0);
+    EXPECT_LT(r.src, 9);
+    EXPECT_GT(r.size, 0.0);
+    EXPECT_GE(r.arrival, 0.0);
+    EXPECT_LE(r.arrival, 3600.0);
+    EXPECT_FALSE(r.HasDeadline());
+  }
+}
+
+TEST(WorkloadTest, UniqueSequentialIds) {
+  topo::Wan wan = topo::MakeInternet2();
+  auto reqs = GenerateWorkload(wan, Small());
+  std::set<int> ids;
+  for (const core::Request& r : reqs) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), reqs.size());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int>(reqs.size()) - 1);
+}
+
+TEST(WorkloadTest, LoadFactorScalesVolume) {
+  topo::Wan wan = topo::MakeInternet2();
+  WorkloadParams lo = Small();
+  lo.load_factor = 0.5;
+  WorkloadParams hi = Small();
+  hi.load_factor = 2.0;
+  double vol_lo = 0.0, vol_hi = 0.0;
+  for (const auto& r : GenerateWorkload(wan, lo)) vol_lo += r.size;
+  for (const auto& r : GenerateWorkload(wan, hi)) vol_hi += r.size;
+  EXPECT_GT(vol_hi, 2.0 * vol_lo);
+}
+
+TEST(WorkloadTest, DeadlinesWithinSigmaWindow) {
+  topo::Wan wan = topo::MakeInternet2();
+  WorkloadParams p = Small();
+  p.deadline_factor = 10.0;
+  p.slot_seconds = 300.0;
+  auto reqs = GenerateWorkload(wan, p);
+  ASSERT_FALSE(reqs.empty());
+  for (const core::Request& r : reqs) {
+    ASSERT_TRUE(r.HasDeadline());
+    const double rel = r.deadline - r.arrival;
+    EXPECT_GE(rel, 300.0);
+    EXPECT_LE(rel, 3000.0);
+  }
+}
+
+TEST(WorkloadTest, NoDeadlineWhenFactorDisabled) {
+  topo::Wan wan = topo::MakeInternet2();
+  WorkloadParams p = Small();
+  p.deadline_factor = 1.0;  // <= 1 disables
+  for (const core::Request& r : GenerateWorkload(wan, p)) {
+    EXPECT_FALSE(r.HasDeadline());
+  }
+}
+
+TEST(WorkloadTest, ExponentialSizeSpread) {
+  topo::Wan wan = topo::MakeInterDc();
+  WorkloadParams p = Small();
+  p.mean_size = 40000.0;
+  auto reqs = GenerateWorkload(wan, p);
+  ASSERT_GT(reqs.size(), 20u);
+  double mn = 1e18, mx = 0.0;
+  for (const auto& r : reqs) {
+    mn = std::min(mn, r.size);
+    mx = std::max(mx, r.size);
+  }
+  EXPECT_GT(mx / mn, 5.0);  // wide spread, not constant
+}
+
+TEST(WorkloadTest, HotspotsConcentrateSources) {
+  topo::Wan wan = topo::MakeInterDc();
+  WorkloadParams p = Small();
+  p.hotspots = true;
+  p.hotspot_bias = 0.9;
+  p.hotspot_period_s = 100000.0;  // one hotspot for the whole run
+  auto reqs = GenerateWorkload(wan, p);
+  ASSERT_GT(reqs.size(), 10u);
+  std::map<int, int> src_count;
+  for (const auto& r : reqs) ++src_count[r.src];
+  int max_count = 0;
+  for (const auto& [s, c] : src_count) max_count = std::max(max_count, c);
+  // The hotspot source dominates.
+  EXPECT_GT(max_count, static_cast<int>(reqs.size()) / 3);
+}
+
+TEST(WorkloadTest, BudgetsScaleWithPorts) {
+  topo::Wan wan = topo::MakeInternet2();
+  WorkloadParams p = Small();
+  util::Rng rng(1);
+  auto budgets = SiteBudgets(wan, p, rng);
+  ASSERT_EQ(budgets.size(), 9u);
+  for (double b : budgets) EXPECT_GT(b, 0.0);
+}
+
+TEST(DemandMatrixTest, AggregatesBySitePair) {
+  std::vector<core::Request> reqs;
+  core::Request r;
+  r.src = 0;
+  r.dst = 1;
+  r.size = 10.0;
+  reqs.push_back(r);
+  r.size = 5.0;
+  reqs.push_back(r);
+  r.src = 1;
+  r.dst = 0;
+  r.size = 3.0;
+  reqs.push_back(r);
+  auto m = DemandMatrix(3, reqs);
+  EXPECT_DOUBLE_EQ(m[0][1], 15.0);
+  EXPECT_DOUBLE_EQ(m[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(m[2][1], 0.0);
+}
+
+}  // namespace
+}  // namespace owan::workload
