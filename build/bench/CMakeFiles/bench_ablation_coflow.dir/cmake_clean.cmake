@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coflow.dir/bench_ablation_coflow.cc.o"
+  "CMakeFiles/bench_ablation_coflow.dir/bench_ablation_coflow.cc.o.d"
+  "CMakeFiles/bench_ablation_coflow.dir/experiments.cc.o"
+  "CMakeFiles/bench_ablation_coflow.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_ablation_coflow.dir/harness.cc.o"
+  "CMakeFiles/bench_ablation_coflow.dir/harness.cc.o.d"
+  "bench_ablation_coflow"
+  "bench_ablation_coflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optical.dir/bench_ablation_optical.cc.o"
+  "CMakeFiles/bench_ablation_optical.dir/bench_ablation_optical.cc.o.d"
+  "CMakeFiles/bench_ablation_optical.dir/experiments.cc.o"
+  "CMakeFiles/bench_ablation_optical.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_ablation_optical.dir/harness.cc.o"
+  "CMakeFiles/bench_ablation_optical.dir/harness.cc.o.d"
+  "bench_ablation_optical"
+  "bench_ablation_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

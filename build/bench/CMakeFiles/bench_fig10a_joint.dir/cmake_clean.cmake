@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_joint.dir/bench_fig10a_joint.cc.o"
+  "CMakeFiles/bench_fig10a_joint.dir/bench_fig10a_joint.cc.o.d"
+  "CMakeFiles/bench_fig10a_joint.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig10a_joint.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig10a_joint.dir/harness.cc.o"
+  "CMakeFiles/bench_fig10a_joint.dir/harness.cc.o.d"
+  "bench_fig10a_joint"
+  "bench_fig10a_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_updates.dir/bench_fig10b_updates.cc.o"
+  "CMakeFiles/bench_fig10b_updates.dir/bench_fig10b_updates.cc.o.d"
+  "CMakeFiles/bench_fig10b_updates.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig10b_updates.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig10b_updates.dir/harness.cc.o"
+  "CMakeFiles/bench_fig10b_updates.dir/harness.cc.o.d"
+  "bench_fig10b_updates"
+  "bench_fig10b_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

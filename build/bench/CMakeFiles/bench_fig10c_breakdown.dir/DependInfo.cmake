@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10c_breakdown.cc" "bench/CMakeFiles/bench_fig10c_breakdown.dir/bench_fig10c_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_fig10c_breakdown.dir/bench_fig10c_breakdown.cc.o.d"
+  "/root/repo/bench/experiments.cc" "bench/CMakeFiles/bench_fig10c_breakdown.dir/experiments.cc.o" "gcc" "bench/CMakeFiles/bench_fig10c_breakdown.dir/experiments.cc.o.d"
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/bench_fig10c_breakdown.dir/harness.cc.o" "gcc" "bench/CMakeFiles/bench_fig10c_breakdown.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/owan_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/owan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/owan_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/owan_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/owan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/owan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/owan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/owan_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/owan_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/owan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

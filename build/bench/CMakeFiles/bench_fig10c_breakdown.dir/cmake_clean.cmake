@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_breakdown.dir/bench_fig10c_breakdown.cc.o"
+  "CMakeFiles/bench_fig10c_breakdown.dir/bench_fig10c_breakdown.cc.o.d"
+  "CMakeFiles/bench_fig10c_breakdown.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig10c_breakdown.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig10c_breakdown.dir/harness.cc.o"
+  "CMakeFiles/bench_fig10c_breakdown.dir/harness.cc.o.d"
+  "bench_fig10c_breakdown"
+  "bench_fig10c_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

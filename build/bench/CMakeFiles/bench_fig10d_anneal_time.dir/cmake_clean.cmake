@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10d_anneal_time.dir/bench_fig10d_anneal_time.cc.o"
+  "CMakeFiles/bench_fig10d_anneal_time.dir/bench_fig10d_anneal_time.cc.o.d"
+  "CMakeFiles/bench_fig10d_anneal_time.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig10d_anneal_time.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig10d_anneal_time.dir/harness.cc.o"
+  "CMakeFiles/bench_fig10d_anneal_time.dir/harness.cc.o.d"
+  "bench_fig10d_anneal_time"
+  "bench_fig10d_anneal_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10d_anneal_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

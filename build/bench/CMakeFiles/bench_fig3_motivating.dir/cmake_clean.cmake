@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_motivating.dir/bench_fig3_motivating.cc.o"
+  "CMakeFiles/bench_fig3_motivating.dir/bench_fig3_motivating.cc.o.d"
+  "CMakeFiles/bench_fig3_motivating.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig3_motivating.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig3_motivating.dir/harness.cc.o"
+  "CMakeFiles/bench_fig3_motivating.dir/harness.cc.o.d"
+  "bench_fig3_motivating"
+  "bench_fig3_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_interdc.dir/bench_fig7_interdc.cc.o"
+  "CMakeFiles/bench_fig7_interdc.dir/bench_fig7_interdc.cc.o.d"
+  "CMakeFiles/bench_fig7_interdc.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig7_interdc.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig7_interdc.dir/harness.cc.o"
+  "CMakeFiles/bench_fig7_interdc.dir/harness.cc.o.d"
+  "bench_fig7_interdc"
+  "bench_fig7_interdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_interdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

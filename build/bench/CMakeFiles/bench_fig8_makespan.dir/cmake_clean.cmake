@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_makespan.dir/bench_fig8_makespan.cc.o"
+  "CMakeFiles/bench_fig8_makespan.dir/bench_fig8_makespan.cc.o.d"
+  "CMakeFiles/bench_fig8_makespan.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig8_makespan.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig8_makespan.dir/harness.cc.o"
+  "CMakeFiles/bench_fig8_makespan.dir/harness.cc.o.d"
+  "bench_fig8_makespan"
+  "bench_fig8_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

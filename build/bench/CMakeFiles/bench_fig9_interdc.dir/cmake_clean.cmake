@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_interdc.dir/bench_fig9_interdc.cc.o"
+  "CMakeFiles/bench_fig9_interdc.dir/bench_fig9_interdc.cc.o.d"
+  "CMakeFiles/bench_fig9_interdc.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig9_interdc.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig9_interdc.dir/harness.cc.o"
+  "CMakeFiles/bench_fig9_interdc.dir/harness.cc.o.d"
+  "bench_fig9_interdc"
+  "bench_fig9_interdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_interdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_internet2.dir/bench_fig9_internet2.cc.o"
+  "CMakeFiles/bench_fig9_internet2.dir/bench_fig9_internet2.cc.o.d"
+  "CMakeFiles/bench_fig9_internet2.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig9_internet2.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig9_internet2.dir/harness.cc.o"
+  "CMakeFiles/bench_fig9_internet2.dir/harness.cc.o.d"
+  "bench_fig9_internet2"
+  "bench_fig9_internet2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_internet2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_isp.dir/bench_fig9_isp.cc.o"
+  "CMakeFiles/bench_fig9_isp.dir/bench_fig9_isp.cc.o.d"
+  "CMakeFiles/bench_fig9_isp.dir/experiments.cc.o"
+  "CMakeFiles/bench_fig9_isp.dir/experiments.cc.o.d"
+  "CMakeFiles/bench_fig9_isp.dir/harness.cc.o"
+  "CMakeFiles/bench_fig9_isp.dir/harness.cc.o.d"
+  "bench_fig9_isp"
+  "bench_fig9_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

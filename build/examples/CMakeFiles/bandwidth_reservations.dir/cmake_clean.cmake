@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_reservations.dir/bandwidth_reservations.cpp.o"
+  "CMakeFiles/bandwidth_reservations.dir/bandwidth_reservations.cpp.o.d"
+  "bandwidth_reservations"
+  "bandwidth_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coflow_groups.dir/coflow_groups.cpp.o"
+  "CMakeFiles/coflow_groups.dir/coflow_groups.cpp.o.d"
+  "coflow_groups"
+  "coflow_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coflow_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_scheduling.dir/deadline_scheduling.cpp.o"
+  "CMakeFiles/deadline_scheduling.dir/deadline_scheduling.cpp.o.d"
+  "deadline_scheduling"
+  "deadline_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failure_recovery.cpp" "examples/CMakeFiles/failure_recovery.dir/failure_recovery.cpp.o" "gcc" "examples/CMakeFiles/failure_recovery.dir/failure_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/owan_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/owan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/owan_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/owan_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/owan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/owan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/owan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/owan_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/owan_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/owan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

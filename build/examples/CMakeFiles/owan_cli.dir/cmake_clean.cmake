@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_cli.dir/owan_cli.cpp.o"
+  "CMakeFiles/owan_cli.dir/owan_cli.cpp.o.d"
+  "owan_cli"
+  "owan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

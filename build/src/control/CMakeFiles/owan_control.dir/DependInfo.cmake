@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/client.cc" "src/control/CMakeFiles/owan_control.dir/client.cc.o" "gcc" "src/control/CMakeFiles/owan_control.dir/client.cc.o.d"
+  "/root/repo/src/control/controller.cc" "src/control/CMakeFiles/owan_control.dir/controller.cc.o" "gcc" "src/control/CMakeFiles/owan_control.dir/controller.cc.o.d"
+  "/root/repo/src/control/reservation.cc" "src/control/CMakeFiles/owan_control.dir/reservation.cc.o" "gcc" "src/control/CMakeFiles/owan_control.dir/reservation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/owan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/owan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/owan_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/owan_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/owan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_control.dir/client.cc.o"
+  "CMakeFiles/owan_control.dir/client.cc.o.d"
+  "CMakeFiles/owan_control.dir/controller.cc.o"
+  "CMakeFiles/owan_control.dir/controller.cc.o.d"
+  "CMakeFiles/owan_control.dir/reservation.cc.o"
+  "CMakeFiles/owan_control.dir/reservation.cc.o.d"
+  "libowan_control.a"
+  "libowan_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

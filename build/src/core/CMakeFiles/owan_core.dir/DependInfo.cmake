@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing.cc" "src/core/CMakeFiles/owan_core.dir/annealing.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/annealing.cc.o.d"
+  "/root/repo/src/core/coflow.cc" "src/core/CMakeFiles/owan_core.dir/coflow.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/coflow.cc.o.d"
+  "/root/repo/src/core/owan.cc" "src/core/CMakeFiles/owan_core.dir/owan.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/owan.cc.o.d"
+  "/root/repo/src/core/provisioned_state.cc" "src/core/CMakeFiles/owan_core.dir/provisioned_state.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/provisioned_state.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/owan_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/routing.cc" "src/core/CMakeFiles/owan_core.dir/routing.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/routing.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/core/CMakeFiles/owan_core.dir/topology.cc.o" "gcc" "src/core/CMakeFiles/owan_core.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optical/CMakeFiles/owan_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/owan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

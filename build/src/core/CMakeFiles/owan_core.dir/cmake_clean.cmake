@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_core.dir/annealing.cc.o"
+  "CMakeFiles/owan_core.dir/annealing.cc.o.d"
+  "CMakeFiles/owan_core.dir/coflow.cc.o"
+  "CMakeFiles/owan_core.dir/coflow.cc.o.d"
+  "CMakeFiles/owan_core.dir/owan.cc.o"
+  "CMakeFiles/owan_core.dir/owan.cc.o.d"
+  "CMakeFiles/owan_core.dir/provisioned_state.cc.o"
+  "CMakeFiles/owan_core.dir/provisioned_state.cc.o.d"
+  "CMakeFiles/owan_core.dir/repair.cc.o"
+  "CMakeFiles/owan_core.dir/repair.cc.o.d"
+  "CMakeFiles/owan_core.dir/routing.cc.o"
+  "CMakeFiles/owan_core.dir/routing.cc.o.d"
+  "CMakeFiles/owan_core.dir/topology.cc.o"
+  "CMakeFiles/owan_core.dir/topology.cc.o.d"
+  "libowan_core.a"
+  "libowan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_lp.dir/lp_problem.cc.o"
+  "CMakeFiles/owan_lp.dir/lp_problem.cc.o.d"
+  "CMakeFiles/owan_lp.dir/mcf.cc.o"
+  "CMakeFiles/owan_lp.dir/mcf.cc.o.d"
+  "CMakeFiles/owan_lp.dir/simplex.cc.o"
+  "CMakeFiles/owan_lp.dir/simplex.cc.o.d"
+  "libowan_lp.a"
+  "libowan_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

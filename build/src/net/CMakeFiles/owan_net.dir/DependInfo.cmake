@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/disjoint_paths.cc" "src/net/CMakeFiles/owan_net.dir/disjoint_paths.cc.o" "gcc" "src/net/CMakeFiles/owan_net.dir/disjoint_paths.cc.o.d"
+  "/root/repo/src/net/graph.cc" "src/net/CMakeFiles/owan_net.dir/graph.cc.o" "gcc" "src/net/CMakeFiles/owan_net.dir/graph.cc.o.d"
+  "/root/repo/src/net/matching.cc" "src/net/CMakeFiles/owan_net.dir/matching.cc.o" "gcc" "src/net/CMakeFiles/owan_net.dir/matching.cc.o.d"
+  "/root/repo/src/net/max_flow.cc" "src/net/CMakeFiles/owan_net.dir/max_flow.cc.o" "gcc" "src/net/CMakeFiles/owan_net.dir/max_flow.cc.o.d"
+  "/root/repo/src/net/shortest_path.cc" "src/net/CMakeFiles/owan_net.dir/shortest_path.cc.o" "gcc" "src/net/CMakeFiles/owan_net.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

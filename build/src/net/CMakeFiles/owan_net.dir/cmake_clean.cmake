@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_net.dir/disjoint_paths.cc.o"
+  "CMakeFiles/owan_net.dir/disjoint_paths.cc.o.d"
+  "CMakeFiles/owan_net.dir/graph.cc.o"
+  "CMakeFiles/owan_net.dir/graph.cc.o.d"
+  "CMakeFiles/owan_net.dir/matching.cc.o"
+  "CMakeFiles/owan_net.dir/matching.cc.o.d"
+  "CMakeFiles/owan_net.dir/max_flow.cc.o"
+  "CMakeFiles/owan_net.dir/max_flow.cc.o.d"
+  "CMakeFiles/owan_net.dir/shortest_path.cc.o"
+  "CMakeFiles/owan_net.dir/shortest_path.cc.o.d"
+  "libowan_net.a"
+  "libowan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/optical_network.cc" "src/optical/CMakeFiles/owan_optical.dir/optical_network.cc.o" "gcc" "src/optical/CMakeFiles/owan_optical.dir/optical_network.cc.o.d"
+  "/root/repo/src/optical/regen_graph.cc" "src/optical/CMakeFiles/owan_optical.dir/regen_graph.cc.o" "gcc" "src/optical/CMakeFiles/owan_optical.dir/regen_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/owan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

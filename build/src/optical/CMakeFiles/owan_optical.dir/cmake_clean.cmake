@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_optical.dir/optical_network.cc.o"
+  "CMakeFiles/owan_optical.dir/optical_network.cc.o.d"
+  "CMakeFiles/owan_optical.dir/regen_graph.cc.o"
+  "CMakeFiles/owan_optical.dir/regen_graph.cc.o.d"
+  "libowan_optical.a"
+  "libowan_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for owan_optical.
+# This may be replaced when dependencies are built.

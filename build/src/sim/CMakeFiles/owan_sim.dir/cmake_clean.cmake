@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_sim.dir/metrics.cc.o"
+  "CMakeFiles/owan_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/owan_sim.dir/simulator.cc.o"
+  "CMakeFiles/owan_sim.dir/simulator.cc.o.d"
+  "libowan_sim.a"
+  "libowan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/amoeba.cc" "src/te/CMakeFiles/owan_te.dir/amoeba.cc.o" "gcc" "src/te/CMakeFiles/owan_te.dir/amoeba.cc.o.d"
+  "/root/repo/src/te/greedy.cc" "src/te/CMakeFiles/owan_te.dir/greedy.cc.o" "gcc" "src/te/CMakeFiles/owan_te.dir/greedy.cc.o.d"
+  "/root/repo/src/te/lp_baselines.cc" "src/te/CMakeFiles/owan_te.dir/lp_baselines.cc.o" "gcc" "src/te/CMakeFiles/owan_te.dir/lp_baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/owan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/owan_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/owan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/owan_optical.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_te.dir/amoeba.cc.o"
+  "CMakeFiles/owan_te.dir/amoeba.cc.o.d"
+  "CMakeFiles/owan_te.dir/greedy.cc.o"
+  "CMakeFiles/owan_te.dir/greedy.cc.o.d"
+  "CMakeFiles/owan_te.dir/lp_baselines.cc.o"
+  "CMakeFiles/owan_te.dir/lp_baselines.cc.o.d"
+  "libowan_te.a"
+  "libowan_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_topo.dir/serialization.cc.o"
+  "CMakeFiles/owan_topo.dir/serialization.cc.o.d"
+  "CMakeFiles/owan_topo.dir/topologies.cc.o"
+  "CMakeFiles/owan_topo.dir/topologies.cc.o.d"
+  "libowan_topo.a"
+  "libowan_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

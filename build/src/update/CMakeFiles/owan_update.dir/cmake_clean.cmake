@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_update.dir/scheduler.cc.o"
+  "CMakeFiles/owan_update.dir/scheduler.cc.o.d"
+  "CMakeFiles/owan_update.dir/update_plan.cc.o"
+  "CMakeFiles/owan_update.dir/update_plan.cc.o.d"
+  "libowan_update.a"
+  "libowan_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

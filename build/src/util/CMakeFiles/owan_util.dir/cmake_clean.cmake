@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_util.dir/stats.cc.o"
+  "CMakeFiles/owan_util.dir/stats.cc.o.d"
+  "libowan_util.a"
+  "libowan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

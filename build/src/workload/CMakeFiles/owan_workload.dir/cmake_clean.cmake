@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owan_workload.dir/workload.cc.o"
+  "CMakeFiles/owan_workload.dir/workload.cc.o.d"
+  "libowan_workload.a"
+  "libowan_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owan_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_tests.dir/control/client_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/client_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/controller_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/controller_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/reservation_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/reservation_test.cc.o.d"
+  "control_tests"
+  "control_tests.pdb"
+  "control_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

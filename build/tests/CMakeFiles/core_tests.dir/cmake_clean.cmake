@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/annealing_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/annealing_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/coflow_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/coflow_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/owan_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/owan_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/provisioned_state_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/provisioned_state_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/repair_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/repair_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/routing_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/routing_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/topology_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/topology_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_tests.dir/lp/mcf_test.cc.o"
+  "CMakeFiles/lp_tests.dir/lp/mcf_test.cc.o.d"
+  "CMakeFiles/lp_tests.dir/lp/simplex_test.cc.o"
+  "CMakeFiles/lp_tests.dir/lp/simplex_test.cc.o.d"
+  "lp_tests"
+  "lp_tests.pdb"
+  "lp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/disjoint_paths_test.cc.o"
+  "CMakeFiles/net_tests.dir/net/disjoint_paths_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net/graph_test.cc.o"
+  "CMakeFiles/net_tests.dir/net/graph_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net/matching_test.cc.o"
+  "CMakeFiles/net_tests.dir/net/matching_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net/max_flow_test.cc.o"
+  "CMakeFiles/net_tests.dir/net/max_flow_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net/shortest_path_test.cc.o"
+  "CMakeFiles/net_tests.dir/net/shortest_path_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net/union_find_test.cc.o"
+  "CMakeFiles/net_tests.dir/net/union_find_test.cc.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_tests.dir/optical/optical_network_test.cc.o"
+  "CMakeFiles/optical_tests.dir/optical/optical_network_test.cc.o.d"
+  "CMakeFiles/optical_tests.dir/optical/protection_test.cc.o"
+  "CMakeFiles/optical_tests.dir/optical/protection_test.cc.o.d"
+  "CMakeFiles/optical_tests.dir/optical/regen_graph_test.cc.o"
+  "CMakeFiles/optical_tests.dir/optical/regen_graph_test.cc.o.d"
+  "CMakeFiles/optical_tests.dir/optical/wavelength_policy_test.cc.o"
+  "CMakeFiles/optical_tests.dir/optical/wavelength_policy_test.cc.o.d"
+  "optical_tests"
+  "optical_tests.pdb"
+  "optical_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

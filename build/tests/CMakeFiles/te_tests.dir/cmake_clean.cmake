@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_tests.dir/te/aggregation_test.cc.o"
+  "CMakeFiles/te_tests.dir/te/aggregation_test.cc.o.d"
+  "CMakeFiles/te_tests.dir/te/amoeba_test.cc.o"
+  "CMakeFiles/te_tests.dir/te/amoeba_test.cc.o.d"
+  "CMakeFiles/te_tests.dir/te/greedy_test.cc.o"
+  "CMakeFiles/te_tests.dir/te/greedy_test.cc.o.d"
+  "CMakeFiles/te_tests.dir/te/lp_baselines_test.cc.o"
+  "CMakeFiles/te_tests.dir/te/lp_baselines_test.cc.o.d"
+  "te_tests"
+  "te_tests.pdb"
+  "te_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

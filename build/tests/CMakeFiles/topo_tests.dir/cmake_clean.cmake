@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_tests.dir/topo/serialization_test.cc.o"
+  "CMakeFiles/topo_tests.dir/topo/serialization_test.cc.o.d"
+  "CMakeFiles/topo_tests.dir/topo/topologies_test.cc.o"
+  "CMakeFiles/topo_tests.dir/topo/topologies_test.cc.o.d"
+  "topo_tests"
+  "topo_tests.pdb"
+  "topo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

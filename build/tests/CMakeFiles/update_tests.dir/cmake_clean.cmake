@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_tests.dir/update/update_test.cc.o"
+  "CMakeFiles/update_tests.dir/update/update_test.cc.o.d"
+  "CMakeFiles/update_tests.dir/update/wave_test.cc.o"
+  "CMakeFiles/update_tests.dir/update/wave_test.cc.o.d"
+  "update_tests"
+  "update_tests.pdb"
+  "update_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
