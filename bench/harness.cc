@@ -4,12 +4,17 @@
 
 namespace owan::bench {
 
-NamedScheme MakeOwan(core::SchedulingPolicy policy, int anneal_iterations) {
+NamedScheme MakeOwan(core::SchedulingPolicy policy, int anneal_iterations,
+                     int num_chains, int num_threads, int batch_size) {
   return NamedScheme{
-      "Owan", [policy, anneal_iterations](const topo::Wan&) {
+      "Owan", [policy, anneal_iterations, num_chains, num_threads,
+               batch_size](const topo::Wan&) {
         core::OwanOptions opt;
         opt.anneal.max_iterations = anneal_iterations;
         opt.anneal.routing.policy.policy = policy;
+        opt.anneal.num_chains = num_chains;
+        opt.anneal.num_threads = num_threads;
+        opt.anneal.batch_size = batch_size;
         return std::make_unique<core::OwanTe>(opt);
       }};
 }

@@ -32,10 +32,13 @@ struct NamedScheme {
   SchemeFactory make;
 };
 
-// The paper's §5.1 lineup.
+// The paper's §5.1 lineup. num_chains/num_threads/batch_size select the
+// parallel multi-chain search (defaults keep the paper's single-chain
+// semantics).
 NamedScheme MakeOwan(core::SchedulingPolicy policy =
                          core::SchedulingPolicy::kShortestJobFirst,
-                     int anneal_iterations = 300);
+                     int anneal_iterations = 300, int num_chains = 1,
+                     int num_threads = 1, int batch_size = 1);
 NamedScheme MakeOwanLevel(core::ControlLevel level, const char* name);
 NamedScheme MakeMaxFlow();
 NamedScheme MakeMaxMinFract();

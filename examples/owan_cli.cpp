@@ -2,7 +2,8 @@
 //
 //   owan_cli [--topology internet2|isp|interdc] [--scheme NAME]
 //            [--load F] [--sigma F] [--seed N] [--duration S]
-//            [--slot S] [--anneal N] [--tsv]
+//            [--slot S] [--anneal N] [--chains K] [--threads T]
+//            [--batch B] [--tsv]
 //
 // Schemes: owan, owan-rate, owan-routing, maxflow, maxminfract, swan,
 // tempus, amoeba, greedy. With --tsv the completion-time CDF is printed as
@@ -35,6 +36,9 @@ struct Args {
   double duration = 3600.0;
   double slot = 300.0;
   int anneal = 300;
+  int chains = 1;
+  int threads = 1;
+  int batch = 1;
   bool tsv = false;
 };
 
@@ -45,7 +49,8 @@ int Usage() {
       "                [--scheme owan|owan-rate|owan-routing|maxflow|\n"
       "                 maxminfract|swan|tempus|amoeba|greedy]\n"
       "                [--load F] [--sigma F] [--seed N] [--duration S]\n"
-      "                [--slot S] [--anneal N] [--tsv]\n");
+      "                [--slot S] [--anneal N] [--chains K] [--threads T]\n"
+      "                [--batch B] [--tsv]\n");
   return 2;
 }
 
@@ -53,6 +58,9 @@ std::unique_ptr<core::TeScheme> MakeScheme(const Args& args,
                                            const topo::Wan& wan) {
   core::OwanOptions opt;
   opt.anneal.max_iterations = args.anneal;
+  opt.anneal.num_chains = args.chains;
+  opt.anneal.num_threads = args.threads;
+  opt.anneal.batch_size = args.batch;
   opt.seed = args.seed;
   if (args.sigma > 1.0) {
     opt.anneal.routing.policy.policy =
@@ -108,6 +116,12 @@ int main(int argc, char** argv) {
       if (!next(args.slot)) return Usage();
     } else if (!std::strcmp(argv[i], "--anneal") && i + 1 < argc) {
       args.anneal = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--chains") && i + 1 < argc) {
+      args.chains = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--batch") && i + 1 < argc) {
+      args.batch = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--tsv")) {
       args.tsv = true;
     } else {

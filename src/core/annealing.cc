@@ -1,7 +1,11 @@
 #include "core/annealing.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace owan::core {
 
@@ -61,23 +65,57 @@ std::optional<Topology> ComputeNeighbor(const Topology& s, util::Rng& rng,
   return std::nullopt;
 }
 
-AnnealResult ComputeNetworkState(const Topology& current,
-                                 const optical::OpticalNetwork& blank_optical,
-                                 const std::vector<TransferDemand>& demands,
-                                 const AnnealOptions& options,
-                                 util::Rng& rng) {
-  std::vector<int> port_budget;
-  port_budget.reserve(static_cast<size_t>(blank_optical.NumSites()));
-  for (int v = 0; v < blank_optical.NumSites(); ++v) {
-    port_budget.push_back(blank_optical.site(v).router_ports);
-  }
+namespace {
 
+// Outcome of one annealing chain, before the adoption guard. Carries the
+// chain-start snapshot so the caller can apply the guard with the right
+// baseline (the chain's own start for the classic single-chain path; the
+// current topology for multi-chain selection).
+struct ChainResult {
+  Topology best_topology;
+  double best_energy = 0.0;
+  std::optional<ProvisionedState> state;
+  RoutingOutcome routing;
+  int iterations = 0;
+  int accepted = 0;
+  int best_dist = 0;
+  int best_starved = 0;
+
+  Topology start_topology;
+  double start_energy = 0.0;
+  std::optional<ProvisionedState> start_state;
+  RoutingOutcome start_routing;
+  int start_starved = 0;
+};
+
+int StarvedServed(const std::vector<size_t>& starved,
+                  const RoutingOutcome& r) {
+  int n = 0;
+  for (size_t i : starved) {
+    if (r.allocations[i].TotalRate() > 1e-9) ++n;
+  }
+  return n;
+}
+
+// One annealing chain (Algorithm 1 minus the adoption guard). With
+// batch_size <= 1 this consumes the RNG stream in exactly the pre-parallel
+// order, so chain 0 of a multi-chain run — and the whole of a default run —
+// is bit-for-bit the classic search. With batch_size = B > 1, each
+// temperature step draws up to B candidate neighbors serially from the
+// chain's RNG, evaluates them concurrently on `pool`, and applies the
+// Metropolis rule to the best of the batch; the RNG is only ever touched
+// on the chain's own thread, so results are independent of scheduling.
+ChainResult RunChain(const Topology& current,
+                     const optical::OpticalNetwork& blank_optical,
+                     const std::vector<TransferDemand>& demands,
+                     const AnnealOptions& options,
+                     const std::vector<int>& port_budget,
+                     const std::vector<size_t>& starved, int perturb_moves,
+                     util::Rng& rng, util::ThreadPool* pool) {
   Topology start = current;
-  if (!options.warm_start) {
-    for (int i = 0; i < options.cold_start_moves; ++i) {
-      auto t = ComputeNeighbor(start, rng, &port_budget);
-      if (t) start = std::move(*t);
-    }
+  for (int i = 0; i < perturb_moves; ++i) {
+    auto t = ComputeNeighbor(start, rng, &port_budget);
+    if (t) start = std::move(*t);
   }
 
   ProvisionedState cur_state{blank_optical};
@@ -86,15 +124,18 @@ AnnealResult ComputeNetworkState(const Topology& current,
       cur_state.CapacityGraph(), demands, options.routing);
   double cur_energy = cur_routing.throughput;
 
-  const double start_energy = cur_energy;
-  const ProvisionedState start_state = cur_state;
-  const RoutingOutcome start_routing = cur_routing;
-
-  AnnealResult best;
-  best.best_topology = start;
-  best.best_energy = cur_energy;
-  best.state = cur_state;
-  best.routing = cur_routing;
+  ChainResult out;
+  out.start_topology = start;
+  out.start_energy = cur_energy;
+  out.start_state = cur_state;
+  out.start_routing = cur_routing;
+  out.start_starved = StarvedServed(starved, cur_routing);
+  out.best_topology = start;
+  out.best_energy = cur_energy;
+  out.state = cur_state;
+  out.routing = cur_routing;
+  out.best_dist = start.DistanceTo(current);
+  out.best_starved = out.start_starved;
 
   Topology cur_topo = start;
 
@@ -103,6 +144,180 @@ AnnealResult ComputeNetworkState(const Topology& current,
   const double t0 = cur_energy > 0.0 ? cur_energy : 1.0;
   double temperature = t0;
   const double floor = t0 * options.epsilon_ratio;
+  const int batch = std::max(1, options.batch_size);
+
+  // Track the best state lexicographically: serve starved transfers first,
+  // then throughput, then proximity to the current topology (so updates
+  // stay incremental).
+  auto consider_best = [&](Topology& topo, ProvisionedState& st,
+                           RoutingOutcome& routing, double energy) {
+    const int dist = topo.DistanceTo(current);
+    const int served = StarvedServed(starved, routing);
+    const bool better =
+        served > out.best_starved ||
+        (served == out.best_starved &&
+         (energy > out.best_energy + 1e-9 ||
+          (energy > out.best_energy - 1e-9 && dist < out.best_dist)));
+    if (better) {
+      out.best_topology = topo;
+      out.best_energy = energy;
+      out.state = st;
+      out.routing = routing;
+      out.best_dist = dist;
+      out.best_starved = served;
+    }
+  };
+
+  int iters = 0;
+  while (temperature > floor && iters < options.max_iterations) {
+    if (batch == 1) {
+      ++iters;
+      auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
+      if (!neighbor) break;
+      if (options.max_distance > 0 &&
+          neighbor->DistanceTo(current) > options.max_distance) {
+        temperature *= options.alpha;
+        continue;  // out of the allowed update radius
+      }
+
+      ProvisionedState nb_state = cur_state;
+      nb_state.SyncTo(*neighbor);
+      RoutingOutcome nb_routing = AssignRoutesAndRates(
+          nb_state.CapacityGraph(), demands, options.routing);
+      const double nb_energy = nb_routing.throughput;
+      consider_best(*neighbor, nb_state, nb_routing, nb_energy);
+
+      // Accept uphill always; downhill with Boltzmann probability.
+      bool accept = nb_energy >= cur_energy;
+      if (!accept) {
+        const double prob = std::exp((nb_energy - cur_energy) / temperature);
+        accept = rng.Uniform() < prob;
+      }
+      if (accept) {
+        cur_topo = std::move(*neighbor);
+        cur_state = std::move(nb_state);
+        cur_routing = std::move(nb_routing);
+        cur_energy = nb_energy;
+        ++out.accepted;
+      }
+      temperature *= options.alpha;
+      continue;
+    }
+
+    // Batched step: draw up to `batch` candidates serially (every draw
+    // spends one iteration of the budget), evaluate them concurrently.
+    std::vector<Topology> cand;
+    cand.reserve(static_cast<size_t>(batch));
+    bool exhausted = false;
+    while (static_cast<int>(cand.size()) < batch &&
+           iters < options.max_iterations && temperature > floor) {
+      ++iters;
+      auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
+      if (!neighbor) {
+        exhausted = true;
+        break;
+      }
+      if (options.max_distance > 0 &&
+          neighbor->DistanceTo(current) > options.max_distance) {
+        temperature *= options.alpha;  // mirrors the serial schedule
+        continue;
+      }
+      cand.push_back(std::move(*neighbor));
+    }
+    if (cand.empty()) {
+      if (exhausted) break;
+      continue;
+    }
+
+    std::vector<std::optional<ProvisionedState>> states(cand.size());
+    std::vector<RoutingOutcome> routings(cand.size());
+    util::ParallelFor(pool, static_cast<int>(cand.size()), [&](int i) {
+      const size_t k = static_cast<size_t>(i);
+      ProvisionedState st = cur_state;
+      st.SyncTo(cand[k]);
+      routings[k] = AssignRoutesAndRates(st.CapacityGraph(), demands,
+                                         options.routing);
+      states[k] = std::move(st);
+    });
+
+    // Select deterministically in index order; Metropolis on the best.
+    size_t pick = 0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      consider_best(cand[i], *states[i], routings[i],
+                    routings[i].throughput);
+      if (routings[i].throughput > routings[pick].throughput + 1e-12) {
+        pick = i;
+      }
+    }
+    const double nb_energy = routings[pick].throughput;
+    bool accept = nb_energy >= cur_energy;
+    if (!accept) {
+      const double prob = std::exp((nb_energy - cur_energy) / temperature);
+      accept = rng.Uniform() < prob;
+    }
+    if (accept) {
+      cur_topo = std::move(cand[pick]);
+      cur_state = std::move(*states[pick]);
+      cur_routing = std::move(routings[pick]);
+      cur_energy = nb_energy;
+      ++out.accepted;
+    }
+    // One cooling step per evaluated candidate keeps the schedule aligned
+    // with the serial search at equal iteration budgets.
+    for (size_t i = 0; i < cand.size(); ++i) temperature *= options.alpha;
+    if (exhausted) break;
+  }
+
+  out.iterations = iters;
+  return out;
+}
+
+// Marginal improvements do not justify taking circuits dark: stick with
+// the baseline unless the win clears the adoption threshold — EXCEPT when
+// the candidate rescues a starved transfer the baseline cannot serve at
+// all (the §3.2 starvation guard must be able to force a reconfiguration,
+// not just reorder transfers).
+AnnealResult ApplyAdoptionGuard(ChainResult&& cr, const Topology& current,
+                                const AnnealOptions& options,
+                                const Topology& base_topology,
+                                double base_energy,
+                                std::optional<ProvisionedState>&& base_state,
+                                RoutingOutcome&& base_routing,
+                                int base_starved, int total_iterations,
+                                int total_accepted) {
+  AnnealResult best;
+  const bool rescues_starved = cr.best_starved > base_starved;
+  if (!rescues_starved &&
+      cr.best_energy <
+          base_energy * (1.0 + options.min_adopt_gain) + 1e-9) {
+    best.best_topology = base_topology;
+    best.best_energy = base_energy;
+    best.state = std::move(base_state);
+    best.routing = std::move(base_routing);
+  } else {
+    best.best_topology = std::move(cr.best_topology);
+    best.best_energy = cr.best_energy;
+    best.state = std::move(cr.state);
+    best.routing = std::move(cr.routing);
+  }
+  best.iterations = total_iterations;
+  best.accepted = total_accepted;
+  best.circuit_changes = best.best_topology.DistanceTo(current);
+  return best;
+}
+
+}  // namespace
+
+AnnealResult ComputeNetworkState(const Topology& current,
+                                 const optical::OpticalNetwork& blank_optical,
+                                 const std::vector<TransferDemand>& demands,
+                                 const AnnealOptions& options,
+                                 util::Rng& rng, util::ThreadPool* pool) {
+  std::vector<int> port_budget;
+  port_budget.reserve(static_cast<size_t>(blank_optical.NumSites()));
+  for (int v = 0; v < blank_optical.NumSites(); ++v) {
+    port_budget.push_back(blank_optical.site(v).router_ports);
+  }
 
   // Indices of transfers past the starvation threshold: the search treats
   // serving them as lexicographically more important than raw throughput.
@@ -112,87 +327,114 @@ AnnealResult ComputeNetworkState(const Topology& current,
       starved.push_back(i);
     }
   }
-  auto starved_served = [&starved](const RoutingOutcome& r) {
-    int n = 0;
-    for (size_t i : starved) {
-      if (r.allocations[i].TotalRate() > 1e-9) ++n;
-    }
-    return n;
-  };
 
-  int iters = 0;
-  int best_dist = best.best_topology.DistanceTo(current);
-  int best_starved = starved_served(best.routing);
-  while (temperature > floor && iters < options.max_iterations) {
-    ++iters;
-    auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
-    if (!neighbor) break;
-    if (options.max_distance > 0 &&
-        neighbor->DistanceTo(current) > options.max_distance) {
-      temperature *= options.alpha;
-      continue;  // out of the allowed update radius
-    }
+  const int num_chains = std::max(1, options.num_chains);
+  const int num_threads = std::max(1, options.num_threads);
 
-    ProvisionedState nb_state = cur_state;
-    nb_state.SyncTo(*neighbor);
-    RoutingOutcome nb_routing = AssignRoutesAndRates(
-        nb_state.CapacityGraph(), demands, options.routing);
-    const double nb_energy = nb_routing.throughput;
+  // Bare calls that ask for parallelism without supplying a reusable pool
+  // get a transient one (num_threads total: the caller participates, so
+  // the pool holds num_threads - 1 workers).
+  std::unique_ptr<util::ThreadPool> local_pool;
+  if (pool == nullptr && num_threads > 1 &&
+      (num_chains > 1 || options.batch_size > 1)) {
+    local_pool = std::make_unique<util::ThreadPool>(num_threads - 1);
+    pool = local_pool.get();
+  }
 
-    // Track the best state lexicographically: serve starved transfers
-    // first, then throughput, then proximity to the current topology (so
-    // updates stay incremental).
-    const int nb_dist = neighbor->DistanceTo(current);
-    const int nb_starved = starved_served(nb_routing);
+  if (num_chains == 1) {
+    // Classic single-chain path: identical RNG stream and adoption guard
+    // (relative to the chain's own — possibly cold — start) as the
+    // pre-parallel implementation.
+    ChainResult cr =
+        RunChain(current, blank_optical, demands, options, port_budget,
+                 starved, options.warm_start ? 0 : options.cold_start_moves,
+                 rng, pool);
+    const int iters = cr.iterations;
+    const int accepted = cr.accepted;
+    Topology base_topology = cr.start_topology;
+    double base_energy = cr.start_energy;
+    std::optional<ProvisionedState> base_state = std::move(cr.start_state);
+    RoutingOutcome base_routing = std::move(cr.start_routing);
+    const int base_starved = cr.start_starved;
+    return ApplyAdoptionGuard(std::move(cr), current, options, base_topology,
+                              base_energy, std::move(base_state),
+                              std::move(base_routing), base_starved, iters,
+                              accepted);
+  }
+
+  // Multi-chain: chain 0 replays the caller's RNG stream from a copy (so
+  // the multi-chain best dominates the single-chain result on the same
+  // seed); the caller's rng advances once per extra chain, which keeps
+  // repeated invocations with the same seed exactly reproducible.
+  std::vector<util::Rng> chain_rngs;
+  chain_rngs.reserve(static_cast<size_t>(num_chains));
+  chain_rngs.push_back(rng);
+  for (int c = 1; c < num_chains; ++c) chain_rngs.push_back(rng.Fork());
+
+  // Chain 0 honors warm_start; later chains explore from progressively
+  // stronger perturbations of the current topology (capped at the cold
+  // start's shuffle length).
+  std::vector<int> perturb(static_cast<size_t>(num_chains), 0);
+  perturb[0] = options.warm_start ? 0 : options.cold_start_moves;
+  for (int c = 1; c < num_chains; ++c) {
+    perturb[static_cast<size_t>(c)] =
+        std::min(options.cold_start_moves, 4 * c);
+  }
+
+  std::vector<std::optional<ChainResult>> results(
+      static_cast<size_t>(num_chains));
+  util::ParallelFor(pool, num_chains, [&](int c) {
+    const size_t k = static_cast<size_t>(c);
+    results[k] = RunChain(current, blank_optical, demands, options,
+                          port_budget, starved, perturb[k], chain_rngs[k],
+                          pool);
+  });
+
+  // The adoption guard for multi-chain selection is always measured
+  // against the *current* topology: perturbed chains have meaningless
+  // start energies of their own.
+  Topology base_topology = current;
+  double base_energy;
+  std::optional<ProvisionedState> base_state;
+  RoutingOutcome base_routing;
+  int base_starved;
+  if (options.warm_start) {
+    base_energy = results[0]->start_energy;
+    base_state = std::move(results[0]->start_state);
+    base_routing = std::move(results[0]->start_routing);
+    base_starved = results[0]->start_starved;
+  } else {
+    ProvisionedState s{blank_optical};
+    s.SyncTo(current);
+    base_routing =
+        AssignRoutesAndRates(s.CapacityGraph(), demands, options.routing);
+    base_energy = base_routing.throughput;
+    base_starved = StarvedServed(starved, base_routing);
+    base_state = std::move(s);
+  }
+
+  int pick = 0;
+  int total_iterations = 0;
+  int total_accepted = 0;
+  for (int c = 0; c < num_chains; ++c) {
+    const ChainResult& a = *results[static_cast<size_t>(c)];
+    total_iterations += a.iterations;
+    total_accepted += a.accepted;
+    if (c == 0) continue;
+    const ChainResult& b = *results[static_cast<size_t>(pick)];
     const bool better =
-        nb_starved > best_starved ||
-        (nb_starved == best_starved &&
-         (nb_energy > best.best_energy + 1e-9 ||
-          (nb_energy > best.best_energy - 1e-9 && nb_dist < best_dist)));
-    if (better) {
-      best.best_topology = *neighbor;
-      best.best_energy = nb_energy;
-      best.state = nb_state;
-      best.routing = nb_routing;
-      best_dist = nb_dist;
-      best_starved = nb_starved;
-    }
-
-    // Accept uphill always; downhill with Boltzmann probability.
-    bool accept = nb_energy >= cur_energy;
-    if (!accept) {
-      const double prob = std::exp((nb_energy - cur_energy) / temperature);
-      accept = rng.Uniform() < prob;
-    }
-    if (accept) {
-      cur_topo = std::move(*neighbor);
-      cur_state = std::move(nb_state);
-      cur_routing = std::move(nb_routing);
-      cur_energy = nb_energy;
-      ++best.accepted;
-    }
-    temperature *= options.alpha;
+        a.best_starved > b.best_starved ||
+        (a.best_starved == b.best_starved &&
+         (a.best_energy > b.best_energy + 1e-9 ||
+          (a.best_energy > b.best_energy - 1e-9 &&
+           a.best_dist < b.best_dist)));
+    if (better) pick = c;
   }
 
-  // Marginal improvements do not justify taking circuits dark: stick with
-  // the starting topology unless the win clears the adoption threshold —
-  // EXCEPT when the candidate rescues a starved transfer the current
-  // topology cannot serve at all (the §3.2 starvation guard must be able
-  // to force a reconfiguration, not just reorder transfers).
-  const bool rescues_starved =
-      starved_served(best.routing) > starved_served(start_routing);
-  if (!rescues_starved &&
-      best.best_energy <
-          start_energy * (1.0 + options.min_adopt_gain) + 1e-9) {
-    best.best_topology = start;
-    best.best_energy = start_energy;
-    best.state = start_state;
-    best.routing = start_routing;
-  }
-
-  best.iterations = iters;
-  best.circuit_changes = best.best_topology.DistanceTo(current);
-  return best;
+  return ApplyAdoptionGuard(std::move(*results[static_cast<size_t>(pick)]),
+                            current, options, base_topology, base_energy,
+                            std::move(base_state), std::move(base_routing),
+                            base_starved, total_iterations, total_accepted);
 }
 
 }  // namespace owan::core

@@ -9,6 +9,10 @@
 #include "core/transfer.h"
 #include "util/rng.h"
 
+namespace owan::util {
+class ThreadPool;
+}
+
 namespace owan::core {
 
 // Algorithm 2: one random neighbor move. Picks two links (u,v) and (p,q),
@@ -30,7 +34,7 @@ struct AnnealOptions {
   double alpha = 0.95;
   // Stop when T < epsilon_ratio * T0.
   double epsilon_ratio = 1e-3;
-  // Hard iteration cap (used by the Fig. 10d running-time sweep).
+  // Hard iteration cap per chain (used by the Fig. 10d running-time sweep).
   int max_iterations = 400;
   // Paper default: start from the current topology. false = cold start from
   // a randomly shuffled topology (ablation).
@@ -44,6 +48,27 @@ struct AnnealOptions {
   // the current topology are never explored — a hard cap on per-slot
   // update size (keeps the Fig. 10b transition small and fast).
   int max_distance = 0;
+
+  // ---- Parallel search (all default off: the defaults reproduce the
+  // paper's single-chain search bit-for-bit, same RNG stream and all) ----
+  //
+  // Independent annealing chains run per slot: chain 0 replays the
+  // single-chain search (warm start, caller's RNG stream); chains 1..K-1
+  // start from progressively perturbed topologies with RNG streams forked
+  // deterministically from the caller's seed. The lexicographically best
+  // chain result (starved transfers served, then energy, then proximity to
+  // the current topology) wins.
+  int num_chains = 1;
+  // Total concurrency used for chains and candidate batches. 1 = fully
+  // inline. When ComputeNetworkState is given a ThreadPool it uses that
+  // (the reusable path — OwanTe owns one); otherwise num_threads > 1
+  // spins up a transient pool for the call.
+  int num_threads = 1;
+  // Candidate neighbors evaluated concurrently per temperature step within
+  // a chain; the Metropolis rule is applied to the best of the batch. 1
+  // reproduces the classic one-neighbor step exactly.
+  int batch_size = 1;
+
   RoutingOptions routing;
 };
 
@@ -52,8 +77,8 @@ struct AnnealResult {
   double best_energy = 0.0;
   std::optional<ProvisionedState> state;  // provisioned at best_topology
   RoutingOutcome routing;        // allocation on the realized topology
-  int iterations = 0;            // neighbor evaluations performed
-  int accepted = 0;              // moves accepted
+  int iterations = 0;            // neighbor evaluations across all chains
+  int accepted = 0;              // moves accepted across all chains
   int circuit_changes = 0;       // DistanceTo(current) of the best topology
 };
 
@@ -63,11 +88,17 @@ struct AnnealResult {
 // with *no* topology circuits provisioned (the search re-provisions from
 // scratch and keeps incremental deltas thereafter). Energy is the total
 // throughput achievable for `demands` on the candidate topology.
+//
+// `pool` (optional) supplies reusable worker threads for multi-chain /
+// batched search; with the default options it is never touched. Results
+// are deterministic functions of (inputs, seed) — never of thread count
+// or scheduling.
 AnnealResult ComputeNetworkState(const Topology& current,
                                  const optical::OpticalNetwork& blank_optical,
                                  const std::vector<TransferDemand>& demands,
                                  const AnnealOptions& options,
-                                 util::Rng& rng);
+                                 util::Rng& rng,
+                                 util::ThreadPool* pool = nullptr);
 
 }  // namespace owan::core
 

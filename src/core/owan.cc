@@ -7,7 +7,12 @@
 namespace owan::core {
 
 OwanTe::OwanTe(OwanOptions options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options), rng_(options.seed) {
+  if (options_.anneal.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        options_.anneal.num_threads - 1);
+  }
+}
 
 std::string OwanTe::name() const {
   switch (options_.control) {
@@ -82,7 +87,7 @@ TeOutput OwanTe::Compute(const TeInput& input) {
   }
 
   last_ = ComputeNetworkState(*in.topology, *in.optical, in.demands,
-                              options_.anneal, rng_);
+                              options_.anneal, rng_, pool_.get());
   TeOutput out;
   out.allocations = last_.routing.allocations;
   out.new_topology = last_.best_topology;

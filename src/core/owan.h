@@ -1,12 +1,14 @@
 #ifndef OWAN_CORE_OWAN_H_
 #define OWAN_CORE_OWAN_H_
 
+#include <memory>
 #include <string>
 
 #include "core/annealing.h"
 #include "core/coflow.h"
 #include "core/te_scheme.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace owan::core {
 
@@ -47,6 +49,10 @@ class OwanTe : public TeScheme {
   OwanOptions options_;
   util::Rng rng_;
   AnnealResult last_;
+  // Reused across slots when options.anneal.num_threads > 1, so the
+  // per-slot search never pays thread spawn/join costs. The pool holds
+  // num_threads - 1 workers; the Compute thread participates.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace owan::core

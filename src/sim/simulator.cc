@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <set>
@@ -141,7 +142,12 @@ SimResult RunSimulation(const topo::Wan& wan,
       input.demands.push_back(d);
     }
 
+    const auto compute_start = std::chrono::steady_clock::now();
     core::TeOutput output = scheme.Compute(input);
+    result.compute_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      compute_start)
+            .count();
 
     // Apply topology change and its reconfiguration penalty.
     std::set<LinkKey> changed;

@@ -47,6 +47,10 @@ struct SimResult {
   double makespan = 0.0;  // time the last transfer finished
   int slots = 0;
   int topology_changes = 0;  // total circuit changes across the run
+  // Wall-clock seconds the scheme spent in Compute across all slots — the
+  // controller's decision latency, isolated from simulator bookkeeping
+  // (Fig. 10d measures exactly this budget).
+  double compute_seconds = 0.0;
   // Per-slot (start_time, total allocated Gbps) series — the Fig. 10a
   // throughput-over-time view.
   std::vector<std::pair<double, double>> slot_throughput;

@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace owan::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so every future is satisfied.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared between the caller and the helper tasks of one ParallelFor call;
+// kept alive by shared_ptr because helpers may outlive the call (a helper
+// queued behind long tasks can run after the caller already finished every
+// iteration and returned).
+struct ForState {
+  explicit ForState(int total) : n(total) {}
+  const int n;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception wins, guarded by mu
+};
+
+void RunIterations(const std::shared_ptr<ForState>& st,
+                   const std::function<void(int)>& fn) {
+  for (;;) {
+    const int i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st->n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (!st->error) st->error = std::current_exception();
+    }
+    if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->n) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->size() == 0 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto st = std::make_shared<ForState>(n);
+  const int helpers = pool->size() < n - 1 ? pool->size() : n - 1;
+  for (int h = 0; h < helpers; ++h) {
+    // Fire-and-forget: completion is tracked via st->done, never the
+    // future, so a helper that starts late (or never grabs an index) is
+    // harmless.
+    pool->Submit([st, fn] { RunIterations(st, fn); });
+  }
+  RunIterations(st, fn);
+
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] {
+    return st->done.load(std::memory_order_acquire) >= st->n;
+  });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace owan::util

@@ -1,0 +1,74 @@
+#ifndef OWAN_UTIL_THREAD_POOL_H_
+#define OWAN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace owan::util {
+
+// Fixed-size reusable worker pool. Constructed once (e.g. per OwanTe
+// instance) and reused across many submissions — per-slot annealing must
+// not pay thread spawn/join costs every five-minute reconfiguration.
+//
+// Submit() returns a std::future; exceptions thrown by the task propagate
+// through the future. The destructor drains every task already queued
+// before joining, so futures obtained from a live pool are always
+// satisfied.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0) .. fn(n-1), spreading iterations over the pool's workers
+// while the *calling thread also executes iterations*. Completion is
+// tracked by an iteration counter, not task futures, so the call never
+// blocks on queue position: if every worker is busy (including the nested
+// case where ParallelFor is called from inside a pool task), the caller
+// simply runs all n iterations inline. This makes nesting deadlock-free by
+// construction — parallelism degrades, correctness does not.
+//
+// The first exception thrown by any iteration is rethrown in the caller
+// after all iterations finish. With a null/empty pool or n <= 1 the loop
+// runs serially inline.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace owan::util
+
+#endif  // OWAN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,239 @@
+// Determinism and serial-equivalence coverage for the parallel multi-chain
+// annealing search. The contract under test:
+//   1. Default options (num_chains=1, num_threads=1, batch_size=1)
+//      reproduce the pre-parallel implementation bit-for-bit, including
+//      the caller's RNG stream position afterwards (golden values below
+//      were captured from the pre-parallel build).
+//   2. Multi-chain / batched runs are exact functions of (inputs, seed) —
+//      never of thread count or scheduling.
+//   3. Multi-chain search never returns worse energy than the single
+//      chain on the same seed (chain 0 replays the single-chain stream).
+#include "core/annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topologies.h"
+#include "util/thread_pool.h"
+
+namespace owan::core {
+namespace {
+
+TransferDemand Demand(int id, int src, int dst, double rate) {
+  TransferDemand d;
+  d.id = id;
+  d.src = src;
+  d.dst = dst;
+  d.rate_cap = rate;
+  d.remaining = rate * 300.0;
+  return d;
+}
+
+std::vector<TransferDemand> GoldenDemands() {
+  return {Demand(0, 0, 8, 30.0), Demand(1, 1, 5, 30.0),
+          Demand(2, 3, 7, 30.0)};
+}
+
+AnnealOptions GoldenOptions() {
+  AnnealOptions opt;
+  opt.max_iterations = 200;
+  opt.epsilon_ratio = 1e-9;
+  return opt;
+}
+
+// FNV-style fingerprint of a topology's link multiset.
+unsigned long long TopologyHash(const Topology& t) {
+  unsigned long long h = 1469598103934665603ULL;
+  for (const Link& l : t.Links()) {
+    unsigned long long v = static_cast<unsigned long long>(l.u) * 1000003ULL +
+                           static_cast<unsigned long long>(l.v) * 997ULL +
+                           static_cast<unsigned long long>(l.units);
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(AnnealParallelTest, DefaultsMatchPreParallelGolden) {
+  // Captured from the pre-parallel ComputeNetworkState at seed 12345 on
+  // Internet2. Any drift here means the default path is no longer
+  // bit-for-bit the paper's single-chain search.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+  util::Rng rng(12345);
+  AnnealResult res = ComputeNetworkState(wan.default_topology, wan.optical,
+                                         demands, GoldenOptions(), rng);
+  EXPECT_DOUBLE_EQ(res.best_energy, 60.0);
+  EXPECT_EQ(res.iterations, 200);
+  EXPECT_EQ(res.accepted, 55);
+  EXPECT_EQ(res.circuit_changes, 12);
+  EXPECT_EQ(TopologyHash(res.best_topology), 16619949240584616033ULL);
+  // The caller's RNG must have advanced by exactly the same number of
+  // draws as the pre-parallel implementation consumed.
+  EXPECT_DOUBLE_EQ(rng.Uniform(), 0.34151698505120287);
+}
+
+TEST(AnnealParallelTest, SingleChainIgnoresThreadCount) {
+  // num_chains=1, batch_size=1: the pool must never be touched, so any
+  // num_threads gives the identical result and RNG stream.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+
+  AnnealOptions serial = GoldenOptions();
+  util::Rng rng1(777);
+  AnnealResult a = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, serial, rng1);
+
+  AnnealOptions threaded = GoldenOptions();
+  threaded.num_threads = 8;
+  util::Rng rng2(777);
+  AnnealResult b = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, threaded, rng2);
+
+  EXPECT_TRUE(a.best_topology == b.best_topology);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_DOUBLE_EQ(rng1.Uniform(), rng2.Uniform());
+}
+
+TEST(AnnealParallelTest, MultiChainReproducibleAcrossInvocations) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+  AnnealOptions opt = GoldenOptions();
+  opt.num_chains = 4;
+  opt.num_threads = 4;
+
+  util::Rng rng1(31337);
+  AnnealResult a = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng1);
+  util::Rng rng2(31337);
+  AnnealResult b = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng2);
+
+  EXPECT_TRUE(a.best_topology == b.best_topology);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.accepted, b.accepted);
+  // Caller streams advanced identically too.
+  EXPECT_DOUBLE_EQ(rng1.Uniform(), rng2.Uniform());
+}
+
+TEST(AnnealParallelTest, MultiChainIndependentOfThreadCount) {
+  // The search result is a function of the seed, not of how many workers
+  // happened to execute the chains.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+
+  AnnealResult prev;
+  bool first = true;
+  for (int threads : {1, 2, 8}) {
+    AnnealOptions opt = GoldenOptions();
+    opt.num_chains = 6;
+    opt.num_threads = threads;
+    util::Rng rng(2024);
+    AnnealResult res = ComputeNetworkState(wan.default_topology, wan.optical,
+                                           demands, opt, rng);
+    if (!first) {
+      EXPECT_TRUE(res.best_topology == prev.best_topology)
+          << "threads=" << threads;
+      EXPECT_DOUBLE_EQ(res.best_energy, prev.best_energy);
+      EXPECT_EQ(res.iterations, prev.iterations);
+    }
+    prev = res;
+    first = false;
+  }
+}
+
+TEST(AnnealParallelTest, MultiChainNeverWorseThanSingleChainSameSeed) {
+  // Chain 0 replays the caller's stream from a copy, so best-of-chains
+  // dominates the single-chain result under the identical adoption guard.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+  for (uint64_t seed : {1ULL, 42ULL, 12345ULL, 99999ULL}) {
+    AnnealOptions single = GoldenOptions();
+    util::Rng rng1(seed);
+    AnnealResult s = ComputeNetworkState(wan.default_topology, wan.optical,
+                                         demands, single, rng1);
+
+    AnnealOptions multi = GoldenOptions();
+    multi.num_chains = 4;
+    multi.num_threads = 4;
+    util::Rng rng2(seed);
+    AnnealResult m = ComputeNetworkState(wan.default_topology, wan.optical,
+                                         demands, multi, rng2);
+
+    EXPECT_GE(m.best_energy, s.best_energy - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(AnnealParallelTest, BatchedSearchIsDeterministic) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+  AnnealOptions opt = GoldenOptions();
+  opt.batch_size = 4;
+  opt.num_threads = 4;
+
+  util::Rng rng1(555);
+  AnnealResult a = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng1);
+  util::Rng rng2(555);
+  AnnealResult b = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng2);
+
+  EXPECT_TRUE(a.best_topology == b.best_topology);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.iterations, b.iterations);
+
+  // Thread-count independence holds for batching too.
+  AnnealOptions serial_batch = opt;
+  serial_batch.num_threads = 1;
+  util::Rng rng3(555);
+  AnnealResult c = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, serial_batch, rng3);
+  EXPECT_TRUE(a.best_topology == c.best_topology);
+  EXPECT_DOUBLE_EQ(a.best_energy, c.best_energy);
+}
+
+TEST(AnnealParallelTest, ExternalPoolReusedAcrossCalls) {
+  // The OwanTe pattern: one pool, many slots. Results must match the
+  // transient-pool path exactly.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+  AnnealOptions opt = GoldenOptions();
+  opt.num_chains = 4;
+  opt.num_threads = 4;
+
+  util::ThreadPool pool(3);
+  util::Rng rng1(808);
+  AnnealResult a = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng1, &pool);
+  util::Rng rng2(808);
+  AnnealResult b = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng2);
+  EXPECT_TRUE(a.best_topology == b.best_topology);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
+
+  // Second slot on the same pool still works (pool is reusable).
+  util::Rng rng3(809);
+  AnnealResult c = ComputeNetworkState(wan.default_topology, wan.optical,
+                                       demands, opt, rng3, &pool);
+  EXPECT_GT(c.iterations, 0);
+}
+
+TEST(AnnealParallelTest, MultiChainPreservesPortCounts) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = GoldenDemands();
+  AnnealOptions opt = GoldenOptions();
+  opt.num_chains = 4;
+  opt.num_threads = 4;
+  util::Rng rng(7);
+  AnnealResult res = ComputeNetworkState(wan.default_topology, wan.optical,
+                                         demands, opt, rng);
+  for (int v = 0; v < wan.default_topology.NumSites(); ++v) {
+    EXPECT_EQ(res.best_topology.PortsUsed(v),
+              wan.default_topology.PortsUsed(v));
+  }
+}
+
+}  // namespace
+}  // namespace owan::core
