@@ -1,0 +1,218 @@
+// Microbenchmark for the incremental energy evaluator: drives the identical
+// Metropolis walk (same seed, same neighbor sequence, same accept rule)
+// through the old copy-everything evaluation and through an EnergyEvaluator,
+// on the 40-site ISP backbone. Reports per-candidate cost, the speedup, and
+// the evaluator's cache statistics — and fails (exit 1) unless the two modes
+// produce identical energies, so a perf run doubles as a differential check.
+//
+// Flags: --quick (short budget, for CI smoke), --iters N, --seed S,
+//        --json <path> (machine-readable records).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/annealing.h"
+#include "core/energy_evaluator.h"
+#include "harness.h"
+#include "util/rng.h"
+
+using namespace owan;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double Secs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::vector<core::TransferDemand> RandomDemands(const topo::Wan& wan,
+                                                int count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::TransferDemand> demands;
+  demands.reserve(static_cast<size_t>(count));
+  const int n = wan.default_topology.NumSites();
+  for (int i = 0; i < count; ++i) {
+    core::TransferDemand d;
+    d.id = i;
+    d.src = rng.UniformInt(0, n - 1);
+    do {
+      d.dst = rng.UniformInt(0, n - 1);
+    } while (d.dst == d.src);
+    d.rate_cap = rng.Uniform(20.0, 80.0);
+    d.remaining = d.rate_cap * 300.0;
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+struct WalkResult {
+  std::vector<double> energies;
+  double eval_seconds = 0.0;  // time inside candidate evaluation only
+};
+
+// The pre-evaluator per-candidate pattern: clone the provisioned state,
+// sync it to the neighbor, route from scratch.
+WalkResult WalkFresh(const topo::Wan& wan, const core::Topology& start,
+                     const std::vector<core::TransferDemand>& demands,
+                     const core::RoutingOptions& ropt, int iters,
+                     uint64_t seed) {
+  WalkResult out;
+  util::Rng rng(seed);
+  core::ProvisionedState cur{wan.optical};
+  cur.SyncTo(start);
+  double cur_energy =
+      core::AssignRoutesAndRates(cur.CapacityGraph(), demands, ropt)
+          .throughput;
+  core::Topology cur_topo = start;
+  double temperature = cur_energy > 0.0 ? cur_energy : 1.0;
+  for (int i = 0; i < iters; ++i) {
+    auto nb = core::ComputeNeighbor(cur_topo, rng);
+    if (!nb) break;
+    const auto t0 = Clock::now();
+    core::ProvisionedState nb_state = cur;
+    nb_state.SyncTo(*nb);
+    const double energy =
+        core::AssignRoutesAndRates(nb_state.CapacityGraph(), demands, ropt)
+            .throughput;
+    out.eval_seconds += Secs(t0, Clock::now());
+    out.energies.push_back(energy);
+    bool accept = energy >= cur_energy;
+    if (!accept) {
+      accept = rng.Uniform() < std::exp((energy - cur_energy) / temperature);
+    }
+    if (accept) {
+      cur_topo = std::move(*nb);
+      cur = std::move(nb_state);
+      cur_energy = energy;
+    }
+    temperature *= 0.95;
+  }
+  return out;
+}
+
+WalkResult WalkIncremental(const topo::Wan& wan, const core::Topology& start,
+                           const std::vector<core::TransferDemand>& demands,
+                           const std::vector<size_t>& starved,
+                           const core::RoutingOptions& ropt, int iters,
+                           uint64_t seed, core::EnergyEvaluator& eval) {
+  WalkResult out;
+  util::Rng rng(seed);
+  double cur_energy =
+      eval.Reset(wan.optical, start, demands, starved, ropt).energy;
+  core::Topology cur_topo = start;
+  double temperature = cur_energy > 0.0 ? cur_energy : 1.0;
+  for (int i = 0; i < iters; ++i) {
+    auto nb = core::ComputeNeighbor(cur_topo, rng);
+    if (!nb) break;
+    const auto t0 = Clock::now();
+    const core::EnergyEvaluator::Eval ev = eval.Apply(*nb);
+    bool accept = ev.energy >= cur_energy;
+    if (!accept) {
+      accept =
+          rng.Uniform() < std::exp((ev.energy - cur_energy) / temperature);
+    }
+    if (accept) {
+      eval.Accept();
+    } else {
+      eval.Reject();
+    }
+    out.eval_seconds += Secs(t0, Clock::now());
+    out.energies.push_back(ev.energy);
+    if (accept) {
+      cur_topo = std::move(*nb);
+      cur_energy = ev.energy;
+    }
+    temperature *= 0.95;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
+  int iters = 400;
+  uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      iters = 120;
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    }
+  }
+
+  bench::PrintHeader("anneal eval — fresh vs incremental per-candidate cost");
+  topo::Wan wan = topo::MakeIspBackbone();
+  const auto demands = RandomDemands(wan, 64, 4242);
+  const std::vector<size_t> starved;  // no transfer is starved at slot start
+  const core::RoutingOptions ropt;
+  const core::Topology start = wan.default_topology;
+
+  const WalkResult fresh = WalkFresh(wan, start, demands, ropt, iters, seed);
+  core::EnergyEvaluator eval;
+  const WalkResult incr =
+      WalkIncremental(wan, start, demands, starved, ropt, iters, seed, eval);
+
+  // Differential check: the walks must agree candidate-for-candidate.
+  if (fresh.energies.size() != incr.energies.size()) {
+    std::printf("FAIL: candidate counts diverge (%zu vs %zu)\n",
+                fresh.energies.size(), incr.energies.size());
+    return 1;
+  }
+  double max_diff = 0.0;
+  for (size_t i = 0; i < fresh.energies.size(); ++i) {
+    max_diff =
+        std::max(max_diff, std::fabs(fresh.energies[i] - incr.energies[i]));
+  }
+  if (max_diff > 1e-9) {
+    std::printf("FAIL: energies diverge (max |diff| = %.3g)\n", max_diff);
+    return 1;
+  }
+
+  const double n = static_cast<double>(fresh.energies.size());
+  const double fresh_us = 1e6 * fresh.eval_seconds / n;
+  const double incr_us = 1e6 * incr.eval_seconds / n;
+  const double speedup = fresh_us / incr_us;
+  const auto& st = eval.stats();
+  std::printf("  ISP-40, 64 transfers, %d candidates, seed %llu\n",
+              static_cast<int>(n), static_cast<unsigned long long>(seed));
+  std::printf("  fresh        %8.1f us/candidate  (%.3fs total)\n", fresh_us,
+              fresh.eval_seconds);
+  std::printf("  incremental  %8.1f us/candidate  (%.3fs total)\n", incr_us,
+              incr.eval_seconds);
+  std::printf("  speedup      %8.2fx   max |energy diff| %.3g\n", speedup,
+              max_diff);
+  std::printf(
+      "  evaluator: %lld evals, %lld memo hits, %lld routing runs,\n"
+      "             %lld pairs enumerated, %lld reused, %lld graph "
+      "rebuilds\n",
+      static_cast<long long>(st.evaluations),
+      static_cast<long long>(st.memo_hits),
+      static_cast<long long>(st.routing_runs),
+      static_cast<long long>(st.pairs_enumerated),
+      static_cast<long long>(st.pairs_reused),
+      static_cast<long long>(st.graph_rebuilds));
+
+  bench::JsonRecord("anneal_eval", "fresh",
+                    {{"candidates", n},
+                     {"seconds", fresh.eval_seconds},
+                     {"us_per_candidate", fresh_us}});
+  bench::JsonRecord("anneal_eval", "incremental",
+                    {{"candidates", n},
+                     {"seconds", incr.eval_seconds},
+                     {"us_per_candidate", incr_us},
+                     {"memo_hits", static_cast<double>(st.memo_hits)},
+                     {"routing_runs", static_cast<double>(st.routing_runs)},
+                     {"pairs_enumerated",
+                      static_cast<double>(st.pairs_enumerated)},
+                     {"pairs_reused", static_cast<double>(st.pairs_reused)},
+                     {"graph_rebuilds",
+                      static_cast<double>(st.graph_rebuilds)}});
+  bench::JsonRecord("anneal_eval", "summary",
+                    {{"speedup", speedup}, {"max_energy_diff", max_diff}});
+  return 0;
+}

@@ -39,7 +39,8 @@ std::vector<core::TransferDemand> RandomDemands(const topo::Wan& wan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeInterDc();
   const auto reqs =
       workload::GenerateWorkload(wan, bench::ParamsFor(wan, 1.0));

@@ -1,8 +1,93 @@
 #include "harness.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace owan::bench {
+
+namespace {
+
+// Process-global JSON collector. Benches are single-threaded drivers, so a
+// plain vector suffices; records are pre-rendered JSON objects.
+struct JsonSink {
+  std::string path;
+  std::string bench;  // argv[0] basename, the default record label
+  std::vector<std::string> records;
+  bool flushed = false;
+};
+
+JsonSink& Sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string RenderRecord(
+    const std::string& bench, const std::string& scheme,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::string rec = "{\"bench\": \"" + JsonEscape(bench) +
+                    "\", \"scheme\": \"" + JsonEscape(scheme) + "\"";
+  char buf[64];
+  for (const auto& [key, value] : fields) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    rec += ", \"" + JsonEscape(key) + "\": " + buf;
+  }
+  rec += "}";
+  return rec;
+}
+
+}  // namespace
+
+void InitJsonFromArgs(int argc, char** argv) {
+  JsonSink& sink = Sink();
+  if (argc > 0) {
+    const char* base = std::strrchr(argv[0], '/');
+    sink.bench = base ? base + 1 : argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      sink.path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      sink.path = argv[i] + 7;
+    }
+  }
+  if (!sink.path.empty()) std::atexit(FlushJson);
+}
+
+bool JsonEnabled() { return !Sink().path.empty(); }
+
+void JsonRecord(const std::string& bench, const std::string& scheme,
+                const std::vector<std::pair<std::string, double>>& fields) {
+  if (!JsonEnabled()) return;
+  Sink().records.push_back(RenderRecord(bench, scheme, fields));
+}
+
+void FlushJson() {
+  JsonSink& sink = Sink();
+  if (sink.path.empty() || sink.flushed) return;
+  sink.flushed = true;
+  std::FILE* f = std::fopen(sink.path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", sink.path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < sink.records.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", sink.records[i].c_str(),
+                 i + 1 < sink.records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
 
 NamedScheme MakeOwan(core::SchedulingPolicy policy, int anneal_iterations,
                      int num_chains, int num_threads, int batch_size) {
@@ -87,6 +172,21 @@ RunStats RunOne(const topo::Wan& wan, const std::vector<core::Request>& reqs,
   stats.pct_bytes_by_deadline = 100.0 * stats.raw.FractionBytesByDeadline();
   auto bins = sim::DeadlineMetBySizeBin(stats.raw);
   for (size_t b = 0; b < 3; ++b) stats.deadline_by_bin[b] = 100.0 * bins[b];
+
+  if (JsonEnabled()) {
+    double delivered = 0.0;  // gigabits over the whole run
+    for (const auto& t : stats.raw.transfers) delivered += t.delivered;
+    const double throughput =
+        stats.raw.makespan > 0.0 ? delivered / stats.raw.makespan : 0.0;
+    JsonRecord(Sink().bench, stats.scheme,
+               {{"load", stats.load},
+                {"throughput_gbps", throughput},
+                {"avg_completion_s", stats.completion.Mean()},
+                {"p95_completion_s", stats.completion.Percentile(95)},
+                {"makespan_s", stats.makespan},
+                {"compute_seconds", stats.raw.compute_seconds},
+                {"slots", static_cast<double>(stats.raw.slots)}});
+  }
   return stats;
 }
 

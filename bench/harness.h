@@ -75,6 +75,20 @@ void PrintImprovementRow(const RunStats& owan, const RunStats& baseline);
 void PrintBinImprovementRows(const RunStats& owan, const RunStats& baseline);
 void PrintCdf(const RunStats& stats, size_t points = 10);
 
+// ---- machine-readable results (--json <path>) ----
+//
+// Call InitJsonFromArgs at the top of a bench main. When the flag is
+// present, every RunOne result is captured automatically and JsonRecord
+// lets binaries append free-form records; the collected array is written
+// to the path at process exit (or an explicit FlushJson). Without the
+// flag all of these are no-ops, so the printed output never changes.
+void InitJsonFromArgs(int argc, char** argv);
+bool JsonEnabled();
+// One record: which experiment, which scheme/mode, plus numeric fields.
+void JsonRecord(const std::string& bench, const std::string& scheme,
+                const std::vector<std::pair<std::string, double>>& fields);
+void FlushJson();
+
 }  // namespace owan::bench
 
 #endif  // OWAN_BENCH_HARNESS_H_

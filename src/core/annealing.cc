@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/energy_evaluator.h"
 #include "util/thread_pool.h"
 
 namespace owan::core {
@@ -97,27 +98,116 @@ int StarvedServed(const std::vector<size_t>& starved,
   return n;
 }
 
-// One annealing chain (Algorithm 1 minus the adoption guard). With
-// batch_size <= 1 this consumes the RNG stream in exactly the pre-parallel
-// order, so chain 0 of a multi-chain run — and the whole of a default run —
-// is bit-for-bit the classic search. With batch_size = B > 1, each
-// temperature step draws up to B candidate neighbors serially from the
-// chain's RNG, evaluates them concurrently on `pool`, and applies the
-// Metropolis rule to the best of the batch; the RNG is only ever touched
-// on the chain's own thread, so results are independent of scheduling.
-ChainResult RunChain(const Topology& current,
-                     const optical::OpticalNetwork& blank_optical,
-                     const std::vector<TransferDemand>& demands,
-                     const AnnealOptions& options,
-                     const std::vector<int>& port_budget,
-                     const std::vector<size_t>& starved, int perturb_moves,
-                     util::Rng& rng, util::ThreadPool* pool) {
-  Topology start = current;
-  for (int i = 0; i < perturb_moves; ++i) {
-    auto t = ComputeNeighbor(start, rng, &port_budget);
-    if (t) start = std::move(*t);
+// Serial chain (batch_size <= 1): the classic one-neighbor Metropolis walk,
+// evaluated through the chain's EnergyEvaluator. The evaluator mutates one
+// ProvisionedState in place (rolling back rejected moves exactly), reuses
+// cached per-pair path sets across iterations, and short-circuits revisited
+// topologies through its transposition table — while producing bit-for-bit
+// the energies, RNG stream, and best-state snapshots of the old
+// copy-everything loop (the PR 1 golden tests pin this).
+ChainResult RunChainSerial(const Topology& current, Topology start,
+                           const optical::OpticalNetwork& blank_optical,
+                           const std::vector<TransferDemand>& demands,
+                           const AnnealOptions& options,
+                           const std::vector<int>& port_budget,
+                           util::Rng& rng,
+                           const std::vector<size_t>& starved,
+                           EnergyEvaluator& eval) {
+  const EnergyEvaluator::Eval base =
+      eval.Reset(blank_optical, start, demands, starved, options.routing);
+  double cur_energy = base.energy;
+
+  ChainResult out;
+  out.start_topology = start;
+  out.start_energy = cur_energy;
+  out.start_state = eval.state();
+  out.start_routing = eval.EnsureRouting();
+  out.start_starved = base.starved_served;
+  out.best_topology = start;
+  out.best_energy = cur_energy;
+  out.state = out.start_state;
+  out.routing = out.start_routing;
+  out.best_dist = start.DistanceTo(current);
+  out.best_starved = out.start_starved;
+
+  Topology cur_topo = std::move(start);
+
+  // Initial temperature = current throughput (Algorithm 1, line 4); guard
+  // against an all-idle network.
+  const double t0 = cur_energy > 0.0 ? cur_energy : 1.0;
+  double temperature = t0;
+  const double floor = t0 * options.epsilon_ratio;
+
+  int iters = 0;
+  while (temperature > floor && iters < options.max_iterations) {
+    ++iters;
+    auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
+    if (!neighbor) break;
+    if (options.max_distance > 0 &&
+        neighbor->DistanceTo(current) > options.max_distance) {
+      temperature *= options.alpha;
+      continue;  // out of the allowed update radius
+    }
+
+    const EnergyEvaluator::Eval ev = eval.Apply(*neighbor);
+    const double nb_energy = ev.energy;
+
+    // Track the best state lexicographically: serve starved transfers
+    // first, then throughput, then proximity to the current topology (so
+    // updates stay incremental). A memo hit can only land in here through
+    // the 1e-9 energy band, in which case EnsureRouting re-runs the
+    // allocator for the snapshot.
+    const int dist = neighbor->DistanceTo(current);
+    const bool better =
+        ev.starved_served > out.best_starved ||
+        (ev.starved_served == out.best_starved &&
+         (nb_energy > out.best_energy + 1e-9 ||
+          (nb_energy > out.best_energy - 1e-9 && dist < out.best_dist)));
+    if (better) {
+      out.best_topology = *neighbor;
+      out.best_energy = nb_energy;
+      out.state = eval.state();
+      out.routing = eval.TakeRouting();
+      out.best_dist = dist;
+      out.best_starved = ev.starved_served;
+    }
+
+    // Accept uphill always; downhill with Boltzmann probability.
+    bool accept = nb_energy >= cur_energy;
+    if (!accept) {
+      const double prob = std::exp((nb_energy - cur_energy) / temperature);
+      accept = rng.Uniform() < prob;
+    }
+    if (accept) {
+      eval.Accept();
+      cur_topo = std::move(*neighbor);
+      cur_energy = nb_energy;
+      ++out.accepted;
+    } else {
+      eval.Reject();
+    }
+    temperature *= options.alpha;
   }
 
+  out.iterations = iters;
+  return out;
+}
+
+// Batched chain (batch_size = B > 1): each temperature step draws up to B
+// candidate neighbors serially from the chain's RNG, evaluates them
+// concurrently on `pool` (per-candidate state copies — candidates fork from
+// the same current state, so in-place evaluation cannot be shared), and
+// applies the Metropolis rule to the best of the batch. The RNG is only
+// ever touched on the chain's own thread, so results are independent of
+// scheduling.
+ChainResult RunChainBatched(const Topology& current, Topology start,
+                            const optical::OpticalNetwork& blank_optical,
+                            const std::vector<TransferDemand>& demands,
+                            const AnnealOptions& options,
+                            const std::vector<int>& port_budget,
+                            util::Rng& rng,
+                            const std::vector<size_t>& starved,
+                            util::ThreadPool* pool) {
   ProvisionedState cur_state{blank_optical};
   cur_state.SyncTo(start);
   RoutingOutcome cur_routing = AssignRoutesAndRates(
@@ -137,77 +227,26 @@ ChainResult RunChain(const Topology& current,
   out.best_dist = start.DistanceTo(current);
   out.best_starved = out.start_starved;
 
-  Topology cur_topo = start;
+  Topology cur_topo = std::move(start);
 
-  // Initial temperature = current throughput (Algorithm 1, line 4); guard
-  // against an all-idle network.
   const double t0 = cur_energy > 0.0 ? cur_energy : 1.0;
   double temperature = t0;
   const double floor = t0 * options.epsilon_ratio;
   const int batch = std::max(1, options.batch_size);
 
-  // Track the best state lexicographically: serve starved transfers first,
-  // then throughput, then proximity to the current topology (so updates
-  // stay incremental).
-  auto consider_best = [&](Topology& topo, ProvisionedState& st,
-                           RoutingOutcome& routing, double energy) {
-    const int dist = topo.DistanceTo(current);
-    const int served = StarvedServed(starved, routing);
-    const bool better =
-        served > out.best_starved ||
-        (served == out.best_starved &&
-         (energy > out.best_energy + 1e-9 ||
-          (energy > out.best_energy - 1e-9 && dist < out.best_dist)));
-    if (better) {
-      out.best_topology = topo;
-      out.best_energy = energy;
-      out.state = st;
-      out.routing = routing;
-      out.best_dist = dist;
-      out.best_starved = served;
-    }
-  };
+  // Per-step scratch, allocated once per chain rather than per step.
+  std::vector<Topology> cand;
+  std::vector<std::optional<ProvisionedState>> states;
+  std::vector<RoutingOutcome> routings;
+  cand.reserve(static_cast<size_t>(batch));
+  states.reserve(static_cast<size_t>(batch));
+  routings.reserve(static_cast<size_t>(batch));
 
   int iters = 0;
   while (temperature > floor && iters < options.max_iterations) {
-    if (batch == 1) {
-      ++iters;
-      auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
-      if (!neighbor) break;
-      if (options.max_distance > 0 &&
-          neighbor->DistanceTo(current) > options.max_distance) {
-        temperature *= options.alpha;
-        continue;  // out of the allowed update radius
-      }
-
-      ProvisionedState nb_state = cur_state;
-      nb_state.SyncTo(*neighbor);
-      RoutingOutcome nb_routing = AssignRoutesAndRates(
-          nb_state.CapacityGraph(), demands, options.routing);
-      const double nb_energy = nb_routing.throughput;
-      consider_best(*neighbor, nb_state, nb_routing, nb_energy);
-
-      // Accept uphill always; downhill with Boltzmann probability.
-      bool accept = nb_energy >= cur_energy;
-      if (!accept) {
-        const double prob = std::exp((nb_energy - cur_energy) / temperature);
-        accept = rng.Uniform() < prob;
-      }
-      if (accept) {
-        cur_topo = std::move(*neighbor);
-        cur_state = std::move(nb_state);
-        cur_routing = std::move(nb_routing);
-        cur_energy = nb_energy;
-        ++out.accepted;
-      }
-      temperature *= options.alpha;
-      continue;
-    }
-
-    // Batched step: draw up to `batch` candidates serially (every draw
-    // spends one iteration of the budget), evaluate them concurrently.
-    std::vector<Topology> cand;
-    cand.reserve(static_cast<size_t>(batch));
+    // Draw up to `batch` candidates serially (every draw spends one
+    // iteration of the budget), evaluate them concurrently.
+    cand.clear();
     bool exhausted = false;
     while (static_cast<int>(cand.size()) < batch &&
            iters < options.max_iterations && temperature > floor) {
@@ -229,8 +268,8 @@ ChainResult RunChain(const Topology& current,
       continue;
     }
 
-    std::vector<std::optional<ProvisionedState>> states(cand.size());
-    std::vector<RoutingOutcome> routings(cand.size());
+    states.assign(cand.size(), std::nullopt);
+    routings.assign(cand.size(), RoutingOutcome{});
     util::ParallelFor(pool, static_cast<int>(cand.size()), [&](int i) {
       const size_t k = static_cast<size_t>(i);
       ProvisionedState st = cur_state;
@@ -241,10 +280,26 @@ ChainResult RunChain(const Topology& current,
     });
 
     // Select deterministically in index order; Metropolis on the best.
+    // Best-state comparisons run on scalars only; the winning candidate's
+    // state/routing are materialized once afterwards (moved, not copied,
+    // unless the accepted candidate is the same one).
     size_t pick = 0;
+    int best_idx = -1;
     for (size_t i = 0; i < cand.size(); ++i) {
-      consider_best(cand[i], *states[i], routings[i],
-                    routings[i].throughput);
+      const double energy = routings[i].throughput;
+      const int dist = cand[i].DistanceTo(current);
+      const int served = StarvedServed(starved, routings[i]);
+      const bool better =
+          served > out.best_starved ||
+          (served == out.best_starved &&
+           (energy > out.best_energy + 1e-9 ||
+            (energy > out.best_energy - 1e-9 && dist < out.best_dist)));
+      if (better) {
+        out.best_energy = energy;
+        out.best_dist = dist;
+        out.best_starved = served;
+        best_idx = static_cast<int>(i);
+      }
       if (routings[i].throughput > routings[pick].throughput + 1e-12) {
         pick = i;
       }
@@ -254,6 +309,17 @@ ChainResult RunChain(const Topology& current,
     if (!accept) {
       const double prob = std::exp((nb_energy - cur_energy) / temperature);
       accept = rng.Uniform() < prob;
+    }
+    if (best_idx >= 0) {
+      const size_t b = static_cast<size_t>(best_idx);
+      out.best_topology = cand[b];
+      if (accept && pick == b) {
+        out.state = *states[b];
+        out.routing = routings[b];
+      } else {
+        out.state = std::move(*states[b]);
+        out.routing = std::move(routings[b]);
+      }
     }
     if (accept) {
       cur_topo = std::move(cand[pick]);
@@ -270,6 +336,31 @@ ChainResult RunChain(const Topology& current,
 
   out.iterations = iters;
   return out;
+}
+
+// One annealing chain (Algorithm 1 minus the adoption guard). With
+// batch_size <= 1 this consumes the RNG stream in exactly the pre-parallel
+// order, so chain 0 of a multi-chain run — and the whole of a default run —
+// is bit-for-bit the classic search.
+ChainResult RunChain(const Topology& current,
+                     const optical::OpticalNetwork& blank_optical,
+                     const std::vector<TransferDemand>& demands,
+                     const AnnealOptions& options,
+                     const std::vector<int>& port_budget,
+                     const std::vector<size_t>& starved, int perturb_moves,
+                     util::Rng& rng, util::ThreadPool* pool,
+                     EnergyEvaluator& eval) {
+  Topology start = current;
+  for (int i = 0; i < perturb_moves; ++i) {
+    auto t = ComputeNeighbor(start, rng, &port_budget);
+    if (t) start = std::move(*t);
+  }
+  if (std::max(1, options.batch_size) == 1) {
+    return RunChainSerial(current, std::move(start), blank_optical, demands,
+                          options, port_budget, rng, starved, eval);
+  }
+  return RunChainBatched(current, std::move(start), blank_optical, demands,
+                         options, port_budget, rng, starved, pool);
 }
 
 // Marginal improvements do not justify taking circuits dark: stick with
@@ -312,7 +403,8 @@ AnnealResult ComputeNetworkState(const Topology& current,
                                  const optical::OpticalNetwork& blank_optical,
                                  const std::vector<TransferDemand>& demands,
                                  const AnnealOptions& options,
-                                 util::Rng& rng, util::ThreadPool* pool) {
+                                 util::Rng& rng, util::ThreadPool* pool,
+                                 AnnealScratch* scratch) {
   std::vector<int> port_budget;
   port_budget.reserve(static_cast<size_t>(blank_optical.NumSites()));
   for (int v = 0; v < blank_optical.NumSites(); ++v) {
@@ -341,6 +433,14 @@ AnnealResult ComputeNetworkState(const Topology& current,
     pool = local_pool.get();
   }
 
+  // Chains evaluate through per-chain EnergyEvaluators. A caller-supplied
+  // scratch (OwanTe owns one) carries their path caches across slots;
+  // transient callers get call-local evaluators, which still amortize
+  // within the chain.
+  AnnealScratch local_scratch;
+  AnnealScratch& scr = scratch ? *scratch : local_scratch;
+  scr.Reserve(num_chains);
+
   if (num_chains == 1) {
     // Classic single-chain path: identical RNG stream and adoption guard
     // (relative to the chain's own — possibly cold — start) as the
@@ -348,7 +448,7 @@ AnnealResult ComputeNetworkState(const Topology& current,
     ChainResult cr =
         RunChain(current, blank_optical, demands, options, port_budget,
                  starved, options.warm_start ? 0 : options.cold_start_moves,
-                 rng, pool);
+                 rng, pool, scr.ForChain(0));
     const int iters = cr.iterations;
     const int accepted = cr.accepted;
     Topology base_topology = cr.start_topology;
@@ -387,7 +487,7 @@ AnnealResult ComputeNetworkState(const Topology& current,
     const size_t k = static_cast<size_t>(c);
     results[k] = RunChain(current, blank_optical, demands, options,
                           port_budget, starved, perturb[k], chain_rngs[k],
-                          pool);
+                          pool, scr.ForChain(c));
   });
 
   // The adoption guard for multi-chain selection is always measured

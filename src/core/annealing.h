@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "core/energy_evaluator.h"
 #include "core/provisioned_state.h"
 #include "core/routing.h"
 #include "core/topology.h"
@@ -93,12 +94,18 @@ struct AnnealResult {
 // batched search; with the default options it is never touched. Results
 // are deterministic functions of (inputs, seed) — never of thread count
 // or scheduling.
+//
+// `scratch` (optional) carries the per-chain EnergyEvaluators — and with
+// them the per-pair path caches — across calls, so slot k+1 starts from
+// slot k's warm cache instead of enumerating the world again. Long-lived
+// callers (OwanTe) should own one; results are identical with or without.
 AnnealResult ComputeNetworkState(const Topology& current,
                                  const optical::OpticalNetwork& blank_optical,
                                  const std::vector<TransferDemand>& demands,
                                  const AnnealOptions& options,
                                  util::Rng& rng,
-                                 util::ThreadPool* pool = nullptr);
+                                 util::ThreadPool* pool = nullptr,
+                                 AnnealScratch* scratch = nullptr);
 
 }  // namespace owan::core
 

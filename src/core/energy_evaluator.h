@@ -1,0 +1,203 @@
+#ifndef OWAN_CORE_ENERGY_EVALUATOR_H_
+#define OWAN_CORE_ENERGY_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/provisioned_state.h"
+#include "core/routing.h"
+#include "core/topology.h"
+#include "core/transfer.h"
+
+namespace owan::core {
+
+// Incremental energy evaluation for the annealing hot loop.
+//
+// The classic search pays, per candidate neighbor: a deep copy of the whole
+// ProvisionedState (optical network included), a fresh capacity graph, a
+// from-scratch enumeration of every (src,dst) path set, and a full greedy
+// allocation — even though a neighbor move changes at most 4 links. One
+// EnergyEvaluator per chain replaces that with:
+//
+//  1. Apply/rollback evaluation: the chain's single ProvisionedState is
+//     mutated in place (Topology::Diff-sized work) and rolled back exactly
+//     on rejection via ProvisionedState::SyncUndo — no per-candidate copy.
+//  2. A persistent path cache with delta invalidation: path sets survive
+//     across iterations and slots; a move invalidates only the pairs whose
+//     cached paths traverse a vanished link, pairs within hop reach of a
+//     new link, and the truncated/fallback entries whose sets depend on
+//     global structure. Capacity-only moves (all four links keep units > 0)
+//     invalidate nothing.
+//  3. A transposition table keyed on Topology::Hash() of the *realized*
+//     topology (guarded by exact equality — energy is a pure function of
+//     the realized graph and the slot's demands) that lets the Metropolis
+//     walk skip the routing run entirely on revisits.
+//
+// Every result is bit-for-bit what the copy-everything pattern produces:
+// the differential tests pin evaluator-vs-fresh equality on randomized move
+// sequences, and the PR 1 golden determinism tests pin the default search.
+//
+// Not thread-safe; chains own disjoint evaluators (see AnnealScratch).
+// Between Reset and the end of the chain the evaluator borrows the demand
+// and starved-index vectors — they must outlive the slot.
+class EnergyEvaluator : public PathSource {
+ public:
+  struct Eval {
+    double energy = 0.0;     // routing throughput on the realized topology
+    int starved_served = 0;  // starved transfers with a non-zero allocation
+    bool memo_hit = false;   // true: routing skipped, values from the memo
+    int failed_units = 0;    // units SyncTo could not realize
+  };
+
+  struct Stats {
+    int64_t evaluations = 0;      // Apply calls
+    int64_t memo_hits = 0;        // Apply calls resolved from the memo
+    int64_t routing_runs = 0;     // full allocator executions
+    int64_t pairs_enumerated = 0; // per-pair path enumerations
+    int64_t pairs_reused = 0;     // cache hits inside the allocator
+    int64_t graph_rebuilds = 0;   // structural moves (edge set changed)
+  };
+
+  EnergyEvaluator() = default;
+
+  // Starts a slot: re-derives the provisioned state from the blank optical
+  // plant exactly as a fresh chain would (copy + SyncTo(start)), recomputes
+  // the base energy, and clears the memo table (energies depend on the
+  // demand set). The path cache persists across slots; stale entries are
+  // invalidated against the realized-topology diff.
+  const Eval& Reset(const optical::OpticalNetwork& blank_optical,
+                    const Topology& start,
+                    const std::vector<TransferDemand>& demands,
+                    const std::vector<size_t>& starved,
+                    const RoutingOptions& options);
+
+  // Applies `target` to the provisioned state in place and evaluates it.
+  // Exactly one of Accept()/Reject() must follow before the next Apply. On
+  // a memo hit the routing run is skipped; call EnsureRouting() first if
+  // the full outcome is needed.
+  const Eval& Apply(const Topology& target);
+
+  // Keeps the applied candidate as the chain's current state.
+  void Accept();
+
+  // Exactly reverses the last Apply (the optical network, circuit ids and
+  // all, returns to its prior state).
+  void Reject();
+
+  // Routing outcome of the last Apply/Reset, running the allocator if it
+  // was skipped (memo hit or moved out). Valid until the next Apply.
+  const RoutingOutcome& EnsureRouting();
+
+  // Moves the last routing outcome out (best-state snapshots take it
+  // instead of copying); a later EnsureRouting recomputes.
+  RoutingOutcome TakeRouting();
+
+  const ProvisionedState& state() const { return *state_; }
+  const Eval& last() const { return last_; }
+  const Stats& stats() const { return stats_; }
+
+  // PathSource: path set for (src, dst) on the current realized graph,
+  // re-enumerating only invalidated entries. Used by the allocator.
+  const PairPaths& PathsFor(net::NodeId src, net::NodeId dst) override;
+
+  // ---- introspection (tests / bench) ----
+
+  // Cached paths for (src, dst) if present AND valid, else nullptr.
+  const PairPaths* CachedPaths(net::NodeId src, net::NodeId dst) const;
+  // Pairs invalidated by the most recent cache sync, in cache order.
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& LastInvalidated()
+      const {
+    return last_invalidated_;
+  }
+
+ private:
+  struct CacheEntry {
+    net::NodeId src = net::kInvalidNode;
+    net::NodeId dst = net::kInvalidNode;
+    bool valid = false;
+    PairPaths pp;
+    // Canonical link indices (min*n+max) its paths traverse, sorted unique.
+    std::vector<int32_t> used_links;
+    // Nodes the enumeration DFS expanded, ascending (see PathsUpToHops):
+    // the exactness guard for truncated entries — the sample survives any
+    // structural move whose changed links touch none of these nodes.
+    std::vector<net::NodeId> expanded;
+  };
+
+  struct MemoEntry {
+    Topology realized;  // exact-equality guard against hash collisions
+    double energy = 0.0;
+    int starved_served = 0;
+  };
+
+  size_t LinkIdx(net::NodeId u, net::NodeId v) const {
+    const auto [a, b] = std::minmax(u, v);
+    return static_cast<size_t>(a) * static_cast<size_t>(n_) +
+           static_cast<size_t>(b);
+  }
+  size_t DirIdx(net::NodeId s, net::NodeId d) const {
+    return static_cast<size_t>(s) * static_cast<size_t>(n_) +
+           static_cast<size_t>(d);
+  }
+
+  void ClearPathCache();
+  // Brings graph_/path cache in line with state_->realized(): updates edge
+  // capacities in place for capacity-only diffs, otherwise rebuilds the
+  // canonical graph, applies the invalidation rules, and remaps surviving
+  // cached paths onto the new edge ids.
+  void SyncCache();
+  // SyncCache + allocator; records energy/served and optionally memoizes.
+  void RunRouting(bool memoize);
+  int CountStarvedServed() const;
+
+  // ---- chain state ----
+  std::optional<ProvisionedState> state_;
+  ProvisionedState::SyncUndo undo_;
+  bool pending_ = false;  // an Apply awaits Accept/Reject
+
+  // ---- slot bindings ----
+  const std::vector<TransferDemand>* demands_ = nullptr;
+  const std::vector<size_t>* starved_ = nullptr;
+  RoutingOptions options_;
+
+  // ---- persistent path cache ----
+  int n_ = 0;
+  double theta_ = 0.0;
+  Topology cache_topo_;            // realized topology graph_ reflects
+  net::Graph graph_;               // == cache_topo_.ToGraph(theta_)
+  std::vector<int32_t> pair_edge_; // link index -> EdgeId in graph_, -1 none
+  std::vector<int32_t> pair_slot_; // dir index -> entries_ slot, -1 none
+  std::vector<CacheEntry> entries_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> last_invalidated_;
+
+  // ---- transposition table (per slot) ----
+  std::unordered_map<uint64_t, std::vector<MemoEntry>> memo_;
+
+  // ---- last evaluation ----
+  Eval last_;
+  RoutingOutcome last_routing_;
+  bool routing_valid_ = false;
+
+  Stats stats_;
+};
+
+// Reusable cross-slot scratch for ComputeNetworkState: one evaluator per
+// chain, so each chain's path cache persists across slots. Reserve() must
+// run before chains execute concurrently; ForChain then hands out disjoint
+// evaluators without synchronization.
+class AnnealScratch {
+ public:
+  void Reserve(int num_chains);
+  EnergyEvaluator& ForChain(int chain) { return *evals_[chain]; }
+
+ private:
+  std::vector<std::unique_ptr<EnergyEvaluator>> evals_;
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_ENERGY_EVALUATOR_H_

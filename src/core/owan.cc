@@ -87,7 +87,7 @@ TeOutput OwanTe::Compute(const TeInput& input) {
   }
 
   last_ = ComputeNetworkState(*in.topology, *in.optical, in.demands,
-                              options_.anneal, rng_, pool_.get());
+                              options_.anneal, rng_, pool_.get(), &scratch_);
   TeOutput out;
   out.allocations = last_.routing.allocations;
   out.new_topology = last_.best_topology;

@@ -53,6 +53,9 @@ class OwanTe : public TeScheme {
   // per-slot search never pays thread spawn/join costs. The pool holds
   // num_threads - 1 workers; the Compute thread participates.
   std::unique_ptr<util::ThreadPool> pool_;
+  // Per-chain incremental evaluators, reused across slots so each chain's
+  // path cache stays warm from one Compute call to the next.
+  AnnealScratch scratch_;
 };
 
 }  // namespace owan::core

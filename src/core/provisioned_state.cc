@@ -9,13 +9,22 @@ ProvisionedState::ProvisionedState(optical::OpticalNetwork optical)
       requested_(optical_.NumSites()),
       realized_(optical_.NumSites()) {}
 
-int ProvisionedState::SyncTo(const Topology& target) {
+int ProvisionedState::SyncTo(const Topology& target, SyncUndo* undo) {
+  if (undo) {
+    undo->prev_requested = requested_;
+    undo->prev_realized = realized_;
+    undo->prev_next_id = optical_.next_circuit_id();
+    undo->released.clear();
+    undo->provisioned.clear();
+  }
+
   // Release first so freed wavelengths/regenerators can serve the additions.
   auto [to_add, to_remove] = target.Diff(requested_);
   for (const Link& l : to_remove) {
     auto key = Key(l.u, l.v);
     auto& circuits = link_circuits_[key];
     for (int i = 0; i < l.units && !circuits.empty(); ++i) {
+      if (undo) undo->released.push_back(optical_.circuit(circuits.back()));
       optical_.ReleaseCircuit(circuits.back());
       circuits.pop_back();
       realized_.AddUnits(l.u, l.v, -1);
@@ -30,6 +39,7 @@ int ProvisionedState::SyncTo(const Topology& target) {
       if (id) {
         link_circuits_[Key(l.u, l.v)].push_back(*id);
         realized_.AddUnits(l.u, l.v, 1);
+        if (undo) undo->provisioned.push_back(*id);
       } else {
         ++failed_units;
       }
@@ -37,6 +47,30 @@ int ProvisionedState::SyncTo(const Topology& target) {
   }
   requested_ = target;
   return failed_units;
+}
+
+void ProvisionedState::Rollback(const SyncUndo& undo) {
+  // Undo provisions first (they came last), newest first, so wavelengths
+  // freed here are available again when the released circuits are restored.
+  for (auto it = undo.provisioned.rbegin(); it != undo.provisioned.rend();
+       ++it) {
+    const optical::Circuit& c = optical_.circuit(*it);
+    auto key = Key(c.src, c.dst);
+    auto& circuits = link_circuits_[key];
+    // Provisions append, so within a key the newest id is at the back.
+    circuits.pop_back();
+    if (circuits.empty()) link_circuits_.erase(key);
+    optical_.ReleaseCircuit(*it);
+  }
+  // Restore released circuits verbatim, newest release first, which rebuilds
+  // each link's circuit vector in its original order.
+  for (auto it = undo.released.rbegin(); it != undo.released.rend(); ++it) {
+    optical_.RestoreCircuit(*it);
+    link_circuits_[Key(it->src, it->dst)].push_back(it->id);
+  }
+  optical_.RewindCircuitIds(undo.prev_next_id);
+  requested_ = undo.prev_requested;
+  realized_ = undo.prev_realized;
 }
 
 std::vector<optical::CircuitId> ProvisionedState::LinkCircuits(

@@ -13,22 +13,43 @@ namespace owan::core {
 // A network-layer topology together with the optical circuits that realise
 // it (Algorithm 3, step 1).
 //
-// The class owns a *copy* of the optical network so the annealing loop can
-// clone it cheaply per neighbor evaluation: SyncTo releases circuits only
-// for links losing units and provisions circuits only for links gaining
-// units, which keeps one SA iteration proportional to the size of the move
-// (4 link changes), not the size of the network.
+// The class owns its optical network. SyncTo releases circuits only for
+// links losing units and provisions circuits only for links gaining units,
+// which keeps one SA iteration proportional to the size of the move (4 link
+// changes), not the size of the network. The annealing evaluator goes one
+// step further: instead of cloning the whole state per candidate, it applies
+// SyncTo in place with a SyncUndo record and rolls back rejected moves
+// exactly (same circuit ids, wavelengths, and regen counters).
 //
 // `realized()` may fall short of the requested topology when wavelengths or
 // regenerators run out (Algorithm 3, lines 13-14): the missing units simply
 // do not appear in the realized capacity.
 class ProvisionedState {
  public:
+  // Everything one SyncTo changed, in application order. Rollback() replays
+  // it backwards; the vectors are reusable scratch (SyncTo clears them).
+  struct SyncUndo {
+    Topology prev_requested;
+    Topology prev_realized;
+    optical::CircuitId prev_next_id = 0;
+    // Circuits torn down, in release order. Each circuit's (src, dst) names
+    // the link it implemented, so no separate key list is needed.
+    std::vector<optical::Circuit> released;
+    // Ids of circuits brought up, in provision order.
+    std::vector<optical::CircuitId> provisioned;
+  };
+
   explicit ProvisionedState(optical::OpticalNetwork optical);
 
   // Adjusts circuits so the realized topology approaches `target`.
-  // Returns the number of units that could not be provisioned.
-  int SyncTo(const Topology& target);
+  // Returns the number of units that could not be provisioned. When `undo`
+  // is given, records everything needed for an exact Rollback.
+  int SyncTo(const Topology& target, SyncUndo* undo = nullptr);
+
+  // Exactly reverses the SyncTo that produced `undo`. Must be called before
+  // any other mutation; afterwards the state (including the optical
+  // network's internal counters) is bit-for-bit what it was before.
+  void Rollback(const SyncUndo& undo);
 
   const Topology& requested() const { return requested_; }
   const Topology& realized() const { return realized_; }

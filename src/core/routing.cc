@@ -1,7 +1,7 @@
 #include "core/routing.h"
 
 #include <algorithm>
-#include <map>
+#include <optional>
 
 #include "net/shortest_path.h"
 
@@ -9,11 +9,62 @@ namespace owan::core {
 
 namespace {
 constexpr double kRateEps = 1e-9;
+
+// Default PathSource: enumerates on first use, flat-indexed by src*n+dst.
+// Replaces the old per-call std::map cache — the slot table is two vector
+// allocations and O(1) lookups instead of a red-black tree rebuilt per
+// evaluation.
+class FreshPathSource : public PathSource {
+ public:
+  FreshPathSource(const net::Graph& topo, const RoutingOptions& options)
+      : topo_(topo),
+        options_(options),
+        slot_(static_cast<size_t>(topo.NumNodes()) *
+                  static_cast<size_t>(topo.NumNodes()),
+              -1) {}
+
+  const PairPaths& PathsFor(net::NodeId src, net::NodeId dst) override {
+    const size_t idx = static_cast<size_t>(src) *
+                           static_cast<size_t>(topo_.NumNodes()) +
+                       static_cast<size_t>(dst);
+    int32_t s = slot_[idx];
+    if (s < 0) {
+      entries_.push_back(EnumeratePairPaths(topo_, src, dst, options_));
+      s = static_cast<int32_t>(entries_.size()) - 1;
+      slot_[idx] = s;
+    }
+    return entries_[static_cast<size_t>(s)];
+  }
+
+ private:
+  const net::Graph& topo_;
+  const RoutingOptions& options_;
+  std::vector<int32_t> slot_;
+  std::vector<PairPaths> entries_;
+};
+
+}  // namespace
+
+PairPaths EnumeratePairPaths(const net::Graph& topo, net::NodeId src,
+                             net::NodeId dst, const RoutingOptions& options,
+                             std::vector<net::NodeId>* expanded) {
+  PairPaths pp;
+  pp.paths =
+      net::PathsUpToHops(topo, src, dst, options.max_hops,
+                         options.max_paths_per_pair, &pp.truncated, expanded);
+  if (pp.paths.empty()) {
+    pp.paths = net::KShortestPaths(topo, src, dst, 2);
+    pp.fallback = true;
+    pp.truncated = false;
+    if (expanded) expanded->clear();
+  }
+  return pp;
 }
 
 RoutingOutcome AssignRoutesAndRates(const net::Graph& topo,
                                     const std::vector<TransferDemand>& demands,
-                                    const RoutingOptions& options) {
+                                    const RoutingOptions& options,
+                                    PathSource* paths) {
   RoutingOutcome out;
   out.allocations.resize(demands.size());
   for (size_t i = 0; i < demands.size(); ++i) {
@@ -31,41 +82,31 @@ RoutingOutcome AssignRoutesAndRates(const net::Graph& topo,
 
   const std::vector<size_t> order = ScheduleOrder(demands, options.policy);
 
-  // Cache enumerated paths per (src, dst) pair; several transfers often
-  // share endpoints. Pairs farther apart than max_hops fall back to their
-  // k shortest paths of any length — Algorithm 3's length rounds are
-  // unbounded, only the enumeration is capped for cost.
-  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<net::Path>>
-      path_cache;
+  std::optional<FreshPathSource> fresh;
+  if (paths == nullptr) {
+    fresh.emplace(topo, options);
+    paths = &*fresh;
+  }
+
+  // Prime every demand's pair so longest_hops covers all fallback paths
+  // (pairs farther apart than max_hops route over their unbounded k-shortest
+  // paths, which stretch the hop rounds).
   int longest_hops = options.max_hops;
-  auto paths_for = [&](net::NodeId s,
-                       net::NodeId d) -> const std::vector<net::Path>& {
-    auto key = std::make_pair(s, d);
-    auto it = path_cache.find(key);
-    if (it == path_cache.end()) {
-      std::vector<net::Path> paths = net::PathsUpToHops(
-          topo, s, d, options.max_hops, options.max_paths_per_pair);
-      if (paths.empty()) {
-        paths = net::KShortestPaths(topo, s, d, 2);
-        for (const net::Path& p : paths) {
-          longest_hops =
-              std::max(longest_hops, static_cast<int>(p.HopCount()));
-        }
-      }
-      it = path_cache.emplace(key, std::move(paths)).first;
-    }
-    return it->second;
-  };
-  // Prime the cache so longest_hops covers every demand's fallback paths.
   for (const TransferDemand& d : demands) {
-    if (d.src != d.dst && d.src != net::kInvalidNode) paths_for(d.src, d.dst);
+    if (d.src == d.dst || d.src == net::kInvalidNode) continue;
+    const PairPaths& pp = paths->PathsFor(d.src, d.dst);
+    if (pp.fallback) {
+      for (const net::Path& p : pp.paths) {
+        longest_hops = std::max(longest_hops, static_cast<int>(p.HopCount()));
+      }
+    }
   }
 
   // Serves one transfer across all of its paths (shortest first).
   auto serve_fully = [&](size_t oi) {
     const TransferDemand& d = demands[oi];
     if (d.src == d.dst || d.src == net::kInvalidNode) return;
-    for (const net::Path& p : paths_for(d.src, d.dst)) {
+    for (const net::Path& p : paths->PathsFor(d.src, d.dst).paths) {
       if (unmet[oi] <= kRateEps) break;
       double bottleneck = unmet[oi];
       for (net::EdgeId e : p.edges) {
@@ -116,7 +157,7 @@ RoutingOutcome AssignRoutesAndRates(const net::Graph& topo,
       if (unmet[oi] <= kRateEps) continue;
       const TransferDemand& d = demands[oi];
       if (d.src == d.dst || d.src == net::kInvalidNode) continue;
-      for (const net::Path& p : paths_for(d.src, d.dst)) {
+      for (const net::Path& p : paths->PathsFor(d.src, d.dst).paths) {
         if (static_cast<int>(p.HopCount()) != hops) continue;
         if (unmet[oi] <= kRateEps) break;
         double bottleneck = unmet[oi];

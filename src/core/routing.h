@@ -28,13 +28,52 @@ struct RoutingOutcome {
   std::vector<TransferAllocation> allocations;  // parallel to input demands
 };
 
+// The enumerated path set of one (src, dst) pair, with the provenance bits
+// the incremental evaluator's cache-invalidation rules need.
+struct PairPaths {
+  std::vector<net::Path> paths;
+  // Paths came from the KShortestPaths fallback (PathsUpToHops found
+  // nothing within max_hops): no hop bound applies, and the set depends on
+  // global graph structure rather than only the links it traverses.
+  bool fallback = false;
+  // PathsUpToHops stopped at max_paths_per_pair: the set is an incomplete
+  // sample, not the full bounded-hop path space.
+  bool truncated = false;
+};
+
+// Supplies per-pair path sets to AssignRoutesAndRates. The default source
+// enumerates fresh per call; the annealing evaluator substitutes a
+// persistent cache with delta invalidation. Implementations must return
+// exactly what EnumeratePairPaths would return on the same graph.
+class PathSource {
+ public:
+  virtual ~PathSource() = default;
+  virtual const PairPaths& PathsFor(net::NodeId src, net::NodeId dst) = 0;
+};
+
+// The canonical per-pair enumeration: bounded-hop simple paths, falling back
+// to the 2 shortest unbounded paths when the pair is farther apart than
+// max_hops (Algorithm 3's length rounds are unbounded; only the enumeration
+// is capped for cost).
+//
+// `expanded` (optional) receives the DFS-expanded node set (see
+// net::PathsUpToHops) — the incremental evaluator's invalidation guard for
+// truncated entries. Left empty on the fallback path.
+PairPaths EnumeratePairPaths(const net::Graph& topo, net::NodeId src,
+                             net::NodeId dst, const RoutingOptions& options,
+                             std::vector<net::NodeId>* expanded = nullptr);
+
 // Algorithm 3, step 2: assigns multi-path routes and rates over the given
 // network-layer capacity graph. Transfers are ordered by the scheduling
 // policy; round l considers only paths of exactly l hops, so higher-priority
 // transfers claim short paths before anyone may use long ones.
+//
+// `paths` (optional) overrides path enumeration; when null a fresh flat
+// per-pair cache is built for the call.
 RoutingOutcome AssignRoutesAndRates(const net::Graph& topo,
                                     const std::vector<TransferDemand>& demands,
-                                    const RoutingOptions& options);
+                                    const RoutingOptions& options,
+                                    PathSource* paths = nullptr);
 
 // Convenience: just the throughput (used as the annealing energy).
 double ComputeThroughput(const net::Graph& topo,

@@ -1,13 +1,31 @@
 #include "core/topology.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 namespace owan::core {
 
+namespace {
+
+struct KeyLess {
+  bool operator()(const std::pair<std::pair<net::NodeId, net::NodeId>, int>& a,
+                  const std::pair<net::NodeId, net::NodeId>& key) const {
+    return a.first < key;
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<Topology::PairKey, int>>::const_iterator Topology::Find(
+    const PairKey& key) const {
+  return std::lower_bound(units_.begin(), units_.end(), key, KeyLess{});
+}
+
 int Topology::Units(net::NodeId u, net::NodeId v) const {
-  auto it = units_.find(Key(u, v));
-  return it == units_.end() ? 0 : it->second;
+  const PairKey key = Key(u, v);
+  auto it = Find(key);
+  return (it == units_.end() || it->first != key) ? 0 : it->second;
 }
 
 void Topology::AddUnits(net::NodeId u, net::NodeId v, int delta) {
@@ -15,13 +33,19 @@ void Topology::AddUnits(net::NodeId u, net::NodeId v, int delta) {
   if (u < 0 || v < 0 || u >= n_ || v >= n_) {
     throw std::out_of_range("Topology: site out of range");
   }
-  auto key = Key(u, v);
-  int& cur = units_[key];
-  cur += delta;
-  if (cur < 0) {
+  const PairKey key = Key(u, v);
+  auto it = units_.begin() + (Find(key) - units_.begin());
+  if (it == units_.end() || it->first != key) {
+    if (delta < 0) throw std::logic_error("Topology: negative units on link");
+    if (delta == 0) return;
+    units_.insert(it, {key, delta});
+    return;
+  }
+  it->second += delta;
+  if (it->second < 0) {
     throw std::logic_error("Topology: negative units on link");
   }
-  if (cur == 0) units_.erase(key);
+  if (it->second == 0) units_.erase(it);
 }
 
 void Topology::SetUnits(net::NodeId u, net::NodeId v, int units) {
@@ -45,8 +69,6 @@ std::vector<Link> Topology::Links() const {
   return out;
 }
 
-int Topology::NumLinks() const { return static_cast<int>(units_.size()); }
-
 int Topology::TotalUnits() const {
   int total = 0;
   for (const auto& [key, units] : units_) {
@@ -68,14 +90,27 @@ std::pair<std::vector<Link>, std::vector<Link>> Topology::Diff(
     const Topology& other) const {
   std::vector<Link> to_add;
   std::vector<Link> to_remove;
-  // Links in this with more units than other.
-  for (const auto& [key, units] : units_) {
-    const int delta = units - other.Units(key.first, key.second);
-    if (delta > 0) to_add.push_back(Link{key.first, key.second, delta});
-  }
-  for (const auto& [key, units] : other.units_) {
-    const int delta = units - Units(key.first, key.second);
-    if (delta > 0) to_remove.push_back(Link{key.first, key.second, delta});
+  // Both vectors are sorted by key: one merge pass instead of a lookup per
+  // link (Diff runs once per annealing candidate).
+  auto a = units_.begin();
+  auto b = other.units_.begin();
+  while (a != units_.end() || b != other.units_.end()) {
+    if (b == other.units_.end() || (a != units_.end() && a->first < b->first)) {
+      to_add.push_back(Link{a->first.first, a->first.second, a->second});
+      ++a;
+    } else if (a == units_.end() || b->first < a->first) {
+      to_remove.push_back(Link{b->first.first, b->first.second, b->second});
+      ++b;
+    } else {
+      const int delta = a->second - b->second;
+      if (delta > 0) {
+        to_add.push_back(Link{a->first.first, a->first.second, delta});
+      } else if (delta < 0) {
+        to_remove.push_back(Link{b->first.first, b->first.second, -delta});
+      }
+      ++a;
+      ++b;
+    }
   }
   return {to_add, to_remove};
 }

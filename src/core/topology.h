@@ -2,9 +2,9 @@
 #define OWAN_CORE_TOPOLOGY_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "net/graph.h"
@@ -23,6 +23,13 @@ struct Link {
 // state variable of the simulated-annealing search (paper §3.2). Each unit
 // of capacity on link (u,v) consumes one WAN-facing router port at u and one
 // at v and is implemented by one optical circuit.
+//
+// Storage is a sorted flat vector keyed by the canonical (u < v) pair: the
+// annealing hot loop copies topologies constantly (every neighbor move and
+// undo snapshot), and a contiguous vector copy is a memcpy where the old
+// std::map was a node-by-node allocation storm. Iteration order is the same
+// sorted key order the map had, so ToGraph/Hash/Diff/DebugString output is
+// unchanged.
 class Topology {
  public:
   Topology() = default;
@@ -40,11 +47,12 @@ class Topology {
 
   // All links with units > 0, canonical (u < v) order.
   std::vector<Link> Links() const;
-  int NumLinks() const;
+  int NumLinks() const { return static_cast<int>(units_.size()); }
   int TotalUnits() const;
 
   // Network-layer capacity graph: one edge per link, capacity units*theta,
-  // weight 1 (so shortest paths count hops).
+  // weight 1 (so shortest paths count hops). Edges are added in canonical
+  // link order, so edge ids are a deterministic function of the topology.
   net::Graph ToGraph(double theta) const;
 
   bool operator==(const Topology& o) const {
@@ -62,16 +70,25 @@ class Topology {
 
   std::string DebugString() const;
 
+  // Order-independent-free fingerprint of (num_sites, sorted link multiset).
+  // Equal topologies always hash equal; unequal topologies may collide, so
+  // hash-keyed tables must guard with operator==.
   uint64_t Hash() const;
 
  private:
-  static std::pair<net::NodeId, net::NodeId> Key(net::NodeId u,
-                                                 net::NodeId v) {
+  using PairKey = std::pair<net::NodeId, net::NodeId>;
+
+  static PairKey Key(net::NodeId u, net::NodeId v) {
     return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
   }
 
+  // Iterator to the entry with key >= key (sorted order).
+  std::vector<std::pair<PairKey, int>>::const_iterator Find(
+      const PairKey& key) const;
+
   int n_ = 0;
-  std::map<std::pair<net::NodeId, net::NodeId>, int> units_;
+  // Sorted by key; entries always have units > 0.
+  std::vector<std::pair<PairKey, int>> units_;
 };
 
 }  // namespace owan::core

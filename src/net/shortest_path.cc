@@ -178,10 +178,156 @@ std::vector<Path> KShortestPaths(const Graph& g, NodeId src, NodeId dst,
 
 namespace {
 
+// Hop levels from `src` under the Yen spur mask; dist[v] == -1 if not
+// reached. Level fields are order-independent, so a plain frontier BFS
+// matches what the filtered Dijkstra computes on unit-weight edges. Stops
+// once the level containing `stop_at` completes: every node at distance
+// <= dist[stop_at] is labeled by then, which is all the canonical
+// backward walk ever queries.
+void HopLevels(const Graph& g, NodeId src, NodeId stop_at, EdgeId banned_edge,
+               const std::vector<char>& banned_node, std::vector<int>& dist) {
+  dist.assign(static_cast<size_t>(g.NumNodes()), -1);
+  std::vector<NodeId> frontier{src};
+  std::vector<NodeId> next;
+  dist[static_cast<size_t>(src)] = 0;
+  int level = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    ++level;
+    for (NodeId u : frontier) {
+      for (EdgeId e : g.Incident(u)) {
+        if (e == banned_edge) continue;
+        const Edge& edge = g.edge(e);
+        if (banned_node[static_cast<size_t>(edge.u)] ||
+            banned_node[static_cast<size_t>(edge.v)]) {
+          continue;
+        }
+        const NodeId v = edge.Other(u);
+        if (dist[static_cast<size_t>(v)] == -1) {
+          dist[static_cast<size_t>(v)] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    if (dist[static_cast<size_t>(stop_at)] != -1) return;
+    frontier.swap(next);
+  }
+}
+
+// Canonical shortest path from the level field, replicating the filtered
+// Dijkstra's tie-breaking: pops ascend (dist, node), and a node's dist is
+// only ever set once on unit-weight edges, so parent[v] is the lowest-id
+// masked neighbor one level down and parent_edge[v] is the first qualifying
+// edge in that parent's incident list.
+std::optional<Path> ExtractByLevels(const Graph& g, NodeId dst,
+                                    EdgeId banned_edge,
+                                    const std::vector<char>& banned_node,
+                                    const std::vector<int>& dist) {
+  const int d = dist[static_cast<size_t>(dst)];
+  if (d < 0) return std::nullopt;
+  Path p;
+  p.nodes.assign(static_cast<size_t>(d) + 1, -1);
+  p.edges.assign(static_cast<size_t>(d), kInvalidEdge);
+  p.length = static_cast<double>(d);
+  NodeId cur = dst;
+  for (int lvl = d; lvl > 0; --lvl) {
+    p.nodes[static_cast<size_t>(lvl)] = cur;
+    NodeId parent = -1;
+    for (EdgeId e : g.Incident(cur)) {
+      if (e == banned_edge) continue;
+      const Edge& edge = g.edge(e);
+      if (banned_node[static_cast<size_t>(edge.u)] ||
+          banned_node[static_cast<size_t>(edge.v)]) {
+        continue;
+      }
+      const NodeId v = edge.Other(cur);
+      if (dist[static_cast<size_t>(v)] == lvl - 1 &&
+          (parent == -1 || v < parent)) {
+        parent = v;
+      }
+    }
+    for (EdgeId e : g.Incident(parent)) {
+      if (e == banned_edge) continue;
+      const Edge& edge = g.edge(e);
+      if (banned_node[static_cast<size_t>(edge.u)] ||
+          banned_node[static_cast<size_t>(edge.v)]) {
+        continue;
+      }
+      if (edge.Other(parent) == cur) {
+        p.edges[static_cast<size_t>(lvl) - 1] = e;
+        break;
+      }
+    }
+    cur = parent;
+  }
+  p.nodes[0] = cur;
+  return p;
+}
+
+}  // namespace
+
+std::vector<Path> TwoShortestPathsByHops(const Graph& g, NodeId src,
+                                         NodeId dst) {
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (g.edge(e).weight != 1.0) return KShortestPaths(g, src, dst, 2);
+  }
+  std::vector<Path> result;
+  if (src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes()) {
+    return result;
+  }
+  if (src == dst) {
+    Path p;
+    p.nodes = {src};
+    result.push_back(std::move(p));
+    return result;
+  }
+  std::vector<char> banned_node(static_cast<size_t>(g.NumNodes()), 0);
+  std::vector<int> dist;
+  HopLevels(g, src, dst, kInvalidEdge, banned_node, dist);
+  auto first = ExtractByLevels(g, dst, kInvalidEdge, banned_node, dist);
+  if (!first) return result;
+  result.push_back(*first);
+
+  // Yen's single deviation round: candidates are ordered by (length, node
+  // sequence) and spurs are visited root-first, so tracking the strictly
+  // smallest candidate reproduces the candidate set's begin() — including
+  // which parallel-edge variant survives on equal node sequences.
+  const Path& prev = result.front();
+  std::optional<Path> best;
+  for (size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+    const NodeId spur = prev.nodes[i];
+    if (i > 0) banned_node[static_cast<size_t>(prev.nodes[i - 1])] = 1;
+    const EdgeId banned_edge = prev.edges[i];
+    HopLevels(g, spur, dst, banned_edge, banned_node, dist);
+    auto spur_path = ExtractByLevels(g, dst, banned_edge, banned_node, dist);
+    if (!spur_path) continue;
+    Path total;
+    total.nodes.assign(prev.nodes.begin(),
+                       prev.nodes.begin() + static_cast<long>(i));
+    total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(),
+                       spur_path->nodes.end());
+    if (total.nodes == prev.nodes) continue;  // Yen's known-path mask
+    total.edges.assign(prev.edges.begin(),
+                       prev.edges.begin() + static_cast<long>(i));
+    total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                       spur_path->edges.end());
+    total.length = static_cast<double>(total.edges.size());
+    const bool better =
+        !best || total.length < best->length ||
+        (total.length == best->length && total.nodes < best->nodes);
+    if (better) best = std::move(total);
+  }
+  if (best) result.push_back(std::move(*best));
+  return result;
+}
+
+namespace {
+
 void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
               size_t max_paths, std::vector<NodeId>& nodes,
               std::vector<EdgeId>& edges, std::vector<bool>& visited,
-              double length, std::vector<Path>& out) {
+              double length, std::vector<Path>& out,
+              std::vector<bool>* expanded) {
   if (out.size() >= max_paths) return;
   if (cur == dst) {
     Path p;
@@ -192,6 +338,7 @@ void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
     return;
   }
   if (static_cast<int>(edges.size()) >= max_hops) return;
+  if (expanded) (*expanded)[cur] = true;
   for (EdgeId e : g.Incident(cur)) {
     const NodeId nxt = g.edge(e).Other(cur);
     if (visited[nxt]) continue;
@@ -199,7 +346,7 @@ void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
     nodes.push_back(nxt);
     edges.push_back(e);
     PathsDfs(g, nxt, dst, max_hops, max_paths, nodes, edges, visited,
-             length + g.edge(e).weight, out);
+             length + g.edge(e).weight, out, expanded);
     edges.pop_back();
     nodes.pop_back();
     visited[nxt] = false;
@@ -209,8 +356,12 @@ void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
 }  // namespace
 
 std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
-                                int max_hops, size_t max_paths) {
+                                int max_hops, size_t max_paths,
+                                bool* truncated,
+                                std::vector<NodeId>* expanded) {
   std::vector<Path> out;
+  if (truncated) *truncated = false;
+  if (expanded) expanded->clear();
   if (src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes()) {
     return out;
   }
@@ -218,7 +369,18 @@ std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
   std::vector<NodeId> nodes{src};
   std::vector<EdgeId> edges;
   visited[src] = true;
-  PathsDfs(g, src, dst, max_hops, max_paths, nodes, edges, visited, 0.0, out);
+  std::vector<bool> expanded_mark;
+  if (expanded) expanded_mark.assign(g.NumNodes(), false);
+  PathsDfs(g, src, dst, max_hops, max_paths, nodes, edges, visited, 0.0, out,
+           expanded ? &expanded_mark : nullptr);
+  if (expanded) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (expanded_mark[v]) expanded->push_back(v);
+    }
+  }
+  // Hitting the cap means the DFS may have abandoned unexplored branches;
+  // the set is then a discovery-order sample rather than the full space.
+  if (truncated) *truncated = out.size() >= max_paths;
   std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
     if (a.HopCount() != b.HopCount()) return a.HopCount() < b.HopCount();
     if (a.length != b.length) return a.length < b.length;

@@ -43,11 +43,35 @@ std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
 std::vector<Path> KShortestPaths(const Graph& g, NodeId src, NodeId dst,
                                  int k, const EdgeFilter& filter = {});
 
+// Exact drop-in for KShortestPaths(g, src, dst, 2) on graphs whose edges
+// all have weight 1 and no parallel edges (network-layer capacity graphs
+// from Topology::ToGraph). Dijkstra's queue pops ascending (dist, node), so
+// on such graphs its parent choices reduce to "lowest-id neighbor one hop
+// level down" — which plain BFS level fields reproduce without a heap. The
+// annealing evaluator's path cache re-derives fallback pairs through this
+// on every structural move, so the constant factor matters.
+std::vector<Path> TwoShortestPathsByHops(const Graph& g, NodeId src,
+                                         NodeId dst);
+
 // All loopless paths from src to dst with at most `max_hops` hops, sorted by
 // hop count then weight. Exponential in general; intended for the small
 // per-link path sets the energy function iterates over.
+//
+// When `truncated` is given it is set to true iff the enumeration stopped at
+// `max_paths` before exhausting the search space — i.e. the result may be an
+// incomplete (DFS-order, not rank-order) subset. Callers that cache path
+// sets across graph edits need this: a complete set stays valid under edits
+// that touch none of its links, a truncated one does not.
+//
+// When `expanded` is given it receives, in ascending order, the nodes whose
+// incident lists the DFS iterated. The traversal — and hence a truncated
+// sample — is a pure function of those nodes' neighbor sequences, so a
+// cached truncated set stays exact under any edit whose changed links touch
+// no expanded node.
 std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
-                                int max_hops, size_t max_paths = 64);
+                                int max_hops, size_t max_paths = 64,
+                                bool* truncated = nullptr,
+                                std::vector<NodeId>* expanded = nullptr);
 
 }  // namespace owan::net
 

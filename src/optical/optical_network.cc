@@ -50,6 +50,7 @@ net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
     throw std::invalid_argument("AddFiber: bad length or wavelength count");
   }
   const net::EdgeId id = fiber_graph_.AddEdge(u, v, length_km);
+  fiber_cache_.Clear();
   fibers_.push_back(FiberInfo{length_km, num_wavelengths});
   lambda_used_.emplace_back(num_wavelengths, false);
   if (static_cast<int>(lambda_usage_.size()) < num_wavelengths) {
@@ -106,9 +107,32 @@ int OpticalNetwork::FindCommonWavelength(
 }
 
 double OpticalNetwork::FiberDistanceKm(net::NodeId u, net::NodeId v) const {
-  const net::SpTree t = net::Dijkstra(
-      fiber_graph_, u, [this](net::EdgeId e) { return !fiber_failed_[e]; });
-  return t.dist[v];
+  return FiberTree(u).dist[v];
+}
+
+const net::SpTree& OpticalNetwork::FiberTree(net::NodeId u) const {
+  auto& trees = fiber_cache_.trees;
+  if (trees.size() != sites_.size()) trees.assign(sites_.size(), std::nullopt);
+  auto& slot = trees[static_cast<size_t>(u)];
+  if (!slot) {
+    slot = net::Dijkstra(fiber_graph_, u,
+                         [this](net::EdgeId e) { return !fiber_failed_[e]; });
+  }
+  return *slot;
+}
+
+const std::vector<net::Path>& OpticalNetwork::SegmentRoutes(
+    net::NodeId a, net::NodeId b) const {
+  auto& routes = fiber_cache_.routes;
+  const size_t n = sites_.size();
+  if (routes.size() != n * n) routes.assign(n * n, std::nullopt);
+  auto& slot = routes[static_cast<size_t>(a) * n + static_cast<size_t>(b)];
+  if (!slot) {
+    slot = net::KShortestPaths(
+        fiber_graph_, a, b, kMaxFiberPathsPerSegment,
+        [this](net::EdgeId e) { return !fiber_failed_[e]; });
+  }
+  return *slot;
 }
 
 std::optional<Circuit> OpticalNetwork::RealizeSequence(
@@ -126,9 +150,7 @@ std::optional<Circuit> OpticalNetwork::RealizeSequence(
     const net::NodeId a = seq[i];
     const net::NodeId b = seq[i + 1];
     // Candidate fiber routes for this segment, within optical reach.
-    const auto routes = net::KShortestPaths(
-        fiber_graph_, a, b, kMaxFiberPathsPerSegment,
-        [this](net::EdgeId e) { return !fiber_failed_[e]; });
+    const auto& routes = SegmentRoutes(a, b);
     bool segment_done = false;
     for (const net::Path& route : routes) {
       if (route.length > reach_km_) break;  // sorted ascending; none fit
@@ -328,6 +350,35 @@ void OpticalNetwork::ReleaseCircuit(CircuitId id) {
   circuits_.erase(it);
 }
 
+void OpticalNetwork::RestoreCircuit(const Circuit& c) {
+  if (c.id == kInvalidCircuit || circuits_.count(c.id)) {
+    throw std::invalid_argument("RestoreCircuit: id invalid or live");
+  }
+  for (const Segment& s : c.segments) {
+    for (net::EdgeId f : s.fibers) {
+      if (lambda_used_[f][s.wavelength]) {
+        throw std::logic_error("RestoreCircuit: wavelength occupied");
+      }
+    }
+  }
+  for (const Segment& s : c.segments) {
+    for (net::EdgeId f : s.fibers) {
+      lambda_used_[f][s.wavelength] = true;
+      ++lambda_usage_[static_cast<size_t>(s.wavelength)];
+    }
+  }
+  for (net::NodeId r : c.regen_sites) --regens_free_[r];
+  circuits_.emplace(c.id, c);
+}
+
+void OpticalNetwork::RewindCircuitIds(CircuitId id) {
+  if (id > next_circuit_id_ ||
+      (!circuits_.empty() && id <= circuits_.rbegin()->first)) {
+    throw std::invalid_argument("RewindCircuitIds: id out of range");
+  }
+  next_circuit_id_ = id;
+}
+
 std::vector<CircuitId> OpticalNetwork::CircuitsBetween(net::NodeId u,
                                                        net::NodeId v) const {
   std::vector<CircuitId> out;
@@ -413,11 +464,13 @@ std::vector<CircuitId> OpticalNetwork::FailFiber(net::EdgeId fiber) {
   }
   for (CircuitId id : victims) ReleaseCircuit(id);
   fiber_failed_[fiber] = true;
+  fiber_cache_.Clear();
   return victims;
 }
 
 void OpticalNetwork::RestoreFiber(net::EdgeId fiber) {
   fiber_failed_[fiber] = false;
+  fiber_cache_.Clear();
 }
 
 }  // namespace owan::optical

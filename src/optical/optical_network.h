@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/graph.h"
+#include "net/shortest_path.h"
 #include "optical/circuit.h"
 
 namespace owan::optical {
@@ -106,6 +107,25 @@ class OpticalNetwork {
   // Releases a circuit, freeing its wavelengths and regenerators.
   void ReleaseCircuit(CircuitId id);
 
+  // ---- rollback hooks (annealing evaluator) ----
+  //
+  // The incremental energy evaluator mutates one live OpticalNetwork per
+  // chain and must be able to undo a candidate move exactly — same circuit
+  // ids, same wavelength bits, same regen counters — so a rolled-back
+  // evaluation leaves no trace that could steer later provisioning.
+
+  // Re-commits a previously released circuit verbatim (keeping its id).
+  // Throws if the id is live or any of its wavelengths is occupied.
+  void RestoreCircuit(const Circuit& c);
+
+  // Id the next provisioned circuit will take.
+  CircuitId next_circuit_id() const { return next_circuit_id_; }
+
+  // Rewinds the id counter after rolled-back provisioning so re-running the
+  // same provisioning sequence reassigns identical ids. `id` must not be
+  // lower than any live circuit's id.
+  void RewindCircuitIds(CircuitId id);
+
   const Circuit& circuit(CircuitId id) const { return circuits_.at(id); }
   const std::map<CircuitId, Circuit>& circuits() const { return circuits_; }
   int NumCircuits() const { return static_cast<int>(circuits_.size()); }
@@ -120,6 +140,16 @@ class OpticalNetwork {
 
   // Shortest fiber distance (km) between two sites, ignoring resources.
   double FiberDistanceKm(net::NodeId u, net::NodeId v) const;
+
+  // Shortest-path tree over the live fiber plant from `u` — exactly
+  // Dijkstra(fiber_graph(), u, !FiberFailed). Served from a lazily-built
+  // cache: the tree depends only on the fiber plant and the failure flags,
+  // which circuit churn never touches, so the annealing hot loop (which
+  // consults fiber distances for every provisioned circuit) reuses it
+  // across thousands of provisions. Invalidated by AddFiber / FailFiber /
+  // RestoreFiber; a copied network starts with a cold cache (chains run
+  // concurrently on their own copies and must not share one lazily).
+  const net::SpTree& FiberTree(net::NodeId u) const;
 
   // ---- failure handling (§3.4) ----
 
@@ -137,6 +167,13 @@ class OpticalNetwork {
   std::optional<Circuit> RealizeSequence(
       const std::vector<net::NodeId>& sites) const;
 
+  // Candidate fiber routes for one circuit segment a->b (the k-shortest
+  // loopless paths over non-failed fibers), cached like FiberTree: the
+  // route list depends on the plant and failure flags only — wavelength
+  // occupancy merely decides which of them gets used.
+  const std::vector<net::Path>& SegmentRoutes(net::NodeId a,
+                                              net::NodeId b) const;
+
   void Commit(Circuit& c);
 
   std::vector<SiteInfo> sites_;
@@ -153,6 +190,27 @@ class OpticalNetwork {
   std::vector<int> regens_free_;
   std::map<CircuitId, Circuit> circuits_;
   CircuitId next_circuit_id_ = 0;
+
+  // Lazily-built derived state over the static fiber plant (see FiberTree).
+  // Copies start cold on purpose: annealing chains copy the blank network
+  // and run concurrently, so sharing a lazily-filled cache would race.
+  struct FiberPlantCache {
+    std::vector<std::optional<net::SpTree>> trees;              // [site]
+    std::vector<std::optional<std::vector<net::Path>>> routes;  // [a*n+b]
+    FiberPlantCache() = default;
+    FiberPlantCache(const FiberPlantCache&) {}
+    FiberPlantCache& operator=(const FiberPlantCache&) {
+      Clear();
+      return *this;
+    }
+    FiberPlantCache(FiberPlantCache&&) = default;
+    FiberPlantCache& operator=(FiberPlantCache&&) = default;
+    void Clear() {
+      trees.clear();
+      routes.clear();
+    }
+  };
+  mutable FiberPlantCache fiber_cache_;
 };
 
 }  // namespace owan::optical

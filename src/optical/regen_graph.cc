@@ -164,10 +164,10 @@ RegenGraph::RegenGraph(const OpticalNetwork& on, net::NodeId src,
   hop_dist_km_.assign(n, std::vector<double>(n, kInf));
   for (net::NodeId u = 0; u < n; ++u) {
     if (!participates_[u]) continue;
-    // Dijkstra over the fiber plant, skipping failed fibers.
-    const net::SpTree tree = net::Dijkstra(
-        on.fiber_graph(), u,
-        [&on](net::EdgeId e) { return !on.FiberFailed(e); });
+    // Shortest fiber distances from u, skipping failed fibers (cached in
+    // the network — a regen graph is built per provisioned circuit, and
+    // the fiber plant doesn't change under circuit churn).
+    const net::SpTree& tree = on.FiberTree(u);
     for (net::NodeId v = u + 1; v < n; ++v) {
       if (!participates_[v]) continue;
       if (!tree.Reachable(v)) continue;

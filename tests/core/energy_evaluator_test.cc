@@ -1,0 +1,316 @@
+#include "core/energy_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/annealing.h"
+#include "core/provisioned_state.h"
+#include "core/routing.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace owan::core {
+namespace {
+
+std::vector<TransferDemand> RandomDemands(int num_sites, int count,
+                                          uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TransferDemand> demands;
+  demands.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TransferDemand d;
+    d.id = i;
+    d.src = rng.UniformInt(0, num_sites - 1);
+    do {
+      d.dst = rng.UniformInt(0, num_sites - 1);
+    } while (d.dst == d.src);
+    d.rate_cap = rng.Uniform(10.0, 60.0);
+    d.remaining = d.rate_cap * 100.0;
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+// The pre-evaluator per-candidate pattern the evaluator must reproduce
+// bit-for-bit: clone the provisioned state, sync, route from scratch.
+struct FreshEval {
+  double energy = 0.0;
+  int starved_served = 0;
+  ProvisionedState state;
+};
+
+FreshEval EvaluateFresh(const ProvisionedState& cur, const Topology& target,
+                        const std::vector<TransferDemand>& demands,
+                        const std::vector<size_t>& starved,
+                        const RoutingOptions& opt) {
+  FreshEval out{0.0, 0, cur};
+  out.state.SyncTo(target);
+  const RoutingOutcome ro =
+      AssignRoutesAndRates(out.state.CapacityGraph(), demands, opt);
+  out.energy = ro.throughput;
+  for (size_t i : starved) {
+    if (ro.allocations[i].TotalRate() > 1e-9) ++out.starved_served;
+  }
+  return out;
+}
+
+// Random accept/reject walk: every candidate energy must match a fresh
+// evaluation exactly, and the evaluator's in-place state must track the
+// reference state through accepts and rollbacks.
+void RunDifferentialWalk(const topo::Wan& wan, uint64_t seed, int steps) {
+  const std::vector<TransferDemand> demands =
+      RandomDemands(wan.default_topology.NumSites(), 48, seed * 31 + 7);
+  const std::vector<size_t> starved = {0, 3, 5, 11};
+  const RoutingOptions opt;
+
+  EnergyEvaluator eval;
+  const auto& base =
+      eval.Reset(wan.optical, wan.default_topology, demands, starved, opt);
+
+  ProvisionedState cur{wan.optical};
+  cur.SyncTo(wan.default_topology);
+  {
+    const RoutingOutcome ro =
+        AssignRoutesAndRates(cur.CapacityGraph(), demands, opt);
+    EXPECT_NEAR(base.energy, ro.throughput, 1e-9);
+  }
+
+  Topology cur_topo = wan.default_topology;
+  util::Rng rng(seed);
+  for (int i = 0; i < steps; ++i) {
+    const auto nb = ComputeNeighbor(cur_topo, rng);
+    ASSERT_TRUE(nb.has_value());
+    const auto& ev = eval.Apply(*nb);
+    const FreshEval ref = EvaluateFresh(cur, *nb, demands, starved, opt);
+    ASSERT_NEAR(ev.energy, ref.energy, 1e-9) << "step " << i;
+    ASSERT_EQ(ev.starved_served, ref.starved_served) << "step " << i;
+    ASSERT_TRUE(eval.state().realized() == ref.state.realized())
+        << "step " << i;
+    if (rng.Chance(0.5)) {
+      eval.Accept();
+      cur = ref.state;
+      cur_topo = *nb;
+    } else {
+      eval.Reject();
+      ASSERT_TRUE(eval.state().realized() == cur.realized()) << "step " << i;
+    }
+  }
+  EXPECT_GT(eval.stats().routing_runs, 0);
+}
+
+TEST(EnergyEvaluatorTest, MatchesFreshOnInternet2Walk) {
+  RunDifferentialWalk(topo::MakeInternet2(), 1234, 60);
+}
+
+TEST(EnergyEvaluatorTest, MatchesFreshOnIspWalk) {
+  RunDifferentialWalk(topo::MakeIspBackbone(), 987, 40);
+}
+
+TEST(EnergyEvaluatorTest, MemoHitOnRevisitedTopology) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = RandomDemands(wan.default_topology.NumSites(), 24, 5);
+  const std::vector<size_t> starved = {1, 2};
+  const RoutingOptions opt;
+
+  EnergyEvaluator eval;
+  eval.Reset(wan.optical, wan.default_topology, demands, starved, opt);
+
+  util::Rng rng(42);
+  const auto nb = ComputeNeighbor(wan.default_topology, rng);
+  ASSERT_TRUE(nb.has_value());
+  const auto first = eval.Apply(*nb);
+  EXPECT_FALSE(first.memo_hit);
+  eval.Reject();
+
+  const auto again = eval.Apply(*nb);
+  EXPECT_TRUE(again.memo_hit);
+  EXPECT_DOUBLE_EQ(again.energy, first.energy);
+  EXPECT_EQ(again.starved_served, first.starved_served);
+  // A memo hit skips routing; EnsureRouting recomputes the full outcome.
+  EXPECT_NEAR(eval.EnsureRouting().throughput, first.energy, 1e-9);
+  eval.Reject();
+}
+
+TEST(EnergyEvaluatorTest, RejectRestoresOpticalStateExactly) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = RandomDemands(wan.default_topology.NumSites(), 24, 6);
+  const std::vector<size_t> starved = {};
+  const RoutingOptions opt;
+
+  EnergyEvaluator eval;
+  eval.Reset(wan.optical, wan.default_topology, demands, starved, opt);
+  const int circuits_before = eval.state().optical().NumCircuits();
+  const auto next_id_before = eval.state().optical().next_circuit_id();
+
+  util::Rng rng(17);
+  const auto nb = ComputeNeighbor(wan.default_topology, rng);
+  ASSERT_TRUE(nb.has_value());
+  const double e1 = eval.Apply(*nb).energy;
+  eval.Reject();
+
+  EXPECT_TRUE(eval.state().realized() == wan.default_topology);
+  EXPECT_EQ(eval.state().optical().NumCircuits(), circuits_before);
+  EXPECT_EQ(eval.state().optical().next_circuit_id(), next_id_before);
+  EXPECT_TRUE(eval.state().optical().CheckInvariants());
+
+  // Re-applying the same move after rollback provisions identically.
+  EXPECT_DOUBLE_EQ(eval.Apply(*nb).energy, e1);
+  eval.Reject();
+}
+
+TEST(EnergyEvaluatorTest, CapacityOnlyMoveInvalidatesNoPaths) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = RandomDemands(wan.default_topology.NumSites(), 24, 8);
+  const RoutingOptions opt;
+  const std::vector<size_t> no_starved;
+
+  // The default plants carry one unit per link, so build a start topology
+  // with a doubled link: shifting that unit onto another existing link is a
+  // pure capacity move — the edge set of the capacity graph never changes,
+  // so no cached path set may drop.
+  const auto links = wan.default_topology.Links();
+  ASSERT_GE(links.size(), 2u);
+  Topology start = wan.default_topology;
+  start.AddUnits(links[0].u, links[0].v, 1);
+
+  EnergyEvaluator eval;
+  eval.Reset(wan.optical, start, demands, no_starved, opt);
+  const int64_t enumerated = eval.stats().pairs_enumerated;
+  const int64_t rebuilds = eval.stats().graph_rebuilds;  // Reset builds once
+
+  Topology target = start;
+  target.AddUnits(links[0].u, links[0].v, -1);
+  target.AddUnits(links[1].u, links[1].v, 1);
+
+  eval.Apply(target);
+  EXPECT_TRUE(eval.LastInvalidated().empty());
+  EXPECT_EQ(eval.stats().pairs_enumerated, enumerated);
+  EXPECT_EQ(eval.stats().graph_rebuilds, rebuilds);
+  eval.Reject();
+}
+
+TEST(EnergyEvaluatorTest, SurvivingCacheEntriesStayExact) {
+  topo::Wan wan = topo::MakeIspBackbone();
+  const auto demands = RandomDemands(wan.default_topology.NumSites(), 48, 9);
+  const RoutingOptions opt;
+  const double theta = wan.optical.wavelength_capacity();
+  const std::vector<size_t> no_starved;
+
+  EnergyEvaluator eval;
+  eval.Reset(wan.optical, wan.default_topology, demands, no_starved, opt);
+
+  Topology cur_topo = wan.default_topology;
+  util::Rng rng(3);
+  for (int step = 0; step < 10; ++step) {
+    const auto nb = ComputeNeighbor(cur_topo, rng);
+    ASSERT_TRUE(nb.has_value());
+    eval.Apply(*nb);
+    // Every valid cached entry must equal a from-scratch enumeration on the
+    // realized graph — survivors of the delta invalidation included.
+    const net::Graph g = eval.state().realized().ToGraph(theta);
+    for (const TransferDemand& d : demands) {
+      const PairPaths* cached = eval.CachedPaths(d.src, d.dst);
+      if (cached == nullptr) continue;
+      const PairPaths ref = EnumeratePairPaths(g, d.src, d.dst, opt);
+      ASSERT_EQ(cached->paths.size(), ref.paths.size())
+          << "step " << step << " pair " << d.src << "->" << d.dst;
+      for (size_t p = 0; p < ref.paths.size(); ++p) {
+        ASSERT_EQ(cached->paths[p].nodes, ref.paths[p].nodes);
+        ASSERT_EQ(cached->paths[p].edges, ref.paths[p].edges);
+      }
+    }
+    eval.Accept();
+    cur_topo = *nb;
+  }
+}
+
+TEST(EnergyEvaluatorTest, StructuralMoveReportsInvalidatedPairs) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = RandomDemands(wan.default_topology.NumSites(), 24, 10);
+  const RoutingOptions opt;
+  const std::vector<size_t> no_starved;
+
+  EnergyEvaluator eval;
+  eval.Reset(wan.optical, wan.default_topology, demands, no_starved, opt);
+
+  // Drain a link completely: structural change; pairs routing over it must
+  // be re-enumerated (reported via LastInvalidated).
+  Topology target = wan.default_topology;
+  std::optional<std::pair<net::NodeId, net::NodeId>> victim;
+  const int n = target.NumSites();
+  for (net::NodeId u = 0; u < n && !victim; ++u) {
+    for (net::NodeId v = u + 1; v < n && !victim; ++v) {
+      if (target.Units(u, v) > 0) victim = {u, v};
+    }
+  }
+  ASSERT_TRUE(victim.has_value());
+  // Port conservation: park the freed units on another existing link.
+  std::optional<std::pair<net::NodeId, net::NodeId>> other;
+  for (net::NodeId u = 0; u < n && !other; ++u) {
+    for (net::NodeId v = u + 1; v < n && !other; ++v) {
+      if (target.Units(u, v) > 0 && std::make_pair(u, v) != *victim) {
+        other = {u, v};
+      }
+    }
+  }
+  ASSERT_TRUE(other.has_value());
+  const int units = target.Units(victim->first, victim->second);
+  target.SetUnits(victim->first, victim->second, 0);
+  target.AddUnits(other->first, other->second, units);
+
+  eval.Apply(target);
+  EXPECT_GT(eval.stats().graph_rebuilds, 0);
+  EXPECT_FALSE(eval.LastInvalidated().empty());
+  eval.Reject();
+}
+
+TEST(EnergyEvaluatorTest, TakeRoutingMatchesEnergy) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = RandomDemands(wan.default_topology.NumSites(), 24, 11);
+  const RoutingOptions opt;
+  const std::vector<size_t> no_starved;
+
+  EnergyEvaluator eval;
+  const auto& base =
+      eval.Reset(wan.optical, wan.default_topology, demands, no_starved, opt);
+  const RoutingOutcome taken = eval.TakeRouting();
+  EXPECT_NEAR(taken.throughput, base.energy, 1e-9);
+  // Moved out — EnsureRouting must recompute, identically.
+  EXPECT_NEAR(eval.EnsureRouting().throughput, base.energy, 1e-9);
+}
+
+// The path cache persists across Reset (slots); results must stay exact
+// when a later slot starts from a different topology and demand set.
+TEST(EnergyEvaluatorTest, CachePersistsAcrossSlotsExactly) {
+  topo::Wan wan = topo::MakeInternet2();
+  const RoutingOptions opt;
+  EnergyEvaluator eval;
+  util::Rng rng(77);
+
+  Topology start = wan.default_topology;
+  for (int slot = 0; slot < 4; ++slot) {
+    const auto demands = RandomDemands(wan.default_topology.NumSites(), 24,
+                                       100 + static_cast<uint64_t>(slot));
+    const std::vector<size_t> starved = {2};
+    const auto& base = eval.Reset(wan.optical, start, demands, starved, opt);
+
+    ProvisionedState cur{wan.optical};
+    cur.SyncTo(start);
+    const RoutingOutcome ro =
+        AssignRoutesAndRates(cur.CapacityGraph(), demands, opt);
+    ASSERT_NEAR(base.energy, ro.throughput, 1e-9) << "slot " << slot;
+
+    const auto nb = ComputeNeighbor(start, rng);
+    ASSERT_TRUE(nb.has_value());
+    const auto& ev = eval.Apply(*nb);
+    const FreshEval ref = EvaluateFresh(cur, *nb, demands, starved, opt);
+    ASSERT_NEAR(ev.energy, ref.energy, 1e-9) << "slot " << slot;
+    eval.Accept();
+    start = *nb;
+  }
+}
+
+}  // namespace
+}  // namespace owan::core

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/annealing.h"
 #include "topo/topologies.h"
+#include "util/rng.h"
 
 namespace owan::core {
 namespace {
@@ -114,6 +118,85 @@ TEST(ProvisionedStateTest, CapacityGraphMatchesRealized) {
   EXPECT_DOUBLE_EQ(
       g.TotalCapacity(),
       s.realized().TotalUnits() * wan.optical.wavelength_capacity());
+}
+
+// Full observable footprint of the optical layer: circuit ids with their
+// exact realisation, plus the id counter. Rollback must restore all of it.
+std::string OpticalSnapshot(const ProvisionedState& s) {
+  std::string out;
+  for (const auto& [id, c] : s.optical().circuits()) {
+    out += optical::ToString(c);
+    out += '\n';
+  }
+  out += "next=" + std::to_string(s.optical().next_circuit_id());
+  return out;
+}
+
+TEST(ProvisionedStateTest, RollbackRestoresExactState) {
+  topo::Wan wan = topo::MakeInternet2();
+  ProvisionedState s(wan.optical);
+  s.SyncTo(wan.default_topology);
+  const std::string before = OpticalSnapshot(s);
+
+  Topology target = wan.default_topology;
+  target.AddUnits(wan.SiteByName("SEA"), wan.SiteByName("SLC"), -1);
+  target.AddUnits(wan.SiteByName("WAS"), wan.SiteByName("NYC"), -1);
+  target.AddUnits(wan.SiteByName("SEA"), wan.SiteByName("WAS"), 1);
+  target.AddUnits(wan.SiteByName("SLC"), wan.SiteByName("NYC"), 1);
+
+  ProvisionedState::SyncUndo undo;
+  s.SyncTo(target, &undo);
+  EXPECT_TRUE(s.realized() == target);
+  s.Rollback(undo);
+
+  EXPECT_TRUE(s.realized() == wan.default_topology);
+  EXPECT_EQ(OpticalSnapshot(s), before);
+  EXPECT_TRUE(s.optical().CheckInvariants());
+}
+
+TEST(ProvisionedStateTest, RollbackThenRedoIsDeterministic) {
+  // After a rollback, re-running the same move must provision the exact
+  // same circuits — ids included — as a never-rolled-back run, or the
+  // incremental evaluator would diverge from the copy-everything pattern.
+  topo::Wan wan = topo::MakeInternet2();
+  Topology target = wan.default_topology;
+  target.AddUnits(wan.SiteByName("SEA"), wan.SiteByName("SLC"), -1);
+  target.AddUnits(wan.SiteByName("SEA"), wan.SiteByName("HOU"), 1);
+  target.AddUnits(wan.SiteByName("CHI"), wan.SiteByName("KAN"), -1);
+  target.AddUnits(wan.SiteByName("CHI"), wan.SiteByName("NYC"), 1);
+
+  ProvisionedState reference(wan.optical);
+  reference.SyncTo(wan.default_topology);
+  reference.SyncTo(target);
+
+  ProvisionedState s(wan.optical);
+  s.SyncTo(wan.default_topology);
+  ProvisionedState::SyncUndo undo;
+  s.SyncTo(target, &undo);
+  s.Rollback(undo);
+  s.SyncTo(target);
+
+  EXPECT_TRUE(s.realized() == reference.realized());
+  EXPECT_EQ(OpticalSnapshot(s), OpticalSnapshot(reference));
+}
+
+TEST(ProvisionedStateTest, RepeatedApplyRollbackLeavesNoTrace) {
+  topo::Wan wan = topo::MakeInternet2();
+  ProvisionedState s(wan.optical);
+  s.SyncTo(wan.default_topology);
+  const std::string before = OpticalSnapshot(s);
+
+  util::Rng rng(55);
+  ProvisionedState::SyncUndo undo;  // reused scratch, as in the evaluator
+  for (int i = 0; i < 25; ++i) {
+    const auto nb = ComputeNeighbor(wan.default_topology, rng);
+    ASSERT_TRUE(nb.has_value());
+    s.SyncTo(*nb, &undo);
+    s.Rollback(undo);
+  }
+  EXPECT_TRUE(s.realized() == wan.default_topology);
+  EXPECT_EQ(OpticalSnapshot(s), before);
+  EXPECT_TRUE(s.optical().CheckInvariants());
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "util/rng.h"
+
 namespace owan::core {
 namespace {
 
@@ -117,6 +121,62 @@ TEST(TopologyTest, DebugStringMentionsLinks) {
   Topology t(3);
   t.AddUnits(0, 2, 4);
   EXPECT_NE(t.DebugString().find("0-2x4"), std::string::npos);
+}
+
+// The annealing transposition table keys on Hash() and guards with
+// operator== — these pin the properties that guard relies on.
+TEST(TopologyHashTest, HashIsAPureFunctionOfContent) {
+  Topology a(5);
+  a.AddUnits(0, 3, 2);
+  a.AddUnits(1, 4, 1);
+  const uint64_t h = a.Hash();
+  // Edit and revert: same content, same hash, regardless of history.
+  a.AddUnits(2, 3, 5);
+  EXPECT_NE(a.Hash(), h);
+  a.AddUnits(2, 3, -5);
+  EXPECT_EQ(a.Hash(), h);
+  // A structurally identical topology built in another order agrees.
+  Topology b(5);
+  b.AddUnits(4, 1, 1);
+  b.AddUnits(3, 0, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(b.Hash(), h);
+}
+
+TEST(TopologyHashTest, DistinguishesUnitPlacement) {
+  // Same total units, different placement: these are exactly the states a
+  // neighbor move toggles between, so colliding here would make the memo
+  // guard (operator==) fire constantly.
+  Topology a(4), b(4), c(4);
+  a.AddUnits(0, 1, 2);
+  b.AddUnits(0, 1, 1);
+  b.AddUnits(0, 2, 1);
+  c.AddUnits(0, 2, 2);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(b.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(TopologyHashTest, RandomEditPairsRarelyCollide) {
+  // Not a cryptographic claim — just that sibling candidates in a walk
+  // don't systematically collide.
+  util::Rng rng(2024);
+  Topology base(8);
+  for (int i = 0; i < 10; ++i) {
+    const int u = rng.UniformInt(0, 7);
+    base.AddUnits(u, (u + 1 + rng.UniformInt(0, 6)) % 8, 1);
+  }
+  int collisions = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    Topology t = base;
+    const int u = rng.UniformInt(0, 7);
+    int v = rng.UniformInt(0, 7);
+    if (u == v) v = (v + 1) % 8;
+    t.AddUnits(u, v, 1 + rng.UniformInt(0, 2));
+    if (t.Hash() == base.Hash()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
 }
 
 }  // namespace

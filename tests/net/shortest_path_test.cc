@@ -188,5 +188,68 @@ TEST(PathsUpToHopsTest, MaxPathsCap) {
   EXPECT_EQ(paths.size(), 10u);
 }
 
+// TwoShortestPathsByHops promises the exact output of KShortestPaths(k=2)
+// on unit-weight simple graphs — including tie-breaking and edge ids, since
+// the annealing evaluator substitutes it for the canonical fallback.
+TEST(TwoShortestPathsByHopsTest, MatchesYenOnRandomUnitGraphs) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = 5 + rng.UniformInt(0, 20);
+    Graph g(n);
+    std::set<std::pair<int, int>> used;
+    const int edges = n + rng.UniformInt(0, 2 * n);
+    for (int i = 0; i < edges; ++i) {
+      const int u = rng.UniformInt(0, n - 1);
+      const int v = rng.UniformInt(0, n - 1);
+      if (u == v) continue;
+      if (!used.insert(std::minmax(u, v)).second) continue;
+      g.AddEdge(u, v);
+    }
+    for (int q = 0; q < 8; ++q) {
+      const NodeId s = rng.UniformInt(0, n - 1);
+      const NodeId d = rng.UniformInt(0, n - 1);
+      const auto fast = TwoShortestPathsByHops(g, s, d);
+      const auto ref = KShortestPaths(g, s, d, 2);
+      ASSERT_EQ(fast.size(), ref.size())
+          << "trial " << trial << " " << s << "->" << d;
+      for (size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(fast[i].nodes, ref[i].nodes)
+            << "trial " << trial << " " << s << "->" << d << " path " << i;
+        ASSERT_EQ(fast[i].edges, ref[i].edges);
+        ASSERT_DOUBLE_EQ(fast[i].length, ref[i].length);
+      }
+    }
+  }
+}
+
+TEST(TwoShortestPathsByHopsTest, NonUnitWeightsDeferToYen) {
+  Graph g(4);
+  g.AddEdge(0, 1, 5.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  g.AddEdge(3, 1, 1.0);
+  const auto fast = TwoShortestPathsByHops(g, 0, 1);
+  const auto ref = KShortestPaths(g, 0, 1, 2);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(fast[i].nodes, ref[i].nodes);
+    EXPECT_DOUBLE_EQ(fast[i].length, ref[i].length);
+  }
+  // Weighted: the 3-hop detour beats the direct edge.
+  EXPECT_EQ(fast[0].nodes, (std::vector<NodeId>{0, 2, 3, 1}));
+}
+
+TEST(TwoShortestPathsByHopsTest, DisconnectedAndDegenerate) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(TwoShortestPathsByHops(g, 0, 3).empty());
+  const auto self = TwoShortestPathsByHops(g, 2, 2);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0].nodes, (std::vector<NodeId>{2}));
+  const auto single = TwoShortestPathsByHops(g, 0, 1);
+  ASSERT_EQ(single.size(), 1u);  // no second loopless path exists
+  EXPECT_EQ(single[0].nodes, (std::vector<NodeId>{0, 1}));
+}
+
 }  // namespace
 }  // namespace owan::net

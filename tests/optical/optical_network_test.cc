@@ -198,5 +198,38 @@ TEST(OpticalNetworkTest, InvariantCheckerCatchesTampering) {
   EXPECT_TRUE(on.CheckInvariants(&err)) << err;
 }
 
+// The lazily-cached fiber trees must track failure events exactly: a stale
+// tree would route circuits over dead fibers (or miss restored ones).
+TEST(OpticalNetworkTest, FiberTreeCacheTracksFailures) {
+  OpticalNetwork on = MakeLine();
+  EXPECT_DOUBLE_EQ(on.FiberDistanceKm(0, 3), 2400.0);  // warms the cache
+  EXPECT_DOUBLE_EQ(on.FiberTree(0).dist[2], 1600.0);
+
+  on.FailFiber(1);  // B-C: the line is cut
+  EXPECT_DOUBLE_EQ(on.FiberTree(0).dist[2], net::kInfDist);
+  EXPECT_DOUBLE_EQ(on.FiberDistanceKm(0, 3), net::kInfDist);
+
+  on.RestoreFiber(1);
+  EXPECT_DOUBLE_EQ(on.FiberTree(0).dist[2], 1600.0);
+  EXPECT_DOUBLE_EQ(on.FiberDistanceKm(0, 3), 2400.0);
+}
+
+TEST(OpticalNetworkTest, FiberCacheSurvivesCopyAndCircuitChurn) {
+  OpticalNetwork on = MakeLine();
+  EXPECT_DOUBLE_EQ(on.FiberTree(1).dist[3], 1600.0);  // warm
+
+  // Copies start with a cold cache but identical answers.
+  const OpticalNetwork copy = on;
+  EXPECT_DOUBLE_EQ(copy.FiberTree(1).dist[3], 1600.0);
+  EXPECT_DOUBLE_EQ(copy.FiberDistanceKm(0, 3), 2400.0);
+
+  // Circuit churn must not disturb cached trees (they ignore wavelengths).
+  const auto id = on.ProvisionCircuit(0, 3);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(on.FiberTree(1).dist[3], 1600.0);
+  on.ReleaseCircuit(*id);
+  EXPECT_DOUBLE_EQ(on.FiberTree(1).dist[3], 1600.0);
+}
+
 }  // namespace
 }  // namespace owan::optical
