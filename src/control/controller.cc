@@ -5,8 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/provisioned_state.h"
-#include "core/repair.h"
+#include "fault/fault_injector.h"
 
 namespace owan::control {
 
@@ -146,9 +145,12 @@ void Controller::Tick() {
 }
 
 std::string Controller::Checkpoint() const {
-  // Line-oriented text snapshot: clock, topology links, transfers.
+  // Line-oriented text snapshot: clock, topology links, transfers, plant
+  // failure state. max_digits10 precision so restored doubles are
+  // bit-identical — failover equivalence depends on it.
   std::ostringstream os;
-  os << "owan-checkpoint v1\n";
+  os.precision(17);
+  os << "owan-checkpoint v2\n";
   os << "now " << now_ << "\n";
   os << "next_id " << next_id_ << "\n";
   os << "topology " << topology_.NumSites() << "\n";
@@ -161,6 +163,18 @@ std::string Controller::Checkpoint() const {
        << t.request.deadline << " " << t.remaining << " " << t.completed
        << " " << t.completed_at << " " << t.slots_waited << "\n";
   }
+  for (net::EdgeId e = 0; e < optical_.NumFibers(); ++e) {
+    if (optical_.FiberCut(e)) os << "fiber-failed " << e << "\n";
+  }
+  for (net::NodeId v = 0; v < optical_.NumSites(); ++v) {
+    if (optical_.SiteFailed(v)) os << "site-failed " << v << "\n";
+    if (optical_.FailedPorts(v) > 0) {
+      os << "ports-failed " << v << " " << optical_.FailedPorts(v) << "\n";
+    }
+    if (optical_.FailedRegens(v) > 0) {
+      os << "regens-failed " << v << " " << optical_.FailedRegens(v) << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -171,7 +185,8 @@ Controller Controller::Restore(const topo::Wan* wan,
   Controller c(wan, std::move(scheme), options);
   std::istringstream is(checkpoint);
   std::string line;
-  if (!std::getline(is, line) || line != "owan-checkpoint v1") {
+  if (!std::getline(is, line) ||
+      (line != "owan-checkpoint v1" && line != "owan-checkpoint v2")) {
     throw std::invalid_argument("Controller::Restore: bad checkpoint header");
   }
   core::Topology topo;
@@ -199,6 +214,24 @@ Controller Controller::Restore(const topo::Wan* wan,
           t.completed >> t.completed_at >> t.slots_waited;
       t.request.id = id;
       c.transfers_.emplace(id, t);
+    } else if (tag == "fiber-failed") {
+      net::EdgeId e;
+      ls >> e;
+      if (!ls.fail()) c.optical_.FailFiber(e);
+    } else if (tag == "site-failed") {
+      net::NodeId v;
+      ls >> v;
+      if (!ls.fail()) c.optical_.FailSite(v);
+    } else if (tag == "ports-failed") {
+      net::NodeId v;
+      int k;
+      ls >> v >> k;
+      if (!ls.fail()) c.optical_.FailPorts(v, k);
+    } else if (tag == "regens-failed") {
+      net::NodeId v;
+      int k;
+      ls >> v >> k;
+      if (!ls.fail()) c.optical_.FailRegens(v, k);
     }
     if (ls.fail()) {
       throw std::invalid_argument("Controller::Restore: corrupt line: " +
@@ -209,23 +242,48 @@ Controller Controller::Restore(const topo::Wan* wan,
   return c;
 }
 
+void Controller::ReactToPlantChange() {
+  // Re-realise the current topology over the surviving plant: circuits
+  // whose resources died are re-provisioned along alternate routes where
+  // the optical layer allows; units with no feasible alternate circuit
+  // drop out, and their (surviving) router ports get re-paired into
+  // whatever feasible links remain — possibly different neighbors (§3.4).
+  topology_ =
+      fault::RecomputeTopology(topology_, optical_, /*repair_dark_ports=*/true);
+}
+
 void Controller::ReportFiberFailure(net::EdgeId fiber) {
-  // Fail the fiber in the plant view, then try to realise the current
-  // topology over the surviving fibers: circuits whose fiber path died are
-  // re-provisioned along alternate routes where the optical layer allows.
-  // Only units with no feasible alternate circuit drop out of the topology
-  // (their router ports stay dark until the fiber is repaired).
   optical_.FailFiber(fiber);
-  core::ProvisionedState state(optical_);
-  state.SyncTo(topology_);
-  // Units that could not re-route leave router ports dark; re-pair them
-  // into whatever feasible links remain (possibly different neighbors).
-  std::vector<int> ports;
-  ports.reserve(static_cast<size_t>(optical_.NumSites()));
-  for (int v = 0; v < optical_.NumSites(); ++v) {
-    ports.push_back(optical_.site(v).router_ports);
-  }
-  topology_ = core::RepairDarkPorts(state.realized(), optical_, ports);
+  ReactToPlantChange();
+}
+
+void Controller::ReportFiberRepair(net::EdgeId fiber) {
+  optical_.RestoreFiber(fiber);
+  ReactToPlantChange();
+}
+
+void Controller::ReportSiteFailure(net::NodeId site) {
+  optical_.FailSite(site);
+  ReactToPlantChange();
+}
+
+void Controller::ReportSiteRepair(net::NodeId site) {
+  optical_.RestoreSite(site);
+  ReactToPlantChange();
+}
+
+void Controller::ReportTransceiverFailure(net::NodeId site, int ports,
+                                          int regens) {
+  optical_.FailPorts(site, ports);
+  optical_.FailRegens(site, regens);
+  ReactToPlantChange();
+}
+
+void Controller::ReportTransceiverRepair(net::NodeId site, int ports,
+                                         int regens) {
+  optical_.RestorePorts(site, ports);
+  optical_.RestoreRegens(site, regens);
+  ReactToPlantChange();
 }
 
 }  // namespace owan::control

@@ -67,20 +67,39 @@ class Controller {
   int ActiveTransfers() const;
 
   // ---- failover (§3.4) ----
+  // Writes "owan-checkpoint v2": clock, topology, transfers, and the plant
+  // failure state (cut fibers, down sites, failed ports/regens), so a
+  // standby restored mid-incident sees the same degraded plant.
   std::string Checkpoint() const;
-  // Rebuilds a controller from a checkpoint; the new instance resumes at
-  // the next time slot with the stored topology and transfer set.
+  // Rebuilds a controller from a checkpoint (v1 or v2); the new instance
+  // resumes at the next time slot with the stored topology, transfer set,
+  // and failure flags.
   static Controller Restore(const topo::Wan* wan,
                             std::unique_ptr<core::TeScheme> scheme,
                             const std::string& checkpoint,
                             ControllerOptions options = {});
 
   // ---- failure handling (§3.4) ----
-  // A fiber failure tears down circuits; the controller shrinks the
-  // topology accordingly and the next Tick recomputes around it.
+  // Failure/repair notifications from the optical plant. Each one updates
+  // the controller's plant view, re-realises the current topology over the
+  // surviving resources, and re-pairs any dark router ports; the next Tick
+  // recomputes traffic engineering around the result. All are idempotent —
+  // a repeated or stale report is a no-op (the optical layer guards it).
   void ReportFiberFailure(net::EdgeId fiber);
+  void ReportFiberRepair(net::EdgeId fiber);
+  void ReportSiteFailure(net::NodeId site);
+  void ReportSiteRepair(net::NodeId site);
+  void ReportTransceiverFailure(net::NodeId site, int ports, int regens);
+  void ReportTransceiverRepair(net::NodeId site, int ports, int regens);
+
+  // The controller's plant view with all reported failures applied.
+  const optical::OpticalNetwork& plant() const { return optical_; }
 
  private:
+  // Common tail of every failure/repair report: shrink the topology to the
+  // surviving port budget, drop unrealizable units, re-pair dark ports.
+  void ReactToPlantChange();
+
   const topo::Wan* wan_;
   std::unique_ptr<core::TeScheme> scheme_;
   ControllerOptions options_;

@@ -1,8 +1,10 @@
 #include "core/annealing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "core/energy_evaluator.h"
@@ -16,53 +18,62 @@ std::optional<Topology> ComputeNeighbor(const Topology& s, util::Rng& rng,
   constexpr int kMaxTries = 32;
 
   // Re-home move: only available when dark ports exist.
+  std::vector<net::NodeId> free_sites;
   if (port_budget && !links.empty()) {
-    std::vector<net::NodeId> free_sites;
     for (net::NodeId v = 0; v < s.NumSites(); ++v) {
       if (s.PortsUsed(v) < (*port_budget)[static_cast<size_t>(v)]) {
         free_sites.push_back(v);
       }
     }
-    if (!free_sites.empty() && rng.Chance(0.5)) {
-      for (int attempt = 0; attempt < kMaxTries; ++attempt) {
-        const Link& l = links[rng.Index(links.size())];
-        net::NodeId keep = l.u, drop = l.v;
-        if (rng.Chance(0.5)) std::swap(keep, drop);
-        const net::NodeId w = free_sites[rng.Index(free_sites.size())];
-        if (w == keep || w == drop) continue;
-        Topology t = s;
-        t.AddUnits(keep, drop, -1);
-        t.AddUnits(keep, w, +1);
-        return t;
+  }
+  auto rehome = [&]() -> std::optional<Topology> {
+    for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+      const Link& l = links[rng.Index(links.size())];
+      net::NodeId keep = l.u, drop = l.v;
+      if (rng.Chance(0.5)) std::swap(keep, drop);
+      const net::NodeId w = free_sites[rng.Index(free_sites.size())];
+      if (w == keep || w == drop) continue;
+      Topology t = s;
+      t.AddUnits(keep, drop, -1);
+      t.AddUnits(keep, w, +1);
+      return t;
+    }
+    return std::nullopt;
+  };
+  if (!free_sites.empty() && rng.Chance(0.5)) {
+    if (auto t = rehome()) return t;
+  }
+
+  if (links.size() >= 2) {
+    for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+      const size_t i = rng.Index(links.size());
+      size_t j = rng.Index(links.size());
+      if (i == j) continue;
+      net::NodeId u = links[i].u, v = links[i].v;
+      net::NodeId p = links[j].u, q = links[j].v;
+      // Randomly flip one link's orientation so both pairings are reachable.
+      if (rng.Chance(0.5)) std::swap(p, q);
+      // New links (u,p) and (v,q) must not be self loops.
+      if (u == p || v == q) {
+        std::swap(p, q);
+        if (u == p || v == q) continue;
       }
+      Topology t = s;
+      t.AddUnits(u, v, -1);
+      t.AddUnits(p, q, -1);
+      t.AddUnits(u, p, +1);
+      t.AddUnits(v, q, +1);
+      // Links sharing a node can make the rotation a no-op (e.g. removing
+      // (u,v),(v,q) and adding them back); retry for a real move.
+      if (t == s) continue;
+      return t;
     }
   }
-
-  if (links.size() < 2) return std::nullopt;
-
-  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
-    const size_t i = rng.Index(links.size());
-    size_t j = rng.Index(links.size());
-    if (i == j) continue;
-    net::NodeId u = links[i].u, v = links[i].v;
-    net::NodeId p = links[j].u, q = links[j].v;
-    // Randomly flip one link's orientation so both pairings are reachable.
-    if (rng.Chance(0.5)) std::swap(p, q);
-    // New links (u,p) and (v,q) must not be self loops.
-    if (u == p || v == q) {
-      std::swap(p, q);
-      if (u == p || v == q) continue;
-    }
-    Topology t = s;
-    t.AddUnits(u, v, -1);
-    t.AddUnits(p, q, -1);
-    t.AddUnits(u, p, +1);
-    t.AddUnits(v, q, +1);
-    // Links sharing a node can make the rotation a no-op (e.g. removing
-    // (u,v),(v,q) and adding them back); retry for a real move.
-    if (t == s) continue;
-    return t;
-  }
+  // Rotation has no effective move on degenerate shapes (a lone link, a
+  // triangle whose rotations map to itself). If dark ports remain —
+  // typical right after failures — fall back to re-homing so the search
+  // can still reshape the surviving topology instead of going inert.
+  if (!free_sites.empty()) return rehome();
   return std::nullopt;
 }
 
@@ -98,6 +109,15 @@ int StarvedServed(const std::vector<size_t>& starved,
   return n;
 }
 
+// Wall-clock compute budget (AnnealOptions::time_budget_s). Unset = no
+// deadline; the clock is only ever consulted when a budget was requested,
+// so default runs stay bit-reproducible.
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+bool Expired(const Deadline& d) {
+  return d.has_value() && std::chrono::steady_clock::now() >= *d;
+}
+
 // Serial chain (batch_size <= 1): the classic one-neighbor Metropolis walk,
 // evaluated through the chain's EnergyEvaluator. The evaluator mutates one
 // ProvisionedState in place (rolling back rejected moves exactly), reuses
@@ -112,7 +132,7 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
                            const std::vector<int>& port_budget,
                            util::Rng& rng,
                            const std::vector<size_t>& starved,
-                           EnergyEvaluator& eval) {
+                           EnergyEvaluator& eval, const Deadline& deadline) {
   const EnergyEvaluator::Eval base =
       eval.Reset(blank_optical, start, demands, starved, options.routing);
   double cur_energy = base.energy;
@@ -139,7 +159,8 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
   const double floor = t0 * options.epsilon_ratio;
 
   int iters = 0;
-  while (temperature > floor && iters < options.max_iterations) {
+  while (temperature > floor && iters < options.max_iterations &&
+         !Expired(deadline)) {
     ++iters;
     auto neighbor = ComputeNeighbor(cur_topo, rng, &port_budget);
     if (!neighbor) break;
@@ -207,7 +228,7 @@ ChainResult RunChainBatched(const Topology& current, Topology start,
                             const std::vector<int>& port_budget,
                             util::Rng& rng,
                             const std::vector<size_t>& starved,
-                            util::ThreadPool* pool) {
+                            util::ThreadPool* pool, const Deadline& deadline) {
   ProvisionedState cur_state{blank_optical};
   cur_state.SyncTo(start);
   RoutingOutcome cur_routing = AssignRoutesAndRates(
@@ -243,7 +264,8 @@ ChainResult RunChainBatched(const Topology& current, Topology start,
   routings.reserve(static_cast<size_t>(batch));
 
   int iters = 0;
-  while (temperature > floor && iters < options.max_iterations) {
+  while (temperature > floor && iters < options.max_iterations &&
+         !Expired(deadline)) {
     // Draw up to `batch` candidates serially (every draw spends one
     // iteration of the budget), evaluate them concurrently.
     cand.clear();
@@ -349,7 +371,7 @@ ChainResult RunChain(const Topology& current,
                      const std::vector<int>& port_budget,
                      const std::vector<size_t>& starved, int perturb_moves,
                      util::Rng& rng, util::ThreadPool* pool,
-                     EnergyEvaluator& eval) {
+                     EnergyEvaluator& eval, const Deadline& deadline) {
   Topology start = current;
   for (int i = 0; i < perturb_moves; ++i) {
     auto t = ComputeNeighbor(start, rng, &port_budget);
@@ -357,10 +379,10 @@ ChainResult RunChain(const Topology& current,
   }
   if (std::max(1, options.batch_size) == 1) {
     return RunChainSerial(current, std::move(start), blank_optical, demands,
-                          options, port_budget, rng, starved, eval);
+                          options, port_budget, rng, starved, eval, deadline);
   }
   return RunChainBatched(current, std::move(start), blank_optical, demands,
-                         options, port_budget, rng, starved, pool);
+                         options, port_budget, rng, starved, pool, deadline);
 }
 
 // Marginal improvements do not justify taking circuits dark: stick with
@@ -405,10 +427,22 @@ AnnealResult ComputeNetworkState(const Topology& current,
                                  const AnnealOptions& options,
                                  util::Rng& rng, util::ThreadPool* pool,
                                  AnnealScratch* scratch) {
+  if (current.NumSites() != blank_optical.NumSites()) {
+    throw std::invalid_argument(
+        "ComputeNetworkState: topology/plant site count mismatch");
+  }
+  Deadline deadline;
+  if (options.time_budget_s > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(options.time_budget_s));
+  }
+  // Port budgets come from the surviving plant: transceiver failures and
+  // site outages shrink what the search may wire up (§3.4).
   std::vector<int> port_budget;
   port_budget.reserve(static_cast<size_t>(blank_optical.NumSites()));
   for (int v = 0; v < blank_optical.NumSites(); ++v) {
-    port_budget.push_back(blank_optical.site(v).router_ports);
+    port_budget.push_back(blank_optical.UsablePorts(v));
   }
 
   // Indices of transfers past the starvation threshold: the search treats
@@ -448,7 +482,7 @@ AnnealResult ComputeNetworkState(const Topology& current,
     ChainResult cr =
         RunChain(current, blank_optical, demands, options, port_budget,
                  starved, options.warm_start ? 0 : options.cold_start_moves,
-                 rng, pool, scr.ForChain(0));
+                 rng, pool, scr.ForChain(0), deadline);
     const int iters = cr.iterations;
     const int accepted = cr.accepted;
     Topology base_topology = cr.start_topology;
@@ -487,7 +521,7 @@ AnnealResult ComputeNetworkState(const Topology& current,
     const size_t k = static_cast<size_t>(c);
     results[k] = RunChain(current, blank_optical, demands, options,
                           port_budget, starved, perturb[k], chain_rngs[k],
-                          pool, scr.ForChain(c));
+                          pool, scr.ForChain(c), deadline);
   });
 
   // The adoption guard for multi-chain selection is always measured

@@ -49,6 +49,13 @@ struct AnnealOptions {
   // the current topology are never explored — a hard cap on per-slot
   // update size (keeps the Fig. 10b transition small and fast).
   int max_distance = 0;
+  // If > 0, a wall-clock budget (seconds) for the whole search: chains stop
+  // drawing candidates once it expires and the best state found so far
+  // stands. With a warm start an expired budget degrades to the current
+  // topology — the controller's graceful-degradation path under failures
+  // (OwanTe then falls back to routing-only control for the slot). 0 = off;
+  // the default search is never clock-dependent.
+  double time_budget_s = 0.0;
 
   // ---- Parallel search (all default off: the defaults reproduce the
   // paper's single-chain search bit-for-bit, same RNG stream and all) ----

@@ -1,10 +1,24 @@
 #include "core/owan.h"
 
 #include <algorithm>
+#include <cstring>
+#include <exception>
 
 #include "net/shortest_path.h"
 
 namespace owan::core {
+
+namespace {
+
+// SplitMix64 — derives a well-mixed per-slot seed from (seed, now bits).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 OwanTe::OwanTe(OwanOptions options)
     : options_(options), rng_(options.seed) {
@@ -86,8 +100,33 @@ TeOutput OwanTe::Compute(const TeInput& input) {
       break;
   }
 
-  last_ = ComputeNetworkState(*in.topology, *in.optical, in.demands,
-                              options_.anneal, rng_, pool_.get(), &scratch_);
+  // Stateless per-slot seeding: the RNG is a pure function of (seed, slot
+  // time), so a failover replacement reproduces the crashed controller's
+  // stream without replaying history.
+  util::Rng slot_rng(0);
+  util::Rng* rng = &rng_;
+  if (options_.slot_seeded) {
+    uint64_t now_bits = 0;
+    static_assert(sizeof(now_bits) == sizeof(input.now));
+    std::memcpy(&now_bits, &input.now, sizeof(now_bits));
+    slot_rng = util::Rng(Mix(options_.seed ^ Mix(now_bits)));
+    rng = &slot_rng;
+  }
+
+  last_degraded_ = false;
+  try {
+    last_ = ComputeNetworkState(*in.topology, *in.optical, in.demands,
+                                options_.anneal, *rng, pool_.get(),
+                                &scratch_);
+  } catch (const std::exception&) {
+    // Graceful degradation (§3.4): if the topology search cannot run at
+    // all, keep the current topology and fall back to greedy multipath
+    // routing on it — rate/routing control never goes dark with the
+    // optical layer.
+    last_degraded_ = true;
+    ++degraded_slots_;
+    return ComputeFixedTopology(in, /*multipath=*/true);
+  }
   TeOutput out;
   out.allocations = last_.routing.allocations;
   out.new_topology = last_.best_topology;

@@ -27,6 +27,13 @@ struct OwanOptions {
   // replaced with Smallest-Effective-Bottleneck-First keys so each group is
   // scheduled as a unit by its slowest member. Not owned.
   const CoflowRegistry* coflows = nullptr;
+  // Stateless per-slot seeding (§3.4 failover): each Compute call draws
+  // from a fresh RNG derived from (seed, input.now) instead of one stream
+  // advancing across slots. A controller restored from a checkpoint then
+  // makes exactly the decisions the crashed one would have, with no RNG
+  // position to recover. Off by default — the default stream is pinned by
+  // the PR 1/2 golden tests.
+  bool slot_seeded = false;
 };
 
 // The Owan traffic-engineering scheme: per slot, search for a better
@@ -43,12 +50,19 @@ class OwanTe : public TeScheme {
   // Statistics from the last Compute call (for microbenchmarks).
   const AnnealResult& last_anneal() const { return last_; }
 
+  // Degraded-mode telemetry: slots where the annealing search failed (threw)
+  // and Owan fell back to greedy multipath routing on the current topology.
+  int degraded_slots() const { return degraded_slots_; }
+  bool last_degraded() const { return last_degraded_; }
+
  private:
   TeOutput ComputeFixedTopology(const TeInput& input, bool multipath);
 
   OwanOptions options_;
   util::Rng rng_;
   AnnealResult last_;
+  int degraded_slots_ = 0;
+  bool last_degraded_ = false;
   // Reused across slots when options.anneal.num_threads > 1, so the
   // per-slot search never pays thread spawn/join costs. The pool holds
   // num_threads - 1 workers; the Compute thread participates.

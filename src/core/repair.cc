@@ -55,4 +55,27 @@ Topology RepairDarkPorts(const Topology& topo,
   return repaired;
 }
 
+Topology ShrinkToPortBudget(const Topology& topo,
+                            const std::vector<int>& port_budget) {
+  Topology out = topo;
+  for (net::NodeId v = 0; v < out.NumSites(); ++v) {
+    while (out.PortsUsed(v) > port_budget[static_cast<size_t>(v)]) {
+      net::NodeId peer = net::kInvalidNode;
+      int peer_units = 0;
+      for (const Link& l : out.Links()) {
+        if (l.u != v && l.v != v) continue;
+        const net::NodeId w = l.u == v ? l.v : l.u;
+        if (l.units > peer_units ||
+            (l.units == peer_units && (peer == net::kInvalidNode || w < peer))) {
+          peer = w;
+          peer_units = l.units;
+        }
+      }
+      if (peer == net::kInvalidNode) break;  // budget < 0 with no links left
+      out.AddUnits(v, peer, -1);
+    }
+  }
+  return out;
+}
+
 }  // namespace owan::core

@@ -22,6 +22,15 @@ Topology RepairDarkPorts(const Topology& topo,
                          const optical::OpticalNetwork& optical,
                          const std::vector<int>& port_budget);
 
+// Drops units until every site fits its port budget — the counterpart of
+// RepairDarkPorts for shrinking budgets (transceiver failures take ports
+// away from a site whose links still use them). Units are removed from the
+// over-budget site's fattest incident link first (ties: lowest peer id), so
+// the surviving topology keeps as much edge diversity as possible and the
+// result is deterministic.
+Topology ShrinkToPortBudget(const Topology& topo,
+                            const std::vector<int>& port_budget);
+
 }  // namespace owan::core
 
 #endif  // OWAN_CORE_REPAIR_H_

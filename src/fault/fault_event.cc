@@ -1,0 +1,91 @@
+#include "fault/fault_event.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace owan::fault {
+
+const char* ToString(FaultType t) {
+  switch (t) {
+    case FaultType::kFiberCut:
+      return "fiber-cut";
+    case FaultType::kFiberRepair:
+      return "fiber-repair";
+    case FaultType::kSiteFail:
+      return "site-fail";
+    case FaultType::kSiteRepair:
+      return "site-repair";
+    case FaultType::kTransceiverFail:
+      return "xcvr-fail";
+    case FaultType::kTransceiverRepair:
+      return "xcvr-repair";
+    case FaultType::kControllerCrash:
+      return "controller-crash";
+    case FaultType::kControllerRecover:
+      return "controller-recover";
+  }
+  return "unknown";
+}
+
+FaultEvent FaultEvent::FiberCut(double t, net::EdgeId fiber) {
+  return FaultEvent{t, FaultType::kFiberCut, fiber, 0, 0};
+}
+FaultEvent FaultEvent::FiberRepair(double t, net::EdgeId fiber) {
+  return FaultEvent{t, FaultType::kFiberRepair, fiber, 0, 0};
+}
+FaultEvent FaultEvent::SiteFail(double t, net::NodeId site) {
+  return FaultEvent{t, FaultType::kSiteFail, site, 0, 0};
+}
+FaultEvent FaultEvent::SiteRepair(double t, net::NodeId site) {
+  return FaultEvent{t, FaultType::kSiteRepair, site, 0, 0};
+}
+FaultEvent FaultEvent::TransceiverFail(double t, net::NodeId site, int ports,
+                                       int regens) {
+  return FaultEvent{t, FaultType::kTransceiverFail, site, ports, regens};
+}
+FaultEvent FaultEvent::TransceiverRepair(double t, net::NodeId site,
+                                         int ports, int regens) {
+  return FaultEvent{t, FaultType::kTransceiverRepair, site, ports, regens};
+}
+FaultEvent FaultEvent::ControllerCrash(double t) {
+  return FaultEvent{t, FaultType::kControllerCrash, -1, 0, 0};
+}
+FaultEvent FaultEvent::ControllerRecover(double t) {
+  return FaultEvent{t, FaultType::kControllerRecover, -1, 0, 0};
+}
+
+bool FaultEvent::IsPlantEvent() const {
+  return type != FaultType::kControllerCrash &&
+         type != FaultType::kControllerRecover;
+}
+
+std::string ToString(const FaultEvent& e) {
+  std::ostringstream os;
+  os.precision(17);  // loss-free double round-trip through the parser
+  os << e.time << " " << ToString(e.type);
+  switch (e.type) {
+    case FaultType::kFiberCut:
+    case FaultType::kFiberRepair:
+    case FaultType::kSiteFail:
+    case FaultType::kSiteRepair:
+      os << " " << e.target;
+      break;
+    case FaultType::kTransceiverFail:
+    case FaultType::kTransceiverRepair:
+      os << " " << e.target << " " << e.ports << " " << e.regens;
+      break;
+    case FaultType::kControllerCrash:
+    case FaultType::kControllerRecover:
+      break;
+  }
+  return os.str();
+}
+
+void FaultSchedule::Add(const FaultEvent& e) {
+  events.push_back(e);
+  if (events.size() > 1 && e < events[events.size() - 2]) Normalize();
+}
+
+void FaultSchedule::Normalize() { std::sort(events.begin(), events.end()); }
+
+}  // namespace owan::fault

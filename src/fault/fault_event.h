@@ -1,0 +1,86 @@
+#ifndef OWAN_FAULT_FAULT_EVENT_H_
+#define OWAN_FAULT_FAULT_EVENT_H_
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace owan::fault {
+
+// The unified fault model (§3.4): every disruption the paper's controller
+// claims to survive, plus the matching repair, expressed as one timestamped
+// event stream. Timestamps are absolute seconds and need not align with
+// slot boundaries — the simulator interrupts the running slot, pro-rates
+// delivered bytes, and recomputes immediately.
+enum class FaultType {
+  kFiberCut,           // target = fiber edge id
+  kFiberRepair,        // target = fiber edge id
+  kSiteFail,           // target = site id (ROADM outage: incident fibers die)
+  kSiteRepair,         // target = site id
+  kTransceiverFail,    // target = site id; ports/regens lost
+  kTransceiverRepair,  // target = site id; ports/regens restored
+  kControllerCrash,    // no target: recompute stops, last rates persist
+  kControllerRecover,  // no target: failover completes, recompute resumes
+};
+
+const char* ToString(FaultType t);
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultType type = FaultType::kFiberCut;
+  int target = -1;  // fiber id or site id; -1 for controller events
+  int ports = 0;    // transceiver events only
+  int regens = 0;   // transceiver events only
+
+  static FaultEvent FiberCut(double t, net::EdgeId fiber);
+  static FaultEvent FiberRepair(double t, net::EdgeId fiber);
+  static FaultEvent SiteFail(double t, net::NodeId site);
+  static FaultEvent SiteRepair(double t, net::NodeId site);
+  static FaultEvent TransceiverFail(double t, net::NodeId site, int ports,
+                                    int regens);
+  static FaultEvent TransceiverRepair(double t, net::NodeId site, int ports,
+                                      int regens);
+  static FaultEvent ControllerCrash(double t);
+  static FaultEvent ControllerRecover(double t);
+
+  // True for events that mutate the optical plant (everything except the
+  // controller lifecycle events).
+  bool IsPlantEvent() const;
+
+  // Total order (time first), so normalized schedules are deterministic
+  // regardless of generation or insertion order.
+  friend bool operator<(const FaultEvent& a, const FaultEvent& b) {
+    return std::tie(a.time, a.type, a.target, a.ports, a.regens) <
+           std::tie(b.time, b.type, b.target, b.ports, b.regens);
+  }
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return std::tie(a.time, a.type, a.target, a.ports, a.regens) ==
+           std::tie(b.time, b.type, b.target, b.ports, b.regens);
+  }
+};
+
+std::string ToString(const FaultEvent& e);
+
+// A time-ordered fault script. Build one by hand, load one from text
+// (schedule_io.h), or draw one from the stochastic generator
+// (fault_generator.h); consumers require Normalize() to have run (Add keeps
+// the sorted flag, so a schedule built through Add alone is always ready).
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  void Add(const FaultEvent& e);
+  // Sorts events into the canonical total order.
+  void Normalize();
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+
+  friend bool operator==(const FaultSchedule& a, const FaultSchedule& b) {
+    return a.events == b.events;
+  }
+};
+
+}  // namespace owan::fault
+
+#endif  // OWAN_FAULT_FAULT_EVENT_H_

@@ -1,0 +1,85 @@
+#include "fault/fault_generator.h"
+
+#include <functional>
+
+#include "util/rng.h"
+
+namespace owan::fault {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-component seeds derived from
+// (seed, class, index) so neighboring components do not share streams.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Walks one component's alternating up/down renewal process over the
+// horizon, emitting fail/repair pairs through `emit`.
+void WalkComponent(const ComponentFailureModel& model, double horizon_s,
+                   util::Rng rng,
+                   const std::function<void(double, bool)>& emit) {
+  if (model.mtbf_s <= 0.0) return;
+  double t = rng.Exponential(model.mtbf_s);
+  while (t < horizon_s) {
+    emit(t, /*fail=*/true);
+    if (model.mttr_s <= 0.0) return;  // permanent failure
+    const double down = rng.Exponential(model.mttr_s);
+    if (t + down >= horizon_s) return;  // still down at the horizon
+    t += down;
+    emit(t, /*fail=*/false);
+    t += rng.Exponential(model.mtbf_s);
+  }
+}
+
+}  // namespace
+
+FaultSchedule GenerateFaultSchedule(const optical::OpticalNetwork& plant,
+                                    const FaultGeneratorOptions& options) {
+  FaultSchedule schedule;
+  enum : uint64_t { kFiber = 1, kSite = 2, kXcvr = 3, kController = 4 };
+  auto rng_for = [&](uint64_t cls, uint64_t index) {
+    return util::Rng(Mix(options.seed ^ Mix(cls * 0x10000000ULL + index)));
+  };
+
+  for (net::EdgeId f = 0; f < plant.NumFibers(); ++f) {
+    WalkComponent(options.fiber, options.horizon_s,
+                  rng_for(kFiber, static_cast<uint64_t>(f)),
+                  [&](double t, bool fail) {
+                    schedule.Add(fail ? FaultEvent::FiberCut(t, f)
+                                      : FaultEvent::FiberRepair(t, f));
+                  });
+  }
+  for (net::NodeId v = 0; v < plant.NumSites(); ++v) {
+    WalkComponent(options.site, options.horizon_s,
+                  rng_for(kSite, static_cast<uint64_t>(v)),
+                  [&](double t, bool fail) {
+                    schedule.Add(fail ? FaultEvent::SiteFail(t, v)
+                                      : FaultEvent::SiteRepair(t, v));
+                  });
+    WalkComponent(options.transceiver, options.horizon_s,
+                  rng_for(kXcvr, static_cast<uint64_t>(v)),
+                  [&](double t, bool fail) {
+                    schedule.Add(
+                        fail ? FaultEvent::TransceiverFail(
+                                   t, v, options.transceiver_ports,
+                                   options.transceiver_regens)
+                             : FaultEvent::TransceiverRepair(
+                                   t, v, options.transceiver_ports,
+                                   options.transceiver_regens));
+                  });
+  }
+  WalkComponent(options.controller, options.horizon_s, rng_for(kController, 0),
+                [&](double t, bool fail) {
+                  schedule.Add(fail ? FaultEvent::ControllerCrash(t)
+                                    : FaultEvent::ControllerRecover(t));
+                });
+
+  schedule.Normalize();
+  return schedule;
+}
+
+}  // namespace owan::fault

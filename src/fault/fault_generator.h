@@ -1,0 +1,40 @@
+#ifndef OWAN_FAULT_FAULT_GENERATOR_H_
+#define OWAN_FAULT_FAULT_GENERATOR_H_
+
+#include "fault/fault_event.h"
+#include "optical/optical_network.h"
+
+namespace owan::fault {
+
+// Alternating-renewal failure model for one component class: up-times are
+// exponential with mean mtbf_s, repair times exponential with mean mttr_s.
+// mtbf_s <= 0 disables the class; mttr_s <= 0 means failures are permanent
+// (no repair event is emitted).
+struct ComponentFailureModel {
+  double mtbf_s = 0.0;
+  double mttr_s = 0.0;
+};
+
+struct FaultGeneratorOptions {
+  uint64_t seed = 1;
+  double horizon_s = 24.0 * 3600.0;
+
+  ComponentFailureModel fiber;        // per fiber pair
+  ComponentFailureModel site;         // per ROADM site
+  ComponentFailureModel transceiver;  // per site's transceiver bank
+  // Resources lost per transceiver failure event.
+  int transceiver_ports = 1;
+  int transceiver_regens = 0;
+  ComponentFailureModel controller;   // crash + failover completion
+};
+
+// Draws a fault schedule for the given plant. Every component gets its own
+// RNG stream derived from (seed, component class, component index), so the
+// result is a pure function of (plant shape, options): bit-reproducible
+// across invocations and stable under changes to other classes' rates.
+FaultSchedule GenerateFaultSchedule(const optical::OpticalNetwork& plant,
+                                    const FaultGeneratorOptions& options);
+
+}  // namespace owan::fault
+
+#endif  // OWAN_FAULT_FAULT_GENERATOR_H_

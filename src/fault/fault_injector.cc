@@ -1,0 +1,62 @@
+#include "fault/fault_injector.h"
+
+#include <vector>
+
+#include "core/provisioned_state.h"
+#include "core/repair.h"
+
+namespace owan::fault {
+
+bool ApplyPlantEvent(const FaultEvent& e, optical::OpticalNetwork& plant) {
+  switch (e.type) {
+    case FaultType::kFiberCut: {
+      // The raw cut is recorded even under a site outage (so the fiber
+      // stays down after the site repairs), but only a cut of a live fiber
+      // changes the operational plant.
+      const bool was_dead = plant.FiberFailed(e.target);
+      plant.FailFiber(e.target);
+      return !was_dead;
+    }
+    case FaultType::kFiberRepair:
+      return plant.RestoreFiber(e.target) && !plant.FiberFailed(e.target);
+    case FaultType::kSiteFail: {
+      const bool was_down = plant.SiteFailed(e.target);
+      plant.FailSite(e.target);
+      return !was_down;
+    }
+    case FaultType::kSiteRepair:
+      return plant.RestoreSite(e.target);
+    case FaultType::kTransceiverFail: {
+      const int before = plant.FailedRegens(e.target);
+      const int ports = plant.FailPorts(e.target, e.ports);
+      plant.FailRegens(e.target, e.regens);
+      return ports > 0 || plant.FailedRegens(e.target) != before;
+    }
+    case FaultType::kTransceiverRepair: {
+      const int ports = plant.RestorePorts(e.target, e.ports);
+      const int regens = plant.RestoreRegens(e.target, e.regens);
+      return ports > 0 || regens > 0;
+    }
+    case FaultType::kControllerCrash:
+    case FaultType::kControllerRecover:
+      return false;
+  }
+  return false;
+}
+
+core::Topology RecomputeTopology(const core::Topology& topology,
+                                 const optical::OpticalNetwork& plant,
+                                 bool repair_dark_ports) {
+  std::vector<int> budget;
+  budget.reserve(static_cast<size_t>(plant.NumSites()));
+  for (net::NodeId v = 0; v < plant.NumSites(); ++v) {
+    budget.push_back(plant.UsablePorts(v));
+  }
+  core::Topology shrunk = core::ShrinkToPortBudget(topology, budget);
+  core::ProvisionedState state(plant);
+  state.SyncTo(shrunk);
+  if (!repair_dark_ports) return state.realized();
+  return core::RepairDarkPorts(state.realized(), plant, budget);
+}
+
+}  // namespace owan::fault

@@ -1,0 +1,29 @@
+#ifndef OWAN_FAULT_FAULT_INJECTOR_H_
+#define OWAN_FAULT_FAULT_INJECTOR_H_
+
+#include "core/topology.h"
+#include "fault/fault_event.h"
+#include "optical/optical_network.h"
+
+namespace owan::fault {
+
+// Applies one plant fault event to a live plant. Controller lifecycle
+// events are ignored (callers track those themselves). Returns true when
+// the plant actually changed — repeated faults and repairs of healthy
+// components are no-ops (the optical layer guards them), so a schedule can
+// safely carry redundant or out-of-order events.
+bool ApplyPlantEvent(const FaultEvent& e, optical::OpticalNetwork& plant);
+
+// Recomputes the network-layer topology after plant events, as §3.4
+// prescribes: shrink to each site's surviving port budget, re-realize the
+// remaining links over the surviving fibers (units with no feasible circuit
+// drop out), and — when `repair_dark_ports` is set, i.e. a controller is
+// alive to act — re-pair dark router ports into whatever feasible links
+// remain. With a dead controller only the physical shrinkage applies.
+core::Topology RecomputeTopology(const core::Topology& topology,
+                                 const optical::OpticalNetwork& plant,
+                                 bool repair_dark_ports);
+
+}  // namespace owan::fault
+
+#endif  // OWAN_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,132 @@
+#include "fault/invariant_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/provisioned_state.h"
+
+namespace owan::fault {
+
+namespace {
+
+constexpr double kRateEps = 1e-6;
+
+std::string LinkName(net::NodeId u, net::NodeId v) {
+  std::ostringstream os;
+  os << "(" << u << "," << v << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> InvariantChecker::CheckSlot(
+    const core::Topology& topology, const optical::OpticalNetwork& plant,
+    const std::vector<core::TransferDemand>& demands,
+    const std::vector<core::TransferAllocation>& allocations) {
+  std::vector<std::string> violations;
+  auto flag = [&](std::string v) { violations.push_back(std::move(v)); };
+
+  if (topology.NumSites() != plant.NumSites()) {
+    flag("topology/plant site count mismatch");
+    return violations;
+  }
+
+  // Port conservation against the surviving budget.
+  for (net::NodeId v = 0; v < topology.NumSites(); ++v) {
+    const int used = topology.PortsUsed(v);
+    const int budget = plant.UsablePorts(v);
+    if (used > budget) {
+      std::ostringstream os;
+      os << "site " << v << " uses " << used << " ports but only " << budget
+         << " survive";
+      flag(os.str());
+    }
+  }
+
+  // Links must not terminate at failed sites, and the realization of the
+  // topology on the surviving plant must use only live fibers (the plant's
+  // own CheckInvariants rejects any circuit crossing a failed fiber/site).
+  core::ProvisionedState state(plant);
+  state.SyncTo(topology);
+  std::string plant_error;
+  if (!state.optical().CheckInvariants(&plant_error)) {
+    flag("realized plant state corrupt: " + plant_error);
+  }
+  for (const core::Link& l : topology.Links()) {
+    if (plant.SiteFailed(l.u) || plant.SiteFailed(l.v)) {
+      flag("link " + LinkName(l.u, l.v) + " terminates at a failed site");
+    }
+  }
+
+  // Allocations: per-link aggregate rate vs. installed capacity, and path
+  // endpoints vs. the owning transfer.
+  if (allocations.size() > demands.size()) {
+    flag("more allocations than demands");
+  }
+  const double theta = plant.wavelength_capacity();
+  std::map<std::pair<net::NodeId, net::NodeId>, double> link_rate;
+  for (size_t i = 0; i < allocations.size(); ++i) {
+    const core::TransferAllocation& a = allocations[i];
+    for (const core::PathAllocation& pa : a.paths) {
+      if (pa.rate < -kRateEps) {
+        flag("negative rate on transfer " + std::to_string(a.id));
+      }
+      if (pa.rate <= kRateEps) continue;
+      if (i < demands.size() && !pa.path.nodes.empty() &&
+          (pa.path.src() != demands[i].src ||
+           pa.path.dst() != demands[i].dst)) {
+        flag("allocation path of transfer " + std::to_string(a.id) +
+             " does not connect its endpoints");
+      }
+      for (size_t k = 0; k + 1 < pa.path.nodes.size(); ++k) {
+        net::NodeId u = pa.path.nodes[k];
+        net::NodeId v = pa.path.nodes[k + 1];
+        if (u > v) std::swap(u, v);
+        link_rate[{u, v}] += pa.rate;
+      }
+    }
+  }
+  for (const auto& [link, rate] : link_rate) {
+    const int units = topology.Units(link.first, link.second);
+    if (units <= 0) {
+      flag("allocation on dead/absent link " +
+           LinkName(link.first, link.second));
+      continue;
+    }
+    const double cap = units * theta;
+    if (rate > cap * (1.0 + 1e-9) + kRateEps) {
+      std::ostringstream os;
+      os << "link " << LinkName(link.first, link.second) << " allocated "
+         << rate << " Gbps over its " << cap << " Gbps capacity";
+      flag(os.str());
+    }
+  }
+
+  return violations;
+}
+
+std::vector<std::string> InvariantChecker::ObserveTransfer(int id,
+                                                           double delivered,
+                                                           double size) {
+  std::vector<std::string> violations;
+  auto [it, inserted] = last_delivered_.emplace(id, delivered);
+  if (!inserted) {
+    if (delivered < it->second - kRateEps) {
+      std::ostringstream os;
+      os << "transfer " << id << " delivered bytes went backwards ("
+         << it->second << " -> " << delivered << ")";
+      violations.push_back(os.str());
+    }
+    it->second = delivered;
+  }
+  if (delivered > size * (1.0 + 1e-9) + kRateEps) {
+    std::ostringstream os;
+    os << "transfer " << id << " delivered " << delivered
+       << " Gb of a " << size << " Gb request";
+    violations.push_back(os.str());
+  }
+  return violations;
+}
+
+}  // namespace owan::fault

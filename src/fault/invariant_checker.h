@@ -1,0 +1,52 @@
+#ifndef OWAN_FAULT_INVARIANT_CHECKER_H_
+#define OWAN_FAULT_INVARIANT_CHECKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/topology.h"
+#include "core/transfer.h"
+#include "optical/optical_network.h"
+
+namespace owan::fault {
+
+// Post-slot validation of the cross-layer state the controller/simulator
+// just committed (the §3.4 safety contract under failures):
+//
+//   * the topology never uses more ports than a site's surviving budget,
+//   * every network-layer link the topology asks for is realizable on the
+//     surviving plant with circuits that cross only live fibers/sites,
+//   * allocations ride only links the topology carries, within capacity,
+//   * each transfer's allocation connects its own endpoints,
+//   * delivered bytes are monotone and never exceed the request size.
+//
+// Checks are read-only and report violations as human-readable strings
+// (empty vector = clean) instead of asserting, so a production run can
+// degrade gracefully while tests pin the list to empty.
+class InvariantChecker {
+ public:
+  // Validates one committed slot. `plant` is the blank optical plant with
+  // the current failure flags applied (no topology circuits provisioned) —
+  // exactly what the scheme was shown. `demands` and `allocations` are
+  // parallel; allocations beyond demands.size() are themselves a violation.
+  static std::vector<std::string> CheckSlot(
+      const core::Topology& topology, const optical::OpticalNetwork& plant,
+      const std::vector<core::TransferDemand>& demands,
+      const std::vector<core::TransferAllocation>& allocations);
+
+  // Streaming per-transfer check: call once per slot per transfer with the
+  // cumulative delivered gigabits. Flags non-monotone delivery and
+  // delivery beyond the request size.
+  std::vector<std::string> ObserveTransfer(int id, double delivered,
+                                           double size);
+
+  void Reset() { last_delivered_.clear(); }
+
+ private:
+  std::map<int, double> last_delivered_;
+};
+
+}  // namespace owan::fault
+
+#endif  // OWAN_FAULT_INVARIANT_CHECKER_H_

@@ -1,0 +1,84 @@
+#include "fault/schedule_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace owan::fault {
+
+namespace {
+
+[[noreturn]] void Bad(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("ParseFaultSchedule: " + why + ": \"" + line +
+                              "\"");
+}
+
+}  // namespace
+
+FaultSchedule ParseFaultSchedule(std::istream& in) {
+  FaultSchedule schedule;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = raw.substr(0, raw.find('#'));
+    std::istringstream ls(line);
+    double t;
+    std::string kind;
+    if (!(ls >> t)) {
+      std::istringstream probe(line);
+      std::string any;
+      if (probe >> any) Bad(raw, "expected a timestamp");
+      continue;  // blank or comment-only line
+    }
+    if (!(ls >> kind)) Bad(raw, "missing event type");
+    if (t < 0.0) Bad(raw, "negative timestamp");
+
+    int target = -1, ports = 0, regens = 0;
+    auto need_target = [&] {
+      if (!(ls >> target) || target < 0) Bad(raw, "bad component id");
+    };
+    if (kind == "fiber-cut") {
+      need_target();
+      schedule.Add(FaultEvent::FiberCut(t, target));
+    } else if (kind == "fiber-repair") {
+      need_target();
+      schedule.Add(FaultEvent::FiberRepair(t, target));
+    } else if (kind == "site-fail") {
+      need_target();
+      schedule.Add(FaultEvent::SiteFail(t, target));
+    } else if (kind == "site-repair") {
+      need_target();
+      schedule.Add(FaultEvent::SiteRepair(t, target));
+    } else if (kind == "xcvr-fail" || kind == "xcvr-repair") {
+      need_target();
+      if (!(ls >> ports >> regens) || ports < 0 || regens < 0) {
+        Bad(raw, "xcvr events need non-negative <ports> <regens>");
+      }
+      schedule.Add(kind == "xcvr-fail"
+                       ? FaultEvent::TransceiverFail(t, target, ports, regens)
+                       : FaultEvent::TransceiverRepair(t, target, ports,
+                                                       regens));
+    } else if (kind == "controller-crash") {
+      schedule.Add(FaultEvent::ControllerCrash(t));
+    } else if (kind == "controller-recover") {
+      schedule.Add(FaultEvent::ControllerRecover(t));
+    } else {
+      Bad(raw, "unknown event type \"" + kind + "\"");
+    }
+    std::string trailing;
+    if (ls >> trailing) Bad(raw, "trailing tokens");
+  }
+  schedule.Normalize();
+  return schedule;
+}
+
+FaultSchedule ParseFaultSchedule(const std::string& text) {
+  std::istringstream is(text);
+  return ParseFaultSchedule(is);
+}
+
+std::string FormatFaultSchedule(const FaultSchedule& schedule) {
+  std::ostringstream os;
+  for (const FaultEvent& e : schedule.events) os << ToString(e) << "\n";
+  return os.str();
+}
+
+}  // namespace owan::fault

@@ -1,0 +1,34 @@
+#ifndef OWAN_FAULT_SCHEDULE_IO_H_
+#define OWAN_FAULT_SCHEDULE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/fault_event.h"
+
+namespace owan::fault {
+
+// Scripted fault schedules as line-oriented text, one event per line:
+//
+//   # fiber cut at t=450s, repaired at t=1200s
+//   450 fiber-cut 3
+//   1200 fiber-repair 3
+//   600 site-fail 2
+//   900 site-repair 2
+//   300 xcvr-fail 1 2 1       # site 1 loses 2 ports and 1 regenerator
+//   750 xcvr-repair 1 2 1
+//   500 controller-crash
+//   512 controller-recover
+//
+// Blank lines and '#' comments are ignored; events may appear in any order
+// (the parsed schedule is normalized). Throws std::invalid_argument on a
+// malformed line.
+FaultSchedule ParseFaultSchedule(std::istream& in);
+FaultSchedule ParseFaultSchedule(const std::string& text);
+
+// Inverse of ParseFaultSchedule: round-trips exactly through the parser.
+std::string FormatFaultSchedule(const FaultSchedule& schedule);
+
+}  // namespace owan::fault
+
+#endif  // OWAN_FAULT_SCHEDULE_IO_H_

@@ -42,6 +42,9 @@ OpticalNetwork::OpticalNetwork(std::vector<SiteInfo> sites, double reach_km,
   }
   regens_free_.reserve(sites_.size());
   for (const SiteInfo& s : sites_) regens_free_.push_back(s.regenerators);
+  site_failed_.assign(sites_.size(), false);
+  ports_failed_.assign(sites_.size(), 0);
+  regens_failed_.assign(sites_.size(), 0);
 }
 
 net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
@@ -61,7 +64,7 @@ net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
 }
 
 int OpticalNetwork::FreeWavelengths(net::EdgeId fiber) const {
-  if (fiber_failed_[fiber]) return 0;
+  if (FiberDead(fiber)) return 0;
   int free = 0;
   for (bool used : lambda_used_[fiber]) {
     if (!used) ++free;
@@ -90,7 +93,7 @@ int OpticalNetwork::FindCommonWavelength(
   if (fibers.empty()) return -1;
   int min_grid = fibers_[fibers[0]].num_wavelengths;
   for (net::EdgeId f : fibers) {
-    if (fiber_failed_[f]) return -1;
+    if (FiberDead(f)) return -1;
     min_grid = std::min(min_grid, fibers_[f].num_wavelengths);
   }
   for (int lambda : WavelengthOrder(min_grid)) {
@@ -116,7 +119,7 @@ const net::SpTree& OpticalNetwork::FiberTree(net::NodeId u) const {
   auto& slot = trees[static_cast<size_t>(u)];
   if (!slot) {
     slot = net::Dijkstra(fiber_graph_, u,
-                         [this](net::EdgeId e) { return !fiber_failed_[e]; });
+                         [this](net::EdgeId e) { return !FiberDead(e); });
   }
   return *slot;
 }
@@ -130,7 +133,7 @@ const std::vector<net::Path>& OpticalNetwork::SegmentRoutes(
   if (!slot) {
     slot = net::KShortestPaths(
         fiber_graph_, a, b, kMaxFiberPathsPerSegment,
-        [this](net::EdgeId e) { return !fiber_failed_[e]; });
+        [this](net::EdgeId e) { return !FiberDead(e); });
   }
   return *slot;
 }
@@ -214,6 +217,7 @@ std::optional<CircuitId> OpticalNetwork::ProvisionCircuit(net::NodeId src,
       dst >= NumSites()) {
     return std::nullopt;
   }
+  if (site_failed_[src] || site_failed_[dst]) return std::nullopt;
   const RegenGraph rg(*this, src, dst, balance_regens_);
   for (const auto& seq : rg.CandidateSequences(kMaxSequences)) {
     // Every interior site consumes a regenerator; check availability (the
@@ -242,7 +246,7 @@ std::optional<CircuitId> OpticalNetwork::ProvisionCircuitAlongRoute(
     const net::Path& route) {
   if (route.edges.empty()) return std::nullopt;
   for (net::EdgeId f : route.edges) {
-    if (fiber_failed_[f]) return std::nullopt;
+    if (FiberDead(f)) return std::nullopt;
   }
 
   // Min-regenerator segmentation along the route: BFS over breakpoint
@@ -322,7 +326,7 @@ std::optional<std::pair<CircuitId, CircuitId>>
 OpticalNetwork::ProvisionProtectedPair(net::NodeId src, net::NodeId dst) {
   auto pair = net::EdgeDisjointPair(
       fiber_graph_, src, dst,
-      [this](net::EdgeId e) { return !fiber_failed_[e]; });
+      [this](net::EdgeId e) { return !FiberDead(e); });
   if (!pair) return std::nullopt;
   auto working = ProvisionCircuitAlongRoute(pair->first);
   if (!working) return std::nullopt;
@@ -411,6 +415,10 @@ bool OpticalNetwork::CheckInvariants(std::string* error) const {
         return fail("segment exceeds optical reach in " + ToString(c));
       }
       for (net::EdgeId f : s.fibers) {
+        if (FiberDead(f)) {
+          return fail("live circuit crosses a failed fiber/site in " +
+                      ToString(c));
+        }
         if (s.wavelength < 0 ||
             s.wavelength >= fibers_[f].num_wavelengths) {
           return fail("wavelength out of grid in " + ToString(c));
@@ -440,18 +448,39 @@ bool OpticalNetwork::CheckInvariants(std::string* error) const {
     return fail("wavelength usage counters out of sync");
   }
   for (size_t v = 0; v < sites_.size(); ++v) {
-    if (regens_free_[v] + regen_used[v] != sites_[v].regenerators) {
+    if (regens_free_[v] + regen_used[v] + regens_failed_[v] !=
+        sites_[v].regenerators) {
       return fail("regenerator accounting broken at site " +
                   std::to_string(v));
     }
     if (regens_free_[v] < 0) {
       return fail("negative free regens at site " + std::to_string(v));
     }
+    if (regens_failed_[v] < 0 ||
+        regens_failed_[v] > sites_[v].regenerators) {
+      return fail("failed-regen count out of range at site " +
+                  std::to_string(v));
+    }
+    if (ports_failed_[v] < 0 || ports_failed_[v] > sites_[v].router_ports) {
+      return fail("failed-port count out of range at site " +
+                  std::to_string(v));
+    }
   }
   return true;
 }
 
+bool OpticalNetwork::FiberDead(net::EdgeId fiber) const {
+  if (fiber_failed_[fiber]) return true;
+  const net::Edge& e = fiber_graph_.edge(fiber);
+  return site_failed_[e.u] || site_failed_[e.v];
+}
+
+bool OpticalNetwork::FiberFailed(net::EdgeId fiber) const {
+  return FiberDead(fiber);
+}
+
 std::vector<CircuitId> OpticalNetwork::FailFiber(net::EdgeId fiber) {
+  if (fiber_failed_[fiber]) return {};  // repeated cut: no-op
   std::vector<CircuitId> victims;
   for (const auto& [id, c] : circuits_) {
     for (const Segment& s : c.segments) {
@@ -468,9 +497,100 @@ std::vector<CircuitId> OpticalNetwork::FailFiber(net::EdgeId fiber) {
   return victims;
 }
 
-void OpticalNetwork::RestoreFiber(net::EdgeId fiber) {
+bool OpticalNetwork::RestoreFiber(net::EdgeId fiber) {
+  if (!fiber_failed_[fiber]) return false;  // repair of a live fiber: no-op
   fiber_failed_[fiber] = false;
   fiber_cache_.Clear();
+  return true;
+}
+
+std::vector<CircuitId> OpticalNetwork::FailSite(net::NodeId v) {
+  if (site_failed_[v]) return {};  // repeated outage: no-op
+  // Every circuit touching the site dies: terminating there, regenerating
+  // there, or routed over an incident fiber.
+  std::vector<CircuitId> victims;
+  for (const auto& [id, c] : circuits_) {
+    bool touches = c.src == v || c.dst == v ||
+                   std::find(c.regen_sites.begin(), c.regen_sites.end(), v) !=
+                       c.regen_sites.end();
+    for (size_t si = 0; !touches && si < c.segments.size(); ++si) {
+      for (net::EdgeId f : c.segments[si].fibers) {
+        const net::Edge& e = fiber_graph_.edge(f);
+        if (e.u == v || e.v == v) {
+          touches = true;
+          break;
+        }
+      }
+    }
+    if (touches) victims.push_back(id);
+  }
+  for (CircuitId id : victims) ReleaseCircuit(id);
+  site_failed_[v] = true;
+  fiber_cache_.Clear();
+  return victims;
+}
+
+bool OpticalNetwork::RestoreSite(net::NodeId v) {
+  if (!site_failed_[v]) return false;
+  site_failed_[v] = false;
+  fiber_cache_.Clear();
+  return true;
+}
+
+int OpticalNetwork::UsablePorts(net::NodeId v) const {
+  if (site_failed_[v]) return 0;
+  return sites_[v].router_ports - ports_failed_[v];
+}
+
+int OpticalNetwork::FailPorts(net::NodeId v, int count) {
+  const int lost =
+      std::clamp(count, 0, sites_[v].router_ports - ports_failed_[v]);
+  ports_failed_[v] += lost;
+  return lost;
+}
+
+int OpticalNetwork::RestorePorts(net::NodeId v, int count) {
+  const int restored = std::clamp(count, 0, ports_failed_[v]);
+  ports_failed_[v] -= restored;
+  return restored;
+}
+
+std::vector<CircuitId> OpticalNetwork::FailRegens(net::NodeId v, int count) {
+  const int take =
+      std::clamp(count, 0, sites_[v].regenerators - regens_failed_[v]);
+  int need = take;
+  std::vector<CircuitId> victims;
+  auto drain_free = [&] {
+    const int from_free = std::min(need, regens_free_[v]);
+    regens_free_[v] -= from_free;
+    need -= from_free;
+  };
+  drain_free();
+  while (need > 0) {
+    // Free pool exhausted: tear down the lowest-id circuit regenerating at
+    // v; its release returns regens to the pool for the next drain.
+    CircuitId victim = kInvalidCircuit;
+    for (const auto& [id, c] : circuits_) {
+      if (std::find(c.regen_sites.begin(), c.regen_sites.end(), v) !=
+          c.regen_sites.end()) {
+        victim = id;
+        break;
+      }
+    }
+    if (victim == kInvalidCircuit) break;  // accounting says this can't happen
+    ReleaseCircuit(victim);
+    victims.push_back(victim);
+    drain_free();
+  }
+  regens_failed_[v] += take - need;
+  return victims;
+}
+
+int OpticalNetwork::RestoreRegens(net::NodeId v, int count) {
+  const int restored = std::clamp(count, 0, regens_failed_[v]);
+  regens_failed_[v] -= restored;
+  regens_free_[v] += restored;
+  return restored;
 }
 
 }  // namespace owan::optical

@@ -152,15 +152,58 @@ class OpticalNetwork {
   const net::SpTree& FiberTree(net::NodeId u) const;
 
   // ---- failure handling (§3.4) ----
+  //
+  // All fail/restore calls are idempotent: failing an already-failed
+  // component (or restoring a live one) is a no-op with an empty/false
+  // return, so repeated or out-of-order fault events never corrupt state.
 
   // Marks a fiber as failed: existing circuits crossing it are torn down
-  // (their ids are returned) and no new circuit may use it.
+  // (their ids are returned) and no new circuit may use it. No-op (empty
+  // return) if the fiber is already failed.
   std::vector<CircuitId> FailFiber(net::EdgeId fiber);
-  void RestoreFiber(net::EdgeId fiber);
-  bool FiberFailed(net::EdgeId fiber) const { return fiber_failed_[fiber]; }
+  // Returns false (no-op) if the fiber was not failed. Restoring a fiber
+  // does not resurrect the circuits the failure tore down.
+  bool RestoreFiber(net::EdgeId fiber);
+  // True when the fiber is unusable — failed directly, or dark because an
+  // endpoint site is down.
+  bool FiberFailed(net::EdgeId fiber) const;
+  // Raw per-fiber failure flag, independent of endpoint site state.
+  // Checkpoint serialization needs the distinction: a fiber that is merely
+  // dark under a site outage must not be recorded as cut.
+  bool FiberCut(net::EdgeId fiber) const { return fiber_failed_[fiber]; }
+
+  // Site/ROADM outage: every circuit touching the site is torn down (the
+  // ids are returned) and all incident fibers go dark until RestoreSite.
+  // No-op (empty return) if the site is already failed.
+  std::vector<CircuitId> FailSite(net::NodeId v);
+  // Returns false (no-op) if the site was not failed. Fibers that were
+  // independently failed stay failed.
+  bool RestoreSite(net::NodeId v);
+  bool SiteFailed(net::NodeId v) const { return site_failed_[v]; }
+
+  // Transceiver failures: `count` WAN-facing router ports at `v` stop
+  // working (clamped to what is left). Returns how many actually failed.
+  // Port accounting is network-layer only — callers shrink the topology to
+  // the surviving UsablePorts budget.
+  int FailPorts(net::NodeId v, int count);
+  int RestorePorts(net::NodeId v, int count);
+  // router_ports minus failed ports; 0 while the site itself is down.
+  int UsablePorts(net::NodeId v) const;
+  int FailedPorts(net::NodeId v) const { return ports_failed_[v]; }
+
+  // Regenerator failures: `count` regens at `v` are lost (clamped). Failed
+  // regens come out of the free pool first; if that is not enough, live
+  // circuits regenerating at `v` are torn down (lowest id first) until the
+  // budget is met. Returns the torn-down circuit ids.
+  std::vector<CircuitId> FailRegens(net::NodeId v, int count);
+  int RestoreRegens(net::NodeId v, int count);
+  int FailedRegens(net::NodeId v) const { return regens_failed_[v]; }
 
  private:
   friend class RegenGraphBuilder;
+
+  // Fiber unusable for routing: failed directly or endpoint site down.
+  bool FiberDead(net::EdgeId fiber) const;
 
   // Tries to realise the given site sequence as a circuit; returns nullopt
   // if some segment lacks fiber path, reach, or a common free wavelength.
@@ -187,6 +230,9 @@ class OpticalNetwork {
   WavelengthPolicy lambda_policy_ = WavelengthPolicy::kFirstFit;
   bool balance_regens_ = true;
   std::vector<bool> fiber_failed_;
+  std::vector<bool> site_failed_;
+  std::vector<int> ports_failed_;
+  std::vector<int> regens_failed_;
   std::vector<int> regens_free_;
   std::map<CircuitId, Circuit> circuits_;
   CircuitId next_circuit_id_ = 0;

@@ -8,6 +8,8 @@
 
 #include "core/provisioned_state.h"
 #include "core/repair.h"
+#include "fault/fault_injector.h"
+#include "fault/invariant_checker.h"
 
 namespace owan::sim {
 
@@ -29,7 +31,60 @@ std::set<LinkKey> ChangedLinks(const core::Topology& a,
   return changed;
 }
 
+// While the controller is down the data plane keeps forwarding the last
+// installed rates, but a plant fault can physically shrink the topology
+// underneath them. Drop paths riding links that no longer exist, then scale
+// the survivors so no shrunken link is oversubscribed (each path takes the
+// worst cap/aggregate ratio across its links — one pass suffices because
+// every contribution to a link shrinks by at least that link's ratio).
+void PruneFrozenAllocations(std::map<int, core::TransferAllocation>& frozen,
+                            const core::Topology& topology, double theta) {
+  for (auto& [id, alloc] : frozen) {
+    std::vector<core::PathAllocation> kept;
+    kept.reserve(alloc.paths.size());
+    for (core::PathAllocation& pa : alloc.paths) {
+      bool alive = true;
+      for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
+        if (topology.Units(pa.path.nodes[i], pa.path.nodes[i + 1]) <= 0) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) kept.push_back(std::move(pa));
+    }
+    alloc.paths = std::move(kept);
+  }
+  std::map<LinkKey, double> link_rate;
+  for (const auto& [id, alloc] : frozen) {
+    for (const core::PathAllocation& pa : alloc.paths) {
+      for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
+        link_rate[Key(pa.path.nodes[i], pa.path.nodes[i + 1])] += pa.rate;
+      }
+    }
+  }
+  for (auto& [id, alloc] : frozen) {
+    for (core::PathAllocation& pa : alloc.paths) {
+      double scale = 1.0;
+      for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
+        const LinkKey k = Key(pa.path.nodes[i], pa.path.nodes[i + 1]);
+        const double cap =
+            topology.Units(k.first, k.second) * theta;
+        const double sum = link_rate[k];
+        if (sum > cap && sum > 0.0) scale = std::min(scale, cap / sum);
+      }
+      pa.rate *= scale;
+    }
+  }
+}
+
 }  // namespace
+
+double SimResult::MeanTimeToRecover() const {
+  if (recovery_seconds.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : recovery_seconds) total += s;
+  return total / static_cast<double>(recovery_seconds.size());
+}
 
 double SimResult::FractionMeetingDeadline() const {
   int with_deadline = 0;
@@ -75,34 +130,68 @@ SimResult RunSimulation(const topo::Wan& wan,
   size_t next_arrival = 0;
 
   core::Topology topology = wan.default_topology;
-  // Mutable plant view so injected fiber failures can be applied.
+  // Mutable plant view so injected faults can be applied.
   optical::OpticalNetwork plant = wan.optical;
-  std::vector<std::pair<double, net::EdgeId>> pending_failures =
-      options.fiber_failures;
-  std::sort(pending_failures.begin(), pending_failures.end());
-  std::vector<int> port_budget;
-  for (int v = 0; v < plant.NumSites(); ++v) {
-    port_budget.push_back(plant.site(v).router_ports);
+  const double theta = plant.wavelength_capacity();
+
+  // One unified schedule: legacy fiber_failures fold in as cut events, and
+  // a cursor drains it (erasing from the front was quadratic).
+  fault::FaultSchedule schedule = options.faults;
+  for (const auto& [t, fiber] : options.fiber_failures) {
+    schedule.Add(fault::FaultEvent::FiberCut(t, fiber));
   }
+  schedule.Normalize();
+  size_t next_event = 0;
+
+  bool controller_up = true;
+  // Last rates the controller installed, by transfer id — what the data
+  // plane keeps forwarding while the controller is down.
+  std::map<int, core::TransferAllocation> frozen;
+
+  fault::InvariantChecker checker;
+
+  // Recovery episode: opened when a fault batch lands on live transfers,
+  // closed when allocated rate regains its pre-fault level or the affected
+  // transfers drain.
+  bool recovering = false;
+  double recover_start = 0.0;
+  double recover_baseline = 0.0;
+  double last_slot_rate = 0.0;
 
   double now = 0.0;
   while (now < options.max_time_s) {
-    // Apply due fiber cuts: re-route what the plant still supports and
-    // re-pair any ports that went dark.
-    bool failed_any = false;
-    while (!pending_failures.empty() &&
-           pending_failures.front().first <= now + 1e-9) {
-      plant.FailFiber(pending_failures.front().second);
-      pending_failures.erase(pending_failures.begin());
-      failed_any = true;
+    // Apply due fault events: the plant shrinks immediately; the topology
+    // recomputes on whatever survives (with dark-port repair only if a
+    // controller is alive to do it — §3.4).
+    bool plant_changed = false;
+    bool any_event = false;
+    while (next_event < schedule.events.size() &&
+           schedule.events[next_event].time <= now + 1e-9) {
+      const fault::FaultEvent& e = schedule.events[next_event];
+      ++next_event;
+      ++result.fault_events;
+      any_event = true;
+      if (e.type == fault::FaultType::kControllerCrash) {
+        controller_up = false;
+      } else if (e.type == fault::FaultType::kControllerRecover) {
+        controller_up = true;
+      } else {
+        plant_changed |= fault::ApplyPlantEvent(e, plant);
+      }
     }
-    if (failed_any) {
-      core::ProvisionedState state(plant);
-      state.SyncTo(topology);
-      topology = core::RepairDarkPorts(state.realized(), plant, port_budget);
+    if (plant_changed) {
+      topology = fault::RecomputeTopology(topology, plant, controller_up);
+      if (!controller_up) PruneFrozenAllocations(frozen, topology, theta);
     }
-    // Admit transfers that have arrived by the start of this slot.
-    while (next_arrival < requests.size() &&
+    if (any_event && !recovering && !active.empty()) {
+      recovering = true;
+      recover_start = now;
+      recover_baseline = last_slot_rate;
+    }
+
+    // Admit transfers that have arrived by the start of this interval.
+    // Admission is a controller action, so arrivals queue while it is down.
+    while (controller_up && next_arrival < requests.size() &&
            requests[next_arrival].arrival <= now + 1e-9) {
       const core::Request& r = requests[next_arrival];
       TransferRecord& rec = result.transfers[next_arrival];
@@ -112,17 +201,35 @@ SimResult RunSimulation(const topo::Wan& wan,
     }
 
     if (active.empty()) {
-      if (next_arrival >= requests.size()) break;  // drained everything
-      // Jump to the slot containing the next arrival.
-      const double arr = requests[next_arrival].arrival;
-      const double slots_ahead =
-          std::floor(arr / options.slot_seconds);
-      now = std::max(now + options.slot_seconds,
-                     slots_ahead * options.slot_seconds);
+      const bool arrivals_left = next_arrival < requests.size();
+      const bool events_left = next_event < schedule.events.size();
+      if (!arrivals_left && !events_left) break;  // drained everything
+      // Jump to the slot containing the next arrival, but never past a
+      // pending fault event (a controller recovery may unblock admission).
+      double target = now + options.slot_seconds;
+      if (arrivals_left) {
+        const double arr = requests[next_arrival].arrival;
+        const double slots_ahead = std::floor(arr / options.slot_seconds);
+        target = std::max(now + options.slot_seconds,
+                          slots_ahead * options.slot_seconds);
+      }
+      if (events_left) {
+        target = std::min(target, schedule.events[next_event].time);
+      }
+      now = target;
       continue;
     }
 
-    // Build the controller's view.
+    // The interval runs to the slot boundary unless a fault event lands
+    // first — then it ends early, delivered bytes pro-rate over the
+    // truncated interval, and the next loop iteration recomputes.
+    double dur = options.slot_seconds;
+    if (next_event < schedule.events.size()) {
+      const double te = schedule.events[next_event].time;
+      if (te < now + dur - 1e-9) dur = te - now;
+    }
+
+    // Build the controller's view (also the invariant checker's).
     core::TeInput input;
     input.topology = &topology;
     input.optical = &plant;
@@ -142,12 +249,30 @@ SimResult RunSimulation(const topo::Wan& wan,
       input.demands.push_back(d);
     }
 
-    const auto compute_start = std::chrono::steady_clock::now();
-    core::TeOutput output = scheme.Compute(input);
-    result.compute_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      compute_start)
-            .count();
+    core::TeOutput output;
+    if (controller_up) {
+      const auto compute_start = std::chrono::steady_clock::now();
+      output = scheme.Compute(input);
+      result.compute_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        compute_start)
+              .count();
+      frozen.clear();
+      for (size_t i = 0;
+           i < output.allocations.size() && i < input.demands.size(); ++i) {
+        frozen[input.demands[i].id] = output.allocations[i];
+      }
+    } else {
+      // Controller down: the data plane keeps the last installed rates for
+      // transfers that still have them; everyone else waits.
+      output.allocations.reserve(active.size());
+      for (const Active& a : active) {
+        auto it = frozen.find(result.transfers[a.index].request.id);
+        output.allocations.push_back(it != frozen.end()
+                                         ? it->second
+                                         : core::TransferAllocation{});
+      }
+    }
 
     // Apply topology change and its reconfiguration penalty.
     std::set<LinkKey> changed;
@@ -164,6 +289,20 @@ SimResult RunSimulation(const topo::Wan& wan,
       slot_rate += a.TotalRate();
     }
     result.slot_throughput.emplace_back(now, slot_rate);
+    if (recovering && slot_rate + 1e-9 >= recover_baseline) {
+      result.recovery_seconds.push_back(now - recover_start);
+      recovering = false;
+    }
+    last_slot_rate = slot_rate;
+
+    if (options.check_invariants) {
+      std::vector<std::string> v = fault::InvariantChecker::CheckSlot(
+          topology, plant, input.demands, output.allocations);
+      result.invariant_violations.insert(result.invariant_violations.end(),
+                                         v.begin(), v.end());
+    }
+
+    const bool truncated = dur < options.slot_seconds - 1e-9;
     std::vector<Active> still_active;
     still_active.reserve(active.size());
     for (size_t ai = 0; ai < active.size(); ++ai) {
@@ -174,6 +313,7 @@ SimResult RunSimulation(const topo::Wan& wan,
                                          : core::TransferAllocation{};
 
       double delivered = 0.0;
+      double full_delivered = 0.0;  // what an uninterrupted slot would give
       double total_rate = 0.0;
       double deadline_part = 0.0;
       double penalty_max = 0.0;
@@ -189,9 +329,11 @@ SimResult RunSimulation(const topo::Wan& wan,
         }
         const double penalty =
             crosses_changed ? options.reconfig_penalty_s : 0.0;
-        const double eff = options.slot_seconds - penalty;
+        const double eff = std::max(0.0, dur - penalty);
         penalty_max = std::max(penalty_max, penalty);
         delivered += pa.rate * eff;
+        full_delivered +=
+            pa.rate * std::max(0.0, options.slot_seconds - penalty);
         total_rate += pa.rate;
         if (r.HasDeadline() && r.deadline > now) {
           const double usable = std::min(
@@ -208,6 +350,17 @@ SimResult RunSimulation(const topo::Wan& wan,
         rec.delivered_by_deadline += std::min(deadline_part, delivered);
       }
       rec.delivered += delivered;
+      if (truncated) {
+        result.gigabits_lost_to_faults +=
+            std::max(0.0, std::min(full_delivered, a.remaining) - delivered);
+      }
+
+      if (options.check_invariants) {
+        std::vector<std::string> v =
+            checker.ObserveTransfer(r.id, rec.delivered, r.size);
+        result.invariant_violations.insert(result.invariant_violations.end(),
+                                           v.begin(), v.end());
+      }
 
       // A transfer is complete once less than a megabit is outstanding;
       // without this epsilon the reconfiguration penalty can shave a
@@ -216,25 +369,32 @@ SimResult RunSimulation(const topo::Wan& wan,
       const bool finishes =
           total_rate > 0.0 &&
           (a.remaining - delivered <= kResidualEps ||
-           penalty_max + a.remaining / total_rate <=
-               options.slot_seconds + 1e-9);
+           penalty_max + a.remaining / total_rate <= dur + 1e-9);
       if (finishes) {
         rec.completed = true;
         // Transmission starts after the reconfiguration window, so the
         // penalty shifts the finish time within the slot instead of
         // spilling a sliver into the next one.
         rec.completed_at =
-            now + std::min(options.slot_seconds,
-                           penalty_max + a.remaining / total_rate);
+            now + std::min(dur, penalty_max + a.remaining / total_rate);
         result.makespan = std::max(result.makespan, rec.completed_at);
       } else {
         a.remaining -= delivered;
         a.slots_waited = delivered > 1e-9 ? 0 : a.slots_waited + 1;
+        if (total_rate <= 1e-9) rec.stalled_s += dur;
         still_active.push_back(a);
       }
     }
     active = std::move(still_active);
-    now += options.slot_seconds;
+    if (recovering && active.empty()) {
+      result.recovery_seconds.push_back(now + dur - recover_start);
+      recovering = false;
+    }
+    now += dur;
+  }
+
+  if (recovering) {
+    result.recovery_seconds.push_back(now - recover_start);
   }
 
   // Anything still unfinished at the cap counts as completing at the cap

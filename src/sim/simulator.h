@@ -1,11 +1,13 @@
 #ifndef OWAN_SIM_SIMULATOR_H_
 #define OWAN_SIM_SIMULATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "core/te_scheme.h"
 #include "core/topology.h"
 #include "core/transfer.h"
+#include "fault/fault_event.h"
 #include "topo/topologies.h"
 
 namespace owan::sim {
@@ -20,10 +22,21 @@ struct SimOptions {
   // Safety cap on simulated time.
   double max_time_s = 72.0 * 3600.0;
   // Fiber cuts injected during the run: (absolute time, fiber edge id).
-  // Applied at the start of the first slot at or after the given time;
-  // circuits re-route where the plant allows and dark ports are re-paired
-  // (§3.4 failure handling).
+  // Legacy shorthand — merged into `faults` as kFiberCut events.
   std::vector<std::pair<double, net::EdgeId>> fiber_failures;
+  // The unified fault script (§3.4): fiber cuts and repairs, site/ROADM
+  // outages, transceiver/regenerator failures, controller crashes. Event
+  // timestamps need not align with slot boundaries — an event interrupts
+  // the running slot (delivered bytes are pro-rated over the truncated
+  // interval) and triggers an immediate recompute rather than waiting for
+  // the next boundary. While the controller is crashed the data plane
+  // keeps forwarding at the last installed rates (minus whatever physical
+  // failures kill), and recompute resumes at kControllerRecover.
+  fault::FaultSchedule faults;
+  // Post-interval invariant checking (fault::InvariantChecker): violations
+  // are collected into SimResult::invariant_violations instead of
+  // asserting. Read-only; disable for timing-critical sweeps.
+  bool check_invariants = true;
 };
 
 // Outcome for one transfer after the run.
@@ -34,6 +47,9 @@ struct TransferRecord {
   double completed_at = -1.0;       // absolute seconds
   double delivered = 0.0;           // gigabits delivered in total
   double delivered_by_deadline = 0.0;
+  // Time spent admitted-but-unallocated (rate 0 while active) — the
+  // per-transfer stall caused by congestion or failures.
+  double stalled_s = 0.0;
 
   double CompletionTime() const { return completed_at - request.arrival; }
   bool MetDeadline() const {
@@ -52,8 +68,24 @@ struct SimResult {
   // (Fig. 10d measures exactly this budget).
   double compute_seconds = 0.0;
   // Per-slot (start_time, total allocated Gbps) series — the Fig. 10a
-  // throughput-over-time view.
+  // throughput-over-time view. Fault interrupts add sub-slot entries.
   std::vector<std::pair<double, double>> slot_throughput;
+
+  // ---- availability metrics (fault runs) ----
+  // Events consumed from the schedule (including no-op repeats).
+  int fault_events = 0;
+  // Gigabits the pre-fault allocation would still have delivered in the
+  // interrupted remainder of its slot — the work each fault invalidated.
+  double gigabits_lost_to_faults = 0.0;
+  // One entry per fault batch that hit a live transfer set: seconds until
+  // total allocated rate recovered to its pre-fault level (or the affected
+  // transfers drained). Episodes still open when the run ends close at the
+  // final simulated time.
+  std::vector<double> recovery_seconds;
+  double MeanTimeToRecover() const;
+  // Violations found by the post-interval InvariantChecker; empty = every
+  // interval of the run was consistent.
+  std::vector<std::string> invariant_violations;
 
   // Deadline metrics (only meaningful for deadline workloads).
   double FractionMeetingDeadline() const;
@@ -64,6 +96,7 @@ struct SimResult {
 // the active transfers and emits allocations (and, for optical-aware
 // schemes, a new topology); transfers progress at their allocated rates,
 // minus the reconfiguration penalty on links whose circuits changed.
+// Faults from `options.faults` interrupt slots as described above.
 SimResult RunSimulation(const topo::Wan& wan,
                         const std::vector<core::Request>& requests,
                         core::TeScheme& scheme, const SimOptions& options = {});

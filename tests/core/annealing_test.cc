@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "topo/topologies.h"
 
 namespace owan::core {
@@ -204,6 +206,33 @@ TEST(AnnealTest, MoreIterationsNeverHurtEnergy) {
     EXPECT_GE(res.best_energy, prev - 1e-9) << "iters=" << iters;
     prev = res.best_energy;
   }
+}
+
+TEST(AnnealTest, ExpiredTimeBudgetDegradesToStartTopology) {
+  // A compute budget that is already spent must still yield a usable
+  // result: the warm-start topology with greedy routing, zero iterations.
+  topo::Wan wan = topo::MakeInternet2();
+  std::vector<TransferDemand> demands = {Demand(0, 0, 8, 40.0)};
+  AnnealOptions opt;
+  opt.max_iterations = 500;
+  opt.time_budget_s = 1e-12;
+  util::Rng rng(41);
+  AnnealResult res = ComputeNetworkState(wan.default_topology, wan.optical,
+                                         demands, opt, rng);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_GT(res.best_energy, 0.0);  // routing still ran on the start state
+  EXPECT_FALSE(res.routing.allocations.empty());
+}
+
+TEST(AnnealTest, RejectsTopologyPlantSiteCountMismatch) {
+  topo::Wan wan = topo::MakeInternet2();
+  Topology wrong(4);
+  wrong.AddUnits(0, 1, 1);
+  AnnealOptions opt;
+  opt.max_iterations = 10;
+  util::Rng rng(43);
+  EXPECT_THROW(ComputeNetworkState(wrong, wan.optical, {}, opt, rng),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -120,6 +120,58 @@ TEST_F(OwanTeTest, DeterministicForSeed) {
   EXPECT_TRUE(*oa.new_topology == *ob.new_topology);
 }
 
+TEST_F(OwanTeTest, SlotSeededComputeIsFailoverStateless) {
+  // With slot seeding, the decision at t=300 is a pure function of
+  // (seed, now): a fresh instance that never saw t=0 must agree with one
+  // that did — the property controller failover relies on.
+  OwanOptions opt;
+  opt.seed = 77;
+  opt.slot_seeded = true;
+  opt.anneal.max_iterations = 120;
+  OwanTe veteran(opt), replacement(opt);
+
+  TeInput t0 = MakeInput({Demand(0, 0, 1, 20.0), Demand(1, 2, 3, 20.0)});
+  t0.now = 0.0;
+  veteran.Compute(t0);
+
+  TeInput t1 = MakeInput({Demand(0, 0, 1, 12.0), Demand(1, 2, 3, 20.0)});
+  t1.now = 300.0;
+  auto a = veteran.Compute(t1);
+  auto b = replacement.Compute(t1);
+  ASSERT_TRUE(a.new_topology && b.new_topology);
+  EXPECT_TRUE(*a.new_topology == *b.new_topology);
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.allocations[i].TotalRate(),
+                     b.allocations[i].TotalRate());
+  }
+}
+
+TEST_F(OwanTeTest, DegradedFallbackWhenAnnealingCannotRun) {
+  // A topology whose site count disagrees with the plant makes the search
+  // unrunnable; Owan must degrade to greedy routing on the current
+  // topology instead of going dark.
+  OwanOptions opt;
+  opt.anneal.max_iterations = 100;
+  OwanTe te(opt);
+  Topology mismatched(3);
+  mismatched.AddUnits(0, 1, 1);
+  TeInput in = MakeInput({Demand(0, 0, 1, 5.0)});
+  in.topology = &mismatched;
+  auto out = te.Compute(in);
+  EXPECT_TRUE(te.last_degraded());
+  EXPECT_EQ(te.degraded_slots(), 1);
+  EXPECT_FALSE(out.new_topology.has_value());  // topology left untouched
+  ASSERT_EQ(out.allocations.size(), 1u);
+  EXPECT_NEAR(out.allocations[0].TotalRate(), 5.0, 1e-9);
+
+  // A healthy slot clears the sticky flag but keeps the counter.
+  auto ok = te.Compute(MakeInput({Demand(0, 0, 1, 5.0)}));
+  EXPECT_FALSE(te.last_degraded());
+  EXPECT_EQ(te.degraded_slots(), 1);
+  EXPECT_TRUE(ok.new_topology.has_value());
+}
+
 TEST_F(OwanTeTest, EmptyDemandsNoCrash) {
   OwanOptions opt;
   opt.anneal.max_iterations = 20;

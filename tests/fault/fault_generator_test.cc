@@ -1,0 +1,127 @@
+// Seeded stochastic fault generation: MTBF/MTTR renewal processes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fault/fault_generator.h"
+#include "topo/topologies.h"
+
+namespace owan::fault {
+namespace {
+
+FaultGeneratorOptions BusyOptions() {
+  FaultGeneratorOptions opt;
+  opt.seed = 42;
+  opt.horizon_s = 48.0 * 3600.0;
+  opt.fiber = {6.0 * 3600.0, 1800.0};
+  opt.site = {24.0 * 3600.0, 900.0};
+  opt.transceiver = {12.0 * 3600.0, 600.0};
+  opt.transceiver_ports = 1;
+  opt.controller = {24.0 * 3600.0, 120.0};
+  return opt;
+}
+
+TEST(FaultGeneratorTest, SameSeedSameSchedule) {
+  const topo::Wan wan = topo::MakeInternet2();
+  const FaultGeneratorOptions opt = BusyOptions();
+  const FaultSchedule a = GenerateFaultSchedule(wan.optical, opt);
+  const FaultSchedule b = GenerateFaultSchedule(wan.optical, opt);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultGeneratorTest, DifferentSeedDifferentSchedule) {
+  const topo::Wan wan = topo::MakeInternet2();
+  FaultGeneratorOptions opt = BusyOptions();
+  const FaultSchedule a = GenerateFaultSchedule(wan.optical, opt);
+  opt.seed = 43;
+  const FaultSchedule b = GenerateFaultSchedule(wan.optical, opt);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FaultGeneratorTest, EventsAlternatePerComponentWithinHorizon) {
+  const topo::Wan wan = topo::MakeInternet2();
+  const FaultGeneratorOptions opt = BusyOptions();
+  const FaultSchedule s = GenerateFaultSchedule(wan.optical, opt);
+  // Per (class, target): strictly alternating fail/repair starting failed.
+  std::map<std::pair<int, int>, bool> down;  // (class-ish key, target)
+  auto key = [](const FaultEvent& e) {
+    switch (e.type) {
+      case FaultType::kFiberCut:
+      case FaultType::kFiberRepair:
+        return std::make_pair(0, e.target);
+      case FaultType::kSiteFail:
+      case FaultType::kSiteRepair:
+        return std::make_pair(1, e.target);
+      case FaultType::kTransceiverFail:
+      case FaultType::kTransceiverRepair:
+        return std::make_pair(2, e.target);
+      default:
+        return std::make_pair(3, -1);
+    }
+  };
+  double last_t = 0.0;
+  for (const FaultEvent& e : s.events) {
+    EXPECT_GE(e.time, last_t);  // Normalize() ran
+    last_t = e.time;
+    EXPECT_LT(e.time, opt.horizon_s);
+    const bool is_fail = e.type == FaultType::kFiberCut ||
+                         e.type == FaultType::kSiteFail ||
+                         e.type == FaultType::kTransceiverFail ||
+                         e.type == FaultType::kControllerCrash;
+    bool& d = down[key(e)];
+    EXPECT_NE(d, is_fail) << ToString(e);  // fail only when up, and v.v.
+    d = is_fail;
+  }
+}
+
+TEST(FaultGeneratorTest, DisabledClassEmitsNothing) {
+  const topo::Wan wan = topo::MakeInternet2();
+  FaultGeneratorOptions opt = BusyOptions();
+  opt.fiber = {};  // mtbf 0 disables
+  const FaultSchedule s = GenerateFaultSchedule(wan.optical, opt);
+  for (const FaultEvent& e : s.events) {
+    EXPECT_NE(e.type, FaultType::kFiberCut);
+    EXPECT_NE(e.type, FaultType::kFiberRepair);
+  }
+}
+
+TEST(FaultGeneratorTest, PermanentFailuresNeverRepair) {
+  const topo::Wan wan = topo::MakeInternet2();
+  FaultGeneratorOptions opt;
+  opt.seed = 7;
+  opt.horizon_s = 96.0 * 3600.0;
+  opt.fiber = {4.0 * 3600.0, 0.0};  // mttr 0 = permanent
+  const FaultSchedule s = GenerateFaultSchedule(wan.optical, opt);
+  ASSERT_FALSE(s.empty());
+  std::map<int, int> cuts;
+  for (const FaultEvent& e : s.events) {
+    EXPECT_EQ(e.type, FaultType::kFiberCut);
+    EXPECT_EQ(++cuts[e.target], 1);  // at most one cut per fiber
+  }
+}
+
+TEST(FaultGeneratorTest, OtherClassesDoNotPerturbFiberStream) {
+  // Per-component RNG streams: turning on site failures must not change
+  // what the fiber class draws.
+  const topo::Wan wan = topo::MakeInternet2();
+  FaultGeneratorOptions opt = BusyOptions();
+  opt.site = {};
+  opt.transceiver = {};
+  opt.controller = {};
+  const FaultSchedule fiber_only = GenerateFaultSchedule(wan.optical, opt);
+  opt.site = {24.0 * 3600.0, 900.0};
+  const FaultSchedule with_sites = GenerateFaultSchedule(wan.optical, opt);
+  size_t i = 0;
+  for (const FaultEvent& e : with_sites.events) {
+    if (e.type != FaultType::kFiberCut && e.type != FaultType::kFiberRepair) {
+      continue;
+    }
+    ASSERT_LT(i, fiber_only.size());
+    EXPECT_EQ(e, fiber_only.events[i++]);
+  }
+  EXPECT_EQ(i, fiber_only.size());
+}
+
+}  // namespace
+}  // namespace owan::fault

@@ -1,0 +1,82 @@
+// FaultEvent / FaultSchedule model and the scripted schedule loader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/fault_event.h"
+#include "fault/schedule_io.h"
+
+namespace owan::fault {
+namespace {
+
+TEST(FaultScheduleTest, NormalizeOrdersByTimeThenKind) {
+  FaultSchedule s;
+  s.Add(FaultEvent::SiteFail(900.0, 2));
+  s.Add(FaultEvent::FiberCut(300.0, 1));
+  s.Add(FaultEvent::ControllerCrash(300.0));
+  s.Add(FaultEvent::FiberCut(300.0, 0));
+  s.Normalize();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.events[0], FaultEvent::FiberCut(300.0, 0));
+  EXPECT_EQ(s.events[1], FaultEvent::FiberCut(300.0, 1));
+  EXPECT_EQ(s.events[2], FaultEvent::ControllerCrash(300.0));
+  EXPECT_EQ(s.events[3], FaultEvent::SiteFail(900.0, 2));
+}
+
+TEST(FaultScheduleTest, PlantEventClassification) {
+  EXPECT_TRUE(FaultEvent::FiberCut(0, 0).IsPlantEvent());
+  EXPECT_TRUE(FaultEvent::SiteRepair(0, 0).IsPlantEvent());
+  EXPECT_TRUE(FaultEvent::TransceiverFail(0, 0, 1, 0).IsPlantEvent());
+  EXPECT_FALSE(FaultEvent::ControllerCrash(0).IsPlantEvent());
+  EXPECT_FALSE(FaultEvent::ControllerRecover(0).IsPlantEvent());
+}
+
+TEST(ScheduleIoTest, ParsesEveryEventKindAndNormalizes) {
+  const std::string text =
+      "# a scripted incident\n"
+      "\n"
+      "1200 fiber-repair 3\n"
+      "450 fiber-cut 3\n"
+      "600 site-fail 2\n"
+      "900 site-repair 2\n"
+      "300 xcvr-fail 1 2 1\n"
+      "750 xcvr-repair 1 2 1\n"
+      "500 controller-crash\n"
+      "512.5 controller-recover\n";
+  FaultSchedule s = ParseFaultSchedule(text);
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.events[0], FaultEvent::TransceiverFail(300.0, 1, 2, 1));
+  EXPECT_EQ(s.events[1], FaultEvent::FiberCut(450.0, 3));
+  EXPECT_EQ(s.events[2], FaultEvent::ControllerCrash(500.0));
+  EXPECT_EQ(s.events[3], FaultEvent::ControllerRecover(512.5));
+  EXPECT_EQ(s.events.back(), FaultEvent::FiberRepair(1200.0, 3));
+}
+
+TEST(ScheduleIoTest, FormatParsesBackIdentically) {
+  FaultSchedule s;
+  s.Add(FaultEvent::FiberCut(450.125, 3));
+  s.Add(FaultEvent::TransceiverFail(300.0, 1, 2, 1));
+  s.Add(FaultEvent::SiteFail(600.0, 2));
+  s.Add(FaultEvent::ControllerCrash(500.0 + 1.0 / 3.0));
+  s.Normalize();
+  const FaultSchedule round = ParseFaultSchedule(FormatFaultSchedule(s));
+  EXPECT_EQ(round, s);  // doubles survive via max_digits10
+}
+
+TEST(ScheduleIoTest, MalformedLinesThrow) {
+  EXPECT_THROW(ParseFaultSchedule("300 not-a-kind 1"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("abc fiber-cut 1"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("300 fiber-cut"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("300 xcvr-fail 1 2"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleIoTest, StreamOverloadMatchesStringOverload) {
+  const std::string text = "450 fiber-cut 3\n300 site-fail 1\n";
+  std::istringstream is(text);
+  EXPECT_EQ(ParseFaultSchedule(is), ParseFaultSchedule(text));
+}
+
+}  // namespace
+}  // namespace owan::fault

@@ -1,0 +1,107 @@
+// Post-slot invariant validation under failures.
+#include <gtest/gtest.h>
+
+#include "fault/invariant_checker.h"
+#include "topo/topologies.h"
+
+namespace owan::fault {
+namespace {
+
+// Motivating example: 4-site square, links (0,1),(0,2),(1,3),(2,3) with one
+// 10 Gbps unit each, two ports per site.
+core::TransferDemand Demand(int id, int src, int dst, double remaining) {
+  core::TransferDemand d;
+  d.id = id;
+  d.src = src;
+  d.dst = dst;
+  d.remaining = remaining;
+  d.rate_cap = remaining / 300.0;
+  return d;
+}
+
+core::TransferAllocation Alloc(int id, std::vector<net::NodeId> nodes,
+                               double rate) {
+  core::TransferAllocation a;
+  a.id = id;
+  core::PathAllocation pa;
+  pa.path.nodes = std::move(nodes);
+  pa.rate = rate;
+  a.paths.push_back(pa);
+  return a;
+}
+
+TEST(InvariantCheckerTest, CleanSlotHasNoViolations) {
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  const auto v = InvariantChecker::CheckSlot(
+      wan.default_topology, wan.optical, {Demand(0, 0, 1, 3000.0)},
+      {Alloc(0, {0, 1}, 10.0)});
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(InvariantCheckerTest, FlagsAllocationOnAbsentLink) {
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  // (0,3) is a diagonal the square topology does not carry.
+  const auto v = InvariantChecker::CheckSlot(
+      wan.default_topology, wan.optical, {Demand(0, 0, 3, 3000.0)},
+      {Alloc(0, {0, 3}, 5.0)});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("dead/absent link"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, FlagsOverCapacityAggregate) {
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  // One 10 Gbps unit on (0,1); two transfers pushing 8 Gbps each exceed it.
+  const auto v = InvariantChecker::CheckSlot(
+      wan.default_topology, wan.optical,
+      {Demand(0, 0, 1, 9000.0), Demand(1, 0, 1, 9000.0)},
+      {Alloc(0, {0, 1}, 8.0), Alloc(1, {0, 1}, 8.0)});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("capacity"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, FlagsPortBudgetViolationAfterTransceiverFailure) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  wan.optical.FailPorts(0, 1);  // site 0 keeps 1 of 2 ports
+  const auto v = InvariantChecker::CheckSlot(wan.default_topology, wan.optical,
+                                             {}, {});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("ports"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, FlagsLinkTerminatingAtFailedSite) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  wan.optical.FailSite(3);
+  bool found = false;
+  for (const std::string& s : InvariantChecker::CheckSlot(
+           wan.default_topology, wan.optical, {}, {})) {
+    if (s.find("failed site") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantCheckerTest, FlagsEndpointMismatchAndExtraAllocations) {
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  const auto v = InvariantChecker::CheckSlot(
+      wan.default_topology, wan.optical, {Demand(0, 0, 1, 3000.0)},
+      {Alloc(0, {2, 3}, 1.0), Alloc(1, {0, 1}, 1.0)});
+  bool extra = false, mismatch = false;
+  for (const std::string& s : v) {
+    if (s.find("more allocations") != std::string::npos) extra = true;
+    if (s.find("endpoints") != std::string::npos) mismatch = true;
+  }
+  EXPECT_TRUE(extra);
+  EXPECT_TRUE(mismatch);
+}
+
+TEST(InvariantCheckerTest, ObserveTransferCatchesRegressionAndOverrun) {
+  InvariantChecker c;
+  EXPECT_TRUE(c.ObserveTransfer(0, 100.0, 500.0).empty());
+  EXPECT_TRUE(c.ObserveTransfer(0, 250.0, 500.0).empty());
+  EXPECT_FALSE(c.ObserveTransfer(0, 200.0, 500.0).empty());  // backwards
+  EXPECT_FALSE(c.ObserveTransfer(1, 600.0, 500.0).empty());  // > size
+  c.Reset();
+  EXPECT_TRUE(c.ObserveTransfer(0, 50.0, 500.0).empty());
+}
+
+}  // namespace
+}  // namespace owan::fault

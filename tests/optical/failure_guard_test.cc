@@ -1,0 +1,122 @@
+// Idempotence and accounting guards on the optical failure API (§3.4):
+// repeated or out-of-order fail/restore events must be harmless no-ops.
+#include <gtest/gtest.h>
+
+#include "optical/optical_network.h"
+#include "topo/topologies.h"
+
+namespace owan::optical {
+namespace {
+
+TEST(FailureGuardTest, DoubleFiberFailAndRestoreAreNoOps) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  OpticalNetwork& on = wan.optical;
+  const auto c = on.ProvisionCircuit(0, 1);
+  ASSERT_TRUE(c.has_value());
+
+  const auto victims = on.FailFiber(0);  // the 0-1 fiber
+  EXPECT_EQ(victims, std::vector<CircuitId>{*c});
+  EXPECT_TRUE(on.FiberFailed(0));
+  EXPECT_TRUE(on.FailFiber(0).empty());  // repeated cut: no-op
+
+  EXPECT_TRUE(on.RestoreFiber(0));
+  EXPECT_FALSE(on.FiberFailed(0));
+  EXPECT_FALSE(on.RestoreFiber(0));   // repeated repair: no-op
+  EXPECT_FALSE(on.RestoreFiber(1));   // repair of a live fiber: no-op
+  EXPECT_EQ(on.NumCircuits(), 0);     // repair does not resurrect circuits
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(FailureGuardTest, SiteOutageKillsIncidentFibersAndTouchingCircuits) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  OpticalNetwork& on = wan.optical;
+  const auto c01 = on.ProvisionCircuit(0, 1);
+  const auto c23 = on.ProvisionCircuit(2, 3);
+  ASSERT_TRUE(c01.has_value());
+  ASSERT_TRUE(c23.has_value());
+
+  const auto victims = on.FailSite(0);
+  EXPECT_EQ(victims, std::vector<CircuitId>{*c01});  // 2-3 untouched
+  EXPECT_EQ(on.NumCircuits(), 1);
+  EXPECT_TRUE(on.SiteFailed(0));
+  EXPECT_EQ(on.UsablePorts(0), 0);
+  // Fibers 0 (0-1) and 1 (0-2) are incident to site 0: dark but not cut.
+  EXPECT_TRUE(on.FiberFailed(0));
+  EXPECT_TRUE(on.FiberFailed(1));
+  EXPECT_FALSE(on.FiberCut(0));
+  EXPECT_FALSE(on.ProvisionCircuit(0, 1).has_value());  // site down
+
+  EXPECT_TRUE(on.FailSite(0).empty());  // repeated outage: no-op
+  EXPECT_TRUE(on.RestoreSite(0));
+  EXPECT_FALSE(on.RestoreSite(0));      // repeated repair: no-op
+  EXPECT_FALSE(on.RestoreSite(1));      // repair of a live site: no-op
+  EXPECT_FALSE(on.FiberFailed(0));
+  EXPECT_EQ(on.UsablePorts(0), 2);
+  EXPECT_TRUE(on.ProvisionCircuit(0, 1).has_value());
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(FailureGuardTest, SiteRepairDoesNotResurrectIndependentFiberCut) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  OpticalNetwork& on = wan.optical;
+  on.FailFiber(0);
+  on.FailSite(0);
+  EXPECT_TRUE(on.RestoreSite(0));
+  EXPECT_TRUE(on.FiberFailed(0));   // the independent cut survives
+  EXPECT_FALSE(on.FiberFailed(1));  // the merely-dark fiber came back
+  EXPECT_TRUE(on.RestoreFiber(0));
+  EXPECT_FALSE(on.FiberFailed(0));
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(FailureGuardTest, PortFailuresClampAndRestore) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  OpticalNetwork& on = wan.optical;  // two ports per site
+  EXPECT_EQ(on.FailPorts(0, 5), 2);  // clamped to what exists
+  EXPECT_EQ(on.UsablePorts(0), 0);
+  EXPECT_EQ(on.FailedPorts(0), 2);
+  EXPECT_EQ(on.FailPorts(0, 1), 0);  // nothing left to fail
+  EXPECT_EQ(on.RestorePorts(0, 5), 2);
+  EXPECT_EQ(on.RestorePorts(0, 1), 0);  // nothing failed: no-op
+  EXPECT_EQ(on.UsablePorts(0), 2);
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(FailureGuardTest, RegenFailuresDrainFreePoolFirst) {
+  topo::Wan wan = topo::MakeInternet2();
+  OpticalNetwork& on = wan.optical;
+  const net::NodeId slc = wan.SiteByName("SLC");
+  ASSERT_EQ(on.FreeRegens(slc), 6);
+  EXPECT_TRUE(on.FailRegens(slc, 4).empty());  // free pool absorbs it
+  EXPECT_EQ(on.FreeRegens(slc), 2);
+  EXPECT_EQ(on.FailedRegens(slc), 4);
+  EXPECT_EQ(on.RestoreRegens(slc, 10), 4);  // clamped
+  EXPECT_EQ(on.FreeRegens(slc), 6);
+  EXPECT_EQ(on.RestoreRegens(slc, 1), 0);   // nothing failed: no-op
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+TEST(FailureGuardTest, RegenFailureTearsCircuitsWhenPoolRunsDry) {
+  topo::Wan wan = topo::MakeInternet2();
+  OpticalNetwork& on = wan.optical;
+  // SEA->NYC is far past the 2000 km reach: the circuit must regenerate.
+  const auto c = on.ProvisionCircuit(wan.SiteByName("SEA"),
+                                     wan.SiteByName("NYC"));
+  ASSERT_TRUE(c.has_value());
+  const Circuit circ = on.circuit(*c);
+  ASSERT_FALSE(circ.regen_sites.empty());
+  const net::NodeId v = circ.regen_sites.front();
+
+  const auto victims = on.FailRegens(v, on.site(v).regenerators);
+  EXPECT_EQ(victims, std::vector<CircuitId>{*c});
+  EXPECT_EQ(on.FreeRegens(v), 0);
+  EXPECT_EQ(on.FailedRegens(v), on.site(v).regenerators);
+  EXPECT_TRUE(on.CheckInvariants());
+
+  EXPECT_EQ(on.RestoreRegens(v, on.site(v).regenerators),
+            on.site(v).regenerators);
+  EXPECT_TRUE(on.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace owan::optical
