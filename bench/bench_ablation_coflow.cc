@@ -9,7 +9,8 @@
 
 using namespace owan;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeInterDc();
   util::Rng rng(31);
   const int n = wan.optical.NumSites();

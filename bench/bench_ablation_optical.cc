@@ -45,7 +45,8 @@ int FillCapacity(optical::OpticalNetwork on, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   bench::PrintHeader("Ablation — wavelength assignment policy");
   {
     // Scarce wavelengths stress continuity: 4 lambdas per fiber.

@@ -7,7 +7,8 @@
 
 using namespace owan;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeInterDc();
   // A deeper backlog than the fig7 runs so the network stays
   // capacity-bound long enough for the throughput series to separate (no

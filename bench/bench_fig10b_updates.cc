@@ -32,7 +32,8 @@ core::TransferDemand Backlogged(int id, int src, int dst) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeInterDc();
   util::Rng rng(23);
   const int n = wan.optical.NumSites();
@@ -111,8 +112,9 @@ int main() {
   for (const auto& a : slot1.allocations) before += a.TotalRate();
   std::printf("steady throughput before the update: %.1f Gbps\n", before);
 
-  auto summarize = [before](const char* name,
-                            const std::vector<update::TraceSample>& trace) {
+  auto summarize = [before, &plan, &consistent](
+                       const char* name,
+                       const std::vector<update::TraceSample>& trace) {
     double min = 1e18;
     for (const auto& s : trace) min = std::min(min, s.gbps);
     const double baseline = std::min(before, trace.back().gbps);
@@ -121,6 +123,19 @@ int main() {
                 name, min,
                 baseline > 0 ? 100.0 * (1.0 - min / baseline) : 0.0,
                 trace.back().gbps);
+    bench::JsonRecord(
+        "fig10b", name,
+        {{"min_gbps", min},
+         {"final_gbps", trace.back().gbps},
+         {"steady_gbps", before},
+         {"drop_pct",
+          baseline > 0 ? 100.0 * (1.0 - min / baseline) : 0.0},
+         {"plan_ops", static_cast<double>(plan.ops.size())},
+         {"remove_circuit", static_cast<double>(
+                                plan.CountType(update::OpType::kRemoveCircuit))},
+         {"add_circuit", static_cast<double>(
+                             plan.CountType(update::OpType::kAddCircuit))},
+         {"consistent_makespan_s", consistent.makespan}});
     std::printf("  trace:");
     int printed = 0;
     for (const auto& s : trace) {

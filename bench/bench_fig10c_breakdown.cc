@@ -8,7 +8,8 @@
 
 using namespace owan;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeInterDc();
   const bench::NamedScheme levels[] = {
       bench::MakeOwanLevel(core::ControlLevel::kRateOnly, "rate"),

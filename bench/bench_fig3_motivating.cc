@@ -33,7 +33,8 @@ double Run(const topo::Wan& wan, core::ControlLevel level, bool strict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeMotivatingExample();
   bench::PrintHeader("Fig. 3 — motivating example (avg completion, units)");
   std::printf("  Plan A (routing only):      %.2f  (paper: 1.00)\n",

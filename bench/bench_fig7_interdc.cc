@@ -2,7 +2,8 @@
 // inter-DC topology (super-core ring + leaves, moving hotspots).
 #include "experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  owan::bench::InitJsonFromArgs(argc, argv);
   owan::bench::RunFig7(owan::topo::MakeInterDc());
   return 0;
 }

@@ -3,7 +3,8 @@
 // simulator that the paper validates within 10% of the testbed).
 #include "experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  owan::bench::InitJsonFromArgs(argc, argv);
   owan::bench::RunFig7(owan::topo::MakeInternet2());
   return 0;
 }

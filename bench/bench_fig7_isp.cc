@@ -2,7 +2,8 @@
 // backbone topology.
 #include "experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  owan::bench::InitJsonFromArgs(argc, argv);
   owan::bench::RunFig7(owan::topo::MakeIspBackbone());
   return 0;
 }

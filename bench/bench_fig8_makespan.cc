@@ -2,7 +2,8 @@
 // network-layer-only baselines, on all three topologies.
 #include "experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  owan::bench::InitJsonFromArgs(argc, argv);
   owan::bench::RunFig8(owan::topo::MakeInternet2());
   owan::bench::RunFig8(owan::topo::MakeIspBackbone());
   owan::bench::RunFig8(owan::topo::MakeInterDc());

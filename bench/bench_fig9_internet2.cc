@@ -1,7 +1,8 @@
 // Reproduces Fig. 9(a-c): deadline-constrained traffic on Internet2.
 #include "experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  owan::bench::InitJsonFromArgs(argc, argv);
   owan::bench::RunFig9(owan::topo::MakeInternet2());
   return 0;
 }

@@ -2,7 +2,8 @@
 // backbone.
 #include "experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  owan::bench::InitJsonFromArgs(argc, argv);
   owan::bench::RunFig9(owan::topo::MakeIspBackbone());
   return 0;
 }

@@ -13,7 +13,8 @@
 
 using namespace owan;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
   topo::Wan wan = topo::MakeInternet2();
   const auto reqs =
       workload::GenerateWorkload(wan, bench::ParamsFor(wan, 1.0));

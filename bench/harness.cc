@@ -4,14 +4,22 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace owan::bench {
 
 namespace {
 
-// Process-global JSON collector. Benches are single-threaded drivers, so a
-// plain vector suffices; records are pre-rendered JSON objects.
+// Process-global collector for every machine-readable output a bench can
+// emit: result records and a metrics snapshot (--json), a Chrome trace
+// (--trace / OWAN_TRACE) and a JSONL event log (--events). One writer, one
+// exit hook — bench binaries never hand-roll their own emission.
 struct JsonSink {
   std::string path;
+  std::string trace_path;
+  std::string events_path;
   std::string bench;  // argv[0] basename, the default record label
   std::vector<std::string> records;
   bool flushed = false;
@@ -23,12 +31,7 @@ JsonSink& Sink() {
 }
 
 std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
+  return obs::json::Escape(s);
 }
 
 std::string RenderRecord(
@@ -53,14 +56,41 @@ void InitJsonFromArgs(int argc, char** argv) {
     const char* base = std::strrchr(argv[0], '/');
     sink.bench = base ? base + 1 : argv[0];
   }
+  int trace_detail = 1;
+  auto flag = [&](int i, const char* name, std::string* out) {
+    const size_t len = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      *out = argv[i + 1];
+      return true;
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      *out = argv[i] + len + 1;
+      return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      sink.path = argv[i + 1];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      sink.path = argv[i] + 7;
+    std::string detail;
+    if (flag(i, "--json", &sink.path)) continue;
+    if (flag(i, "--trace", &sink.trace_path)) continue;
+    if (flag(i, "--events", &sink.events_path)) continue;
+    if (flag(i, "--trace-detail", &detail)) {
+      trace_detail = std::atoi(detail.c_str());
+      continue;
     }
   }
-  if (!sink.path.empty()) std::atexit(FlushJson);
+  if (sink.trace_path.empty()) {
+    if (const char* env = std::getenv("OWAN_TRACE"); env && *env != '\0') {
+      sink.trace_path = env;
+    }
+  }
+  if (!sink.trace_path.empty() || !sink.events_path.empty()) {
+    obs::Tracer::Global().Start(trace_detail);
+  }
+  if (!sink.path.empty() || !sink.trace_path.empty() ||
+      !sink.events_path.empty()) {
+    std::atexit(FlushJson);
+  }
 }
 
 bool JsonEnabled() { return !Sink().path.empty(); }
@@ -73,19 +103,35 @@ void JsonRecord(const std::string& bench, const std::string& scheme,
 
 void FlushJson() {
   JsonSink& sink = Sink();
-  if (sink.path.empty() || sink.flushed) return;
+  if (sink.flushed) return;
   sink.flushed = true;
+  if (!sink.trace_path.empty()) {
+    if (!obs::Tracer::Global().ExportChromeTrace(sink.trace_path)) {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   sink.trace_path.c_str());
+    }
+  }
+  if (!sink.events_path.empty()) {
+    if (!obs::Tracer::Global().ExportJsonl(sink.events_path)) {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   sink.events_path.c_str());
+    }
+  }
+  if (sink.path.empty()) return;
   std::FILE* f = std::fopen(sink.path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench: cannot write %s\n", sink.path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n\"bench\": \"%s\",\n\"records\": [\n",
+               JsonEscape(sink.bench).c_str());
   for (size_t i = 0; i < sink.records.size(); ++i) {
     std::fprintf(f, "  %s%s\n", sink.records[i].c_str(),
                  i + 1 < sink.records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  const std::string metrics =
+      obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::fprintf(f, "],\n\"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);
 }
 

@@ -75,13 +75,20 @@ void PrintImprovementRow(const RunStats& owan, const RunStats& baseline);
 void PrintBinImprovementRows(const RunStats& owan, const RunStats& baseline);
 void PrintCdf(const RunStats& stats, size_t points = 10);
 
-// ---- machine-readable results (--json <path>) ----
+// ---- machine-readable results and telemetry ----
 //
-// Call InitJsonFromArgs at the top of a bench main. When the flag is
-// present, every RunOne result is captured automatically and JsonRecord
-// lets binaries append free-form records; the collected array is written
-// to the path at process exit (or an explicit FlushJson). Without the
-// flag all of these are no-ops, so the printed output never changes.
+// Call InitJsonFromArgs at the top of a bench main. It understands:
+//   --json <path>     write one JSON object {"bench", "records", "metrics"}
+//                     at process exit: every RunOne result (plus free-form
+//                     JsonRecord rows) under "records", and the run's
+//                     obs::MetricsRegistry snapshot under "metrics".
+//   --trace <path>    start obs::Tracer and export a Chrome-tracing JSON
+//                     file at exit (loads in Perfetto / chrome://tracing).
+//   --events <path>   same session, exported as a JSONL event log.
+//   --trace-detail N  tracer detail level (default 1; 2 = fine-grained).
+// Without the flags all of these are no-ops, so printed output never
+// changes. The OWAN_TRACE environment variable is an alternative spelling
+// of --trace for binaries invoked through scripts.
 void InitJsonFromArgs(int argc, char** argv);
 bool JsonEnabled();
 // One record: which experiment, which scheme/mode, plus numeric fields.

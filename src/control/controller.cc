@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "fault/fault_injector.h"
+#include "obs/obs.h"
 
 namespace owan::control {
 
@@ -51,6 +52,9 @@ int Controller::ActiveTransfers() const {
 }
 
 void Controller::Tick() {
+  OWAN_SPAN(tick_span, "control", "tick");
+  tick_span.AddArg("now", now_);
+  OWAN_COUNT("controller.ticks");
   // Build the demand set.
   core::TeInput input;
   input.topology = &topology_;
@@ -72,16 +76,24 @@ void Controller::Tick() {
     ids.push_back(id);
   }
 
-  core::TeOutput output = scheme_->Compute(input);
+  core::TeOutput output;
+  {
+    OWAN_SPAN(compute_span, "control", "compute");
+    compute_span.AddArg("demands", static_cast<double>(input.demands.size()));
+    output = scheme_->Compute(input);
+  }
 
   // Plan and "execute" the cross-layer update.
   std::set<std::pair<net::NodeId, net::NodeId>> changed;
   if (output.new_topology && !(*output.new_topology == topology_)) {
+    OWAN_SPAN(plan_span, "control", "update.plan");
     last_plan_ = update::BuildUpdatePlan(topology_, *output.new_topology,
                                          last_allocations_,
                                          output.allocations,
                                          options_.durations);
     last_schedule_ = update::ScheduleConsistent(last_plan_);
+    plan_span.AddArg("ops", static_cast<double>(last_plan_.ops.size()));
+    plan_span.AddArg("makespan_s", last_schedule_.makespan);
     auto [add, remove] = output.new_topology->Diff(topology_);
     auto key = [](net::NodeId a, net::NodeId b) {
       return a < b ? std::make_pair(a, b) : std::make_pair(b, a);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/energy_evaluator.h"
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace owan::core {
@@ -133,6 +134,7 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
                            util::Rng& rng,
                            const std::vector<size_t>& starved,
                            EnergyEvaluator& eval, const Deadline& deadline) {
+  const EnergyEvaluator::Stats stats_before = eval.stats();
   const EnergyEvaluator::Eval base =
       eval.Reset(blank_optical, start, demands, starved, options.routing);
   double cur_energy = base.energy;
@@ -170,7 +172,11 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
       continue;  // out of the allowed update radius
     }
 
-    const EnergyEvaluator::Eval ev = eval.Apply(*neighbor);
+    EnergyEvaluator::Eval ev;
+    {
+      OWAN_SPAN_DETAIL(eval_span, "core", "energy.eval");
+      ev = eval.Apply(*neighbor);
+    }
     const double nb_energy = ev.energy;
 
     // Track the best state lexicographically: serve starved transfers
@@ -201,6 +207,8 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
     }
     if (accept) {
       eval.Accept();
+      OWAN_HISTO("anneal.energy_delta", ::owan::obs::Unit::kGigabits,
+                 nb_energy - cur_energy);
       cur_topo = std::move(*neighbor);
       cur_energy = nb_energy;
       ++out.accepted;
@@ -211,6 +219,22 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
   }
 
   out.iterations = iters;
+
+  // Evaluator totals accumulate across slots (the scratch is reused); the
+  // registry gets this chain's delta so energy.* counters stay additive.
+  const EnergyEvaluator::Stats stats_after = eval.stats();
+  OWAN_COUNT_N("energy.evaluations", ::owan::obs::Unit::kOps,
+               stats_after.evaluations - stats_before.evaluations);
+  OWAN_COUNT_N("energy.memo_hits", ::owan::obs::Unit::kOps,
+               stats_after.memo_hits - stats_before.memo_hits);
+  OWAN_COUNT_N("energy.routing_runs", ::owan::obs::Unit::kOps,
+               stats_after.routing_runs - stats_before.routing_runs);
+  OWAN_COUNT_N("energy.pairs_enumerated", ::owan::obs::Unit::kOps,
+               stats_after.pairs_enumerated - stats_before.pairs_enumerated);
+  OWAN_COUNT_N("energy.pairs_reused", ::owan::obs::Unit::kOps,
+               stats_after.pairs_reused - stats_before.pairs_reused);
+  OWAN_COUNT_N("energy.graph_rebuilds", ::owan::obs::Unit::kOps,
+               stats_after.graph_rebuilds - stats_before.graph_rebuilds);
   return out;
 }
 
@@ -344,6 +368,8 @@ ChainResult RunChainBatched(const Topology& current, Topology start,
       }
     }
     if (accept) {
+      OWAN_HISTO("anneal.energy_delta", ::owan::obs::Unit::kGigabits,
+                 nb_energy - cur_energy);
       cur_topo = std::move(cand[pick]);
       cur_state = std::move(*states[pick]);
       cur_routing = std::move(routings[pick]);
@@ -385,6 +411,31 @@ ChainResult RunChain(const Topology& current,
                          options, port_budget, rng, starved, pool, deadline);
 }
 
+// RunChain plus the per-chain telemetry every caller wants: a
+// "core"/"anneal.chain" span carrying the chain's index, iteration and
+// acceptance counts, plus the global iteration/acceptance counters.
+ChainResult RunChainTraced(int chain, const Topology& current,
+                           const optical::OpticalNetwork& blank_optical,
+                           const std::vector<TransferDemand>& demands,
+                           const AnnealOptions& options,
+                           const std::vector<int>& port_budget,
+                           const std::vector<size_t>& starved,
+                           int perturb_moves, util::Rng& rng,
+                           util::ThreadPool* pool, EnergyEvaluator& eval,
+                           const Deadline& deadline) {
+  OWAN_SPAN(chain_span, "core", "anneal.chain");
+  ChainResult cr =
+      RunChain(current, blank_optical, demands, options, port_budget, starved,
+               perturb_moves, rng, pool, eval, deadline);
+  chain_span.AddArg("chain", chain);
+  chain_span.AddArg("iterations", cr.iterations);
+  chain_span.AddArg("accepted", cr.accepted);
+  chain_span.AddArg("best_energy", cr.best_energy);
+  OWAN_COUNT_N("anneal.iterations", ::owan::obs::Unit::kOps, cr.iterations);
+  OWAN_COUNT_N("anneal.accepted", ::owan::obs::Unit::kOps, cr.accepted);
+  return cr;
+}
+
 // Marginal improvements do not justify taking circuits dark: stick with
 // the baseline unless the win clears the adoption threshold — EXCEPT when
 // the candidate rescues a starved transfer the baseline cannot serve at
@@ -408,6 +459,7 @@ AnnealResult ApplyAdoptionGuard(ChainResult&& cr, const Topology& current,
     best.state = std::move(base_state);
     best.routing = std::move(base_routing);
   } else {
+    OWAN_COUNT("anneal.adoptions");
     best.best_topology = std::move(cr.best_topology);
     best.best_energy = cr.best_energy;
     best.state = std::move(cr.state);
@@ -416,6 +468,8 @@ AnnealResult ApplyAdoptionGuard(ChainResult&& cr, const Topology& current,
   best.iterations = total_iterations;
   best.accepted = total_accepted;
   best.circuit_changes = best.best_topology.DistanceTo(current);
+  OWAN_HISTO("anneal.circuit_changes", ::owan::obs::Unit::kOps,
+             best.circuit_changes);
   return best;
 }
 
@@ -431,6 +485,9 @@ AnnealResult ComputeNetworkState(const Topology& current,
     throw std::invalid_argument(
         "ComputeNetworkState: topology/plant site count mismatch");
   }
+  OWAN_SPAN(anneal_span, "core", "anneal");
+  anneal_span.AddArg("num_chains", std::max(1, options.num_chains));
+  OWAN_COUNT("anneal.runs");
   Deadline deadline;
   if (options.time_budget_s > 0.0) {
     deadline = std::chrono::steady_clock::now() +
@@ -479,10 +536,10 @@ AnnealResult ComputeNetworkState(const Topology& current,
     // Classic single-chain path: identical RNG stream and adoption guard
     // (relative to the chain's own — possibly cold — start) as the
     // pre-parallel implementation.
-    ChainResult cr =
-        RunChain(current, blank_optical, demands, options, port_budget,
-                 starved, options.warm_start ? 0 : options.cold_start_moves,
-                 rng, pool, scr.ForChain(0), deadline);
+    ChainResult cr = RunChainTraced(
+        0, current, blank_optical, demands, options, port_budget, starved,
+        options.warm_start ? 0 : options.cold_start_moves, rng, pool,
+        scr.ForChain(0), deadline);
     const int iters = cr.iterations;
     const int accepted = cr.accepted;
     Topology base_topology = cr.start_topology;
@@ -519,9 +576,10 @@ AnnealResult ComputeNetworkState(const Topology& current,
       static_cast<size_t>(num_chains));
   util::ParallelFor(pool, num_chains, [&](int c) {
     const size_t k = static_cast<size_t>(c);
-    results[k] = RunChain(current, blank_optical, demands, options,
-                          port_budget, starved, perturb[k], chain_rngs[k],
-                          pool, scr.ForChain(c), deadline);
+    results[k] = RunChainTraced(c, current, blank_optical, demands, options,
+                                port_budget, starved, perturb[k],
+                                chain_rngs[k], pool, scr.ForChain(c),
+                                deadline);
   });
 
   // The adoption guard for multi-chain selection is always measured

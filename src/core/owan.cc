@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "net/shortest_path.h"
+#include "obs/obs.h"
 
 namespace owan::core {
 
@@ -80,6 +81,9 @@ TeOutput OwanTe::ComputeFixedTopology(const TeInput& input, bool multipath) {
 }
 
 TeOutput OwanTe::Compute(const TeInput& input) {
+  OWAN_SPAN(compute_span, "core", "owan.compute");
+  OWAN_TIMER(compute_timer, "owan.compute_seconds");
+  OWAN_COUNT("owan.slots");
   // Let EDF ordering see the clock so expired deadlines are demoted.
   options_.anneal.routing.policy.now = input.now;
   // Group transfers: swap SJF keys for SEBF keys (§3.4).
@@ -125,6 +129,8 @@ TeOutput OwanTe::Compute(const TeInput& input) {
     // optical layer.
     last_degraded_ = true;
     ++degraded_slots_;
+    OWAN_COUNT("owan.degraded_slots");
+    OWAN_INSTANT("core", "owan.degraded");
     return ComputeFixedTopology(in, /*multipath=*/true);
   }
   TeOutput out;

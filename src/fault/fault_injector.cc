@@ -4,10 +4,12 @@
 
 #include "core/provisioned_state.h"
 #include "core/repair.h"
+#include "obs/obs.h"
 
 namespace owan::fault {
 
 bool ApplyPlantEvent(const FaultEvent& e, optical::OpticalNetwork& plant) {
+  OWAN_COUNT("fault.plant_events");
   switch (e.type) {
     case FaultType::kFiberCut: {
       // The raw cut is recorded even under a site outage (so the fiber
@@ -47,6 +49,8 @@ bool ApplyPlantEvent(const FaultEvent& e, optical::OpticalNetwork& plant) {
 core::Topology RecomputeTopology(const core::Topology& topology,
                                  const optical::OpticalNetwork& plant,
                                  bool repair_dark_ports) {
+  OWAN_SPAN(recompute_span, "fault", "recompute_topology");
+  OWAN_COUNT("fault.topology_recomputes");
   std::vector<int> budget;
   budget.reserve(static_cast<size_t>(plant.NumSites()));
   for (net::NodeId v = 0; v < plant.NumSites(); ++v) {

@@ -1,0 +1,293 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace owan::obs::json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        return ParseLiteral("true", out, Value::Type::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, Value::Type::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, Value::Type::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(std::string_view word, Value* out, Value::Type type,
+                    bool boolean) {
+    if (text.substr(pos, word.size()) != word) return Fail("bad literal");
+    pos += word.size();
+    out->type = type;
+    out->boolean = boolean;
+    return true;
+  }
+
+  bool ParseNumber(Value* out) {
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos < text.size() && std::isdigit(
+                                      static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      eat_digits();
+    }
+    if (digits && pos < text.size() &&
+        (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+      eat_digits();
+    }
+    if (!digits) return Fail("invalid number");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("invalid number");
+    out->type = Value::Type::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected '\"'");
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs pass through as-is).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(Value* out, int depth) {
+    ++pos;  // '['
+    out->type = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      Value element;
+      if (!ParseValue(&element, depth + 1)) return false;
+      out->array.push_back(std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(Value* out, int depth) {
+    ++pos;  // '{'
+    out->type = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':'");
+      Value member;
+      if (!ParseValue(&member, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(member));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+const Value* Value::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const Value* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+bool Parse(std::string_view text, Value* out, std::string* error) {
+  Parser p;
+  p.text = text;
+  Value result;
+  if (!p.ParseValue(&result, 0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.SkipWhitespace();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    return false;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+bool ParseFile(const std::string& path, Value* out, std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  if (!Parse(text, out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace owan::obs::json

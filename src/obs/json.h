@@ -1,0 +1,59 @@
+#ifndef OWAN_OBS_JSON_H_
+#define OWAN_OBS_JSON_H_
+
+// Minimal JSON reader for the telemetry the subsystem itself emits
+// (Chrome-trace exports, metrics snapshots, bench --json files). Strict
+// enough for round-trip tests, small enough to avoid a dependency; not a
+// general-purpose validator (no \uXXXX surrogate handling beyond BMP
+// passthrough, doubles only).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace owan::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  // Insertion-ordered; duplicate keys keep the last occurrence on Find.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  double NumberOr(double fallback) const {
+    return IsNumber() ? number : fallback;
+  }
+  const std::string& StringOr(const std::string& fallback) const {
+    return IsString() ? string : fallback;
+  }
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// On failure returns false and, when `error` is non-null, a one-line
+// message with the byte offset.
+bool Parse(std::string_view text, Value* out, std::string* error = nullptr);
+
+// Reads and parses a whole file; distinguishes I/O from syntax in `error`.
+bool ParseFile(const std::string& path, Value* out,
+               std::string* error = nullptr);
+
+// JSON string escaping for emitters.
+std::string Escape(std::string_view s);
+
+}  // namespace owan::obs::json
+
+#endif  // OWAN_OBS_JSON_H_

@@ -1,0 +1,239 @@
+#ifndef OWAN_OBS_METRICS_H_
+#define OWAN_OBS_METRICS_H_
+
+// Low-overhead metrics registry: named counters, gauges, and log-linear
+// histograms, safe inside the multi-chain annealing hot loop.
+//
+// Writers touch a per-thread shard (one cache line each) with relaxed
+// atomics — no locks, no contention between chains — and readers merge the
+// shards on demand. Handles returned by the registry are stable for the
+// process lifetime, so call sites cache them in function-local statics (the
+// OWAN_* macros in obs/obs.h do this), paying the name lookup exactly once.
+//
+// Determinism contract: metrics measuring *simulated* quantities (counts,
+// gigabits, Unit::kSimSeconds) are pure functions of (inputs, seed) and are
+// bit-identical across same-seed runs; only Unit::kSeconds (wall clock)
+// metrics vary, and MetricsSnapshot::DeterministicFingerprint() excludes
+// exactly those.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace owan::obs {
+
+// Compile-time instrumentation ceiling (see obs/obs.h for the macros):
+//   0 — every OWAN_* macro compiles to nothing;
+//   1 — (default) counters/gauges/histograms plus coarse spans;
+//   2 — adds fine-grained spans (per-candidate energy evaluations).
+#ifndef OWAN_OBS_LEVEL
+#define OWAN_OBS_LEVEL 1
+#endif
+
+enum class Unit : uint8_t {
+  kNone,        // dimensionless
+  kOps,         // events / operations
+  kGigabits,    // traffic volume or rate
+  kSimSeconds,  // simulated time — deterministic for a fixed seed
+  kSeconds,     // wall-clock time — never deterministic
+};
+const char* UnitName(Unit unit);
+
+// Runtime on/off for every metric write (handles stay valid either way).
+// Defaults to on; the environment variable OWAN_METRICS=0 turns it off
+// before main for binaries that want a zero-telemetry run.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+
+inline constexpr int kShards = 8;
+
+struct alignas(64) CounterShard {
+  std::atomic<int64_t> value{0};
+};
+
+// Portable lock-free accumulation for doubles (fetch_add on
+// atomic<double> is C++20 but not universally lowered to hardware).
+void AtomicAdd(std::atomic<double>& slot, double delta);
+void AtomicMin(std::atomic<double>& slot, double value);
+void AtomicMax(std::atomic<double>& slot, double value);
+
+// Stable small shard index for the calling thread.
+uint32_t ThisThreadShard();
+
+}  // namespace internal
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  // Construct through MetricsRegistry::GetCounter; public only so the
+  // registry's container can build elements in place.
+  Counter(std::string name, Unit unit)
+      : name_(std::move(name)), unit_(unit) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t n) {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t Value() const;  // merge-on-read across shards
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  Unit unit() const { return unit_; }
+
+ private:
+  std::string name_;
+  Unit unit_;
+  internal::CounterShard shards_[internal::kShards];
+};
+
+// Last-writer-wins scalar (no sharding: gauges are set, not accumulated).
+class Gauge {
+ public:
+  Gauge(std::string name, Unit unit) : name_(std::move(name)), unit_(unit) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+  const std::string& name() const { return name_; }
+  Unit unit() const { return unit_; }
+
+ private:
+  std::string name_;
+  Unit unit_;
+  std::atomic<double> value_{0.0};
+};
+
+// Log-linear histogram: 4 linear sub-buckets per power of two, spanning
+// 2^-30 .. 2^41 (≈1e-9 .. 2e12), plus underflow (incl. v <= 0) and
+// overflow buckets. Relative bucket width is 25%, so percentile estimates
+// are exact to within a quarter of the value — plenty for latency tables.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kMinExp = -30;
+  static constexpr int kMaxExp = 41;
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp + 1) * kSubBuckets + 2;
+
+  Histogram(std::string name, Unit unit)
+      : name_(std::move(name)), unit_(unit) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double v);
+  void Reset();
+
+  // Index of the bucket `v` lands in, and the value range of a bucket
+  // (used by snapshots to estimate percentiles).
+  static int BucketIndex(double v);
+  static double BucketLowerBound(int index);
+  static double BucketUpperBound(int index);
+
+  int64_t Count() const;
+
+  const std::string& name() const { return name_; }
+  Unit unit() const { return unit_; }
+
+ private:
+  friend class MetricsRegistry;  // Snapshot() merges shards directly.
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    // Extremes start at +/-inf so the first sample always wins; snapshots
+    // skip empty shards, so the sentinels never leak out.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::atomic<int64_t> buckets[kNumBuckets]{};
+  };
+
+  std::string name_;
+  Unit unit_;
+  Shard shards_[internal::kShards];
+};
+
+// ---- snapshots (plain data, safe to merge/serialize/compare) ----
+
+struct CounterSnapshot {
+  std::string name;
+  Unit unit = Unit::kNone;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  Unit unit = Unit::kNone;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  Unit unit = Unit::kNone;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  // (bucket index, count), ascending by index, zero counts omitted.
+  std::vector<std::pair<int, int64_t>> buckets;
+
+  double Mean() const;
+  // Percentile in [0, 100], estimated at bucket midpoints and clamped to
+  // the observed [min, max].
+  double Percentile(double pct) const;
+  void Merge(const HistogramSnapshot& other);
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // each section sorted by name
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Rendered as one JSON object ({"owan_metrics":1, "counters":[...],...}).
+  std::string ToJson() const;
+
+  // Line-oriented digest of every deterministic value: all counters and
+  // gauges plus histograms whose unit is not kSeconds (bucket counts, sums,
+  // extremes included). Two same-seed runs produce identical fingerprints.
+  std::string DeterministicFingerprint() const;
+
+  // Element-wise merge (counters add, gauges last-wins, histograms merge);
+  // metrics present in only one side are kept.
+  void Merge(const MetricsSnapshot& other);
+};
+
+// Process-global registry. Get* registers on first use and returns a
+// reference that stays valid forever (Reset zeroes values, never removes
+// registrations, so cached handles survive).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, Unit unit = Unit::kOps);
+  Gauge& GetGauge(std::string_view name, Unit unit = Unit::kNone);
+  Histogram& GetHistogram(std::string_view name, Unit unit = Unit::kNone);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace owan::obs
+
+#endif  // OWAN_OBS_METRICS_H_

@@ -1,0 +1,206 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace owan::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// ts/dur in microseconds with nanosecond precision — the unit Chrome
+// tracing expects.
+std::string FmtUs(int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+void AppendArgsJson(const TraceEvent& e, std::string& out) {
+  out += "{";
+  for (int i = 0; i < e.num_args; ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    out += e.args[i].key;
+    out += "\": " + FmtDouble(e.args[i].value);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(int detail) {
+  Clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  detail_.store(detail, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->events.clear();
+  }
+}
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  // The shared_ptr keeps a buffer alive past its thread's exit, so events
+  // from joined pool workers survive until export.
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::Record(TraceEvent e) {
+  ThreadBuffer& buf = BufferForThisThread();
+  e.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(e);
+}
+
+void Tracer::Instant(const char* cat, const char* name,
+                     std::initializer_list<TraceArg> args) {
+  if (!active()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = NowNs();
+  e.dur_ns = -1;
+  for (const TraceArg& a : args) {
+    if (e.num_args >= TraceEvent::kMaxArgs) break;
+    e.args[e.num_args++] = a;
+  }
+  Record(e);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                               : a.tid < b.tid;
+                   });
+  return out;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = Events();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::string line = "{\"name\": \"";
+    line += e.name;
+    line += "\", \"cat\": \"";
+    line += e.cat;
+    line += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+            ", \"ts\": " + FmtUs(e.ts_ns);
+    if (e.IsInstant()) {
+      line += ", \"ph\": \"i\", \"s\": \"t\"";
+    } else {
+      line += ", \"ph\": \"X\", \"dur\": " + FmtUs(e.dur_ns);
+    }
+    if (e.num_args > 0) {
+      line += ", \"args\": ";
+      AppendArgsJson(e, line);
+    }
+    line += "}";
+    if (i + 1 < events.size()) line += ",";
+    os << line << "\n";
+  }
+  os << "]}\n";
+}
+
+bool Tracer::ExportChromeTrace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  WriteChromeTrace(f);
+  return static_cast<bool>(f);
+}
+
+void Tracer::WriteJsonl(std::ostream& os) const {
+  for (const TraceEvent& e : Events()) {
+    std::string line = "{\"name\": \"";
+    line += e.name;
+    line += "\", \"cat\": \"";
+    line += e.cat;
+    line += "\", \"tid\": " + std::to_string(e.tid) +
+            ", \"ts_ns\": " + std::to_string(e.ts_ns);
+    if (!e.IsInstant()) {
+      line += ", \"dur_ns\": " + std::to_string(e.dur_ns);
+    }
+    if (e.num_args > 0) {
+      line += ", \"args\": ";
+      AppendArgsJson(e, line);
+    }
+    line += "}";
+    os << line << "\n";
+  }
+}
+
+bool Tracer::ExportJsonl(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  WriteJsonl(f);
+  return static_cast<bool>(f);
+}
+
+Span::Span(const char* cat, const char* name, int min_detail) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.active() || tracer.detail() < min_detail) return;
+  recording_ = true;
+  event_.name = name;
+  event_.cat = cat;
+  event_.ts_ns = tracer.NowNs();
+}
+
+Span::~Span() {
+  if (!recording_) return;
+  Tracer& tracer = Tracer::Global();
+  event_.dur_ns = tracer.NowNs() - event_.ts_ns;
+  if (event_.dur_ns < 0) event_.dur_ns = 0;
+  tracer.Record(event_);
+}
+
+void Span::AddArg(const char* key, double value) {
+  if (!recording_ || event_.num_args >= TraceEvent::kMaxArgs) return;
+  event_.args[event_.num_args++] = TraceArg{key, value};
+}
+
+}  // namespace owan::obs

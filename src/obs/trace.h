@@ -1,0 +1,139 @@
+#ifndef OWAN_OBS_TRACE_H_
+#define OWAN_OBS_TRACE_H_
+
+// Span tracing with a Chrome-tracing/Perfetto-compatible JSON exporter and
+// a JSONL event log.
+//
+// Spans are RAII (obs::Span, or the OWAN_SPAN macro in obs/obs.h): the
+// constructor stamps the start, the destructor appends one complete event
+// to the calling thread's buffer. Nesting falls out of timestamp
+// containment per thread — Perfetto renders slot -> anneal -> chain ->
+// energy-eval stacks without explicit parent links. Buffers are
+// per-thread (one uncontended mutex each, locked only while the tracer is
+// active), so tracing the multi-chain search costs the hot loop nothing
+// when off and a few nanoseconds per *span* (not per iteration) when on.
+//
+// The tracer is off by default. Start(detail) begins a session: buffers
+// clear, the epoch resets, and spans whose min_detail exceeds `detail`
+// stay no-ops (fine-grained instrumentation opts in via min_detail = 2).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace owan::obs {
+
+// Numeric key/value attached to an event. Keys must be string literals
+// (or otherwise outlive the tracer session) — events store the pointer.
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+struct TraceEvent {
+  static constexpr int kMaxArgs = 4;
+
+  const char* name = "";  // string literal, by convention
+  const char* cat = "";
+  int64_t ts_ns = 0;      // nanoseconds since the session epoch
+  int64_t dur_ns = -1;    // < 0: instant event
+  int tid = 0;            // small dense thread index, assigned on first use
+  int num_args = 0;
+  TraceArg args[kMaxArgs];
+
+  bool IsInstant() const { return dur_ns < 0; }
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Starts a capture session: clears every buffer and resets the epoch.
+  // `detail` gates fine-grained spans (Span's min_detail).
+  void Start(int detail = 1);
+  void Stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  int detail() const { return detail_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded events (registrations survive).
+  void Clear();
+
+  // Merged view of every thread's events, sorted by (ts, tid). Call after
+  // concurrent regions have joined (buffers are locked per-event, so a
+  // mid-flight snapshot is consistent but possibly partial).
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome-tracing JSON ({"traceEvents":[...]}) — loads in Perfetto and
+  // chrome://tracing. Returns false if the file cannot be written.
+  bool ExportChromeTrace(const std::string& path) const;
+  void WriteChromeTrace(std::ostream& os) const;
+
+  // JSONL event log: one JSON object per line, in timestamp order.
+  bool ExportJsonl(const std::string& path) const;
+  void WriteJsonl(std::ostream& os) const;
+
+  // Zero-duration marker (fault interrupts, adoption decisions, ...).
+  void Instant(const char* cat, const char* name,
+               std::initializer_list<TraceArg> args = {});
+
+  int64_t NowNs() const;
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer {
+    std::mutex mu;
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+  ThreadBuffer& BufferForThisThread();
+  void Record(TraceEvent e);
+
+  std::atomic<bool> active_{false};
+  std::atomic<int> detail_{1};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  mutable std::mutex mu_;  // guards buffers_ (registration + snapshot)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  int next_tid_ = 0;
+};
+
+// RAII span. When the tracer is inactive (or its detail level is below
+// min_detail at construction), every member is a no-op costing one relaxed
+// atomic load.
+class Span {
+ public:
+  Span(const char* cat, const char* name, int min_detail = 1);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a numeric arg (capped at TraceEvent::kMaxArgs; extras drop).
+  void AddArg(const char* key, double value);
+
+  bool recording() const { return recording_; }
+
+ private:
+  bool recording_ = false;
+  TraceEvent event_;
+};
+
+// No-op stand-in used by the OWAN_SPAN macro when OWAN_OBS_LEVEL == 0.
+struct NoopSpan {
+  void AddArg(const char*, double) {}
+  bool recording() const { return false; }
+};
+
+}  // namespace owan::obs
+
+#endif  // OWAN_OBS_TRACE_H_

@@ -10,6 +10,7 @@
 #include "core/repair.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
+#include "obs/obs.h"
 
 namespace owan::sim {
 
@@ -113,6 +114,8 @@ double SimResult::FractionBytesByDeadline() const {
 SimResult RunSimulation(const topo::Wan& wan,
                         const std::vector<core::Request>& requests,
                         core::TeScheme& scheme, const SimOptions& options) {
+  OWAN_SPAN(run_span, "sim", "run");
+  run_span.AddArg("requests", static_cast<double>(requests.size()));
   SimResult result;
   result.transfers.reserve(requests.size());
   for (const core::Request& r : requests) {
@@ -170,6 +173,10 @@ SimResult RunSimulation(const topo::Wan& wan,
       const fault::FaultEvent& e = schedule.events[next_event];
       ++next_event;
       ++result.fault_events;
+      OWAN_COUNT("sim.fault_events");
+      OWAN_INSTANT("sim", "fault.interrupt",
+                   ::owan::obs::TraceArg{"time", e.time},
+                   ::owan::obs::TraceArg{"type", static_cast<double>(e.type)});
       any_event = true;
       if (e.type == fault::FaultType::kControllerCrash) {
         controller_up = false;
@@ -220,6 +227,10 @@ SimResult RunSimulation(const topo::Wan& wan,
       continue;
     }
 
+    OWAN_SPAN(slot_span, "sim", "slot");
+    slot_span.AddArg("now", now);
+    slot_span.AddArg("active", static_cast<double>(active.size()));
+
     // The interval runs to the slot boundary unless a fault event lands
     // first — then it ends early, delivered bytes pro-rate over the
     // truncated interval, and the next loop iteration recomputes.
@@ -253,10 +264,13 @@ SimResult RunSimulation(const topo::Wan& wan,
     if (controller_up) {
       const auto compute_start = std::chrono::steady_clock::now();
       output = scheme.Compute(input);
-      result.compute_seconds +=
+      const double compute_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         compute_start)
               .count();
+      result.compute_seconds += compute_s;
+      OWAN_HISTO("sim.compute_seconds", ::owan::obs::Unit::kSeconds,
+                 compute_s);
       frozen.clear();
       for (size_t i = 0;
            i < output.allocations.size() && i < input.demands.size(); ++i) {
@@ -284,13 +298,17 @@ SimResult RunSimulation(const topo::Wan& wan,
 
     // Progress transfers.
     ++result.slots;
+    OWAN_COUNT("sim.slots");
     double slot_rate = 0.0;
     for (const core::TransferAllocation& a : output.allocations) {
       slot_rate += a.TotalRate();
     }
     result.slot_throughput.emplace_back(now, slot_rate);
+    OWAN_HISTO("sim.slot_rate_gbps", ::owan::obs::Unit::kGigabits, slot_rate);
     if (recovering && slot_rate + 1e-9 >= recover_baseline) {
       result.recovery_seconds.push_back(now - recover_start);
+      OWAN_HISTO("sim.recovery_seconds", ::owan::obs::Unit::kSimSeconds,
+                 now - recover_start);
       recovering = false;
     }
     last_slot_rate = slot_rate;
@@ -298,6 +316,8 @@ SimResult RunSimulation(const topo::Wan& wan,
     if (options.check_invariants) {
       std::vector<std::string> v = fault::InvariantChecker::CheckSlot(
           topology, plant, input.demands, output.allocations);
+      OWAN_COUNT_N("sim.invariant_violations", ::owan::obs::Unit::kOps,
+                   v.size());
       result.invariant_violations.insert(result.invariant_violations.end(),
                                          v.begin(), v.end());
     }
@@ -350,14 +370,21 @@ SimResult RunSimulation(const topo::Wan& wan,
         rec.delivered_by_deadline += std::min(deadline_part, delivered);
       }
       rec.delivered += delivered;
+      OWAN_HISTO("sim.delivered_gigabits", ::owan::obs::Unit::kGigabits,
+                 delivered);
       if (truncated) {
-        result.gigabits_lost_to_faults +=
+        const double lost =
             std::max(0.0, std::min(full_delivered, a.remaining) - delivered);
+        result.gigabits_lost_to_faults += lost;
+        OWAN_HISTO("sim.invalidated_gigabits", ::owan::obs::Unit::kGigabits,
+                   lost);
       }
 
       if (options.check_invariants) {
         std::vector<std::string> v =
             checker.ObserveTransfer(r.id, rec.delivered, r.size);
+        OWAN_COUNT_N("sim.invariant_violations", ::owan::obs::Unit::kOps,
+                     v.size());
         result.invariant_violations.insert(result.invariant_violations.end(),
                                            v.begin(), v.end());
       }
@@ -372,6 +399,7 @@ SimResult RunSimulation(const topo::Wan& wan,
            penalty_max + a.remaining / total_rate <= dur + 1e-9);
       if (finishes) {
         rec.completed = true;
+        OWAN_COUNT("sim.transfers_completed");
         // Transmission starts after the reconfiguration window, so the
         // penalty shifts the finish time within the slot instead of
         // spilling a sliver into the next one.
@@ -388,6 +416,8 @@ SimResult RunSimulation(const topo::Wan& wan,
     active = std::move(still_active);
     if (recovering && active.empty()) {
       result.recovery_seconds.push_back(now + dur - recover_start);
+      OWAN_HISTO("sim.recovery_seconds", ::owan::obs::Unit::kSimSeconds,
+                 now + dur - recover_start);
       recovering = false;
     }
     now += dur;
@@ -395,6 +425,8 @@ SimResult RunSimulation(const topo::Wan& wan,
 
   if (recovering) {
     result.recovery_seconds.push_back(now - recover_start);
+    OWAN_HISTO("sim.recovery_seconds", ::owan::obs::Unit::kSimSeconds,
+               now - recover_start);
   }
 
   // Anything still unfinished at the cap counts as completing at the cap

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "net/shortest_path.h"
+#include "obs/obs.h"
 
 namespace owan::update {
 
@@ -40,6 +41,18 @@ Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
   const size_t n = input_plan.ops.size();
   if (n == 0) return out;
   if (wave_size < 1) wave_size = 1;
+  OWAN_SPAN(sched_span, "update", "update.schedule");
+  sched_span.AddArg("ops", static_cast<double>(n));
+  OWAN_COUNT("update.plans");
+  OWAN_COUNT_N("update.ops", ::owan::obs::Unit::kOps, n);
+  OWAN_COUNT_N("update.ops_add_circuit", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kAddCircuit));
+  OWAN_COUNT_N("update.ops_remove_circuit", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kRemoveCircuit));
+  OWAN_COUNT_N("update.ops_add_route", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kAddRoute));
+  OWAN_COUNT_N("update.ops_remove_route", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kRemoveRoute));
 
   // Stage circuit ops into waves: RemoveCircuits of wave w wait for the
   // AddCircuits of wave w-1; AddCircuits of wave w wait for the
@@ -187,6 +200,7 @@ Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
         }
       }
       if (victim < 0) break;  // defensive; cannot happen with remaining > 0
+      OWAN_COUNT("update.forced_ops");
       const UpdateOp& op = plan.ops[static_cast<size_t>(victim)];
       state[static_cast<size_t>(victim)] = St::kRunning;
       end_time[static_cast<size_t>(victim)] = now + op.duration_s;
@@ -209,6 +223,9 @@ Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
     }
   }
   out.makespan = now;
+  OWAN_HISTO("update.makespan_s", ::owan::obs::Unit::kSimSeconds,
+             out.makespan);
+  sched_span.AddArg("makespan_s", out.makespan);
   return out;
 }
 

@@ -1,0 +1,202 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/thread_pool.h"
+
+namespace owan::obs {
+namespace {
+
+// The tracer is process-global; each test runs its own session.
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::Global().Stop();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TracerTest, InactiveTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  ASSERT_FALSE(tracer.active());
+  {
+    Span s("test", "not_recorded");
+    s.AddArg("x", 1.0);
+    EXPECT_FALSE(s.recording());
+  }
+  tracer.Instant("test", "also_not_recorded");
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST_F(TracerTest, NestedSpansShareThreadAndContainEachOther) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  {
+    Span outer("test", "outer");
+    {
+      Span inner("test", "inner");
+      inner.AddArg("value", 42.0);
+    }
+  }
+  tracer.Stop();
+
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "outer") outer = &e;
+    if (std::string(e.name) == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->tid, inner->tid);
+  // Containment: inner starts no earlier and ends no later than outer.
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+  ASSERT_EQ(inner->num_args, 1);
+  EXPECT_STREQ(inner->args[0].key, "value");
+  EXPECT_DOUBLE_EQ(inner->args[0].value, 42.0);
+}
+
+TEST_F(TracerTest, DetailGateSkipsFineSpans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(/*detail=*/1);
+  {
+    Span coarse("test", "coarse", /*min_detail=*/1);
+    Span fine("test", "fine", /*min_detail=*/2);
+    EXPECT_TRUE(coarse.recording());
+    EXPECT_FALSE(fine.recording());
+  }
+  tracer.Stop();
+  ASSERT_EQ(tracer.Events().size(), 1u);
+  EXPECT_STREQ(tracer.Events()[0].name, "coarse");
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctTids) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  util::ThreadPool pool(3);
+  util::ParallelFor(&pool, 8, [&](int i) {
+    Span s("test", "worker");
+    s.AddArg("task", i);
+  });
+  {
+    Span s("test", "main");
+  }
+  tracer.Stop();
+
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 9u);
+  // Timestamps are sorted in the merged view.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+}
+
+TEST_F(TracerTest, ChromeTraceExportRoundTripsThroughParser) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  {
+    Span outer("core", "anneal");
+    outer.AddArg("num_chains", 2.0);
+    {
+      Span inner("core", "anneal.chain");
+      inner.AddArg("chain", 0.0);
+    }
+  }
+  tracer.Instant("sim", "fault.interrupt", {{"time", 13.5}});
+  tracer.Stop();
+
+  const std::string path =
+      ::testing::TempDir() + "/owan_trace_roundtrip.json";
+  ASSERT_TRUE(tracer.ExportChromeTrace(path));
+
+  json::Value root;
+  std::string err;
+  ASSERT_TRUE(json::ParseFile(path, &root, &err)) << err;
+  const json::Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  ASSERT_EQ(events->array.size(), 3u);
+
+  int complete = 0, instant = 0;
+  for (const json::Value& e : events->array) {
+    ASSERT_NE(e.Find("name"), nullptr);
+    ASSERT_NE(e.Find("cat"), nullptr);
+    ASSERT_NE(e.Find("ts"), nullptr);
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("tid"), nullptr);
+    const std::string ph = e.Find("ph")->StringOr("");
+    if (ph == "X") {
+      ++complete;
+      EXPECT_NE(e.Find("dur"), nullptr);
+    } else if (ph == "i") {
+      ++instant;
+    }
+    if (e.Find("name")->StringOr("") == "anneal") {
+      const json::Value* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      const json::Value* chains = args->Find("num_chains");
+      ASSERT_NE(chains, nullptr);
+      EXPECT_DOUBLE_EQ(chains->NumberOr(0.0), 2.0);
+    }
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(instant, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, JsonlExportOneParsableObjectPerLine) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  {
+    Span s("test", "jsonl_span");
+    s.AddArg("k", 3.0);
+  }
+  tracer.Instant("test", "jsonl_marker");
+  tracer.Stop();
+
+  const std::string path = ::testing::TempDir() + "/owan_events.jsonl";
+  ASSERT_TRUE(tracer.ExportJsonl(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[4096];
+  int lines = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    ++lines;
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::Parse(line, &v, &err)) << err;
+    ASSERT_TRUE(v.IsObject());
+    EXPECT_NE(v.Find("name"), nullptr);
+    EXPECT_NE(v.Find("ts_ns"), nullptr);
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, StartClearsPreviousSession) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  { Span s("test", "first_session"); }
+  tracer.Stop();
+  ASSERT_EQ(tracer.Events().size(), 1u);
+
+  tracer.Start();
+  { Span s("test", "second_session"); }
+  tracer.Stop();
+  ASSERT_EQ(tracer.Events().size(), 1u);
+  EXPECT_STREQ(tracer.Events()[0].name, "second_session");
+}
+
+}  // namespace
+}  // namespace owan::obs

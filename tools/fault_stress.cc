@@ -14,6 +14,7 @@
 
 #include "core/owan.h"
 #include "fault/fault_generator.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "topo/topologies.h"
 
@@ -69,7 +70,15 @@ bool SameResult(const sim::SimResult& a, const sim::SimResult& b,
   return true;
 }
 
-int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
+// Shared run setup so the telemetry replay below uses exactly the inputs
+// of the failing run.
+struct SeedRun {
+  sim::SimOptions opt;
+  std::vector<core::Request> reqs;
+  core::OwanOptions oo;
+};
+
+SeedRun MakeSeedRun(const topo::Wan& wan, uint64_t seed, double horizon_s) {
   fault::FaultGeneratorOptions fg;
   fg.seed = seed;
   fg.horizon_s = horizon_s;
@@ -78,21 +87,50 @@ int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
   fg.transceiver = {6.0 * 3600.0, 900.0};
   fg.controller = {8.0 * 3600.0, 300.0};
 
-  sim::SimOptions opt;
-  opt.max_time_s = horizon_s + 12.0 * 3600.0;
-  opt.faults = fault::GenerateFaultSchedule(wan.optical, fg);
+  SeedRun run;
+  run.opt.max_time_s = horizon_s + 12.0 * 3600.0;
+  run.opt.faults = fault::GenerateFaultSchedule(wan.optical, fg);
+  run.reqs = StressRequests(wan, seed ^ 0x5eedULL);
+  run.oo.seed = seed;
+  run.oo.anneal.max_iterations = 150;
+  run.oo.slot_seeded = true;
+  return run;
+}
 
-  const auto reqs = StressRequests(wan, seed ^ 0x5eedULL);
+// Replays the failing seed with the tracer at full detail and dumps a
+// Chrome trace plus a JSONL event log into the working directory, so a
+// CI failure ships the evidence along with a one-line repro command.
+void DumpTelemetry(const topo::Wan& wan, uint64_t seed, double horizon_s) {
+  SeedRun run = MakeSeedRun(wan, seed, horizon_s);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start(/*detail=*/2);
+  core::OwanTe te(run.oo);
+  (void)sim::RunSimulation(wan, run.reqs, te, run.opt);
+  tracer.Stop();
+  const std::string stem = "fault_stress_seed_" + std::to_string(seed);
+  const std::string trace_path = stem + ".trace.json";
+  const std::string events_path = stem + ".events.jsonl";
+  if (!tracer.ExportChromeTrace(trace_path) ||
+      !tracer.ExportJsonl(events_path)) {
+    std::fprintf(stderr, "[seed %llu] could not write telemetry dumps\n",
+                 (unsigned long long)seed);
+    return;
+  }
+  std::fprintf(stderr,
+               "[seed %llu] telemetry: %s %s; repro: fault_stress --seed "
+               "%llu --runs 1 --horizon-hours %g\n",
+               (unsigned long long)seed, trace_path.c_str(),
+               events_path.c_str(), (unsigned long long)seed,
+               horizon_s / 3600.0);
+}
 
-  core::OwanOptions oo;
-  oo.seed = seed;
-  oo.anneal.max_iterations = 150;
-  oo.slot_seeded = true;
+int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
+  const SeedRun run = MakeSeedRun(wan, seed, horizon_s);
 
-  core::OwanTe te1(oo);
-  const sim::SimResult a = sim::RunSimulation(wan, reqs, te1, opt);
-  core::OwanTe te2(oo);
-  const sim::SimResult b = sim::RunSimulation(wan, reqs, te2, opt);
+  core::OwanTe te1(run.oo);
+  const sim::SimResult a = sim::RunSimulation(wan, run.reqs, te1, run.opt);
+  core::OwanTe te2(run.oo);
+  const sim::SimResult b = sim::RunSimulation(wan, run.reqs, te2, run.opt);
 
   int failures = 0;
   if (!a.invariant_violations.empty()) {
@@ -113,6 +151,7 @@ int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
       (unsigned long long)seed, wan.name.c_str(), a.fault_events, a.slots,
       a.recovery_seconds.size(), a.gigabits_lost_to_faults,
       failures ? "  ** FAILED **" : "");
+  if (failures > 0) DumpTelemetry(wan, seed, horizon_s);
   return failures;
 }
 
