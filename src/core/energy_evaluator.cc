@@ -20,6 +20,12 @@ bool EnumerationOptionsDiffer(const RoutingOptions& a,
 }
 }  // namespace
 
+bool EnergyEvaluator::test_skip_appeared_invalidation_ = false;
+
+void EnergyEvaluator::TestOnlySkipAppearedInvalidation(bool skip) {
+  test_skip_appeared_invalidation_ = skip;
+}
+
 const EnergyEvaluator::Eval& EnergyEvaluator::Reset(
     const optical::OpticalNetwork& blank_optical, const Topology& start,
     const std::vector<TransferDemand>& demands,
@@ -216,7 +222,7 @@ void EnergyEvaluator::SyncCache() {
           break;
         }
       }
-      if (!invalid) {
+      if (!invalid && !test_skip_appeared_invalidation_) {
         const int max_hops = options_.max_hops;
         for (const auto& [du, dv] : reach) {
           const double a = du.dist[e.src] + 1.0 + dv.dist[e.dst];

@@ -114,6 +114,14 @@ class EnergyEvaluator : public PathSource {
     return last_invalidated_;
   }
 
+  // Deliberate-bug switch for the testkit's oracle demo (owan_fuzz
+  // --inject-bug cache): when set, SyncCache skips the appeared-link reach
+  // invalidation, so complete cached path sets survive moves that open a
+  // shorter path — a memory-safe but energy-wrong cache, exactly the class
+  // of defect the differential oracle exists to catch. Never set outside
+  // tests; affects every evaluator (the flag is process-global).
+  static void TestOnlySkipAppearedInvalidation(bool skip);
+
  private:
   struct CacheEntry {
     net::NodeId src = net::kInvalidNode;
@@ -183,6 +191,8 @@ class EnergyEvaluator : public PathSource {
   bool routing_valid_ = false;
 
   Stats stats_;
+
+  static bool test_skip_appeared_invalidation_;
 };
 
 // Reusable cross-slot scratch for ComputeNetworkState: one evaluator per

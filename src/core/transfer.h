@@ -20,6 +20,8 @@ struct Request {
   double deadline = kNoDeadline;  // absolute time; kNoDeadline if none
 
   bool HasDeadline() const { return deadline > 0.0; }
+
+  bool operator==(const Request&) const = default;
 };
 
 // A transfer as the controller sees it at scheduling time: its identity,

@@ -14,9 +14,11 @@ namespace {
 
 }  // namespace
 
-FaultSchedule ParseFaultSchedule(std::istream& in) {
+FaultSchedule ParseFaultSchedule(std::istream& in,
+                                 const ParseOptions& options) {
   FaultSchedule schedule;
   std::string raw;
+  double prev_t = -1.0;
   while (std::getline(in, raw)) {
     std::string line = raw.substr(0, raw.find('#'));
     std::istringstream ls(line);
@@ -30,6 +32,14 @@ FaultSchedule ParseFaultSchedule(std::istream& in) {
     }
     if (!(ls >> kind)) Bad(raw, "missing event type");
     if (t < 0.0) Bad(raw, "negative timestamp");
+    if (options.require_ordered && t < prev_t) {
+      std::ostringstream why;
+      why.precision(17);
+      why << "out-of-order timestamp " << t << " after " << prev_t
+          << " (require_ordered)";
+      Bad(raw, why.str());
+    }
+    prev_t = t;
 
     int target = -1, ports = 0, regens = 0;
     auto need_target = [&] {
@@ -70,9 +80,10 @@ FaultSchedule ParseFaultSchedule(std::istream& in) {
   return schedule;
 }
 
-FaultSchedule ParseFaultSchedule(const std::string& text) {
+FaultSchedule ParseFaultSchedule(const std::string& text,
+                                 const ParseOptions& options) {
   std::istringstream is(text);
-  return ParseFaultSchedule(is);
+  return ParseFaultSchedule(is, options);
 }
 
 std::string FormatFaultSchedule(const FaultSchedule& schedule) {

@@ -23,8 +23,19 @@ namespace owan::fault {
 // Blank lines and '#' comments are ignored; events may appear in any order
 // (the parsed schedule is normalized). Throws std::invalid_argument on a
 // malformed line.
-FaultSchedule ParseFaultSchedule(std::istream& in);
-FaultSchedule ParseFaultSchedule(const std::string& text);
+struct ParseOptions {
+  // When set, timestamps must be non-decreasing in file order; an
+  // out-of-order line is rejected with an error naming both timestamps.
+  // Off by default: hand-written schedules may group cut/repair pairs, and
+  // Normalize() sorts them anyway. Machine-written schedules (FormatFault-
+  // Schedule output, testkit replay files) are always ordered, so strict
+  // parsing catches truncated or hand-mangled files early.
+  bool require_ordered = false;
+};
+FaultSchedule ParseFaultSchedule(std::istream& in,
+                                 const ParseOptions& options = {});
+FaultSchedule ParseFaultSchedule(const std::string& text,
+                                 const ParseOptions& options = {});
 
 // Inverse of ParseFaultSchedule: round-trips exactly through the parser.
 std::string FormatFaultSchedule(const FaultSchedule& schedule);

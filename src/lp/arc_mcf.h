@@ -1,0 +1,38 @@
+#ifndef OWAN_LP_ARC_MCF_H_
+#define OWAN_LP_ARC_MCF_H_
+
+#include <vector>
+
+#include "lp/mcf.h"
+#include "lp/simplex.h"
+#include "net/graph.h"
+
+namespace owan::lp {
+
+struct ArcMcfResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double throughput = 0.0;  // optimal total rate across all commodities
+};
+
+// Exact (fractional) maximum multi-commodity throughput on an undirected
+// capacitated graph, via the node-arc LP formulation: per commodity, one
+// flow variable per arc direction of every edge, flow conservation at every
+// node, and per-edge capacity rows shared across commodities and directions.
+//
+// Unlike McfBuilder (path-based, limited to the k paths Yen enumerates) the
+// optimum here ranges over *all* routings, so the value is a sound upper
+// bound on what any feasible allocation — Owan's greedy included — can
+// deliver in one slot. That is exactly what the testkit's LP oracle needs:
+// a bound that can never be undercut by a path set the enumerator missed.
+//
+// Commodities with src == dst, demand <= 0, or out-of-range endpoints
+// contribute zero and are skipped. The LP is always feasible (zero flow)
+// and bounded (throughput <= sum of demands), so a non-kOptimal status
+// indicates an iteration-limit blowup, not a property of the instance.
+ArcMcfResult ArcMcfMaxThroughput(const net::Graph& topo,
+                                 const std::vector<Commodity>& commodities,
+                                 const SimplexOptions& options = {});
+
+}  // namespace owan::lp
+
+#endif  // OWAN_LP_ARC_MCF_H_

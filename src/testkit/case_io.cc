@@ -1,0 +1,190 @@
+#include "testkit/case_io.h"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/schedule_io.h"
+
+namespace owan::testkit {
+
+namespace {
+
+[[noreturn]] void Bad(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("ParseFuzzCase: " + why + ": \"" + line + "\"");
+}
+
+// Next line with content, comments ('#' to end of line) stripped.
+bool NextLine(std::istream& in, std::string* out) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = raw.substr(0, raw.find('#'));
+    std::istringstream probe(line);
+    std::string any;
+    if (probe >> any) {
+      *out = line;
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename T>
+T Field(std::istringstream& ls, const std::string& line,
+        const std::string& what) {
+  T value{};
+  if (!(ls >> value)) Bad(line, "expected " + what);
+  return value;
+}
+
+void NoTrailing(std::istringstream& ls, const std::string& line) {
+  std::string rest;
+  if (ls >> rest) Bad(line, "trailing tokens");
+}
+
+// A line that must start with `key`, returning the rest-of-line stream.
+std::istringstream Expect(std::istream& in, const std::string& key) {
+  std::string line;
+  if (!NextLine(in, &line)) {
+    throw std::invalid_argument("ParseFuzzCase: unexpected end of input, "
+                                "expected \"" +
+                                key + "\"");
+  }
+  std::istringstream ls(line);
+  std::string got;
+  ls >> got;
+  if (got != key) Bad(line, "expected \"" + key + "\"");
+  return ls;
+}
+
+}  // namespace
+
+std::string FormatFuzzCase(const FuzzCase& c) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "# owan_fuzz case (seed " << c.seed << ")\n";
+  os << "seed " << c.seed << "\n";
+  os << "horizon " << c.horizon_s << "\n";
+  os << "anneal " << c.anneal_iterations << "\n";
+  os << "theta " << c.wan.wavelength_gbps << "\n";
+  os << "reach " << c.wan.reach_km << "\n";
+  os << "sites " << c.wan.sites.size() << "\n";
+  for (const SiteSpec& s : c.wan.sites) {
+    os << "site " << s.router_ports << " " << s.regenerators << "\n";
+  }
+  os << "fibers " << c.wan.fibers.size() << "\n";
+  for (const FiberSpec& f : c.wan.fibers) {
+    os << "fiber " << f.u << " " << f.v << " " << f.length_km << " "
+       << f.num_wavelengths << "\n";
+  }
+  os << "transfers " << c.transfers.size() << "\n";
+  for (const core::Request& r : c.transfers) {
+    os << "transfer " << r.id << " " << r.src << " " << r.dst << " " << r.size
+       << " " << r.arrival << " " << r.deadline << "\n";
+  }
+  os << "faults " << c.faults.size() << "\n";
+  for (const fault::FaultEvent& e : c.faults.events) {
+    os << fault::ToString(e) << "\n";
+  }
+  return os.str();
+}
+
+FuzzCase ParseFuzzCase(std::istream& in) {
+  FuzzCase c;
+  {
+    std::istringstream ls = Expect(in, "seed");
+    c.seed = Field<uint64_t>(ls, "seed", "a seed");
+    NoTrailing(ls, "seed");
+  }
+  {
+    std::istringstream ls = Expect(in, "horizon");
+    c.horizon_s = Field<double>(ls, "horizon", "a horizon");
+    if (c.horizon_s <= 0.0) Bad("horizon", "non-positive horizon");
+  }
+  {
+    std::istringstream ls = Expect(in, "anneal");
+    c.anneal_iterations = Field<int>(ls, "anneal", "an iteration count");
+    if (c.anneal_iterations < 0) Bad("anneal", "negative iteration count");
+  }
+  {
+    std::istringstream ls = Expect(in, "theta");
+    c.wan.wavelength_gbps = Field<double>(ls, "theta", "a capacity");
+  }
+  {
+    std::istringstream ls = Expect(in, "reach");
+    c.wan.reach_km = Field<double>(ls, "reach", "a reach");
+  }
+  {
+    std::istringstream ls = Expect(in, "sites");
+    const size_t n = Field<size_t>(ls, "sites", "a site count");
+    for (size_t i = 0; i < n; ++i) {
+      std::istringstream sl = Expect(in, "site");
+      SiteSpec s;
+      s.router_ports = Field<int>(sl, "site", "router ports");
+      s.regenerators = Field<int>(sl, "site", "regenerators");
+      NoTrailing(sl, "site");
+      c.wan.sites.push_back(s);
+    }
+  }
+  {
+    std::istringstream ls = Expect(in, "fibers");
+    const size_t n = Field<size_t>(ls, "fibers", "a fiber count");
+    for (size_t i = 0; i < n; ++i) {
+      std::istringstream fl = Expect(in, "fiber");
+      FiberSpec f;
+      f.u = Field<int>(fl, "fiber", "endpoint u");
+      f.v = Field<int>(fl, "fiber", "endpoint v");
+      f.length_km = Field<double>(fl, "fiber", "a length");
+      f.num_wavelengths = Field<int>(fl, "fiber", "a wavelength count");
+      NoTrailing(fl, "fiber");
+      c.wan.fibers.push_back(f);
+    }
+  }
+  {
+    std::istringstream ls = Expect(in, "transfers");
+    const size_t n = Field<size_t>(ls, "transfers", "a transfer count");
+    for (size_t i = 0; i < n; ++i) {
+      std::istringstream tl = Expect(in, "transfer");
+      core::Request r;
+      r.id = Field<int>(tl, "transfer", "an id");
+      r.src = Field<int>(tl, "transfer", "a source");
+      r.dst = Field<int>(tl, "transfer", "a destination");
+      r.size = Field<double>(tl, "transfer", "a size");
+      r.arrival = Field<double>(tl, "transfer", "an arrival");
+      r.deadline = Field<double>(tl, "transfer", "a deadline");
+      NoTrailing(tl, "transfer");
+      c.transfers.push_back(r);
+    }
+  }
+  {
+    std::istringstream ls = Expect(in, "faults");
+    const size_t n = Field<size_t>(ls, "faults", "an event count");
+    std::ostringstream events;
+    for (size_t i = 0; i < n; ++i) {
+      std::string line;
+      if (!NextLine(in, &line)) {
+        throw std::invalid_argument(
+            "ParseFuzzCase: unexpected end of input inside fault events");
+      }
+      events << line << "\n";
+    }
+    c.faults = fault::ParseFaultSchedule(events.str());
+    if (c.faults.size() != n) {
+      throw std::invalid_argument(
+          "ParseFuzzCase: fault event count does not match header");
+    }
+  }
+  const std::vector<std::string> problems = c.wan.Validate();
+  if (!problems.empty()) {
+    throw std::invalid_argument("ParseFuzzCase: invalid wan: " +
+                                problems.front());
+  }
+  return c;
+}
+
+FuzzCase ParseFuzzCase(const std::string& text) {
+  std::istringstream is(text);
+  return ParseFuzzCase(is);
+}
+
+}  // namespace owan::testkit

@@ -1,0 +1,41 @@
+#ifndef OWAN_TESTKIT_CASE_IO_H_
+#define OWAN_TESTKIT_CASE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "testkit/generators.h"
+
+namespace owan::testkit {
+
+// FuzzCase as line-oriented text, in the same spirit (and with the same
+// fault-event grammar) as fault::schedule_io:
+//
+//   # owan_fuzz case (seed 42)
+//   seed 42
+//   horizon 14400
+//   anneal 60
+//   theta 10
+//   reach 2000
+//   sites 5
+//   site 4 2                  # router_ports regenerators
+//   ...
+//   fibers 6
+//   fiber 0 1 350.5 8         # u v length_km num_wavelengths
+//   ...
+//   transfers 2
+//   transfer 0 1 4 1234.5 600 -1   # id src dst size arrival deadline
+//   ...
+//   faults 3
+//   450 fiber-cut 3           # schedule_io event lines
+//   ...
+//
+// Doubles are written with max_digits10 so Parse(Format(c)) == c exactly.
+// Parse throws std::invalid_argument on malformed input.
+std::string FormatFuzzCase(const FuzzCase& c);
+FuzzCase ParseFuzzCase(std::istream& in);
+FuzzCase ParseFuzzCase(const std::string& text);
+
+}  // namespace owan::testkit
+
+#endif  // OWAN_TESTKIT_CASE_IO_H_

@@ -1,0 +1,137 @@
+#include "testkit/generators.h"
+
+#include <algorithm>
+
+#include "fault/fault_generator.h"
+
+namespace owan::testkit {
+
+WanSpec GenWanSpec(util::Rng& rng, const GenOptions& options) {
+  WanSpec spec;
+  const int n = rng.UniformInt(options.min_sites, options.max_sites);
+  spec.wavelength_gbps = 10.0;
+  // Short enough that some multi-hop circuits need a regeneration stop.
+  spec.reach_km = rng.Uniform(900.0, 2400.0);
+  spec.sites.resize(static_cast<size_t>(n));
+  for (SiteSpec& s : spec.sites) {
+    s.router_ports = 2 + static_cast<int>(rng.Index(5));   // 2..6
+    s.regenerators = static_cast<int>(rng.Index(5));       // 0..4
+  }
+  // Connected by construction: spanning tree first, then random chords.
+  for (int v = 1; v < n; ++v) {
+    FiberSpec f;
+    f.u = static_cast<int>(rng.Index(static_cast<size_t>(v)));
+    f.v = v;
+    f.length_km = rng.Uniform(80.0, 1200.0);
+    f.num_wavelengths = 4 + static_cast<int>(rng.Index(9));  // 4..12
+    spec.fibers.push_back(f);
+  }
+  const int chords = static_cast<int>(rng.Index(static_cast<size_t>(n + 1)));
+  for (int c = 0; c < chords; ++c) {
+    FiberSpec f;
+    f.u = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    f.v = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    if (f.u == f.v) continue;  // skip rather than reroll: keeps draws fixed
+    f.length_km = rng.Uniform(80.0, 1200.0);
+    f.num_wavelengths = 4 + static_cast<int>(rng.Index(9));
+    spec.fibers.push_back(f);
+  }
+  return spec;
+}
+
+std::vector<core::Request> GenRequests(const WanSpec& spec, util::Rng& rng,
+                                       const GenOptions& options) {
+  const int n = spec.NumSites();
+  const int count =
+      rng.UniformInt(options.min_transfers, options.max_transfers);
+  std::vector<core::Request> reqs;
+  reqs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::Request r;
+    r.id = i;
+    r.src = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    r.dst = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    if (r.dst == r.src) r.dst = (r.dst + 1) % n;
+    r.size = rng.Uniform(500.0, 20000.0);
+    const int slots = std::max(1, static_cast<int>(options.horizon_s / 600.0));
+    r.arrival = 300.0 * static_cast<double>(rng.Index(
+                            static_cast<size_t>(slots)));
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+fault::FaultSchedule GenFaults(const WanSpec& spec, util::Rng& rng,
+                               const GenOptions& options) {
+  fault::FaultGeneratorOptions fg;
+  fg.seed = rng.engine()();
+  fg.horizon_s = options.horizon_s;
+  fg.fiber = {options.horizon_s * rng.Uniform(0.5, 2.0), 900.0};
+  fg.site = {options.horizon_s * rng.Uniform(2.0, 6.0), 1200.0};
+  fg.transceiver = {options.horizon_s * rng.Uniform(1.0, 4.0), 600.0};
+  fg.transceiver_ports = 1;
+  fg.transceiver_regens = 1;
+  fg.controller = {options.horizon_s * rng.Uniform(2.0, 6.0), 240.0};
+  // The generator only reads the plant's shape (site/fiber counts), so a
+  // throwaway build is cheap at these sizes.
+  return fault::GenerateFaultSchedule(spec.Build().optical, fg);
+}
+
+FuzzCase GenFuzzCase(uint64_t seed, const GenOptions& options) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+  FuzzCase c;
+  c.seed = seed;
+  c.horizon_s = options.horizon_s;
+  c.anneal_iterations = options.anneal_iterations;
+  c.wan = GenWanSpec(rng, options);
+  c.transfers = GenRequests(c.wan, rng, options);
+  if (rng.Chance(options.fault_chance)) {
+    c.faults = GenFaults(c.wan, rng, options);
+  }
+  return c;
+}
+
+topo::Wan WanByName(const std::string& name) {
+  if (name == "internet2") return topo::MakeInternet2();
+  if (name == "isp") return topo::MakeIspBackbone();
+  if (name == "interdc") return topo::MakeInterDc();
+  return topo::MakeMotivatingExample();
+}
+
+std::vector<core::TransferDemand> RandomDemands(const topo::Wan& wan,
+                                                uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<core::TransferDemand> out;
+  out.reserve(static_cast<size_t>(count));
+  const int n = wan.optical.NumSites();
+  for (int i = 0; i < count; ++i) {
+    core::TransferDemand d;
+    d.id = i;
+    d.src = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    d.dst = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+    if (d.dst == d.src) d.dst = (d.dst + 1) % n;
+    d.rate_cap = rng.Uniform(1.0, wan.optical.wavelength_capacity());
+    d.remaining = d.rate_cap * 300.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<core::TransferDemand> DemandsFromRequests(
+    const std::vector<core::Request>& requests, double slot_seconds) {
+  std::vector<core::TransferDemand> demands;
+  demands.reserve(requests.size());
+  for (const core::Request& r : requests) {
+    core::TransferDemand d;
+    d.id = r.id;
+    d.src = r.src;
+    d.dst = r.dst;
+    d.remaining = r.size;
+    d.rate_cap = r.size / slot_seconds;
+    d.deadline = r.deadline;
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+}  // namespace owan::testkit

@@ -1,0 +1,81 @@
+#ifndef OWAN_TESTKIT_GENERATORS_H_
+#define OWAN_TESTKIT_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transfer.h"
+#include "fault/fault_event.h"
+#include "testkit/wan_spec.h"
+#include "util/rng.h"
+
+namespace owan::testkit {
+
+// One complete randomized scenario — the unit every oracle checks and the
+// shrinker minimizes. A FuzzCase is plain data: it can be generated from a
+// seed, edited field-by-field during shrinking, and round-tripped through
+// text (case_io.h) for replay files.
+struct FuzzCase {
+  uint64_t seed = 0;  // provenance: the seed that generated (or shrank) it
+  WanSpec wan;
+  std::vector<core::Request> transfers;
+  fault::FaultSchedule faults;
+  double horizon_s = 4.0 * 3600.0;  // fault/transfer window; sim runs longer
+  int anneal_iterations = 60;
+
+  bool operator==(const FuzzCase&) const = default;
+};
+
+struct GenOptions {
+  int min_sites = 3;
+  int max_sites = 9;
+  int min_transfers = 1;
+  int max_transfers = 10;
+  double horizon_s = 4.0 * 3600.0;
+  int anneal_iterations = 60;
+  // Probability that a case carries a stochastic fault schedule at all
+  // (fault-free cases keep the oracles honest on the clean path too).
+  double fault_chance = 0.7;
+};
+
+// Random connected fiber plant: spanning tree plus extra chords, per-site
+// port/regen budgets, per-fiber wavelength counts, and a reach short enough
+// that some circuits need regeneration.
+WanSpec GenWanSpec(util::Rng& rng, const GenOptions& options = {});
+
+// Random transfer requests over the spec's sites, arriving in the first
+// half of the horizon.
+std::vector<core::Request> GenRequests(const WanSpec& spec, util::Rng& rng,
+                                       const GenOptions& options = {});
+
+// Stochastic fault schedule over the spec's plant (MTBF/MTTR renewal per
+// component, see fault::GenerateFaultSchedule), scaled to the horizon.
+fault::FaultSchedule GenFaults(const WanSpec& spec, util::Rng& rng,
+                               const GenOptions& options = {});
+
+// The composite generator: everything an oracle run needs, derived
+// deterministically from one seed. Equal seeds give equal cases.
+FuzzCase GenFuzzCase(uint64_t seed, const GenOptions& options = {});
+
+// ---- helpers shared with the gtest property sweeps ----
+
+// Named factory WANs by string key ("internet2", "isp", "interdc",
+// anything else = the motivating example) — the parameterized property
+// tests sweep over these alongside generated plants.
+topo::Wan WanByName(const std::string& name);
+
+// Seeded per-slot demand set over an arbitrary WAN: distinct endpoints,
+// rates up to the wavelength capacity. The single generator implementation
+// behind tests/property and the testkit oracles.
+std::vector<core::TransferDemand> RandomDemands(const topo::Wan& wan,
+                                                uint64_t seed, int count);
+
+// Demands as the controller would derive them at slot start: everything
+// has arrived, remaining = size, rate capped at remaining / slot.
+std::vector<core::TransferDemand> DemandsFromRequests(
+    const std::vector<core::Request>& requests, double slot_seconds);
+
+}  // namespace owan::testkit
+
+#endif  // OWAN_TESTKIT_GENERATORS_H_

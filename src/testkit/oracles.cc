@@ -1,0 +1,310 @@
+#include "testkit/oracles.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/annealing.h"
+#include "core/energy_evaluator.h"
+#include "core/owan.h"
+#include "core/provisioned_state.h"
+#include "core/routing.h"
+#include "fault/fault_injector.h"
+#include "lp/arc_mcf.h"
+
+namespace owan::testkit {
+
+namespace {
+
+std::string Describe(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "[seed " << c.seed << ", " << c.wan.NumSites() << " sites, "
+     << c.wan.NumFibers() << " fibers, " << c.transfers.size()
+     << " transfers, " << c.faults.size() << " fault events]";
+  return os.str();
+}
+
+// Checks that an allocation set is feasible on the graph it was computed
+// for: every path connects its transfer's endpoints over existing edges,
+// no edge carries more than its capacity, no transfer exceeds its cap.
+std::optional<std::string> CheckAllocationFeasible(
+    const net::Graph& g, const std::vector<core::TransferDemand>& demands,
+    const std::vector<core::TransferAllocation>& allocations, double tol) {
+  if (allocations.size() != demands.size()) {
+    return "allocation count " + std::to_string(allocations.size()) +
+           " != demand count " + std::to_string(demands.size());
+  }
+  std::vector<double> used(static_cast<size_t>(g.NumEdges()), 0.0);
+  for (size_t i = 0; i < allocations.size(); ++i) {
+    const core::TransferAllocation& a = allocations[i];
+    for (const core::PathAllocation& pa : a.paths) {
+      if (pa.rate < 0.0) {
+        return "negative rate on transfer " + std::to_string(demands[i].id);
+      }
+      if (pa.path.src() != demands[i].src || pa.path.dst() != demands[i].dst) {
+        return "path of transfer " + std::to_string(demands[i].id) +
+               " does not connect its endpoints";
+      }
+      for (size_t h = 0; h < pa.path.edges.size(); ++h) {
+        const net::EdgeId e = pa.path.edges[h];
+        if (e < 0 || e >= g.NumEdges()) {
+          return "transfer " + std::to_string(demands[i].id) +
+                 " rides a nonexistent edge";
+        }
+        used[static_cast<size_t>(e)] += pa.rate;
+      }
+    }
+    if (a.TotalRate() > demands[i].rate_cap + tol) {
+      return "transfer " + std::to_string(demands[i].id) +
+             " exceeds its rate cap";
+    }
+  }
+  for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (used[static_cast<size_t>(e)] > g.edge(e).capacity + tol) {
+      return "edge " + std::to_string(e) + " over capacity (" +
+             std::to_string(used[static_cast<size_t>(e)]) + " > " +
+             std::to_string(g.edge(e).capacity) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Failure> LpBoundOracle(const FuzzCase& c,
+                                     const OracleOptions& options) {
+  topo::Wan wan = c.wan.Build();
+  const std::vector<core::TransferDemand> demands =
+      DemandsFromRequests(c.transfers, options.slot_seconds);
+  if (demands.empty()) return std::nullopt;
+
+  // Degrade the plant with the first half of the fault window, so the
+  // bound is also exercised on shrunken, post-failure topologies.
+  optical::OpticalNetwork plant = wan.optical;
+  for (const fault::FaultEvent& e : c.faults.events) {
+    if (e.time > c.horizon_s * 0.5) break;
+    fault::ApplyPlantEvent(e, plant);
+  }
+  const core::Topology start =
+      fault::RecomputeTopology(wan.default_topology, plant,
+                               /*repair_dark_ports=*/true);
+
+  core::AnnealOptions ao;
+  ao.max_iterations = c.anneal_iterations;
+  util::Rng rng(c.seed * 2654435761ULL + 1);
+  const core::AnnealResult res =
+      core::ComputeNetworkState(start, plant, demands, ao, rng);
+  if (!res.state.has_value()) {
+    return Failure{"lp", "annealing returned no provisioned state " +
+                             Describe(c)};
+  }
+  const net::Graph g = res.state->CapacityGraph();
+  const double achieved = res.routing.throughput;
+
+  if (auto bad =
+          CheckAllocationFeasible(g, demands, res.routing.allocations,
+                                  options.tol)) {
+    return Failure{"lp", "infeasible allocation: " + *bad + " " +
+                             Describe(c)};
+  }
+
+  std::vector<lp::Commodity> commodities;
+  commodities.reserve(demands.size());
+  for (const core::TransferDemand& d : demands) {
+    commodities.push_back({d.src, d.dst, d.rate_cap});
+  }
+  const lp::ArcMcfResult bound = lp::ArcMcfMaxThroughput(g, commodities);
+  if (bound.status != lp::LpStatus::kOptimal) {
+    return Failure{"lp", "arc MCF did not solve to optimality " +
+                             Describe(c)};
+  }
+  const double slack = options.tol * (1.0 + std::abs(bound.throughput));
+  if (achieved > bound.throughput + slack) {
+    std::ostringstream os;
+    os << "greedy throughput " << achieved << " exceeds LP max-flow bound "
+       << bound.throughput << " " << Describe(c);
+    return Failure{"lp", os.str()};
+  }
+  if (bound.throughput > options.tol && achieved <= 0.0) {
+    std::ostringstream os;
+    os << "LP optimum is " << bound.throughput
+       << " but the greedy delivered nothing " << Describe(c);
+    return Failure{"lp", os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Failure> DifferentialOracle(const FuzzCase& c,
+                                          const OracleOptions& options) {
+  topo::Wan wan = c.wan.Build();
+  const std::vector<core::TransferDemand> demands =
+      DemandsFromRequests(c.transfers, options.slot_seconds);
+  if (demands.empty()) return std::nullopt;
+  static const std::vector<size_t> kNoStarved;
+  const core::RoutingOptions ropt;
+
+  core::EnergyEvaluator eval;
+  const auto& base = eval.Reset(wan.optical, wan.default_topology, demands,
+                                kNoStarved, ropt);
+
+  core::ProvisionedState cur(wan.optical);
+  cur.SyncTo(wan.default_topology);
+  {
+    const core::RoutingOutcome ro =
+        core::AssignRoutesAndRates(cur.CapacityGraph(), demands, ropt);
+    if (std::abs(base.energy - ro.throughput) > options.exact_tol) {
+      std::ostringstream os;
+      os << "base energy " << base.energy << " != fresh " << ro.throughput
+         << " " << Describe(c);
+      return Failure{"differential", os.str()};
+    }
+  }
+
+  core::Topology cur_topo = wan.default_topology;
+  util::Rng rng(c.seed ^ 0xd1ffe7e7ULL);
+  for (int step = 0; step < options.walk_steps; ++step) {
+    const std::optional<core::Topology> nb =
+        core::ComputeNeighbor(cur_topo, rng);
+    if (!nb.has_value()) break;  // too few links to move
+
+    const auto& ev = eval.Apply(*nb);
+    core::ProvisionedState fresh = cur;
+    const int fresh_failed = fresh.SyncTo(*nb);
+    const core::RoutingOutcome ro =
+        core::AssignRoutesAndRates(fresh.CapacityGraph(), demands, ropt);
+
+    if (std::abs(ev.energy - ro.throughput) > options.exact_tol) {
+      std::ostringstream os;
+      os << "step " << step << ": incremental energy " << ev.energy
+         << " != brute-force " << ro.throughput
+         << (ev.memo_hit ? " (memo hit)" : "") << " " << Describe(c);
+      return Failure{"differential", os.str()};
+    }
+    if (ev.failed_units != fresh_failed) {
+      std::ostringstream os;
+      os << "step " << step << ": failed units " << ev.failed_units
+         << " != brute-force " << fresh_failed << " " << Describe(c);
+      return Failure{"differential", os.str()};
+    }
+    if (!(eval.state().realized() == fresh.realized())) {
+      return Failure{"differential",
+                     "step " + std::to_string(step) +
+                         ": realized topology diverged from brute-force " +
+                         Describe(c)};
+    }
+
+    if (rng.Chance(0.5)) {
+      eval.Accept();
+      cur = std::move(fresh);
+      cur_topo = *nb;
+    } else {
+      eval.Reject();
+      if (!(eval.state().realized() == cur.realized())) {
+        return Failure{"differential",
+                       "step " + std::to_string(step) +
+                           ": rollback did not restore the prior state " +
+                           Describe(c)};
+      }
+    }
+    if (step % 8 == 7) {
+      std::string err;
+      if (!eval.state().optical().CheckInvariants(&err)) {
+        return Failure{"differential",
+                       "step " + std::to_string(step) +
+                           ": optical invariants violated: " + err + " " +
+                           Describe(c)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Failure> InvariantOracle(const FuzzCase& c,
+                                       const OracleOptions& options) {
+  if (c.transfers.empty()) return std::nullopt;
+  topo::Wan wan = c.wan.Build();
+
+  core::OwanOptions oo;
+  oo.seed = c.seed;
+  oo.slot_seeded = true;  // failover-stateless: required for replayability
+  oo.anneal.max_iterations = c.anneal_iterations;
+
+  sim::SimOptions so;
+  so.slot_seconds = options.slot_seconds;
+  so.faults = c.faults;
+  so.max_time_s = c.horizon_s + 12.0 * 3600.0;
+  so.check_invariants = true;
+
+  core::OwanTe te(oo);
+  const sim::SimResult a = sim::RunSimulation(wan, c.transfers, te, so);
+  if (!a.invariant_violations.empty()) {
+    return Failure{"invariant",
+                   std::to_string(a.invariant_violations.size()) +
+                       " violation(s), first: " +
+                       a.invariant_violations.front() + " " + Describe(c)};
+  }
+  for (const sim::TransferRecord& t : a.transfers) {
+    if (t.delivered > t.request.size + options.tol) {
+      return Failure{"invariant",
+                     "transfer " + std::to_string(t.request.id) +
+                         " delivered more than its size " + Describe(c)};
+    }
+  }
+  if (options.check_reproducibility) {
+    core::OwanTe te2(oo);
+    const sim::SimResult b = sim::RunSimulation(wan, c.transfers, te2, so);
+    std::string why;
+    if (!SameSimResult(a, b, &why)) {
+      return Failure{"invariant",
+                     "run not bit-reproducible: " + why + " " + Describe(c)};
+    }
+  }
+  return std::nullopt;
+}
+
+Property MakeOracleProperty(bool lp, bool differential, bool invariant,
+                            const OracleOptions& options) {
+  return [=](const FuzzCase& c) -> std::optional<Failure> {
+    if (differential) {
+      if (auto f = DifferentialOracle(c, options)) return f;
+    }
+    if (lp) {
+      if (auto f = LpBoundOracle(c, options)) return f;
+    }
+    if (invariant) {
+      if (auto f = InvariantOracle(c, options)) return f;
+    }
+    return std::nullopt;
+  };
+}
+
+bool SameSimResult(const sim::SimResult& a, const sim::SimResult& b,
+                   std::string* why) {
+  if (a.transfers.size() != b.transfers.size()) {
+    *why = "transfer count differs";
+    return false;
+  }
+  for (size_t i = 0; i < a.transfers.size(); ++i) {
+    const sim::TransferRecord& x = a.transfers[i];
+    const sim::TransferRecord& y = b.transfers[i];
+    if (x.completed != y.completed || x.completed_at != y.completed_at ||
+        x.delivered != y.delivered || x.stalled_s != y.stalled_s) {
+      *why = "transfer " + std::to_string(x.request.id) + " outcome differs";
+      return false;
+    }
+  }
+  if (a.slot_throughput != b.slot_throughput) {
+    *why = "slot throughput series differs";
+    return false;
+  }
+  if (a.recovery_seconds != b.recovery_seconds ||
+      a.fault_events != b.fault_events ||
+      a.gigabits_lost_to_faults != b.gigabits_lost_to_faults) {
+    *why = "availability metrics differ";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace owan::testkit

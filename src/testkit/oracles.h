@@ -1,0 +1,69 @@
+#ifndef OWAN_TESTKIT_ORACLES_H_
+#define OWAN_TESTKIT_ORACLES_H_
+
+#include <optional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "testkit/property.h"
+
+namespace owan::testkit {
+
+struct OracleOptions {
+  // Relative tolerance for LP-vs-greedy comparisons (simplex and greedy
+  // round differently).
+  double tol = 1e-6;
+  // The incremental evaluator is specified to match a fresh evaluation to
+  // within double rounding; the differential oracle holds it to that.
+  double exact_tol = 1e-9;
+  // Candidate topologies the differential walk evaluates per case.
+  int walk_steps = 40;
+  double slot_seconds = 300.0;
+  // Whether the invariant bundle runs each simulation twice and requires
+  // bit-identical outcomes (the §3.4 failover-determinism contract).
+  bool check_reproducibility = true;
+};
+
+// (a) LP bound oracle: degrade the plant with the case's fault prefix, run
+// the full Owan search for one slot, then require the achieved allocation
+// to be feasible on the realized topology, to stay under the exact
+// node-arc MCF optimum (lp/arc_mcf.h), and to be positive whenever the LP
+// optimum is (the lower-bound sanity floor: if anything can be delivered,
+// the greedy delivers something).
+std::optional<Failure> LpBoundOracle(const FuzzCase& c,
+                                     const OracleOptions& options = {});
+
+// (b) Brute-force differential oracle: drive EnergyEvaluator through a
+// seeded accept/reject walk of neighbor candidates and re-derive every
+// answer the expensive way — fresh ProvisionedState copy, full SyncTo,
+// from-scratch path enumeration and allocation, no caches — requiring
+// exact agreement on energy, failed units, and realized topology, plus
+// clean optical invariants along the way.
+std::optional<Failure> DifferentialOracle(const FuzzCase& c,
+                                          const OracleOptions& options = {});
+
+// (c) Invariant bundle: run the full simulator over the case's transfers
+// and fault schedule (fault::InvariantChecker validates every committed
+// interval) and require zero violations, in-bounds delivery, and — when
+// check_reproducibility — a bit-identical second run.
+std::optional<Failure> InvariantOracle(const FuzzCase& c,
+                                       const OracleOptions& options = {});
+
+// All three in sequence (cheapest first); the first failure wins. Any
+// subset can be disabled for focused fuzzing.
+Property MakeOracleProperty(bool lp, bool differential, bool invariant,
+                            const OracleOptions& options = {});
+inline Property AllOracles(const OracleOptions& options = {}) {
+  return MakeOracleProperty(true, true, true, options);
+}
+
+// Field-by-field equality of two simulation outcomes (transfer records,
+// throughput series, availability metrics). On mismatch returns false and
+// names the first difference in `why`. Shared by the invariant oracle and
+// tools/fault_stress.
+bool SameSimResult(const sim::SimResult& a, const sim::SimResult& b,
+                   std::string* why);
+
+}  // namespace owan::testkit
+
+#endif  // OWAN_TESTKIT_ORACLES_H_

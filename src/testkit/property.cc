@@ -1,0 +1,46 @@
+#include "testkit/property.h"
+
+#include <exception>
+
+#include "testkit/shrink.h"
+
+namespace owan::testkit {
+
+std::optional<Failure> EvalProperty(const Property& property,
+                                    const FuzzCase& c) {
+  try {
+    return property(c);
+  } catch (const std::exception& e) {
+    return Failure{"exception", e.what()};
+  }
+}
+
+CheckResult CheckProperty(const Property& property,
+                          const CheckOptions& options) {
+  CheckResult result;
+  for (int t = 0; t < options.trials; ++t) {
+    const uint64_t case_seed = options.seed + static_cast<uint64_t>(t);
+    FuzzCase c = GenFuzzCase(case_seed, options.gen);
+    ++result.trials_run;
+    std::optional<Failure> f = EvalProperty(property, c);
+    if (!f) continue;
+
+    result.ok = false;
+    result.failing_seed = case_seed;
+    result.failure = *f;
+    result.original = c;
+    result.shrunk = c;
+    if (options.shrink) {
+      ShrinkResult sr =
+          Shrink(c, *f, property, ShrinkOptions{options.max_shrink_evals});
+      result.shrunk = std::move(sr.best);
+      result.failure = std::move(sr.failure);
+      result.shrink_evals = sr.evals;
+      result.shrink_steps = sr.steps;
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace owan::testkit

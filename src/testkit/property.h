@@ -1,0 +1,58 @@
+#ifndef OWAN_TESTKIT_PROPERTY_H_
+#define OWAN_TESTKIT_PROPERTY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "testkit/generators.h"
+
+namespace owan::testkit {
+
+// A failed property check: which oracle fired and why. Oracles return
+// nullopt when the case passes.
+struct Failure {
+  std::string oracle;
+  std::string message;
+};
+
+// A property is any predicate over a FuzzCase. The testkit's oracles
+// (oracles.h) are the canonical ones; tests compose their own freely.
+using Property = std::function<std::optional<Failure>(const FuzzCase&)>;
+
+// Runs `property`, converting a thrown std::exception into a Failure —
+// during fuzzing and shrinking an exception IS a finding, not an abort.
+std::optional<Failure> EvalProperty(const Property& property,
+                                    const FuzzCase& c);
+
+struct CheckOptions {
+  int trials = 100;
+  // Trial t checks the case generated from seed + t, so a failure is
+  // reproducible with `--seed <failing_seed> --trials 1`.
+  uint64_t seed = 1;
+  GenOptions gen;
+  bool shrink = true;
+  int max_shrink_evals = 500;
+};
+
+struct CheckResult {
+  bool ok = true;
+  int trials_run = 0;
+  // Populated on failure:
+  uint64_t failing_seed = 0;
+  Failure failure;        // the (re-checked) failure of the shrunk case
+  FuzzCase original;      // the case as generated
+  FuzzCase shrunk;        // the minimized case (== original when !shrink)
+  int shrink_evals = 0;   // property evaluations the shrinker spent
+  int shrink_steps = 0;   // accepted shrink moves
+};
+
+// The property-based test driver: generates `trials` seeded cases, checks
+// each, and on the first failure minimizes the counterexample by greedy
+// shrinking (shrink.h) before returning. Deterministic for fixed options.
+CheckResult CheckProperty(const Property& property,
+                          const CheckOptions& options = {});
+
+}  // namespace owan::testkit
+
+#endif  // OWAN_TESTKIT_PROPERTY_H_

@@ -1,0 +1,194 @@
+#include "testkit/shrink.h"
+
+#include <algorithm>
+
+namespace owan::testkit {
+
+namespace {
+
+bool IsFiberEvent(const fault::FaultEvent& e) {
+  return e.type == fault::FaultType::kFiberCut ||
+         e.type == fault::FaultType::kFiberRepair;
+}
+
+bool IsSiteEvent(const fault::FaultEvent& e) {
+  return e.type == fault::FaultType::kSiteFail ||
+         e.type == fault::FaultType::kSiteRepair ||
+         e.type == fault::FaultType::kTransceiverFail ||
+         e.type == fault::FaultType::kTransceiverRepair;
+}
+
+}  // namespace
+
+FuzzCase RemoveTransfers(const FuzzCase& c, size_t begin, size_t count) {
+  FuzzCase out = c;
+  const size_t end = std::min(begin + count, out.transfers.size());
+  out.transfers.erase(out.transfers.begin() + static_cast<long>(begin),
+                      out.transfers.begin() + static_cast<long>(end));
+  return out;
+}
+
+FuzzCase RemoveEvents(const FuzzCase& c, size_t begin, size_t count) {
+  FuzzCase out = c;
+  const size_t end = std::min(begin + count, out.faults.events.size());
+  out.faults.events.erase(
+      out.faults.events.begin() + static_cast<long>(begin),
+      out.faults.events.begin() + static_cast<long>(end));
+  return out;
+}
+
+FuzzCase RemoveFiber(const FuzzCase& c, size_t fiber) {
+  FuzzCase out = c;
+  out.wan.fibers.erase(out.wan.fibers.begin() + static_cast<long>(fiber));
+  std::vector<fault::FaultEvent> kept;
+  kept.reserve(out.faults.events.size());
+  for (fault::FaultEvent e : out.faults.events) {
+    if (IsFiberEvent(e)) {
+      if (e.target == static_cast<int>(fiber)) continue;
+      if (e.target > static_cast<int>(fiber)) --e.target;
+    }
+    kept.push_back(e);
+  }
+  out.faults.events = std::move(kept);
+  return out;
+}
+
+std::optional<FuzzCase> RemoveSite(const FuzzCase& c, int site) {
+  if (c.wan.NumSites() <= 2) return std::nullopt;
+  FuzzCase out = c;
+  out.wan.sites.erase(out.wan.sites.begin() + site);
+
+  // Fibers: drop those touching the site; remember old->new indices for
+  // the fault-event remap, then renumber surviving endpoints.
+  std::vector<int> fiber_map(c.wan.fibers.size(), -1);
+  std::vector<FiberSpec> fibers;
+  fibers.reserve(c.wan.fibers.size());
+  for (size_t i = 0; i < c.wan.fibers.size(); ++i) {
+    FiberSpec f = c.wan.fibers[i];
+    if (f.u == site || f.v == site) continue;
+    if (f.u > site) --f.u;
+    if (f.v > site) --f.v;
+    fiber_map[i] = static_cast<int>(fibers.size());
+    fibers.push_back(f);
+  }
+  out.wan.fibers = std::move(fibers);
+
+  std::vector<core::Request> transfers;
+  transfers.reserve(c.transfers.size());
+  for (core::Request r : c.transfers) {
+    if (r.src == site || r.dst == site) continue;
+    if (r.src > site) --r.src;
+    if (r.dst > site) --r.dst;
+    transfers.push_back(r);
+  }
+  out.transfers = std::move(transfers);
+
+  std::vector<fault::FaultEvent> kept;
+  kept.reserve(c.faults.events.size());
+  for (fault::FaultEvent e : c.faults.events) {
+    if (IsFiberEvent(e)) {
+      if (e.target < 0 ||
+          e.target >= static_cast<int>(fiber_map.size()) ||
+          fiber_map[static_cast<size_t>(e.target)] < 0) {
+        continue;
+      }
+      e.target = fiber_map[static_cast<size_t>(e.target)];
+    } else if (IsSiteEvent(e)) {
+      if (e.target == site) continue;
+      if (e.target > site) --e.target;
+    }
+    kept.push_back(e);
+  }
+  out.faults.events = std::move(kept);
+  return out;
+}
+
+std::vector<FuzzCase> ShrinkCandidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+
+  // Chunk deletion first: halving the transfer or event list in one step
+  // is what gets a 10-transfer case down to 3 in a few evaluations.
+  const size_t nt = c.transfers.size();
+  if (nt >= 2) {
+    out.push_back(RemoveTransfers(c, 0, nt / 2));
+    out.push_back(RemoveTransfers(c, nt / 2, nt - nt / 2));
+  }
+  const size_t ne = c.faults.events.size();
+  if (ne >= 2) {
+    out.push_back(RemoveEvents(c, 0, ne / 2));
+    out.push_back(RemoveEvents(c, ne / 2, ne - ne / 2));
+  }
+
+  for (size_t i = 0; i < nt; ++i) out.push_back(RemoveTransfers(c, i, 1));
+  for (size_t i = 0; i < ne; ++i) out.push_back(RemoveEvents(c, i, 1));
+  for (int s = 0; s < c.wan.NumSites(); ++s) {
+    if (auto cand = RemoveSite(c, s)) out.push_back(std::move(*cand));
+  }
+  for (size_t f = 0; f < c.wan.fibers.size(); ++f) {
+    out.push_back(RemoveFiber(c, f));
+  }
+
+  // Value halving: keeps the structure, shrinks the magnitudes.
+  for (size_t i = 0; i < nt; ++i) {
+    if (c.transfers[i].size > 1.0) {
+      FuzzCase cand = c;
+      cand.transfers[i].size /= 2.0;
+      out.push_back(std::move(cand));
+    }
+  }
+  for (size_t f = 0; f < c.wan.fibers.size(); ++f) {
+    if (c.wan.fibers[f].num_wavelengths > 1) {
+      FuzzCase cand = c;
+      cand.wan.fibers[f].num_wavelengths /= 2;
+      out.push_back(std::move(cand));
+    }
+  }
+  for (size_t s = 0; s < c.wan.sites.size(); ++s) {
+    if (c.wan.sites[s].router_ports > 1) {
+      FuzzCase cand = c;
+      cand.wan.sites[s].router_ports /= 2;
+      out.push_back(std::move(cand));
+    }
+    if (c.wan.sites[s].regenerators > 0) {
+      FuzzCase cand = c;
+      cand.wan.sites[s].regenerators /= 2;
+      out.push_back(std::move(cand));
+    }
+  }
+  if (c.anneal_iterations > 8) {
+    FuzzCase cand = c;
+    cand.anneal_iterations /= 2;
+    out.push_back(std::move(cand));
+  }
+  if (c.horizon_s > 1200.0) {
+    FuzzCase cand = c;
+    cand.horizon_s /= 2.0;
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+ShrinkResult Shrink(const FuzzCase& failing, const Failure& original_failure,
+                    const Property& property, const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.best = failing;
+  result.failure = original_failure;
+  bool improved = true;
+  while (improved && result.evals < options.max_evals) {
+    improved = false;
+    for (FuzzCase& cand : ShrinkCandidates(result.best)) {
+      if (result.evals >= options.max_evals) break;
+      ++result.evals;
+      if (std::optional<Failure> f = EvalProperty(property, cand)) {
+        result.best = std::move(cand);
+        result.failure = std::move(*f);
+        ++result.steps;
+        improved = true;
+        break;  // re-enumerate moves from the smaller case
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace owan::testkit

@@ -1,0 +1,49 @@
+#ifndef OWAN_TESTKIT_SHRINK_H_
+#define OWAN_TESTKIT_SHRINK_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "testkit/property.h"
+
+namespace owan::testkit {
+
+// Structure-aware shrink moves. Every move returns a case that is strictly
+// smaller under the (sites, fibers, transfers, events, magnitudes) order,
+// with all cross-references repaired: deleting a site drops its fibers and
+// transfers and renumbers everything above it; deleting a fiber drops and
+// renumbers the fault events that target fibers.
+FuzzCase RemoveTransfers(const FuzzCase& c, size_t begin, size_t count);
+FuzzCase RemoveEvents(const FuzzCase& c, size_t begin, size_t count);
+FuzzCase RemoveFiber(const FuzzCase& c, size_t fiber);
+// nullopt when fewer than 3 sites remain (a WAN needs at least 2).
+std::optional<FuzzCase> RemoveSite(const FuzzCase& c, int site);
+
+// One-step shrink candidates in decreasing order of aggressiveness:
+// transfer/event chunk deletion, single deletions, site and fiber
+// deletion, then value halving (sizes, wavelengths, ports, regens,
+// annealing iterations, horizon).
+std::vector<FuzzCase> ShrinkCandidates(const FuzzCase& c);
+
+struct ShrinkOptions {
+  int max_evals = 500;
+};
+
+struct ShrinkResult {
+  FuzzCase best;
+  Failure failure;  // how `best` fails (may differ from the original mode)
+  int evals = 0;
+  int steps = 0;
+};
+
+// Greedy minimization: repeatedly adopt the first shrink candidate that
+// still fails `property` (any failure counts — a shrink that turns a wrong
+// energy into a crash is still a smaller repro), until no candidate fails
+// or the evaluation budget runs out.
+ShrinkResult Shrink(const FuzzCase& failing, const Failure& original_failure,
+                    const Property& property, const ShrinkOptions& options);
+
+}  // namespace owan::testkit
+
+#endif  // OWAN_TESTKIT_SHRINK_H_

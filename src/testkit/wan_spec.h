@@ -1,0 +1,59 @@
+#ifndef OWAN_TESTKIT_WAN_SPEC_H_
+#define OWAN_TESTKIT_WAN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "topo/topologies.h"
+
+namespace owan::testkit {
+
+// A WAN described as plain data, so the shrinker can delete sites and
+// fibers (and halve ports, regens, or wavelengths) with ordinary vector
+// edits and rebuild the real optical plant afterwards. The named factory
+// WANs (topo::Make*) construct their OpticalNetwork imperatively; this is
+// the declarative mirror the testkit generates, mutates, serializes, and
+// turns into a topo::Wan on demand.
+struct SiteSpec {
+  int router_ports = 0;
+  int regenerators = 0;
+
+  bool operator==(const SiteSpec&) const = default;
+};
+
+struct FiberSpec {
+  int u = 0;
+  int v = 0;
+  double length_km = 0.0;
+  int num_wavelengths = 0;
+
+  bool operator==(const FiberSpec&) const = default;
+};
+
+struct WanSpec {
+  double wavelength_gbps = 10.0;  // theta
+  double reach_km = 2000.0;       // eta
+  std::vector<SiteSpec> sites;
+  std::vector<FiberSpec> fibers;
+
+  int NumSites() const { return static_cast<int>(sites.size()); }
+  int NumFibers() const { return static_cast<int>(fibers.size()); }
+
+  // Builds the optical plant plus a deterministic default topology: greedy
+  // rounds over the fiber list, adding one unit per fiber-adjacent pair
+  // while both endpoints have free ports and the direct fiber has a
+  // wavelength per unit — a dense, provisionable starting point analogous
+  // to the factory WANs' use-every-port defaults.
+  topo::Wan Build() const;
+
+  // Structural sanity independent of any property: endpoints in range,
+  // positive lengths/wavelengths/theta/reach, no self-loop fibers.
+  // Violations are returned as messages (empty = well-formed).
+  std::vector<std::string> Validate() const;
+
+  bool operator==(const WanSpec&) const = default;
+};
+
+}  // namespace owan::testkit
+
+#endif  // OWAN_TESTKIT_WAN_SPEC_H_

@@ -1,6 +1,7 @@
 // FaultEvent / FaultSchedule model and the scripted schedule loader.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -76,6 +77,67 @@ TEST(ScheduleIoTest, StreamOverloadMatchesStringOverload) {
   const std::string text = "450 fiber-cut 3\n300 site-fail 1\n";
   std::istringstream is(text);
   EXPECT_EQ(ParseFaultSchedule(is), ParseFaultSchedule(text));
+}
+
+TEST(ScheduleIoTest, EmptyInputsYieldEmptySchedule) {
+  EXPECT_TRUE(ParseFaultSchedule("").empty());
+  EXPECT_TRUE(ParseFaultSchedule("\n\n   \t\n").empty());
+  EXPECT_TRUE(ParseFaultSchedule("# only\n  # comments\n").empty());
+  EXPECT_EQ(FormatFaultSchedule(FaultSchedule{}), "");
+  EXPECT_TRUE(ParseFaultSchedule(FormatFaultSchedule(FaultSchedule{}))
+                  .empty());
+}
+
+TEST(ScheduleIoTest, PathologicalDoublesRoundTrip) {
+  // Timestamps chosen to lose digits under default precision: a repeating
+  // fraction, a denormal-adjacent tiny value, a huge horizon, and the
+  // nastiest rounding case between two representable doubles.
+  FaultSchedule s;
+  s.Add(FaultEvent::FiberCut(1.0 / 3.0, 0));
+  s.Add(FaultEvent::FiberRepair(std::nextafter(450.0, 451.0), 0));
+  s.Add(FaultEvent::SiteFail(1e-17, 1));
+  s.Add(FaultEvent::SiteRepair(9.0071992547409925e15, 1));
+  s.Normalize();
+  const FaultSchedule round = ParseFaultSchedule(FormatFaultSchedule(s));
+  ASSERT_EQ(round.size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(round.events[i].time, s.events[i].time) << "event " << i;
+  }
+  EXPECT_EQ(round, s);
+}
+
+TEST(ScheduleIoTest, RequireOrderedRejectsOutOfOrderTimestamps) {
+  const std::string unordered = "450 fiber-cut 3\n300 site-fail 1\n";
+  // Default: accepted and normalized (hand-written files group pairs).
+  EXPECT_EQ(ParseFaultSchedule(unordered).size(), 2u);
+
+  ParseOptions strict;
+  strict.require_ordered = true;
+  try {
+    ParseFaultSchedule(unordered, strict);
+    FAIL() << "out-of-order timestamps should be rejected";
+  } catch (const std::invalid_argument& e) {
+    // The error names both timestamps and the offending line.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("out-of-order"), std::string::npos) << what;
+    EXPECT_NE(what.find("300"), std::string::npos) << what;
+    EXPECT_NE(what.find("450"), std::string::npos) << what;
+  }
+}
+
+TEST(ScheduleIoTest, RequireOrderedAcceptsSortedAndTies) {
+  ParseOptions strict;
+  strict.require_ordered = true;
+  const std::string ordered =
+      "300 site-fail 1\n300 fiber-cut 0\n450 fiber-cut 3\n";
+  EXPECT_EQ(ParseFaultSchedule(ordered, strict).size(), 3u);
+  // Machine-written output is always ordered, so strict re-parsing of a
+  // Format round-trip must succeed.
+  FaultSchedule s;
+  s.Add(FaultEvent::FiberCut(450.125, 3));
+  s.Add(FaultEvent::SiteFail(600.0, 2));
+  s.Normalize();
+  EXPECT_EQ(ParseFaultSchedule(FormatFaultSchedule(s), strict), s);
 }
 
 }  // namespace

@@ -172,6 +172,88 @@ TEST(SimplexTest, RandomProblemsFeasibleOptima) {
   }
 }
 
+// Beale's classic cycling example: Dantzig's rule cycles forever on this
+// tableau without an anti-cycling guard. Forcing Bland's rule from the
+// first pivot must still terminate at the known optimum 1/20 (x1 = 0.04,
+// x3 = 1).
+TEST(SimplexTest, BealeCyclingExampleTerminatesUnderBland) {
+  LpProblem p;
+  const int x1 = p.AddVariable(0, kLpInf, 0.75);
+  const int x2 = p.AddVariable(0, kLpInf, -150.0);
+  const int x3 = p.AddVariable(0, kLpInf, 0.02);
+  const int x4 = p.AddVariable(0, kLpInf, -6.0);
+  p.AddConstraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                  Relation::kLe, 0.0);
+  p.AddConstraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                  Relation::kLe, 0.0);
+  p.AddConstraint({{x3, 1.0}}, Relation::kLe, 1.0);
+
+  SimplexOptions bland_only;
+  bland_only.bland_after = 0;
+  auto sol = Solve(p, bland_only);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, 0.05, 1e-9);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x1)], 0.04, 1e-9);
+  EXPECT_NEAR(sol.values[static_cast<size_t>(x3)], 1.0, 1e-9);
+  // And the default Dantzig-then-Bland path lands on the same optimum.
+  auto sol2 = Solve(p);
+  ASSERT_TRUE(sol2.ok());
+  EXPECT_NEAR(sol2.objective, 0.05, 1e-9);
+}
+
+TEST(SimplexTest, UnboundedAlongConstrainedRay) {
+  // max x with x - y <= 1: the ray (x, y) = (1 + t, t) is feasible for all
+  // t, so the LP is unbounded even though the objective variable itself is
+  // constrained.
+  LpProblem p;
+  const int x = p.AddVariable(0, kLpInf, 1.0);
+  const int y = p.AddVariable(0, kLpInf, 0.0);
+  p.AddConstraint({{x, 1.0}, {y, -1.0}}, Relation::kLe, 1.0);
+  auto sol = Solve(p);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, ConflictingEqualitiesInfeasible) {
+  // Phase 1 must leave a positive artificial: x + y = 1 and x + y = 2
+  // cannot both hold.
+  LpProblem p;
+  const int x = p.AddVariable(0, kLpInf, 1.0);
+  const int y = p.AddVariable(0, kLpInf, 1.0);
+  p.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 1.0);
+  p.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 2.0);
+  auto sol = Solve(p);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, InfeasibleBoundsVsGeRow) {
+  // Upper bounds sum to 3 but a >= row demands 4; the infeasibility is only
+  // visible through the bound rows, not any single constraint pair.
+  LpProblem p;
+  const int x = p.AddVariable(0, 1, 1.0);
+  const int y = p.AddVariable(0, 2, 1.0);
+  p.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 4.0);
+  auto sol = Solve(p);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, TieBreakingDegeneratePivotsReachOptimum) {
+  // Every basic feasible solution of this cube-with-diagonal is degenerate
+  // at the origin; the solver must still climb out and find x = y = z = 1.
+  LpProblem p;
+  const int x = p.AddVariable(0, kLpInf, 1.0);
+  const int y = p.AddVariable(0, kLpInf, 1.0);
+  const int z = p.AddVariable(0, kLpInf, 1.0);
+  p.AddConstraint({{x, 1.0}}, Relation::kLe, 1.0);
+  p.AddConstraint({{y, 1.0}}, Relation::kLe, 1.0);
+  p.AddConstraint({{z, 1.0}}, Relation::kLe, 1.0);
+  p.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 2.0);
+  p.AddConstraint({{y, 1.0}, {z, 1.0}}, Relation::kLe, 2.0);
+  p.AddConstraint({{x, 1.0}, {y, 1.0}, {z, 1.0}}, Relation::kLe, 3.0);
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
 TEST(LpProblemTest, BadVariableRejected) {
   LpProblem p;
   p.AddVariable();

@@ -1,41 +1,22 @@
 // Parameterized property tests: invariants that must hold across
-// topologies, seeds, and loads, exercised as sweeps (TEST_P).
+// topologies, seeds, and loads, exercised as sweeps (TEST_P). Scenario
+// generation lives in src/testkit (shared with the owan_fuzz oracles);
+// these sweeps only state the properties.
 #include <gtest/gtest.h>
 
 #include "core/annealing.h"
 #include "core/provisioned_state.h"
 #include "core/routing.h"
 #include "net/max_flow.h"
+#include "testkit/generators.h"
 #include "topo/topologies.h"
 #include "util/rng.h"
 
 namespace owan {
 namespace {
 
-topo::Wan WanByName(const std::string& name) {
-  if (name == "internet2") return topo::MakeInternet2();
-  if (name == "isp") return topo::MakeIspBackbone();
-  if (name == "interdc") return topo::MakeInterDc();
-  return topo::MakeMotivatingExample();
-}
-
-std::vector<core::TransferDemand> RandomDemands(const topo::Wan& wan,
-                                                uint64_t seed, int count) {
-  util::Rng rng(seed);
-  std::vector<core::TransferDemand> out;
-  const int n = wan.optical.NumSites();
-  for (int i = 0; i < count; ++i) {
-    core::TransferDemand d;
-    d.id = i;
-    d.src = static_cast<int>(rng.Index(static_cast<size_t>(n)));
-    d.dst = static_cast<int>(rng.Index(static_cast<size_t>(n)));
-    if (d.dst == d.src) d.dst = (d.dst + 1) % n;
-    d.rate_cap = rng.Uniform(1.0, wan.optical.wavelength_capacity());
-    d.remaining = d.rate_cap * 300.0;
-    out.push_back(d);
-  }
-  return out;
-}
+using testkit::RandomDemands;
+using testkit::WanByName;
 
 // ---- Routing invariants over (topology, seed) ----
 

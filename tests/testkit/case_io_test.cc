@@ -1,0 +1,91 @@
+#include "testkit/case_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "testkit/generators.h"
+
+namespace owan::testkit {
+namespace {
+
+TEST(CaseIoTest, GeneratedCasesRoundTripExactly) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const FuzzCase c = GenFuzzCase(seed);
+    const FuzzCase round = ParseFuzzCase(FormatFuzzCase(c));
+    EXPECT_EQ(round, c) << "seed " << seed;
+  }
+}
+
+TEST(CaseIoTest, PathologicalDoublesRoundTrip) {
+  FuzzCase c = GenFuzzCase(3);
+  c.horizon_s = 1.0 / 3.0 * 1e7;
+  c.wan.reach_km = std::nextafter(2000.0, 2001.0);
+  c.wan.fibers[0].length_km = 1e-9;
+  c.transfers[0].size = 9.0071992547409925e15;
+  c.transfers[0].arrival = std::nextafter(300.0, 299.0);
+  const FuzzCase round = ParseFuzzCase(FormatFuzzCase(c));
+  EXPECT_EQ(round.horizon_s, c.horizon_s);
+  EXPECT_EQ(round.wan.reach_km, c.wan.reach_km);
+  EXPECT_EQ(round.wan.fibers[0].length_km, c.wan.fibers[0].length_km);
+  EXPECT_EQ(round.transfers[0].size, c.transfers[0].size);
+  EXPECT_EQ(round.transfers[0].arrival, c.transfers[0].arrival);
+  EXPECT_EQ(round, c);
+}
+
+TEST(CaseIoTest, StreamAndStringOverloadsAgree) {
+  const std::string text = FormatFuzzCase(GenFuzzCase(11));
+  std::istringstream is(text);
+  EXPECT_EQ(ParseFuzzCase(is), ParseFuzzCase(text));
+}
+
+TEST(CaseIoTest, CommentsAndBlankLinesIgnored) {
+  std::string text = FormatFuzzCase(GenFuzzCase(5));
+  // Sprinkle comments and blank lines between every original line.
+  std::string sprinkled;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    sprinkled += "# noise\n\n" + line + "   # trailing comment\n";
+  }
+  EXPECT_EQ(ParseFuzzCase(sprinkled), ParseFuzzCase(text));
+}
+
+TEST(CaseIoTest, MalformedInputsThrow) {
+  const FuzzCase c = GenFuzzCase(4);
+  const std::string good = FormatFuzzCase(c);
+
+  EXPECT_THROW(ParseFuzzCase(""), std::invalid_argument);
+  EXPECT_THROW(ParseFuzzCase("seed notanumber\n"), std::invalid_argument);
+  // Truncation is an error, never a silent partial case.
+  for (size_t cut : {good.size() / 4, good.size() / 2, 3 * good.size() / 4}) {
+    EXPECT_THROW(ParseFuzzCase(good.substr(0, cut)), std::invalid_argument)
+        << "cut at " << cut;
+  }
+  // Wrong section order.
+  EXPECT_THROW(ParseFuzzCase("horizon 100\nseed 1\n"),
+               std::invalid_argument);
+}
+
+TEST(CaseIoTest, InvalidWanRejectedAtParse) {
+  FuzzCase c = GenFuzzCase(6);
+  c.wan.fibers[0].v = c.wan.fibers[0].u;  // self-loop
+  EXPECT_THROW(ParseFuzzCase(FormatFuzzCase(c)), std::invalid_argument);
+}
+
+TEST(CaseIoTest, FaultCountMustMatchHeader) {
+  FuzzCase c = GenFuzzCase(2);
+  std::string text = FormatFuzzCase(c);
+  // Claim one more event than the file carries.
+  const std::string needle = "faults " + std::to_string(c.faults.size());
+  const size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(),
+               "faults " + std::to_string(c.faults.size() + 1));
+  EXPECT_THROW(ParseFuzzCase(text), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace owan::testkit

@@ -1,0 +1,167 @@
+#include "testkit/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/provisioned_state.h"
+#include "testkit/wan_spec.h"
+
+namespace owan::testkit {
+namespace {
+
+TEST(GeneratorsTest, SameSeedSameCase) {
+  const FuzzCase a = GenFuzzCase(42);
+  const FuzzCase b = GenFuzzCase(42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  // Not guaranteed in principle, but at these ranges two identical draws
+  // would indicate a seeding bug.
+  EXPECT_NE(GenFuzzCase(1), GenFuzzCase(2));
+}
+
+TEST(GeneratorsTest, GeneratedCasesAreWellFormed) {
+  GenOptions opt;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    const FuzzCase c = GenFuzzCase(seed, opt);
+    EXPECT_TRUE(c.wan.Validate().empty()) << "seed " << seed;
+    EXPECT_GE(c.wan.NumSites(), opt.min_sites);
+    EXPECT_LE(c.wan.NumSites(), opt.max_sites);
+    EXPECT_GE(static_cast<int>(c.transfers.size()), opt.min_transfers);
+    EXPECT_LE(static_cast<int>(c.transfers.size()), opt.max_transfers);
+    for (const core::Request& r : c.transfers) {
+      EXPECT_GE(r.src, 0);
+      EXPECT_LT(r.src, c.wan.NumSites());
+      EXPECT_GE(r.dst, 0);
+      EXPECT_LT(r.dst, c.wan.NumSites());
+      EXPECT_NE(r.src, r.dst);
+      EXPECT_GT(r.size, 0.0);
+      EXPECT_GE(r.arrival, 0.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SpecBuildsUsablePlant) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FuzzCase c = GenFuzzCase(seed);
+    topo::Wan wan = c.wan.Build();
+    ASSERT_EQ(wan.optical.NumSites(), c.wan.NumSites());
+    ASSERT_EQ(wan.optical.NumFibers(), c.wan.NumFibers());
+    std::string err;
+    EXPECT_TRUE(wan.optical.CheckInvariants(&err)) << err;
+    // The greedy default topology must be provisionable on its own plant.
+    core::ProvisionedState state(wan.optical);
+    EXPECT_EQ(state.SyncTo(wan.default_topology), 0) << "seed " << seed;
+    // And respect port budgets.
+    for (int v = 0; v < wan.optical.NumSites(); ++v) {
+      EXPECT_LE(wan.default_topology.PortsUsed(v),
+                wan.optical.site(v).router_ports);
+    }
+  }
+}
+
+TEST(GeneratorsTest, FaultChanceZeroMeansNoFaults) {
+  GenOptions opt;
+  opt.fault_chance = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_TRUE(GenFuzzCase(seed, opt).faults.empty());
+  }
+}
+
+TEST(GeneratorsTest, FaultTargetsInRange) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FuzzCase c = GenFuzzCase(seed);
+    for (const fault::FaultEvent& e : c.faults.events) {
+      switch (e.type) {
+        case fault::FaultType::kFiberCut:
+        case fault::FaultType::kFiberRepair:
+          EXPECT_GE(e.target, 0);
+          EXPECT_LT(e.target, c.wan.NumFibers());
+          break;
+        case fault::FaultType::kSiteFail:
+        case fault::FaultType::kSiteRepair:
+        case fault::FaultType::kTransceiverFail:
+        case fault::FaultType::kTransceiverRepair:
+          EXPECT_GE(e.target, 0);
+          EXPECT_LT(e.target, c.wan.NumSites());
+          break;
+        default:
+          break;  // controller events carry no target
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, ValidateCatchesBrokenSpecs) {
+  WanSpec spec;
+  EXPECT_FALSE(spec.Validate().empty());  // no sites at all
+
+  spec.sites = {{4, 1}, {4, 1}, {4, 1}};
+  spec.fibers = {{0, 1, 100.0, 4}, {1, 2, 100.0, 4}};
+  EXPECT_TRUE(spec.Validate().empty());
+
+  WanSpec self_loop = spec;
+  self_loop.fibers.push_back({2, 2, 100.0, 4});
+  EXPECT_FALSE(self_loop.Validate().empty());
+
+  WanSpec out_of_range = spec;
+  out_of_range.fibers.push_back({0, 7, 100.0, 4});
+  EXPECT_FALSE(out_of_range.Validate().empty());
+
+  WanSpec bad_length = spec;
+  bad_length.fibers[0].length_km = -1.0;
+  EXPECT_FALSE(bad_length.Validate().empty());
+
+  WanSpec bad_theta = spec;
+  bad_theta.wavelength_gbps = 0.0;
+  EXPECT_FALSE(bad_theta.Validate().empty());
+}
+
+TEST(GeneratorsTest, WanByNameMatchesFactories) {
+  EXPECT_EQ(WanByName("internet2").name, topo::MakeInternet2().name);
+  EXPECT_EQ(WanByName("isp").name, topo::MakeIspBackbone().name);
+  EXPECT_EQ(WanByName("interdc").name, topo::MakeInterDc().name);
+  EXPECT_EQ(WanByName("anything-else").name,
+            topo::MakeMotivatingExample().name);
+}
+
+TEST(GeneratorsTest, RandomDemandsDeterministicAndInRange) {
+  const topo::Wan wan = WanByName("internet2");
+  const auto a = RandomDemands(wan, 7, 24);
+  const auto b = RandomDemands(wan, 7, 24);
+  ASSERT_EQ(a.size(), 24u);
+  const int n = wan.optical.NumSites();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].rate_cap, b[i].rate_cap);
+    EXPECT_NE(a[i].src, a[i].dst);
+    EXPECT_LT(a[i].src, n);
+    EXPECT_LT(a[i].dst, n);
+    EXPECT_GT(a[i].rate_cap, 0.0);
+  }
+}
+
+TEST(GeneratorsTest, DemandsFromRequestsMirrorsControllerDerivation) {
+  std::vector<core::Request> reqs(2);
+  reqs[0].id = 5;
+  reqs[0].src = 0;
+  reqs[0].dst = 3;
+  reqs[0].size = 900.0;
+  reqs[1].id = 9;
+  reqs[1].src = 2;
+  reqs[1].dst = 1;
+  reqs[1].size = 150.0;
+  reqs[1].deadline = 3600.0;
+  const auto demands = DemandsFromRequests(reqs, 300.0);
+  ASSERT_EQ(demands.size(), 2u);
+  EXPECT_EQ(demands[0].id, 5);
+  EXPECT_EQ(demands[0].src, 0);
+  EXPECT_EQ(demands[0].dst, 3);
+  EXPECT_EQ(demands[0].remaining, 900.0);
+  EXPECT_EQ(demands[0].rate_cap, 3.0);  // 900 Gb / 300 s
+  EXPECT_EQ(demands[1].deadline, 3600.0);
+}
+
+}  // namespace
+}  // namespace owan::testkit

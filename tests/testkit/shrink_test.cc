@@ -1,0 +1,191 @@
+#include "testkit/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testkit/generators.h"
+
+namespace owan::testkit {
+namespace {
+
+// A case with every cross-reference kind populated, so remap bugs can't
+// hide: fibers before and after the removed index, transfers and fault
+// events targeting sites/fibers on both sides of it.
+FuzzCase ReferenceCase() {
+  FuzzCase c;
+  c.seed = 99;
+  c.wan.sites = {{4, 1}, {4, 1}, {4, 1}, {4, 1}, {4, 1}};
+  c.wan.fibers = {{0, 1, 100.0, 8},
+                  {1, 2, 100.0, 8},
+                  {2, 3, 100.0, 8},
+                  {3, 4, 100.0, 8},
+                  {0, 4, 100.0, 8}};
+  core::Request r;
+  r.size = 1000.0;
+  r.id = 0, r.src = 0, r.dst = 1;
+  c.transfers.push_back(r);
+  r.id = 1, r.src = 2, r.dst = 4;
+  c.transfers.push_back(r);
+  r.id = 2, r.src = 3, r.dst = 0;
+  c.transfers.push_back(r);
+  c.faults.Add(fault::FaultEvent::FiberCut(100.0, 1));
+  c.faults.Add(fault::FaultEvent::FiberCut(200.0, 3));
+  c.faults.Add(fault::FaultEvent::SiteFail(300.0, 2));
+  c.faults.Add(fault::FaultEvent::SiteFail(400.0, 4));
+  c.faults.Add(fault::FaultEvent::TransceiverFail(500.0, 3, 1, 0));
+  c.faults.Add(fault::FaultEvent::ControllerCrash(600.0));
+  c.faults.Normalize();
+  return c;
+}
+
+TEST(ShrinkMovesTest, RemoveTransfersDeletesRange) {
+  const FuzzCase c = ReferenceCase();
+  const FuzzCase out = RemoveTransfers(c, 1, 2);
+  ASSERT_EQ(out.transfers.size(), 1u);
+  EXPECT_EQ(out.transfers[0].id, 0);
+  EXPECT_EQ(out.wan, c.wan);  // nothing else moves
+}
+
+TEST(ShrinkMovesTest, RemoveSiteRemapsEverything) {
+  const FuzzCase c = ReferenceCase();
+  const auto out = RemoveSite(c, 2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->wan.NumSites(), 4);
+  // Fibers (1,2) and (2,3) die; (3,4) and (0,4) renumber to (2,3), (0,3).
+  ASSERT_EQ(out->wan.NumFibers(), 3);
+  EXPECT_EQ(out->wan.fibers[0], (FiberSpec{0, 1, 100.0, 8}));
+  EXPECT_EQ(out->wan.fibers[1], (FiberSpec{2, 3, 100.0, 8}));
+  EXPECT_EQ(out->wan.fibers[2], (FiberSpec{0, 3, 100.0, 8}));
+  // Transfer 1 (2->4) dies; transfer 2 (3->0) renumbers to (2->0).
+  ASSERT_EQ(out->transfers.size(), 2u);
+  EXPECT_EQ(out->transfers[0].src, 0);
+  EXPECT_EQ(out->transfers[0].dst, 1);
+  EXPECT_EQ(out->transfers[1].src, 2);
+  EXPECT_EQ(out->transfers[1].dst, 0);
+  // Fiber events: cut of fiber 1 dies with it, cut of fiber 3 follows its
+  // fiber to index 1. Site events: fail of site 2 dies, fail of site 4 and
+  // the transceiver event renumber; the controller event survives as-is.
+  ASSERT_EQ(out->faults.size(), 4u);
+  EXPECT_EQ(out->faults.events[0], fault::FaultEvent::FiberCut(200.0, 1));
+  EXPECT_EQ(out->faults.events[1], fault::FaultEvent::SiteFail(400.0, 3));
+  EXPECT_EQ(out->faults.events[2],
+            fault::FaultEvent::TransceiverFail(500.0, 2, 1, 0));
+  EXPECT_EQ(out->faults.events[3], fault::FaultEvent::ControllerCrash(600.0));
+  // A well-formed case stays well-formed under every move.
+  EXPECT_TRUE(out->wan.Validate().empty());
+}
+
+TEST(ShrinkMovesTest, RemoveSiteRefusesBelowTwoSites) {
+  FuzzCase c;
+  c.wan.sites = {{2, 0}, {2, 0}};
+  c.wan.fibers = {{0, 1, 100.0, 4}};
+  EXPECT_FALSE(RemoveSite(c, 0).has_value());
+}
+
+TEST(ShrinkMovesTest, RemoveFiberRemapsFiberEvents) {
+  const FuzzCase c = ReferenceCase();
+  const FuzzCase out = RemoveFiber(c, 1);
+  ASSERT_EQ(out.wan.NumFibers(), 4);
+  // The cut of fiber 1 dies; the cut of fiber 3 now targets fiber 2.
+  int fiber_cuts = 0;
+  for (const auto& e : out.faults.events) {
+    if (e.type == fault::FaultType::kFiberCut) {
+      ++fiber_cuts;
+      EXPECT_EQ(e.target, 2);
+    }
+  }
+  EXPECT_EQ(fiber_cuts, 1);
+}
+
+TEST(ShrinkMovesTest, CandidatesAreStrictlySmallerAndWellFormed) {
+  const FuzzCase c = GenFuzzCase(13);
+  for (const FuzzCase& cand : ShrinkCandidates(c)) {
+    EXPECT_NE(cand, c);
+    EXPECT_TRUE(cand.wan.Validate().empty());
+  }
+}
+
+TEST(ShrinkTest, ConvergesToMinimalCounterexample) {
+  // Property: "no transfer between sites 0 and 1 with size > 100". The
+  // minimal counterexample is one such transfer; everything else —
+  // unrelated transfers, fault events, extra sites — must shrink away.
+  const Property property = [](const FuzzCase& c) -> std::optional<Failure> {
+    for (const core::Request& r : c.transfers) {
+      if (((r.src == 0 && r.dst == 1) || (r.src == 1 && r.dst == 0)) &&
+          r.size > 100.0) {
+        return Failure{"toy", "offending transfer present"};
+      }
+    }
+    return std::nullopt;
+  };
+
+  FuzzCase c = ReferenceCase();
+  const auto original = EvalProperty(property, c);
+  ASSERT_TRUE(original.has_value());
+
+  const ShrinkResult result = Shrink(c, *original, property, {});
+  EXPECT_EQ(result.best.transfers.size(), 1u);
+  EXPECT_TRUE(result.best.faults.empty());
+  EXPECT_LE(result.best.wan.NumSites(), 3);
+  // Size halves until one more halving would dip under the threshold.
+  EXPECT_GT(result.best.transfers[0].size, 100.0);
+  EXPECT_LE(result.best.transfers[0].size, 250.0);
+  EXPECT_GT(result.steps, 0);
+  EXPECT_LE(result.evals, 500);
+  // The minimized case still fails.
+  EXPECT_TRUE(EvalProperty(property, result.best).has_value());
+}
+
+TEST(ShrinkTest, RespectsEvalBudget) {
+  const Property never_passes = [](const FuzzCase&) {
+    return std::optional<Failure>{Failure{"toy", "always"}};
+  };
+  FuzzCase c = GenFuzzCase(8);
+  ShrinkOptions opt;
+  opt.max_evals = 7;
+  const ShrinkResult result =
+      Shrink(c, Failure{"toy", "always"}, never_passes, opt);
+  EXPECT_LE(result.evals, 7);
+}
+
+TEST(ShrinkTest, CheckPropertyShrinksOnFailure) {
+  // End-to-end through CheckProperty: a property that rejects any case
+  // with >= 2 transfers must come back shrunk to exactly 2.
+  const Property property = [](const FuzzCase& c) -> std::optional<Failure> {
+    if (c.transfers.size() >= 2) return Failure{"toy", "too many transfers"};
+    return std::nullopt;
+  };
+  CheckOptions opt;
+  opt.trials = 20;
+  opt.seed = 1;
+  const CheckResult result = CheckProperty(property, opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.shrunk.transfers.size(), 2u);
+  EXPECT_LE(result.shrunk.transfers.size(), result.original.transfers.size());
+  EXPECT_EQ(result.failure.oracle, "toy");
+}
+
+TEST(ShrinkTest, CheckPropertyPassesCleanProperty) {
+  const Property always_passes = [](const FuzzCase&) {
+    return std::optional<Failure>{};
+  };
+  CheckOptions opt;
+  opt.trials = 10;
+  const CheckResult result = CheckProperty(always_passes, opt);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.trials_run, 10);
+}
+
+TEST(ShrinkTest, ExceptionIsAFinding) {
+  const Property throws = [](const FuzzCase&) -> std::optional<Failure> {
+    throw std::runtime_error("boom");
+  };
+  const auto f = EvalProperty(throws, GenFuzzCase(1));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->oracle, "exception");
+  EXPECT_EQ(f->message, "boom");
+}
+
+}  // namespace
+}  // namespace owan::testkit

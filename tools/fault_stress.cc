@@ -16,6 +16,7 @@
 #include "fault/fault_generator.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "testkit/oracles.h"
 #include "topo/topologies.h"
 
 using namespace owan;
@@ -40,34 +41,6 @@ std::vector<core::Request> StressRequests(const topo::Wan& wan,
     reqs.push_back(r);
   }
   return reqs;
-}
-
-bool SameResult(const sim::SimResult& a, const sim::SimResult& b,
-                std::string* why) {
-  if (a.transfers.size() != b.transfers.size()) {
-    *why = "transfer count differs";
-    return false;
-  }
-  for (size_t i = 0; i < a.transfers.size(); ++i) {
-    const auto& x = a.transfers[i];
-    const auto& y = b.transfers[i];
-    if (x.completed != y.completed || x.completed_at != y.completed_at ||
-        x.delivered != y.delivered || x.stalled_s != y.stalled_s) {
-      *why = "transfer " + std::to_string(x.request.id) + " outcome differs";
-      return false;
-    }
-  }
-  if (a.slot_throughput != b.slot_throughput) {
-    *why = "slot throughput series differs";
-    return false;
-  }
-  if (a.recovery_seconds != b.recovery_seconds ||
-      a.fault_events != b.fault_events ||
-      a.gigabits_lost_to_faults != b.gigabits_lost_to_faults) {
-    *why = "availability metrics differ";
-    return false;
-  }
-  return true;
 }
 
 // Shared run setup so the telemetry replay below uses exactly the inputs
@@ -140,7 +113,7 @@ int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
     ++failures;
   }
   std::string why;
-  if (!SameResult(a, b, &why)) {
+  if (!testkit::SameSimResult(a, b, &why)) {
     std::fprintf(stderr, "[seed %llu] not reproducible: %s\n",
                  (unsigned long long)seed, why.c_str());
     ++failures;

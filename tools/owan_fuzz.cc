@@ -1,0 +1,164 @@
+// Property-based fuzz driver over the testkit oracles: generates N seeded
+// scenarios (random WAN + transfers + fault schedule), checks each against
+// the LP-bound, differential, and invariant oracles, and on the first
+// failure shrinks the counterexample to a minimal repro. Failures print a
+// one-line repro command (fault_stress convention: trial t reruns with
+// --seed base+t --trials 1) and write the shrunk case to a replay file that
+// --replay re-checks byte-for-byte.
+//
+// Usage: owan_fuzz [--trials N] [--seed S] [--suite all|lp|diff|invariant]
+//                  [--replay FILE] [--shrink-out FILE] [--no-shrink]
+//                  [--max-shrink-evals N] [--inject-bug cache]
+//
+// Exit status: 0 all trials clean, 1 property failure, 2 usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/energy_evaluator.h"
+#include "testkit/case_io.h"
+#include "testkit/oracles.h"
+#include "testkit/property.h"
+
+using namespace owan;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trials N] [--seed S] "
+               "[--suite all|lp|diff|invariant] [--replay FILE] "
+               "[--shrink-out FILE] [--no-shrink] [--max-shrink-evals N] "
+               "[--inject-bug cache]\n",
+               argv0);
+  return 2;
+}
+
+void PrintCaseSize(const char* tag, const testkit::FuzzCase& c) {
+  std::printf("%s: %d sites, %d fibers, %zu transfers, %zu fault events\n",
+              tag, c.wan.NumSites(), c.wan.NumFibers(), c.transfers.size(),
+              c.faults.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testkit::CheckOptions check;
+  check.trials = 100;
+  check.seed = 1;
+  std::string suite = "all";
+  std::string replay_path;
+  std::string shrink_out;
+  std::string inject;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+      check.trials = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      check.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--suite") && i + 1 < argc) {
+      suite = argv[++i];
+    } else if (!std::strcmp(argv[i], "--replay") && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--shrink-out") && i + 1 < argc) {
+      shrink_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      check.shrink = false;
+    } else if (!std::strcmp(argv[i], "--max-shrink-evals") && i + 1 < argc) {
+      check.max_shrink_evals = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--inject-bug") && i + 1 < argc) {
+      inject = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const bool lp = suite == "all" || suite == "lp";
+  const bool diff = suite == "all" || suite == "diff";
+  const bool invariant = suite == "all" || suite == "invariant";
+  if (!lp && !diff && !invariant) return Usage(argv[0]);
+
+  if (!inject.empty()) {
+    if (inject != "cache") {
+      std::fprintf(stderr, "owan_fuzz: unknown --inject-bug \"%s\"\n",
+                   inject.c_str());
+      return 2;
+    }
+    core::EnergyEvaluator::TestOnlySkipAppearedInvalidation(true);
+    std::printf(
+        "owan_fuzz: injected bug: SyncCache skips appeared-link "
+        "invalidation\n");
+  }
+
+  const testkit::Property property =
+      testkit::MakeOracleProperty(lp, diff, invariant);
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "owan_fuzz: cannot open %s\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    testkit::FuzzCase c;
+    try {
+      c = testkit::ParseFuzzCase(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "owan_fuzz: bad case file %s: %s\n",
+                   replay_path.c_str(), e.what());
+      return 2;
+    }
+    PrintCaseSize("replay", c);
+    if (auto f = testkit::EvalProperty(property, c)) {
+      std::fprintf(stderr, "owan_fuzz: [%s] %s\n", f->oracle.c_str(),
+                   f->message.c_str());
+      return 1;
+    }
+    std::printf("owan_fuzz: replay of %s passes suite %s\n",
+                replay_path.c_str(), suite.c_str());
+    return 0;
+  }
+
+  const testkit::CheckResult result =
+      testkit::CheckProperty(property, check);
+  if (result.ok) {
+    std::printf("owan_fuzz: all %d trials clean (suite %s, seeds %llu..%llu)\n",
+                result.trials_run, suite.c_str(),
+                (unsigned long long)check.seed,
+                (unsigned long long)(check.seed + check.trials - 1));
+    return 0;
+  }
+
+  std::fprintf(stderr, "owan_fuzz: [%s] %s\n", result.failure.oracle.c_str(),
+               result.failure.message.c_str());
+  PrintCaseSize("original", result.original);
+  if (check.shrink) {
+    PrintCaseSize("shrunk", result.shrunk);
+    std::printf("shrink: %d steps in %d evaluations\n", result.shrink_steps,
+                result.shrink_evals);
+  }
+
+  std::string out = shrink_out;
+  if (out.empty()) {
+    out = "owan_fuzz_seed_" + std::to_string(result.failing_seed) + ".case";
+  }
+  {
+    std::ofstream os(out);
+    os << testkit::FormatFuzzCase(result.shrunk);
+    if (!os) {
+      std::fprintf(stderr, "owan_fuzz: could not write %s\n", out.c_str());
+    } else {
+      std::printf("shrunk case written to %s\n", out.c_str());
+    }
+  }
+  const std::string inject_flag =
+      inject.empty() ? "" : " --inject-bug " + inject;
+  std::printf("repro: owan_fuzz --seed %llu --trials 1 --suite %s%s\n",
+              (unsigned long long)result.failing_seed, suite.c_str(),
+              inject_flag.c_str());
+  std::printf("repro: owan_fuzz --replay %s --suite %s%s\n", out.c_str(),
+              suite.c_str(), inject_flag.c_str());
+  return 1;
+}
