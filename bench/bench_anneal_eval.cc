@@ -1,16 +1,23 @@
 // Microbenchmark for the incremental energy evaluator: drives the identical
 // Metropolis walk (same seed, same neighbor sequence, same accept rule)
-// through the old copy-everything evaluation and through an EnergyEvaluator,
-// on the 40-site ISP backbone. Reports per-candidate cost, the speedup, and
-// the evaluator's cache statistics — and fails (exit 1) unless the two modes
-// produce identical energies, so a perf run doubles as a differential check.
+// through the old copy-everything evaluation and through an EnergyEvaluator.
+// Reports per-candidate cost, the speedup, and the evaluator's cache
+// statistics — and fails (exit 1) unless the two modes produce identical
+// energies, so a perf run doubles as a differential check.
+//
+// Runs the 40-site ISP backbone by default; --topo NAME picks any WAN from
+// the topo registry (unknown names are an error, not a skip), and --sweep
+// runs the scale ladder isp40 -> isp100 -> tiered400 used by the perf CI
+// gate and the nightly trend job.
 //
 // Flags: --quick (short budget, for CI smoke), --iters N, --seed S,
-//        --json <path> (machine-readable records).
+//        --topo NAME, --sweep, --json <path> (machine-readable records).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/annealing.h"
@@ -129,25 +136,30 @@ WalkResult WalkIncremental(const topo::Wan& wan, const core::Topology& start,
   return out;
 }
 
-}  // namespace
+// One sweep point: topo name plus the walk budget at that scale. Demand
+// counts grow with the site count; iteration budgets shrink so the fresh
+// reference walk stays affordable at 400 sites. The gate topology (isp40)
+// gets a long walk on purpose: the one-time cache fill (~3k pair
+// enumerations) must amortize away so the gated number is the steady-state
+// hot-loop cost, not setup.
+struct SweepPoint {
+  const char* topo;
+  int demands;
+  int iters;        // full budget
+  int quick_iters;  // --quick budget
+};
 
-int main(int argc, char** argv) {
-  bench::InitJsonFromArgs(argc, argv);
-  int iters = 400;
-  uint64_t seed = 7;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      iters = 120;
-    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
-      iters = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
-    }
-  }
+constexpr SweepPoint kSweep[] = {
+    {"isp40", 64, 2000, 120},
+    {"isp100", 160, 200, 60},
+    {"tiered400", 640, 60, 24},
+};
 
-  bench::PrintHeader("anneal eval — fresh vs incremental per-candidate cost");
-  topo::Wan wan = topo::MakeIspBackbone();
-  const auto demands = RandomDemands(wan, 64, 4242);
+// Runs fresh-vs-incremental on one topology; returns false on divergence.
+bool RunPoint(const std::string& topo_name, int demand_count, int iters,
+              uint64_t seed) {
+  topo::Wan wan = topo::MakeByName(topo_name);
+  const auto demands = RandomDemands(wan, demand_count, 4242);
   const std::vector<size_t> starved;  // no transfer is starved at slot start
   const core::RoutingOptions ropt;
   const core::Topology start = wan.default_topology;
@@ -159,9 +171,10 @@ int main(int argc, char** argv) {
 
   // Differential check: the walks must agree candidate-for-candidate.
   if (fresh.energies.size() != incr.energies.size()) {
-    std::printf("FAIL: candidate counts diverge (%zu vs %zu)\n",
-                fresh.energies.size(), incr.energies.size());
-    return 1;
+    std::printf("FAIL: %s candidate counts diverge (%zu vs %zu)\n",
+                topo_name.c_str(), fresh.energies.size(),
+                incr.energies.size());
+    return false;
   }
   double max_diff = 0.0;
   for (size_t i = 0; i < fresh.energies.size(); ++i) {
@@ -169,8 +182,9 @@ int main(int argc, char** argv) {
         std::max(max_diff, std::fabs(fresh.energies[i] - incr.energies[i]));
   }
   if (max_diff > 1e-9) {
-    std::printf("FAIL: energies diverge (max |diff| = %.3g)\n", max_diff);
-    return 1;
+    std::printf("FAIL: %s energies diverge (max |diff| = %.3g)\n",
+                topo_name.c_str(), max_diff);
+    return false;
   }
 
   const double n = static_cast<double>(fresh.energies.size());
@@ -178,8 +192,10 @@ int main(int argc, char** argv) {
   const double incr_us = 1e6 * incr.eval_seconds / n;
   const double speedup = fresh_us / incr_us;
   const auto& st = eval.stats();
-  std::printf("  ISP-40, 64 transfers, %d candidates, seed %llu\n",
-              static_cast<int>(n), static_cast<unsigned long long>(seed));
+  std::printf("  %s: %d sites, %d transfers, %d candidates, seed %llu\n",
+              topo_name.c_str(), wan.default_topology.NumSites(),
+              demand_count, static_cast<int>(n),
+              static_cast<unsigned long long>(seed));
   std::printf("  fresh        %8.1f us/candidate  (%.3fs total)\n", fresh_us,
               fresh.eval_seconds);
   std::printf("  incremental  %8.1f us/candidate  (%.3fs total)\n", incr_us,
@@ -189,7 +205,7 @@ int main(int argc, char** argv) {
   std::printf(
       "  evaluator: %lld evals, %lld memo hits, %lld routing runs,\n"
       "             %lld pairs enumerated, %lld reused, %lld graph "
-      "rebuilds\n",
+      "rebuilds\n\n",
       static_cast<long long>(st.evaluations),
       static_cast<long long>(st.memo_hits),
       static_cast<long long>(st.routing_runs),
@@ -197,12 +213,15 @@ int main(int argc, char** argv) {
       static_cast<long long>(st.pairs_reused),
       static_cast<long long>(st.graph_rebuilds));
 
-  bench::JsonRecord("anneal_eval", "fresh",
-                    {{"candidates", n},
+  const double sites = static_cast<double>(wan.default_topology.NumSites());
+  bench::JsonRecord("anneal_eval", "fresh@" + topo_name,
+                    {{"sites", sites},
+                     {"candidates", n},
                      {"seconds", fresh.eval_seconds},
                      {"us_per_candidate", fresh_us}});
-  bench::JsonRecord("anneal_eval", "incremental",
-                    {{"candidates", n},
+  bench::JsonRecord("anneal_eval", "incremental@" + topo_name,
+                    {{"sites", sites},
+                     {"candidates", n},
                      {"seconds", incr.eval_seconds},
                      {"us_per_candidate", incr_us},
                      {"memo_hits", static_cast<double>(st.memo_hits)},
@@ -212,7 +231,66 @@ int main(int argc, char** argv) {
                      {"pairs_reused", static_cast<double>(st.pairs_reused)},
                      {"graph_rebuilds",
                       static_cast<double>(st.graph_rebuilds)}});
-  bench::JsonRecord("anneal_eval", "summary",
-                    {{"speedup", speedup}, {"max_energy_diff", max_diff}});
-  return 0;
+  bench::JsonRecord("anneal_eval", "summary@" + topo_name,
+                    {{"sites", sites},
+                     {"speedup", speedup},
+                     {"max_energy_diff", max_diff}});
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitJsonFromArgs(argc, argv);
+  bool quick = false;
+  bool sweep = false;
+  int iters_override = 0;
+  uint64_t seed = 7;
+  std::string topo_name = "isp40";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--topo") == 0 && i + 1 < argc) {
+      topo_name = argv[++i];
+    }
+  }
+
+  bench::PrintHeader("anneal eval — fresh vs incremental per-candidate cost");
+  bool ok = true;
+  try {
+    if (sweep) {
+      for (const SweepPoint& p : kSweep) {
+        const int iters = iters_override > 0
+                              ? iters_override
+                              : (quick ? p.quick_iters : p.iters);
+        ok = RunPoint(p.topo, p.demands, iters, seed) && ok;
+      }
+    } else {
+      // Single-topology mode: budgets follow the sweep table when the name
+      // is in it, else scale off the isp40 defaults.
+      int demand_count = 64;
+      int iters = quick ? 120 : 400;
+      for (const SweepPoint& p : kSweep) {
+        if (topo_name == p.topo) {
+          demand_count = p.demands;
+          iters = quick ? p.quick_iters : p.iters;
+          break;
+        }
+      }
+      ok = RunPoint(topo_name, demand_count,
+                    iters_override > 0 ? iters_override : iters, seed);
+    }
+  } catch (const std::invalid_argument& e) {
+    // Unknown topology names must fail the run loudly: a CI sweep that
+    // silently skipped a misspelled point would gate on nothing.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return ok ? 0 : 1;
 }

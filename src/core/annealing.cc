@@ -136,7 +136,8 @@ ChainResult RunChainSerial(const Topology& current, Topology start,
                            EnergyEvaluator& eval, const Deadline& deadline) {
   const EnergyEvaluator::Stats stats_before = eval.stats();
   const EnergyEvaluator::Eval base =
-      eval.Reset(blank_optical, start, demands, starved, options.routing);
+      eval.Reset(blank_optical, start, demands, starved, options.routing,
+                 options.reuse_slot_state);
   double cur_energy = base.energy;
 
   ChainResult out;
@@ -397,8 +398,9 @@ ChainResult RunChain(const Topology& current,
                      const std::vector<int>& port_budget,
                      const std::vector<size_t>& starved, int perturb_moves,
                      util::Rng& rng, util::ThreadPool* pool,
-                     EnergyEvaluator& eval, const Deadline& deadline) {
-  Topology start = current;
+                     EnergyEvaluator& eval, const Deadline& deadline,
+                     const Topology* start_override = nullptr) {
+  Topology start = start_override != nullptr ? *start_override : current;
   for (int i = 0; i < perturb_moves; ++i) {
     auto t = ComputeNeighbor(start, rng, &port_budget);
     if (t) start = std::move(*t);
@@ -422,11 +424,12 @@ ChainResult RunChainTraced(int chain, const Topology& current,
                            const std::vector<size_t>& starved,
                            int perturb_moves, util::Rng& rng,
                            util::ThreadPool* pool, EnergyEvaluator& eval,
-                           const Deadline& deadline) {
+                           const Deadline& deadline,
+                           const Topology* start_override = nullptr) {
   OWAN_SPAN(chain_span, "core", "anneal.chain");
   ChainResult cr =
       RunChain(current, blank_optical, demands, options, port_budget, starved,
-               perturb_moves, rng, pool, eval, deadline);
+               perturb_moves, rng, pool, eval, deadline, start_override);
   chain_span.AddArg("chain", chain);
   chain_span.AddArg("iterations", cr.iterations);
   chain_span.AddArg("accepted", cr.accepted);
@@ -450,6 +453,11 @@ AnnealResult ApplyAdoptionGuard(ChainResult&& cr, const Topology& current,
                                 int base_starved, int total_iterations,
                                 int total_accepted) {
   AnnealResult best;
+  // The walk's own verdict survives even when the guard keeps the baseline:
+  // callers feed it back as the next slot's warm hint.
+  best.searched_best = cr.best_topology;
+  best.searched_energy = cr.best_energy;
+  best.searched_starved = cr.best_starved;
   const bool rescues_starved = cr.best_starved > base_starved;
   if (!rescues_starved &&
       cr.best_energy <
@@ -480,7 +488,8 @@ AnnealResult ComputeNetworkState(const Topology& current,
                                  const std::vector<TransferDemand>& demands,
                                  const AnnealOptions& options,
                                  util::Rng& rng, util::ThreadPool* pool,
-                                 AnnealScratch* scratch) {
+                                 AnnealScratch* scratch,
+                                 const Topology* warm_hint) {
   if (current.NumSites() != blank_optical.NumSites()) {
     throw std::invalid_argument(
         "ComputeNetworkState: topology/plant site count mismatch");
@@ -564,12 +573,29 @@ AnnealResult ComputeNetworkState(const Topology& current,
 
   // Chain 0 honors warm_start; later chains explore from progressively
   // stronger perturbations of the current topology (capped at the cold
-  // start's shuffle length).
+  // start's shuffle length). When the caller supplies a warm hint that
+  // fits the current plant (site count and per-site port budgets), chain 1
+  // starts from it unperturbed instead — temporal coherence makes the
+  // previous slot's searched best a stronger opening than a random shake.
   std::vector<int> perturb(static_cast<size_t>(num_chains), 0);
   perturb[0] = options.warm_start ? 0 : options.cold_start_moves;
   for (int c = 1; c < num_chains; ++c) {
     perturb[static_cast<size_t>(c)] =
         std::min(options.cold_start_moves, 4 * c);
+  }
+  const Topology* hint_start = nullptr;
+  if (warm_hint != nullptr && warm_hint->NumSites() == current.NumSites()) {
+    bool fits = true;
+    for (net::NodeId v = 0; v < warm_hint->NumSites(); ++v) {
+      if (warm_hint->PortsUsed(v) > port_budget[static_cast<size_t>(v)]) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      hint_start = warm_hint;
+      perturb[1] = 0;
+    }
   }
 
   std::vector<std::optional<ChainResult>> results(
@@ -579,7 +605,8 @@ AnnealResult ComputeNetworkState(const Topology& current,
     results[k] = RunChainTraced(c, current, blank_optical, demands, options,
                                 port_budget, starved, perturb[k],
                                 chain_rngs[k], pool, scr.ForChain(c),
-                                deadline);
+                                deadline,
+                                c == 1 ? hint_start : nullptr);
   });
 
   // The adoption guard for multi-chain selection is always measured

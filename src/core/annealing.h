@@ -41,6 +41,15 @@ struct AnnealOptions {
   // a randomly shuffled topology (ablation).
   bool warm_start = true;
   int cold_start_moves = 64;
+  // Reuse each chain evaluator's provisioned state across slots when the
+  // blank plant is unchanged (certified by its mutation stamp; see
+  // EnergyEvaluator::Reset): the next slot SyncTo-diffs from the previous
+  // slot's final state instead of re-provisioning a fresh plant copy — the
+  // cross-slot analogue of the in-chain apply/rollback evaluation. On
+  // plants with spare wavelengths the warm state is identical to the cold
+  // derivation; under heavy fragmentation both are valid provisionings and
+  // same-seed reruns remain deterministic either way.
+  bool reuse_slot_state = true;
   // Keep the current topology unless the best candidate beats it by this
   // relative margin. Reconfiguration is not free (circuits go dark for
   // seconds), so marginal wins are not worth the churn.
@@ -88,6 +97,15 @@ struct AnnealResult {
   int iterations = 0;            // neighbor evaluations across all chains
   int accepted = 0;              // moves accepted across all chains
   int circuit_changes = 0;       // DistanceTo(current) of the best topology
+
+  // The search's own best, before the adoption guard possibly kept the
+  // baseline. Consecutive demand matrices are temporally coherent, so a
+  // candidate good enough to win the walk — but not good enough to justify
+  // reconfiguring this slot — is a strong extra starting point next slot:
+  // OwanTe feeds it back through ComputeNetworkState's warm_hint.
+  Topology searched_best;
+  double searched_energy = 0.0;
+  int searched_starved = 0;
 };
 
 // Algorithm 1: simulated-annealing search for the next network state.
@@ -103,16 +121,26 @@ struct AnnealResult {
 // or scheduling.
 //
 // `scratch` (optional) carries the per-chain EnergyEvaluators — and with
-// them the per-pair path caches — across calls, so slot k+1 starts from
-// slot k's warm cache instead of enumerating the world again. Long-lived
-// callers (OwanTe) should own one; results are identical with or without.
+// them the per-pair path caches, the shared transposition table, and
+// (with reuse_slot_state) the provisioned optical states — across calls,
+// so slot k+1 starts from slot k's warm caches instead of enumerating the
+// world again. Long-lived callers (OwanTe) should own one; results are
+// identical with or without.
+//
+// `warm_hint` (optional) is a previous slot's searched-best topology. In a
+// multi-chain search it replaces the first perturbed chain's start (chain
+// 0 keeps replaying the classic walk), exploiting temporal coherence of
+// consecutive demand matrices. Ignored for single-chain searches — those
+// stay bit-for-bit the paper's walk — and whenever the hint does not fit
+// the current plant (site count or port budgets).
 AnnealResult ComputeNetworkState(const Topology& current,
                                  const optical::OpticalNetwork& blank_optical,
                                  const std::vector<TransferDemand>& demands,
                                  const AnnealOptions& options,
                                  util::Rng& rng,
                                  util::ThreadPool* pool = nullptr,
-                                 AnnealScratch* scratch = nullptr);
+                                 AnnealScratch* scratch = nullptr,
+                                 const Topology* warm_hint = nullptr);
 
 }  // namespace owan::core
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/memo_table.h"
 #include "core/provisioned_state.h"
 #include "core/routing.h"
 #include "core/topology.h"
@@ -64,16 +65,32 @@ class EnergyEvaluator : public PathSource {
 
   EnergyEvaluator() = default;
 
-  // Starts a slot: re-derives the provisioned state from the blank optical
+  // Starts a slot: derives the provisioned state from the blank optical
   // plant exactly as a fresh chain would (copy + SyncTo(start)), recomputes
-  // the base energy, and clears the memo table (energies depend on the
-  // demand set). The path cache persists across slots; stale entries are
-  // invalidated against the realized-topology diff.
+  // the base energy, and begins a new memo-table slot (energies depend on
+  // the demand set). The path cache persists across slots; stale entries
+  // are invalidated against the realized-topology diff.
+  //
+  // With reuse_state set, and when the blank plant is certifiably the one
+  // the evaluator's state was derived from (its mutation stamp is
+  // unchanged — see OpticalNetwork::state_stamp), the previous slot's
+  // provisioned state is kept and SyncTo diffs it to `start` instead of
+  // re-provisioning the whole topology from a fresh copy. On plants with
+  // spare wavelengths the warm state is identical to the cold one; under
+  // heavy fragmentation the realized sets can differ (both remain valid
+  // provisionings, and same-seed reruns stay deterministic either way).
   const Eval& Reset(const optical::OpticalNetwork& blank_optical,
                     const Topology& start,
                     const std::vector<TransferDemand>& demands,
                     const std::vector<size_t>& starved,
-                    const RoutingOptions& options);
+                    const RoutingOptions& options, bool reuse_state = false);
+
+  // Shares `table` as the transposition table (e.g. across the chains of
+  // one slot; see MemoTable for the concurrency contract). The caller owns
+  // the table, keeps it alive past the evaluator's last use, and is
+  // responsible for MemoTable::BeginSlot between demand sets — Reset only
+  // clears the private default table. Pass nullptr to detach.
+  void AttachMemo(MemoTable* table);
 
   // Applies `target` to the provisioned state in place and evaluates it.
   // Exactly one of Accept()/Reject() must follow before the next Apply. On
@@ -130,16 +147,36 @@ class EnergyEvaluator : public PathSource {
     PairPaths pp;
     // Canonical link indices (min*n+max) its paths traverse, sorted unique.
     std::vector<int32_t> used_links;
-    // Nodes the enumeration DFS expanded, ascending (see PathsUpToHops):
-    // the exactness guard for truncated entries — the sample survives any
-    // structural move whose changed links touch none of these nodes.
-    std::vector<net::NodeId> expanded;
+    // Sync generation that last (re)enumerated this entry — the rejection
+    // undo below uses it to spot values computed for a candidate topology.
+    uint64_t fill_gen = 0;
   };
 
-  struct MemoEntry {
-    Topology realized;  // exact-equality guard against hash collisions
-    double energy = 0.0;
-    int starved_served = 0;
+  // One-generation undo of SyncCache, applied when the candidate that
+  // triggered the sync is rejected. The annealer rejects most candidates;
+  // without the undo the cache follows each rejected candidate and the next
+  // sync diffs through it, invalidating (and re-enumerating) the rejected
+  // move's neighborhood a second time on the way back. Restoring the cache
+  // to the pre-Apply topology makes each candidate pay only for its own
+  // move. Values restored from the stash are the exact pre-sync sets, so
+  // energies stay bit-identical to a fresh evaluation.
+  struct CacheUndo {
+    bool valid = false;
+    uint64_t apply_gen = 0;   // Apply this sync belongs to (guards memo hits)
+    uint64_t fill_gen = 0;    // entries with this fill_gen hold candidate data
+    bool structural = false;  // graph_/pair_edge_ were swapped out
+    Topology topo;            // cache_topo_ before the sync
+    net::Graph graph;         // pre-sync graph (structural only)
+    std::vector<int32_t> pair_edge;  // pre-sync edge map (structural only)
+    // Edge capacities overwritten by a capacity-only sync.
+    std::vector<std::pair<net::EdgeId, double>> capacities;
+    // Entries invalidated by the sync, with their pre-sync values.
+    struct Stashed {
+      int32_t slot;
+      PairPaths pp;
+      std::vector<int32_t> used_links;
+    };
+    std::vector<Stashed> stashed;
   };
 
   size_t LinkIdx(net::NodeId u, net::NodeId v) const {
@@ -156,11 +193,20 @@ class EnergyEvaluator : public PathSource {
   // Brings graph_/path cache in line with state_->realized(): updates edge
   // capacities in place for capacity-only diffs, otherwise rebuilds the
   // canonical graph, applies the invalidation rules, and remaps surviving
-  // cached paths onto the new edge ids.
-  void SyncCache();
+  // cached paths onto the new edge ids. When the routing scratch still
+  // describes the previous graph, also derives repair hints (which demands
+  // are dirty, which edges changed, the earliest round a dirty demand can
+  // act in) so the allocator can replay its clean prefix; *hints_usable is
+  // set accordingly.
+  void SyncCache(RepairHints* hints, bool* hints_usable);
+  // Applies cache_undo_: restores cache_topo_/graph_/pair_edge_, drops
+  // candidate-computed entries, re-points surviving paths at the restored
+  // edge ids, and un-stashes the invalidated values.
+  void RestoreCache();
   // SyncCache + allocator; records energy/served and optionally memoizes.
   void RunRouting(bool memoize);
   int CountStarvedServed() const;
+  MemoTable& Memo();
 
   // ---- chain state ----
   std::optional<ProvisionedState> state_;
@@ -181,14 +227,30 @@ class EnergyEvaluator : public PathSource {
   std::vector<int32_t> pair_slot_; // dir index -> entries_ slot, -1 none
   std::vector<CacheEntry> entries_;
   std::vector<std::pair<net::NodeId, net::NodeId>> last_invalidated_;
+  CacheUndo cache_undo_;
+  uint64_t apply_gen_ = 0;  // bumped per Apply
+  uint64_t fill_gen_ = 0;   // bumped per structural/capacity sync
 
   // ---- transposition table (per slot) ----
-  std::unordered_map<uint64_t, std::vector<MemoEntry>> memo_;
+  // Shared table when attached, else the lazily-created private one.
+  MemoTable* memo_ = nullptr;
+  std::unique_ptr<MemoTable> own_memo_;
+
+  // ---- routing scratch (grant log, checkpoints; see RoutingScratch) ----
+  // Invariant: while scratch_.run_valid, its last run was computed on
+  // cache_topo_'s graph (every AllocateRates immediately follows a
+  // SyncCache). EnsureRouting compares cache_topo_ against
+  // state_->realized() to tell whether the grant log still describes the
+  // current state after memo hits and rollbacks skipped allocator runs.
+  RoutingScratch scratch_;
+
+  // ---- warm slot reuse ----
+  uint64_t blank_stamp_ = 0;  // 0 = state_ not derived from a live blank
 
   // ---- last evaluation ----
   Eval last_;
-  RoutingOutcome last_routing_;
-  bool routing_valid_ = false;
+  RoutingOutcome last_routing_;   // materialized outcome (EnsureRouting)
+  bool routing_valid_ = false;    // last_routing_ matches current realized
 
   Stats stats_;
 
@@ -196,16 +258,20 @@ class EnergyEvaluator : public PathSource {
 };
 
 // Reusable cross-slot scratch for ComputeNetworkState: one evaluator per
-// chain, so each chain's path cache persists across slots. Reserve() must
-// run before chains execute concurrently; ForChain then hands out disjoint
-// evaluators without synchronization.
+// chain, so each chain's path cache persists across slots, plus one shared
+// transposition table so parallel chains stop recomputing each other's
+// energies. Reserve() must run before chains execute concurrently — it
+// also begins a fresh memo slot (single-threaded GC of the shared table);
+// ForChain then hands out disjoint evaluators without synchronization.
 class AnnealScratch {
  public:
   void Reserve(int num_chains);
   EnergyEvaluator& ForChain(int chain) { return *evals_[chain]; }
+  const MemoTable& memo() const { return memo_; }
 
  private:
   std::vector<std::unique_ptr<EnergyEvaluator>> evals_;
+  MemoTable memo_;
 };
 
 }  // namespace owan::core

@@ -1,0 +1,85 @@
+#include "core/memo_table.h"
+
+namespace owan::core {
+
+namespace {
+
+// SplitMix64 finalizer: Topology::Hash() is accumulation-style, so spread
+// its bits before slicing out stripe indices.
+uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MemoTable::MemoTable(int log2_slots)
+    : slots_(static_cast<size_t>(1)
+             << (log2_slots < 4 ? 4 : (log2_slots > 24 ? 24 : log2_slots))) {
+  for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+}
+
+MemoTable::~MemoTable() {
+  for (auto& s : slots_) delete s.load(std::memory_order_relaxed);
+}
+
+void MemoTable::BeginSlot() {
+  for (auto& s : slots_) {
+    delete s.load(std::memory_order_relaxed);
+    s.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+size_t MemoTable::StripeBase(const Topology& realized) const {
+  const uint64_t h = MixBits(realized.Hash());
+  return (static_cast<size_t>(h) & (slots_.size() - 1)) & ~(kStripe - 1);
+}
+
+const MemoTable::Entry* MemoTable::Find(const Topology& realized) const {
+  const size_t base = StripeBase(realized);
+  for (size_t i = 0; i < kStripe; ++i) {
+    const Entry* e = slots_[base + i].load(std::memory_order_acquire);
+    // Slots fill in order within a stripe, so the first null ends the probe.
+    // A concurrent insert can make this read a stale null: that is a plain
+    // miss — the caller recomputes the identical pure value.
+    if (e == nullptr) return nullptr;
+    if (e->realized == realized) return e;
+  }
+  return nullptr;
+}
+
+bool MemoTable::Insert(const Topology& realized, double energy,
+                       int starved_served) {
+  const size_t base = StripeBase(realized);
+  Entry* mine = nullptr;
+  for (size_t i = 0; i < kStripe; ++i) {
+    std::atomic<Entry*>& slot = slots_[base + i];
+    Entry* cur = slot.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      if (mine == nullptr) mine = new Entry{realized, energy, starved_served};
+      if (slot.compare_exchange_strong(cur, mine, std::memory_order_release,
+                                       std::memory_order_acquire)) {
+        return true;
+      }
+      // Lost the race; `cur` now holds the winner — fall through to check it.
+    }
+    if (cur->realized == realized) {
+      delete mine;
+      return false;
+    }
+  }
+  delete mine;  // stripe full: drop the insert, never block the hot loop
+  return false;
+}
+
+int64_t MemoTable::LiveEntries() const {
+  int64_t n = 0;
+  for (const auto& s : slots_) {
+    if (s.load(std::memory_order_relaxed) != nullptr) ++n;
+  }
+  return n;
+}
+
+}  // namespace owan::core

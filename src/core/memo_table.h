@@ -1,0 +1,80 @@
+#ifndef OWAN_CORE_MEMO_TABLE_H_
+#define OWAN_CORE_MEMO_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.h"
+
+namespace owan::core {
+
+// Lock-free transposition table shared by the annealing chains of one slot.
+//
+// Energy is a pure function of (realized topology, slot demand set), so any
+// chain may consume any chain's published result: once one chain has routed
+// a candidate topology, every other chain revisiting it skips its allocator
+// run. The table is a fixed power-of-two array of atomic Entry pointers.
+// A key hashes to an aligned stripe of kStripe consecutive slots (one cache
+// line of pointers); probes stay inside the stripe, so a lookup touches at
+// most one line of the slot array. Writers CAS a heap-allocated entry into
+// the first empty slot; a full stripe silently drops the insert (the value
+// is recomputed on the next miss — correctness never depends on residency).
+//
+// Concurrency contract:
+//  - Find/Insert may race freely across threads during a slot. Entries are
+//    published with release stores and read with acquire loads, and are
+//    immutable after publication, so readers always see fully-constructed
+//    values. A reader may miss an entry that is being inserted concurrently
+//    (stale null) — that is a memo miss, and the caller recomputes the same
+//    pure value, so results are timing-independent even though hit *counts*
+//    are not.
+//  - BeginSlot (GC of every entry) is single-threaded, between slots, while
+//    no chain is running. Values memoized for one demand set are meaningless
+//    for the next, exactly like the per-evaluator table it replaces.
+class MemoTable {
+ public:
+  struct Entry {
+    Topology realized;  // exact-equality guard against hash collisions
+    double energy = 0.0;
+    int starved_served = 0;
+  };
+
+  // 2^log2_slots pointer slots; the default (8192 slots, 64 KiB of
+  // pointers) comfortably covers a 400-iteration walk per chain across 16
+  // chains without stripe pressure.
+  explicit MemoTable(int log2_slots = 13);
+  ~MemoTable();
+  MemoTable(const MemoTable&) = delete;
+  MemoTable& operator=(const MemoTable&) = delete;
+
+  // Deletes every entry. Single-threaded: callers must fence chain
+  // execution around it (AnnealScratch calls it between slots).
+  void BeginSlot();
+
+  // The published entry equal to `realized`, or nullptr. Safe under
+  // concurrent Insert.
+  const Entry* Find(const Topology& realized) const;
+
+  // Publishes (realized, energy, starved_served). Returns false when an
+  // equal entry already exists or the stripe is full; the table is
+  // unchanged either way. Safe under concurrent Find/Insert.
+  bool Insert(const Topology& realized, double energy, int starved_served);
+
+  size_t Capacity() const { return slots_.size(); }
+  // Entries currently resident. Single-threaded (tests/telemetry only).
+  int64_t LiveEntries() const;
+
+ private:
+  // One 64-byte cache line of Entry pointers per probe window.
+  static constexpr size_t kStripe = 8;
+
+  size_t StripeBase(const Topology& realized) const;
+
+  std::vector<std::atomic<Entry*>> slots_;
+};
+
+}  // namespace owan::core
+
+#endif  // OWAN_CORE_MEMO_TABLE_H_

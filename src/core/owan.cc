@@ -121,13 +121,19 @@ TeOutput OwanTe::Compute(const TeInput& input) {
   try {
     last_ = ComputeNetworkState(*in.topology, *in.optical, in.demands,
                                 options_.anneal, *rng, pool_.get(),
-                                &scratch_);
+                                &scratch_, hint_ ? &*hint_ : nullptr);
+    // Warm-start the next slot's search from this slot's searched best
+    // (pre-guard): demand sets are temporally coherent across slots, so the
+    // previous optimum is usually a strong starting point even when the
+    // adoption guard kept the wire topology unchanged.
+    hint_ = last_.searched_best;
   } catch (const std::exception&) {
     // Graceful degradation (§3.4): if the topology search cannot run at
     // all, keep the current topology and fall back to greedy multipath
     // routing on it — rate/routing control never goes dark with the
     // optical layer.
     last_degraded_ = true;
+    hint_.reset();
     ++degraded_slots_;
     OWAN_COUNT("owan.degraded_slots");
     OWAN_INSTANT("core", "owan.degraded");

@@ -2,6 +2,7 @@
 #define OWAN_CORE_OWAN_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/annealing.h"
@@ -70,6 +71,11 @@ class OwanTe : public TeScheme {
   // Per-chain incremental evaluators, reused across slots so each chain's
   // path cache stays warm from one Compute call to the next.
   AnnealScratch scratch_;
+  // Warm-start hint for multi-chain searches: the previous slot's searched
+  // best topology (pre-adoption-guard). Passed to ComputeNetworkState as
+  // warm_hint; cleared on degraded slots so a recovered search starts from
+  // the plant's actual current topology alone.
+  std::optional<Topology> hint_;
 };
 
 }  // namespace owan::core

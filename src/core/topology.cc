@@ -38,9 +38,11 @@ void Topology::AddUnits(net::NodeId u, net::NodeId v, int delta) {
   if (it == units_.end() || it->first != key) {
     if (delta < 0) throw std::logic_error("Topology: negative units on link");
     if (delta == 0) return;
+    hash_valid_ = false;
     units_.insert(it, {key, delta});
     return;
   }
+  hash_valid_ = false;
   it->second += delta;
   if (it->second < 0) {
     throw std::logic_error("Topology: negative units on link");
@@ -84,6 +86,13 @@ net::Graph Topology::ToGraph(double theta) const {
     g.AddEdge(key.first, key.second, 1.0, units * theta);
   }
   return g;
+}
+
+void Topology::ToGraphInto(net::Graph& g, double theta) const {
+  g.Reset(n_);
+  for (const auto& [key, units] : units_) {
+    g.AddEdge(key.first, key.second, 1.0, units * theta);
+  }
 }
 
 std::pair<std::vector<Link>, std::vector<Link>> Topology::Diff(
@@ -134,6 +143,7 @@ std::string Topology::DebugString() const {
 }
 
 uint64_t Topology::Hash() const {
+  if (hash_valid_) return hash_cache_;
   uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](uint64_t x) {
     h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -144,6 +154,8 @@ uint64_t Topology::Hash() const {
         static_cast<uint32_t>(key.second));
     mix(static_cast<uint64_t>(units));
   }
+  hash_cache_ = h;
+  hash_valid_ = true;
   return h;
 }
 

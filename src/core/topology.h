@@ -55,6 +55,11 @@ class Topology {
   // link order, so edge ids are a deterministic function of the topology.
   net::Graph ToGraph(double theta) const;
 
+  // ToGraph into an existing graph object, recycling its storage. Produces
+  // exactly ToGraph(theta); `g` is Reset() first, so prior contents are
+  // irrelevant.
+  void ToGraphInto(net::Graph& g, double theta) const;
+
   bool operator==(const Topology& o) const {
     return n_ == o.n_ && units_ == o.units_;
   }
@@ -72,7 +77,9 @@ class Topology {
 
   // Order-independent-free fingerprint of (num_sites, sorted link multiset).
   // Equal topologies always hash equal; unequal topologies may collide, so
-  // hash-keyed tables must guard with operator==.
+  // hash-keyed tables must guard with operator==. Cached until the next
+  // mutation — the evaluator hashes the same realized topology for the
+  // transposition-table probe and the insert.
   uint64_t Hash() const;
 
  private:
@@ -89,6 +96,8 @@ class Topology {
   int n_ = 0;
   // Sorted by key; entries always have units > 0.
   std::vector<std::pair<PairKey, int>> units_;
+  mutable uint64_t hash_cache_ = 0;
+  mutable bool hash_valid_ = false;
 };
 
 }  // namespace owan::core

@@ -17,6 +17,7 @@ std::string ToString(const Path& p) {
 
 NodeId Graph::AddNode() {
   incident_.emplace_back();
+  arcs_valid_ = false;
   return static_cast<NodeId>(incident_.size()) - 1;
 }
 
@@ -31,7 +32,36 @@ EdgeId Graph::AddEdge(NodeId u, NodeId v, double weight, double capacity) {
   edges_.push_back(Edge{u, v, weight, capacity});
   incident_[u].push_back(id);
   incident_[v].push_back(id);
+  arcs_valid_ = false;
   return id;
+}
+
+void Graph::Reset(int num_nodes) {
+  edges_.clear();
+  const size_t n = static_cast<size_t>(num_nodes);
+  if (incident_.size() > n) incident_.resize(n);
+  for (auto& inc : incident_) inc.clear();
+  incident_.resize(n);
+  arcs_valid_ = false;
+}
+
+void Graph::BuildArcs() const {
+  const size_t n = incident_.size();
+  arc_start_.assign(n + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    arc_start_[i] = static_cast<int>(total);
+    total += incident_[i].size();
+  }
+  arc_start_[n] = static_cast<int>(total);
+  arcs_.resize(total);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (const EdgeId e : incident_[i]) {
+      arcs_[k++] = Arc{edges_[e].Other(static_cast<NodeId>(i)), e};
+    }
+  }
+  arcs_valid_ = true;
 }
 
 std::vector<NodeId> Graph::Neighbors(NodeId n) const {

@@ -2,6 +2,7 @@
 #define OWAN_NET_GRAPH_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,12 +59,38 @@ class Graph {
   EdgeId AddEdge(NodeId u, NodeId v, double weight = 1.0,
                  double capacity = 0.0);
 
+  // Reinitialize to `num_nodes` nodes and no edges, keeping allocated
+  // storage (edge table, per-node incidence lists, arc array) for reuse.
+  // Equivalent to *this = Graph(num_nodes) minus the allocation churn —
+  // for callers that rebuild a same-sized graph every iteration.
+  void Reset(int num_nodes);
+
   const Edge& edge(EdgeId e) const { return edges_[e]; }
   Edge& edge(EdgeId e) { return edges_[e]; }
   const std::vector<Edge>& edges() const { return edges_; }
 
   // Edge ids incident to `n` (both endpoints).
   const std::vector<EdgeId>& Incident(NodeId n) const { return incident_[n]; }
+
+  // One outgoing arc of the flattened adjacency: the far endpoint plus the
+  // edge id, so traversal kernels touch one contiguous array instead of
+  // chasing Incident() ids through the edge table.
+  struct Arc {
+    NodeId to;
+    EdgeId e;
+  };
+
+  // Flat (CSR) adjacency run for `n`, in Incident() order. Built lazily on
+  // first use after a structural mutation; weight/capacity edits keep it
+  // valid. The lazy build is NOT thread-safe — reserve Arcs() for kernels
+  // running on a graph their thread exclusively owns (the evaluator's
+  // canonical graph, scratch graphs), and keep shared read-only graphs on
+  // Incident().
+  std::span<const Arc> Arcs(NodeId n) const {
+    if (!arcs_valid_) BuildArcs();
+    return {arcs_.data() + arc_start_[static_cast<size_t>(n)],
+            arcs_.data() + arc_start_[static_cast<size_t>(n) + 1]};
+  }
 
   // Neighbor node ids of `n` (duplicates possible for parallel edges).
   std::vector<NodeId> Neighbors(NodeId n) const;
@@ -83,8 +110,13 @@ class Graph {
   double TotalCapacity() const;
 
  private:
+  void BuildArcs() const;
+
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> incident_;
+  mutable std::vector<Arc> arcs_;
+  mutable std::vector<int> arc_start_;
+  mutable bool arcs_valid_ = false;
 };
 
 }  // namespace owan::net

@@ -1,6 +1,7 @@
 #include "net/shortest_path.h"
 
 #include <algorithm>
+#include <climits>
 #include <queue>
 #include <set>
 
@@ -62,6 +63,33 @@ SpTree BfsTree(const Graph& g, NodeId src, const EdgeFilter& filter) {
   t.parent.assign(n, -1);
   t.parent_edge.assign(n, kInvalidEdge);
   if (src < 0 || src >= n) return t;
+  if (!filter) {
+    // Unfiltered hot path (cache invalidation bounds run this per changed
+    // link per candidate): level-frontier sweep over the flat arc array.
+    // Frontier order equals FIFO-queue discovery order, so the parent tree
+    // is bit-identical to the general loop below.
+    thread_local std::vector<NodeId> frontier;
+    thread_local std::vector<NodeId> next;
+    frontier.assign(1, src);
+    t.dist[src] = 0.0;
+    double d = 0.0;
+    while (!frontier.empty()) {
+      next.clear();
+      d += 1.0;
+      for (const NodeId u : frontier) {
+        for (const Graph::Arc& a : g.Arcs(u)) {
+          if (t.dist[a.to] == kInfDist) {
+            t.dist[a.to] = d;
+            t.parent[a.to] = u;
+            t.parent_edge[a.to] = a.e;
+            next.push_back(a.to);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    return t;
+  }
   std::queue<NodeId> q;
   t.dist[src] = 0.0;
   q.push(src);
@@ -183,26 +211,31 @@ namespace {
 // matches what the filtered Dijkstra computes on unit-weight edges. Stops
 // once the level containing `stop_at` completes: every node at distance
 // <= dist[stop_at] is labeled by then, which is all the canonical
-// backward walk ever queries.
+// backward walk ever queries. `max_level` additionally abandons the sweep
+// once all of level max_level is labeled without reaching stop_at —
+// callers pass it when a deeper stop_at could not matter anyway.
 void HopLevels(const Graph& g, NodeId src, NodeId stop_at, EdgeId banned_edge,
-               const std::vector<char>& banned_node, std::vector<int>& dist) {
+               const std::vector<char>& banned_node, std::vector<int>& dist,
+               int max_level = INT_MAX) {
   dist.assign(static_cast<size_t>(g.NumNodes()), -1);
-  std::vector<NodeId> frontier{src};
-  std::vector<NodeId> next;
+  // Leaf routine on the evaluator's hottest path: keep the frontier
+  // buffers per-thread instead of reallocating them per call.
+  static thread_local std::vector<NodeId> frontier;
+  static thread_local std::vector<NodeId> next;
+  frontier.assign(1, src);
   dist[static_cast<size_t>(src)] = 0;
   int level = 0;
   while (!frontier.empty()) {
     next.clear();
     ++level;
     for (NodeId u : frontier) {
-      for (EdgeId e : g.Incident(u)) {
-        if (e == banned_edge) continue;
-        const Edge& edge = g.edge(e);
-        if (banned_node[static_cast<size_t>(edge.u)] ||
-            banned_node[static_cast<size_t>(edge.v)]) {
-          continue;
-        }
-        const NodeId v = edge.Other(u);
+      // Frontier nodes are never banned (the source is a spur node, and
+      // banned endpoints are filtered before enqueueing), so only the far
+      // endpoint needs the mask check.
+      for (const Graph::Arc& a : g.Arcs(u)) {
+        if (a.e == banned_edge) continue;
+        const NodeId v = a.to;
+        if (banned_node[static_cast<size_t>(v)]) continue;
         if (dist[static_cast<size_t>(v)] == -1) {
           dist[static_cast<size_t>(v)] = level;
           next.push_back(v);
@@ -210,6 +243,7 @@ void HopLevels(const Graph& g, NodeId src, NodeId stop_at, EdgeId banned_edge,
       }
     }
     if (dist[static_cast<size_t>(stop_at)] != -1) return;
+    if (level >= max_level) return;
     frontier.swap(next);
   }
 }
@@ -233,28 +267,22 @@ std::optional<Path> ExtractByLevels(const Graph& g, NodeId dst,
   for (int lvl = d; lvl > 0; --lvl) {
     p.nodes[static_cast<size_t>(lvl)] = cur;
     NodeId parent = -1;
-    for (EdgeId e : g.Incident(cur)) {
-      if (e == banned_edge) continue;
-      const Edge& edge = g.edge(e);
-      if (banned_node[static_cast<size_t>(edge.u)] ||
-          banned_node[static_cast<size_t>(edge.v)]) {
-        continue;
-      }
-      const NodeId v = edge.Other(cur);
+    // cur is on the canonical path and parents carry a dist label, so
+    // neither is ever banned — only the candidate endpoint needs the check.
+    for (const Graph::Arc& a : g.Arcs(cur)) {
+      if (a.e == banned_edge) continue;
+      const NodeId v = a.to;
+      if (banned_node[static_cast<size_t>(v)]) continue;
       if (dist[static_cast<size_t>(v)] == lvl - 1 &&
           (parent == -1 || v < parent)) {
         parent = v;
       }
     }
-    for (EdgeId e : g.Incident(parent)) {
-      if (e == banned_edge) continue;
-      const Edge& edge = g.edge(e);
-      if (banned_node[static_cast<size_t>(edge.u)] ||
-          banned_node[static_cast<size_t>(edge.v)]) {
-        continue;
-      }
-      if (edge.Other(parent) == cur) {
-        p.edges[static_cast<size_t>(lvl) - 1] = e;
+    for (const Graph::Arc& a : g.Arcs(parent)) {
+      if (a.e == banned_edge) continue;
+      if (banned_node[static_cast<size_t>(a.to)]) continue;
+      if (a.to == cur) {
+        p.edges[static_cast<size_t>(lvl) - 1] = a.e;
         break;
       }
     }
@@ -281,8 +309,9 @@ std::vector<Path> TwoShortestPathsByHops(const Graph& g, NodeId src,
     result.push_back(std::move(p));
     return result;
   }
-  std::vector<char> banned_node(static_cast<size_t>(g.NumNodes()), 0);
-  std::vector<int> dist;
+  static thread_local std::vector<char> banned_node;
+  static thread_local std::vector<int> dist;
+  banned_node.assign(static_cast<size_t>(g.NumNodes()), 0);
   HopLevels(g, src, dst, kInvalidEdge, banned_node, dist);
   auto first = ExtractByLevels(g, dst, kInvalidEdge, banned_node, dist);
   if (!first) return result;
@@ -298,7 +327,16 @@ std::vector<Path> TwoShortestPathsByHops(const Graph& g, NodeId src,
     const NodeId spur = prev.nodes[i];
     if (i > 0) banned_node[static_cast<size_t>(prev.nodes[i - 1])] = 1;
     const EdgeId banned_edge = prev.edges[i];
-    HopLevels(g, spur, dst, banned_edge, banned_node, dist);
+    // A candidate from this spur is i + spur-segment hops long; it can only
+    // displace `best` at <= best->length total, so the spur BFS may stop at
+    // that depth. Once even a 1-hop segment is too long, no later spur
+    // (larger i, same bound) can produce a winner either.
+    int cap = INT_MAX;
+    if (best) {
+      cap = static_cast<int>(best->length) - static_cast<int>(i);
+      if (cap < 1) break;
+    }
+    HopLevels(g, spur, dst, banned_edge, banned_node, dist, cap);
     auto spur_path = ExtractByLevels(g, dst, banned_edge, banned_node, dist);
     if (!spur_path) continue;
     Path total;
@@ -323,11 +361,17 @@ std::vector<Path> TwoShortestPathsByHops(const Graph& g, NodeId src,
 
 namespace {
 
+// `to_dst[v]` is the hop-BFS distance from v to dst (INT_MAX if farther
+// than the budget): a lower bound on the remaining hops of ANY simple
+// path v -> dst, so branches that cannot make it back within the budget
+// are skipped. Pruned subtrees contain no emitted path, which keeps the
+// discovery order — and therefore the output, the cap behavior, and the
+// `truncated` flag — bit-identical to the unpruned enumeration.
 void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
               size_t max_paths, std::vector<NodeId>& nodes,
               std::vector<EdgeId>& edges, std::vector<bool>& visited,
-              double length, std::vector<Path>& out,
-              std::vector<bool>* expanded) {
+              double length, const std::vector<int>& to_dst,
+              std::vector<Path>& out) {
   if (out.size() >= max_paths) return;
   if (cur == dst) {
     Path p;
@@ -338,15 +382,16 @@ void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
     return;
   }
   if (static_cast<int>(edges.size()) >= max_hops) return;
-  if (expanded) (*expanded)[cur] = true;
-  for (EdgeId e : g.Incident(cur)) {
-    const NodeId nxt = g.edge(e).Other(cur);
+  const int remaining = max_hops - static_cast<int>(edges.size()) - 1;
+  for (const Graph::Arc& a : g.Arcs(cur)) {
+    const NodeId nxt = a.to;
     if (visited[nxt]) continue;
+    if (to_dst[static_cast<size_t>(nxt)] > remaining) continue;
     visited[nxt] = true;
     nodes.push_back(nxt);
-    edges.push_back(e);
+    edges.push_back(a.e);
     PathsDfs(g, nxt, dst, max_hops, max_paths, nodes, edges, visited,
-             length + g.edge(e).weight, out, expanded);
+             length + g.edge(a.e).weight, to_dst, out);
     edges.pop_back();
     nodes.pop_back();
     visited[nxt] = false;
@@ -357,27 +402,41 @@ void PathsDfs(const Graph& g, NodeId cur, NodeId dst, int max_hops,
 
 std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
                                 int max_hops, size_t max_paths,
-                                bool* truncated,
-                                std::vector<NodeId>* expanded) {
+                                bool* truncated) {
   std::vector<Path> out;
   if (truncated) *truncated = false;
-  if (expanded) expanded->clear();
   if (src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes()) {
     return out;
   }
+  // Bounded reverse BFS from dst feeds the DFS prune. Pairs farther apart
+  // than the hop budget — the common case on sparse plants, where the
+  // caller falls back to the unbounded two-shortest set — exit here for
+  // the cost of one BFS ball instead of exploring every simple walk.
+  static thread_local std::vector<int> to_dst;
+  static thread_local std::vector<NodeId> frontier;
+  static thread_local std::vector<NodeId> next;
+  to_dst.assign(static_cast<size_t>(g.NumNodes()), INT_MAX);
+  to_dst[static_cast<size_t>(dst)] = 0;
+  frontier.assign(1, dst);
+  for (int level = 1; level <= max_hops && !frontier.empty(); ++level) {
+    next.clear();
+    for (NodeId u : frontier) {
+      for (const Graph::Arc& a : g.Arcs(u)) {
+        if (to_dst[static_cast<size_t>(a.to)] == INT_MAX) {
+          to_dst[static_cast<size_t>(a.to)] = level;
+          next.push_back(a.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  if (to_dst[static_cast<size_t>(src)] > max_hops) return out;
   std::vector<bool> visited(g.NumNodes(), false);
   std::vector<NodeId> nodes{src};
   std::vector<EdgeId> edges;
   visited[src] = true;
-  std::vector<bool> expanded_mark;
-  if (expanded) expanded_mark.assign(g.NumNodes(), false);
-  PathsDfs(g, src, dst, max_hops, max_paths, nodes, edges, visited, 0.0, out,
-           expanded ? &expanded_mark : nullptr);
-  if (expanded) {
-    for (NodeId v = 0; v < g.NumNodes(); ++v) {
-      if (expanded_mark[v]) expanded->push_back(v);
-    }
-  }
+  PathsDfs(g, src, dst, max_hops, max_paths, nodes, edges, visited, 0.0,
+           to_dst, out);
   // Hitting the cap means the DFS may have abandoned unexplored branches;
   // the set is then a discovery-order sample rather than the full space.
   if (truncated) *truncated = out.size() >= max_paths;

@@ -63,15 +63,15 @@ std::vector<Path> TwoShortestPathsByHops(const Graph& g, NodeId src,
 // sets across graph edits need this: a complete set stays valid under edits
 // that touch none of its links, a truncated one does not.
 //
-// When `expanded` is given it receives, in ascending order, the nodes whose
-// incident lists the DFS iterated. The traversal — and hence a truncated
-// sample — is a pure function of those nodes' neighbor sequences, so a
-// cached truncated set stays exact under any edit whose changed links touch
-// no expanded node.
+// The DFS is pruned by a reverse hop-BFS from dst (branches that cannot
+// return to dst within the budget are skipped); the pruning is invisible in
+// the output — the emitted path sequence, the cap behavior, and `truncated`
+// match the exhaustive enumeration exactly. The output is a pure function
+// of the neighbor sequences of nodes within max_hops - 1 hops of src, the
+// bound truncated-set cache invalidation relies on.
 std::vector<Path> PathsUpToHops(const Graph& g, NodeId src, NodeId dst,
                                 int max_hops, size_t max_paths = 64,
-                                bool* truncated = nullptr,
-                                std::vector<NodeId>* expanded = nullptr);
+                                bool* truncated = nullptr);
 
 }  // namespace owan::net
 

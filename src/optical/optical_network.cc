@@ -19,6 +19,9 @@ constexpr int kMaxSequences = 8;
 constexpr int kMaxFiberPathsPerSegment = 4;
 }  // namespace
 
+// Stamp 0 is reserved for "never stamped"; fresh constructions start at 1.
+std::atomic<uint64_t> OpticalNetwork::next_stamp_{1};
+
 std::string ToString(const Circuit& c) {
   std::ostringstream os;
   os << "circuit#" << c.id << " " << c.src << "->" << c.dst << " via [";
@@ -45,6 +48,7 @@ OpticalNetwork::OpticalNetwork(std::vector<SiteInfo> sites, double reach_km,
   site_failed_.assign(sites_.size(), false);
   ports_failed_.assign(sites_.size(), 0);
   regens_failed_.assign(sites_.size(), 0);
+  BumpStamp();
 }
 
 net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
@@ -53,6 +57,7 @@ net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
     throw std::invalid_argument("AddFiber: bad length or wavelength count");
   }
   const net::EdgeId id = fiber_graph_.AddEdge(u, v, length_km);
+  BumpStamp();
   fiber_cache_.Clear();
   fibers_.push_back(FiberInfo{length_km, num_wavelengths});
   lambda_used_.emplace_back(num_wavelengths, false);
@@ -198,6 +203,7 @@ std::optional<Circuit> OpticalNetwork::RealizeSequence(
 }
 
 void OpticalNetwork::Commit(Circuit& c) {
+  BumpStamp();
   c.id = next_circuit_id_++;
   for (const Segment& s : c.segments) {
     for (net::EdgeId f : s.fibers) {
@@ -343,6 +349,7 @@ void OpticalNetwork::ReleaseCircuit(CircuitId id) {
   if (it == circuits_.end()) {
     throw std::invalid_argument("ReleaseCircuit: unknown circuit");
   }
+  BumpStamp();
   const Circuit& c = it->second;
   for (const Segment& s : c.segments) {
     for (net::EdgeId f : s.fibers) {
@@ -365,6 +372,7 @@ void OpticalNetwork::RestoreCircuit(const Circuit& c) {
       }
     }
   }
+  BumpStamp();
   for (const Segment& s : c.segments) {
     for (net::EdgeId f : s.fibers) {
       lambda_used_[f][s.wavelength] = true;
@@ -380,6 +388,7 @@ void OpticalNetwork::RewindCircuitIds(CircuitId id) {
       (!circuits_.empty() && id <= circuits_.rbegin()->first)) {
     throw std::invalid_argument("RewindCircuitIds: id out of range");
   }
+  BumpStamp();
   next_circuit_id_ = id;
 }
 
@@ -481,6 +490,7 @@ bool OpticalNetwork::FiberFailed(net::EdgeId fiber) const {
 
 std::vector<CircuitId> OpticalNetwork::FailFiber(net::EdgeId fiber) {
   if (fiber_failed_[fiber]) return {};  // repeated cut: no-op
+  BumpStamp();
   std::vector<CircuitId> victims;
   for (const auto& [id, c] : circuits_) {
     for (const Segment& s : c.segments) {
@@ -499,6 +509,7 @@ std::vector<CircuitId> OpticalNetwork::FailFiber(net::EdgeId fiber) {
 
 bool OpticalNetwork::RestoreFiber(net::EdgeId fiber) {
   if (!fiber_failed_[fiber]) return false;  // repair of a live fiber: no-op
+  BumpStamp();
   fiber_failed_[fiber] = false;
   fiber_cache_.Clear();
   return true;
@@ -506,6 +517,7 @@ bool OpticalNetwork::RestoreFiber(net::EdgeId fiber) {
 
 std::vector<CircuitId> OpticalNetwork::FailSite(net::NodeId v) {
   if (site_failed_[v]) return {};  // repeated outage: no-op
+  BumpStamp();
   // Every circuit touching the site dies: terminating there, regenerating
   // there, or routed over an incident fiber.
   std::vector<CircuitId> victims;
@@ -532,6 +544,7 @@ std::vector<CircuitId> OpticalNetwork::FailSite(net::NodeId v) {
 
 bool OpticalNetwork::RestoreSite(net::NodeId v) {
   if (!site_failed_[v]) return false;
+  BumpStamp();
   site_failed_[v] = false;
   fiber_cache_.Clear();
   return true;
@@ -545,12 +558,14 @@ int OpticalNetwork::UsablePorts(net::NodeId v) const {
 int OpticalNetwork::FailPorts(net::NodeId v, int count) {
   const int lost =
       std::clamp(count, 0, sites_[v].router_ports - ports_failed_[v]);
+  if (lost > 0) BumpStamp();
   ports_failed_[v] += lost;
   return lost;
 }
 
 int OpticalNetwork::RestorePorts(net::NodeId v, int count) {
   const int restored = std::clamp(count, 0, ports_failed_[v]);
+  if (restored > 0) BumpStamp();
   ports_failed_[v] -= restored;
   return restored;
 }
@@ -558,6 +573,7 @@ int OpticalNetwork::RestorePorts(net::NodeId v, int count) {
 std::vector<CircuitId> OpticalNetwork::FailRegens(net::NodeId v, int count) {
   const int take =
       std::clamp(count, 0, sites_[v].regenerators - regens_failed_[v]);
+  if (take > 0) BumpStamp();
   int need = take;
   std::vector<CircuitId> victims;
   auto drain_free = [&] {
@@ -588,6 +604,7 @@ std::vector<CircuitId> OpticalNetwork::FailRegens(net::NodeId v, int count) {
 
 int OpticalNetwork::RestoreRegens(net::NodeId v, int count) {
   const int restored = std::clamp(count, 0, regens_failed_[v]);
+  if (restored > 0) BumpStamp();
   regens_failed_[v] -= restored;
   regens_free_[v] += restored;
   return restored;

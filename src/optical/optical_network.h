@@ -1,6 +1,8 @@
 #ifndef OWAN_OPTICAL_OPTICAL_NETWORK_H_
 #define OWAN_OPTICAL_OPTICAL_NETWORK_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -61,12 +63,29 @@ class OpticalNetwork {
   double wavelength_capacity() const { return wavelength_capacity_; }
 
   WavelengthPolicy wavelength_policy() const { return lambda_policy_; }
-  void set_wavelength_policy(WavelengthPolicy p) { lambda_policy_ = p; }
+  void set_wavelength_policy(WavelengthPolicy p) {
+    lambda_policy_ = p;
+    BumpStamp();
+  }
 
   // Regenerator-balancing ablation: when disabled, circuit search ignores
   // how many regens a site has left (DESIGN.md §4).
   bool balance_regens() const { return balance_regens_; }
-  void set_balance_regens(bool b) { balance_regens_ = b; }
+  void set_balance_regens(bool b) {
+    balance_regens_ = b;
+    BumpStamp();
+  }
+
+  // Mutation stamp. Every state-changing call (fiber plant edits, circuit
+  // lifecycle, policy toggles, failure events) moves the stamp to a fresh
+  // process-globally-unique value; copies KEEP the source's stamp. Hence
+  // two networks with equal stamps are semantically identical (copies of
+  // the same snapshot with no mutations since), which is what the warm
+  // slot-reuse path in the energy evaluator needs to certify that the
+  // blank plant it derived its state from has not changed underneath it.
+  // Equal state does NOT imply equal stamps — this is an identity token,
+  // not a content hash.
+  uint64_t state_stamp() const { return state_stamp_; }
 
   // Wavelength indices 0..grid-1 in the order the current policy tries
   // them (ties broken by index for determinism).
@@ -219,6 +238,13 @@ class OpticalNetwork {
 
   void Commit(Circuit& c);
 
+  // Advances state_stamp_ to a fresh globally-unique value (see
+  // state_stamp()). Called by every mutator after its idempotent
+  // early-outs, so no-op calls leave the stamp alone.
+  void BumpStamp() {
+    state_stamp_ = next_stamp_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::vector<SiteInfo> sites_;
   net::Graph fiber_graph_;  // edge weight = fiber length (km)
   std::vector<FiberInfo> fibers_;
@@ -257,6 +283,9 @@ class OpticalNetwork {
     }
   };
   mutable FiberPlantCache fiber_cache_;
+
+  static std::atomic<uint64_t> next_stamp_;
+  uint64_t state_stamp_ = 0;
 };
 
 }  // namespace owan::optical

@@ -244,6 +244,106 @@ Wan MakeInterDc(uint64_t seed, int num_sites, const WanParams& params) {
   return Assemble("interdc", std::move(sites), fibers, params);
 }
 
+Wan MakeTieredBackbone(uint64_t seed, int num_sites, const WanParams& params) {
+  if (num_sites < 40) throw std::invalid_argument("need >= 40 sites");
+  util::Rng rng(seed);
+  const int cores = std::max(4, num_sites / 20);
+  const int leaves = num_sites - cores;
+
+  // Cores sit on an ellipse spanning the footprint; leaves scatter inside
+  // it. The ring keeps the core connected with bounded-length fibers even
+  // at 400 sites, where a random mesh would exceed optical reach.
+  std::vector<std::pair<double, double>> pos;
+  pos.reserve(static_cast<size_t>(num_sites));
+  const double kPi = 3.14159265358979323846;
+  for (int c = 0; c < cores; ++c) {
+    const double a = 2.0 * kPi * c / cores;
+    pos.emplace_back(2250.0 + 1900.0 * std::cos(a),
+                     1250.0 + 950.0 * std::sin(a));
+  }
+  for (int i = 0; i < leaves; ++i) {
+    pos.emplace_back(rng.Uniform(150.0, 4350.0), rng.Uniform(150.0, 2350.0));
+  }
+
+  std::vector<FiberSpec> fibers;
+  const double kFiberFactor = 1.25;
+  auto add_edge = [&](int a, int b) {
+    const double km =
+        std::min(Dist(pos[static_cast<size_t>(a)],
+                      pos[static_cast<size_t>(b)]) * kFiberFactor,
+                 params.reach_km * 0.95);
+    fibers.push_back(FiberSpec{a, b, std::max(km, 50.0)});
+  };
+
+  // Core ring plus shortcut chords every quarter turn, so core-to-core
+  // distances stay logarithmic-ish instead of O(cores).
+  for (int c = 0; c < cores; ++c) add_edge(c, (c + 1) % cores);
+  if (cores >= 8) {
+    const int stride = cores / 4;
+    for (int c = 0; c < cores; c += stride) {
+      add_edge(c, (c + stride * 2) % cores);
+    }
+  }
+
+  // Each leaf dual-homes to its two nearest cores.
+  for (int l = cores; l < num_sites; ++l) {
+    int best = 0, second = 1;
+    double bd = Dist(pos[static_cast<size_t>(l)], pos[0]);
+    double sd = Dist(pos[static_cast<size_t>(l)], pos[1]);
+    if (sd < bd) {
+      std::swap(best, second);
+      std::swap(bd, sd);
+    }
+    for (int c = 2; c < cores; ++c) {
+      const double d =
+          Dist(pos[static_cast<size_t>(l)], pos[static_cast<size_t>(c)]);
+      if (d < bd) {
+        second = best;
+        sd = bd;
+        best = c;
+        bd = d;
+      } else if (d < sd) {
+        second = c;
+        sd = d;
+      }
+    }
+    add_edge(l, best);
+    add_edge(l, second);
+  }
+
+  std::vector<optical::SiteInfo> sites(static_cast<size_t>(num_sites));
+  for (int c = 0; c < cores; ++c) {
+    sites[static_cast<size_t>(c)].name = "C" + std::to_string(c);
+    sites[static_cast<size_t>(c)].regenerators = 12;
+  }
+  for (int i = cores; i < num_sites; ++i) {
+    sites[static_cast<size_t>(i)].name = "L" + std::to_string(i);
+  }
+
+  return Assemble("tiered", std::move(sites), fibers, params);
+}
+
+Wan MakeByName(const std::string& name) {
+  if (name == "internet2") return MakeInternet2();
+  if (name == "motivating") return MakeMotivatingExample();
+  if (name == "isp40") return MakeIspBackbone(7, 40);
+  if (name == "isp100") return MakeIspBackbone(7, 100);
+  if (name == "interdc25") return MakeInterDc(11, 25);
+  if (name == "tiered400") return MakeTieredBackbone(13, 400);
+  std::string known;
+  for (const std::string& k : KnownWanNames()) {
+    if (!known.empty()) known += ", ";
+    known += k;
+  }
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> KnownWanNames() {
+  return {"internet2", "motivating", "isp40",
+          "isp100",    "interdc25",  "tiered400"};
+}
+
 Wan MakeMotivatingExample() {
   WanParams p;
   p.wavelength_gbps = 10.0;

@@ -44,6 +44,22 @@ Wan MakeInterDc(uint64_t seed = 11, int num_sites = 25,
 // every router has two WAN ports, every wavelength carries 10 units.
 Wan MakeMotivatingExample();
 
+// A large tiered backbone for scale sweeps: ~num_sites/20 ring-connected
+// core sites (plus shortcut chords), with every remaining site dual-homed
+// to its two nearest cores. Deterministic for a given seed; the default
+// (13, 400) is the 400-site point of the annealing size sweep.
+Wan MakeTieredBackbone(uint64_t seed = 13, int num_sites = 400,
+                       const WanParams& params = {.wavelength_gbps = 100.0});
+
+// Registry for benchmarks and CI sweeps: builds a WAN from a short name.
+//   internet2 | motivating | isp40 | isp100 | interdc25 | tiered400
+// Throws std::invalid_argument (listing the known names) on anything else —
+// a misspelled topology in a CI sweep must fail loudly, not silently skip.
+Wan MakeByName(const std::string& name);
+
+// The names MakeByName accepts, in sweep order.
+std::vector<std::string> KnownWanNames();
+
 }  // namespace owan::topo
 
 #endif  // OWAN_TOPO_TOPOLOGIES_H_

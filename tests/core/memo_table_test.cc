@@ -1,0 +1,145 @@
+// The shared transposition table's contract: exact-equality semantics on
+// single-threaded use, and publication safety when the chains of one slot
+// hammer it concurrently (the TSan CI job runs this suite).
+#include "core/memo_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/topology.h"
+
+namespace owan::core {
+namespace {
+
+// A small family of distinct topologies; energy is a pure function of the
+// topology so concurrent readers can verify any entry they find.
+Topology Topo(int variant) {
+  Topology t(6);
+  t.AddUnits(1, 3, 1 + variant);  // injective: no two variants compare equal
+  t.AddUnits(0, 1, 1 + variant % 3);
+  t.AddUnits(1, 2, 1);
+  t.AddUnits(2, 3, 1 + variant % 5);
+  if (variant % 2 == 0) t.AddUnits(3, 4, 1);
+  if (variant % 7 < 3) t.AddUnits(4, 5, 2);
+  t.AddUnits(0, 5, 1 + variant % 4);
+  return t;
+}
+
+double EnergyOf(int variant) { return 100.0 + 3.5 * variant; }
+
+TEST(MemoTableTest, FindMissThenInsertThenHit) {
+  MemoTable table;
+  const Topology t = Topo(1);
+  EXPECT_EQ(table.Find(t), nullptr);
+  EXPECT_TRUE(table.Insert(t, 42.0, 3));
+  const MemoTable::Entry* e = table.Find(t);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->realized == t);
+  EXPECT_DOUBLE_EQ(e->energy, 42.0);
+  EXPECT_EQ(e->starved_served, 3);
+  EXPECT_EQ(table.LiveEntries(), 1);
+}
+
+TEST(MemoTableTest, DuplicateInsertRejectedFirstValueWins) {
+  MemoTable table;
+  const Topology t = Topo(2);
+  EXPECT_TRUE(table.Insert(t, 1.0, 0));
+  EXPECT_FALSE(table.Insert(t, 2.0, 9));
+  const MemoTable::Entry* e = table.Find(t);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->energy, 1.0);
+  EXPECT_EQ(table.LiveEntries(), 1);
+}
+
+TEST(MemoTableTest, DistinctTopologiesCoexist) {
+  MemoTable table;
+  for (int v = 0; v < 64; ++v) table.Insert(Topo(v), EnergyOf(v), v);
+  // Some inserts may drop on stripe pressure; whatever is resident must be
+  // exactly right.
+  int found = 0;
+  for (int v = 0; v < 64; ++v) {
+    const MemoTable::Entry* e = table.Find(Topo(v));
+    if (e == nullptr) continue;
+    ++found;
+    EXPECT_TRUE(e->realized == Topo(v));
+    EXPECT_DOUBLE_EQ(e->energy, EnergyOf(v));
+    EXPECT_EQ(e->starved_served, v);
+  }
+  EXPECT_GT(found, 32);  // the table is far from full; most must stick
+  EXPECT_EQ(table.LiveEntries(), found);
+}
+
+TEST(MemoTableTest, BeginSlotEvictsEverything) {
+  MemoTable table;
+  for (int v = 0; v < 16; ++v) table.Insert(Topo(v), EnergyOf(v), v);
+  EXPECT_GT(table.LiveEntries(), 0);
+  table.BeginSlot();
+  EXPECT_EQ(table.LiveEntries(), 0);
+  for (int v = 0; v < 16; ++v) EXPECT_EQ(table.Find(Topo(v)), nullptr);
+  // The table is reusable after GC.
+  EXPECT_TRUE(table.Insert(Topo(0), EnergyOf(0), 0));
+  EXPECT_NE(table.Find(Topo(0)), nullptr);
+}
+
+TEST(MemoTableTest, TinyTableDropsInsteadOfCorrupting) {
+  // log2_slots clamps to the 16-slot (two-stripe) floor; flooding it far
+  // past capacity must drop inserts, never evict or corrupt entries.
+  MemoTable table(/*log2_slots=*/1);
+  EXPECT_EQ(table.Capacity(), 16u);
+  int dropped = 0;
+  for (int v = 0; v < 200; ++v) {
+    if (!table.Insert(Topo(v), EnergyOf(v), v)) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_LE(table.LiveEntries(), 16);
+  for (int v = 0; v < 200; ++v) {
+    const MemoTable::Entry* e = table.Find(Topo(v));
+    if (e != nullptr) EXPECT_DOUBLE_EQ(e->energy, EnergyOf(v));
+  }
+}
+
+TEST(MemoTableTest, ConcurrentInsertFindPublishesConsistentEntries) {
+  // The slot-time race: every chain inserts and looks up the same candidate
+  // family concurrently. Any hit must carry the exact value for its
+  // topology — readers may miss in-flight inserts but never see a torn or
+  // mismatched entry. Run under TSan in CI.
+  MemoTable table;
+  constexpr int kThreads = 8;
+  constexpr int kVariants = 40;
+  constexpr int kRounds = 200;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&table, &bad, w]() {
+      for (int r = 0; r < kRounds; ++r) {
+        const int v = (w * 17 + r * 31) % kVariants;
+        const Topology t = Topo(v);
+        const MemoTable::Entry* e = table.Find(t);
+        if (e == nullptr) {
+          table.Insert(t, EnergyOf(v), v);
+          e = table.Find(t);
+        }
+        if (e != nullptr &&
+            (!(e->realized == t) || e->energy != EnergyOf(v) ||
+             e->starved_served != v)) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  // Single-threaded again: everything resident verifies.
+  for (int v = 0; v < kVariants; ++v) {
+    const MemoTable::Entry* e = table.Find(Topo(v));
+    if (e != nullptr) EXPECT_DOUBLE_EQ(e->energy, EnergyOf(v));
+  }
+}
+
+}  // namespace
+}  // namespace owan::core

@@ -1,0 +1,224 @@
+// Warm-started slots: the previous slot's searched-best topology seeds one
+// chain of the next slot's search, and evaluators/memo/provisioned state
+// persist across slots in AnnealScratch. The contract under test is that
+// none of that reuse leaks state: a multi-slot run is bit-identical to a
+// same-seed rerun from scratch, and hints only ever enter through the
+// documented chain-1 slot (invalid hints are ignored, not crashed on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/annealing.h"
+#include "core/energy_evaluator.h"
+#include "core/owan.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace owan::core {
+namespace {
+
+TransferDemand Demand(int id, int src, int dst, double rate) {
+  TransferDemand d;
+  d.id = id;
+  d.src = src;
+  d.dst = dst;
+  d.rate_cap = rate;
+  d.remaining = rate * 300.0;
+  return d;
+}
+
+// Per-slot demand sets: overlapping but not identical, like consecutive
+// 5-minute slots of a real workload.
+std::vector<TransferDemand> SlotDemands(int slot) {
+  std::vector<TransferDemand> d = {Demand(0, 0, 8, 30.0),
+                                   Demand(1, 1, 5, 30.0)};
+  if (slot % 2 == 0) d.push_back(Demand(2, 3, 7, 25.0));
+  if (slot >= 1) d.push_back(Demand(3, 2, 6, 15.0 + slot));
+  return d;
+}
+
+AnnealOptions MultiChainOptions() {
+  AnnealOptions opt;
+  opt.max_iterations = 120;
+  opt.epsilon_ratio = 1e-9;
+  opt.num_chains = 2;
+  opt.num_threads = 2;
+  return opt;
+}
+
+struct SlotTrace {
+  Topology best;
+  double energy = 0.0;
+  Topology searched;
+  double searched_energy = 0.0;
+};
+
+// One multi-slot sequence: scratch and warm hint carried across slots the
+// way OwanTe carries them.
+std::vector<SlotTrace> RunSlots(const topo::Wan& wan, int slots,
+                                uint64_t seed) {
+  AnnealScratch scratch;
+  std::vector<SlotTrace> out;
+  Topology current = wan.default_topology;
+  Topology hint;
+  bool have_hint = false;
+  util::Rng rng(seed);
+  for (int s = 0; s < slots; ++s) {
+    const auto demands = SlotDemands(s);
+    AnnealResult res = ComputeNetworkState(
+        current, wan.optical, demands, MultiChainOptions(), rng,
+        /*pool=*/nullptr, &scratch, have_hint ? &hint : nullptr);
+    out.push_back(SlotTrace{res.best_topology, res.best_energy,
+                            res.searched_best, res.searched_energy});
+    current = res.best_topology;
+    hint = res.searched_best;
+    have_hint = true;
+  }
+  return out;
+}
+
+TEST(WarmSlotsTest, MultiSlotRunBitIdenticalToSameSeedRerun) {
+  // The golden reuse property: warm provisioned states, persistent path
+  // caches, the shared memo table, and warm-start hints must all be
+  // invisible to the result. Two independent executions of the same slot
+  // sequence agree exactly, slot by slot.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto a = RunSlots(wan, 4, 20240817);
+  const auto b = RunSlots(wan, 4, 20240817);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_TRUE(a[s].best == b[s].best) << "slot " << s;
+    EXPECT_DOUBLE_EQ(a[s].energy, b[s].energy) << "slot " << s;
+    EXPECT_TRUE(a[s].searched == b[s].searched) << "slot " << s;
+    EXPECT_DOUBLE_EQ(a[s].searched_energy, b[s].searched_energy)
+        << "slot " << s;
+  }
+}
+
+TEST(WarmSlotsTest, WarmHintSeedsSecondChain) {
+  // With a zero-iteration budget the search degenerates to evaluating the
+  // start points, so a 2-chain run with a warm hint scores exactly
+  // {current, hint} and must return the better of the two.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = SlotDemands(0);
+
+  AnnealOptions search = MultiChainOptions();
+  search.num_chains = 1;
+  search.num_threads = 1;
+  search.max_iterations = 200;
+  util::Rng rng1(12345);
+  AnnealResult found = ComputeNetworkState(wan.default_topology, wan.optical,
+                                           demands, search, rng1);
+
+  AnnealOptions zero = MultiChainOptions();
+  zero.max_iterations = 0;
+  util::Rng rng2(1);
+  AnnealResult base = ComputeNetworkState(wan.default_topology, wan.optical,
+                                          demands, zero, rng2);
+  util::Rng rng3(1);
+  AnnealResult hinted =
+      ComputeNetworkState(wan.default_topology, wan.optical, demands, zero,
+                          rng3, /*pool=*/nullptr, /*scratch=*/nullptr,
+                          &found.searched_best);
+
+  EXPECT_DOUBLE_EQ(
+      hinted.searched_energy,
+      std::max(base.searched_energy, found.searched_energy));
+  if (found.searched_energy > base.searched_energy) {
+    EXPECT_TRUE(hinted.searched_best == found.searched_best);
+  }
+}
+
+TEST(WarmSlotsTest, InvalidHintsAreIgnored) {
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = SlotDemands(0);
+  AnnealOptions zero = MultiChainOptions();
+  zero.max_iterations = 0;
+
+  util::Rng rng1(7);
+  AnnealResult plain = ComputeNetworkState(wan.default_topology, wan.optical,
+                                           demands, zero, rng1);
+
+  // Wrong site count: a hint from some other WAN entirely.
+  Topology foreign(3);
+  foreign.AddUnits(0, 1, 1);
+  util::Rng rng2(7);
+  AnnealResult a =
+      ComputeNetworkState(wan.default_topology, wan.optical, demands, zero,
+                          rng2, nullptr, nullptr, &foreign);
+  EXPECT_TRUE(a.searched_best == plain.searched_best);
+  EXPECT_DOUBLE_EQ(a.searched_energy, plain.searched_energy);
+
+  // Right site count but over the port budget: stale after a port failure.
+  Topology greedy(wan.default_topology.NumSites());
+  greedy.AddUnits(0, 1, 1000);
+  util::Rng rng3(7);
+  AnnealResult b =
+      ComputeNetworkState(wan.default_topology, wan.optical, demands, zero,
+                          rng3, nullptr, nullptr, &greedy);
+  EXPECT_TRUE(b.searched_best == plain.searched_best);
+  EXPECT_DOUBLE_EQ(b.searched_energy, plain.searched_energy);
+}
+
+TEST(WarmSlotsTest, SingleChainIgnoresHint) {
+  // The hint enters through chain 1; the default single-chain search has
+  // no such chain, so its golden stream must be untouched by a hint.
+  topo::Wan wan = topo::MakeInternet2();
+  const auto demands = SlotDemands(0);
+  AnnealOptions opt;
+  opt.max_iterations = 150;
+  opt.epsilon_ratio = 1e-9;
+
+  util::Rng rng1(99);
+  AnnealResult plain = ComputeNetworkState(wan.default_topology, wan.optical,
+                                           demands, opt, rng1);
+  Topology hint = plain.searched_best;
+  util::Rng rng2(99);
+  AnnealResult hinted =
+      ComputeNetworkState(wan.default_topology, wan.optical, demands, opt,
+                          rng2, nullptr, nullptr, &hint);
+  EXPECT_TRUE(plain.best_topology == hinted.best_topology);
+  EXPECT_DOUBLE_EQ(plain.best_energy, hinted.best_energy);
+  EXPECT_DOUBLE_EQ(rng1.Uniform(), rng2.Uniform());
+}
+
+TEST(WarmSlotsTest, OwanTeMultiSlotDeterministic) {
+  // End-to-end over OwanTe: the warm hint, per-chain evaluators, and the
+  // shared memo all live inside the scheme object; two identical instances
+  // fed the identical slot sequence must emit identical plans.
+  topo::Wan wan1 = topo::MakeInternet2();
+  topo::Wan wan2 = topo::MakeInternet2();
+  OwanOptions opt;
+  opt.anneal.max_iterations = 100;
+  opt.anneal.num_chains = 2;
+  opt.anneal.num_threads = 2;
+  opt.seed = 5;
+  OwanTe te1(opt);
+  OwanTe te2(opt);
+  for (int s = 0; s < 3; ++s) {
+    TeInput in;
+    in.topology = &wan1.default_topology;
+    in.optical = &wan1.optical;
+    in.demands = SlotDemands(s);
+    in.now = 300.0 * s;
+    TeInput in2 = in;
+    in2.topology = &wan2.default_topology;
+    in2.optical = &wan2.optical;
+    TeOutput o1 = te1.Compute(in);
+    TeOutput o2 = te2.Compute(in2);
+    ASSERT_EQ(o1.new_topology.has_value(), o2.new_topology.has_value());
+    if (o1.new_topology.has_value()) {
+      EXPECT_TRUE(*o1.new_topology == *o2.new_topology) << "slot " << s;
+    }
+    ASSERT_EQ(o1.allocations.size(), o2.allocations.size());
+    for (size_t i = 0; i < o1.allocations.size(); ++i) {
+      EXPECT_DOUBLE_EQ(o1.allocations[i].TotalRate(),
+                       o2.allocations[i].TotalRate())
+          << "slot " << s << " demand " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace owan::core

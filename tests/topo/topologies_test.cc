@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "core/provisioned_state.h"
 
 namespace owan::topo {
@@ -161,6 +165,75 @@ TEST(MotivatingTest, SquareOfFour) {
     EXPECT_EQ(wan.default_topology.PortsUsed(v), 2);
   }
   EXPECT_DOUBLE_EQ(wan.optical.wavelength_capacity(), 10.0);
+}
+
+TEST(TieredTest, DefaultShape) {
+  Wan wan = MakeTieredBackbone();
+  EXPECT_EQ(wan.optical.NumSites(), 400);
+  EXPECT_EQ(wan.name, "tiered");
+  EXPECT_TRUE(wan.optical.fiber_graph().IsConnected());
+  for (int f = 0; f < wan.optical.NumFibers(); ++f) {
+    EXPECT_LE(wan.optical.fiber(f).length_km, wan.optical.reach_km());
+  }
+}
+
+TEST(TieredTest, LeavesDualHomedToCores) {
+  Wan wan = MakeTieredBackbone(13, 100);
+  const int cores = 100 / 20;
+  const net::Graph& g = wan.optical.fiber_graph();
+  // Every fiber touches a core; every leaf has exactly two, both to cores.
+  for (net::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_TRUE(g.edge(e).u < cores || g.edge(e).v < cores);
+  }
+  for (int l = cores; l < 100; ++l) {
+    EXPECT_EQ(g.Degree(l), 2) << "leaf " << l;
+    for (net::NodeId nb : g.Neighbors(l)) EXPECT_LT(nb, cores);
+  }
+}
+
+TEST(TieredTest, DeterministicForSeed) {
+  Wan a = MakeTieredBackbone(21, 80);
+  Wan b = MakeTieredBackbone(21, 80);
+  ASSERT_EQ(a.optical.NumFibers(), b.optical.NumFibers());
+  const net::Graph& ga = a.optical.fiber_graph();
+  const net::Graph& gb = b.optical.fiber_graph();
+  for (net::EdgeId e = 0; e < ga.NumEdges(); ++e) {
+    EXPECT_EQ(ga.edge(e).u, gb.edge(e).u);
+    EXPECT_EQ(ga.edge(e).v, gb.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.optical.fiber(e).length_km,
+                     b.optical.fiber(e).length_km);
+  }
+  EXPECT_TRUE(a.default_topology == b.default_topology);
+}
+
+TEST(TieredTest, DefaultTopologyProvisionable) {
+  Wan wan = MakeTieredBackbone(13, 60);
+  core::ProvisionedState s(wan.optical);
+  EXPECT_EQ(s.SyncTo(wan.default_topology), 0);
+  EXPECT_TRUE(s.optical().CheckInvariants());
+}
+
+TEST(MakeByNameTest, KnownNamesBuild) {
+  for (const std::string& name : KnownWanNames()) {
+    if (name == "tiered400") continue;  // covered above; slow to assemble
+    Wan wan = MakeByName(name);
+    EXPECT_GT(wan.optical.NumSites(), 0) << name;
+  }
+  EXPECT_EQ(MakeByName("isp40").optical.NumSites(), 40);
+  EXPECT_EQ(MakeByName("isp100").optical.NumSites(), 100);
+}
+
+TEST(MakeByNameTest, UnknownNameThrows) {
+  // A misspelled sweep point must error loudly, never silently skip.
+  EXPECT_THROW(MakeByName("isp-40"), std::invalid_argument);
+  EXPECT_THROW(MakeByName(""), std::invalid_argument);
+  try {
+    MakeByName("tiered4000");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the known registry so the CI log is actionable.
+    EXPECT_NE(std::string(e.what()).find("tiered400"), std::string::npos);
+  }
 }
 
 TEST(WanParamsTest, CustomParamsRespected) {

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the annealing hot loop.
+
+Compares a fresh bench_anneal_eval --json run against the committed
+baseline (BENCH_anneal.json) and exits non-zero when the incremental
+evaluator's per-candidate cost on the gate topology regressed.
+
+Shared CI runners are noisy, so the raw us/candidate is never compared
+directly: the fresh (copy-everything) walk runs the same workload in the
+same process, and its cost ratio current/baseline calibrates the machine.
+The gated quantity is
+
+    incr_cur / (incr_base * fresh_cur / fresh_base)
+
+i.e. "incremental cost, in units of what this machine's fresh walk says
+a candidate costs". That cancels CPU-generation and turbo noise while
+still catching real structural regressions (which change the incremental
+cost but not the fresh reference).
+
+Independent of timing, any summary record with max_energy_diff != 0 is a
+hard failure: the incremental evaluator diverged from the from-scratch
+oracle, which is a correctness bug no amount of speed excuses.
+
+Usage: check_perf.py BASELINE.json CURRENT.json
+           [--topo isp40] [--threshold 0.20]
+Exit codes: 0 ok, 1 regression/divergence, 2 missing records.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("records", [])
+
+
+def find(records, scheme, legacy=None):
+    """The record for `scheme`, accepting the pre-sweep name as fallback."""
+    for r in records:
+        if r.get("scheme") == scheme:
+            return r
+    if legacy is not None:
+        for r in records:
+            if r.get("scheme") == legacy:
+                return r
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--topo", default="isp40",
+                    help="gate topology (default: isp40)")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed relative regression (default: 0.20)")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    failures = []
+
+    # Correctness first: every sweep point must have a zero energy diff.
+    for r in cur:
+        if str(r.get("scheme", "")).startswith("summary"):
+            diff = r.get("max_energy_diff", 0.0)
+            if diff != 0.0:
+                failures.append(
+                    f"{r['scheme']}: max_energy_diff = {diff!r} (must be 0; "
+                    "incremental evaluator diverged from the oracle)")
+
+    names = {
+        "fresh": (f"fresh@{args.topo}", "fresh"),
+        "incremental": (f"incremental@{args.topo}", "incremental"),
+    }
+    vals = {}
+    for kind, (scheme, legacy) in names.items():
+        b = find(base, scheme, legacy)
+        c = find(cur, scheme, legacy)
+        if b is None or c is None:
+            where = args.baseline if b is None else args.current
+            print(f"error: no '{scheme}' record in {where}", file=sys.stderr)
+            return 2
+        vals[kind] = (b["us_per_candidate"], c["us_per_candidate"])
+
+    fresh_b, fresh_c = vals["fresh"]
+    incr_b, incr_c = vals["incremental"]
+    calib = fresh_c / fresh_b
+    expected = incr_b * calib
+    ratio = incr_c / expected
+
+    print(f"perf gate ({args.topo}, threshold +{args.threshold:.0%}):")
+    print(f"  fresh       {fresh_b:10.1f} -> {fresh_c:10.1f} us/cand "
+          f"(machine calibration x{calib:.3f})")
+    print(f"  incremental {incr_b:10.1f} -> {incr_c:10.1f} us/cand "
+          f"(calibrated expectation {expected:.1f})")
+    print(f"  calibrated ratio {ratio:.3f} "
+          f"({'+' if ratio >= 1 else ''}{(ratio - 1):.1%})")
+
+    if ratio > 1.0 + args.threshold:
+        failures.append(
+            f"incremental@{args.topo} regressed {(ratio - 1):.1%} "
+            f"(calibrated, threshold {args.threshold:.0%})")
+    elif ratio < 1.0 - args.threshold:
+        print(f"  note: {(1 - ratio):.1%} faster than baseline — consider "
+              "refreshing BENCH_anneal.json to tighten the gate")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
