@@ -51,7 +51,28 @@ int Controller::ActiveTransfers() const {
   return n;
 }
 
+std::vector<int> Controller::ActiveIds() const {
+  std::vector<int> ids;
+  for (const auto& [id, t] : transfers_) {
+    if (!t.completed) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<int> Controller::SparePorts() const {
+  std::vector<int> spare(static_cast<size_t>(optical_.NumSites()), 0);
+  for (net::NodeId v = 0; v < optical_.NumSites(); ++v) {
+    spare[static_cast<size_t>(v)] =
+        std::max(0, optical_.UsablePorts(v) - topology_.PortsUsed(v));
+  }
+  return spare;
+}
+
 void Controller::Tick() {
+  // A crash hook may have left the previous slot's update in flight; an
+  // in-process caller (no failover) just finishes it now.
+  if (pending_update_) FinishInterruptedUpdate();
+
   OWAN_SPAN(tick_span, "control", "tick");
   tick_span.AddArg("now", now_);
   OWAN_COUNT("controller.ticks");
@@ -61,9 +82,9 @@ void Controller::Tick() {
   input.optical = &optical_;
   input.slot_seconds = options_.slot_seconds;
   input.now = now_;
-  std::vector<int> ids;
-  for (const auto& [id, t] : transfers_) {
-    if (t.completed) continue;
+  const std::vector<int> ids = ActiveIds();
+  for (int id : ids) {
+    const TrackedTransfer& t = transfers_.at(id);
     core::TransferDemand d;
     d.id = id;
     d.src = t.request.src;
@@ -73,7 +94,6 @@ void Controller::Tick() {
     d.deadline = t.request.deadline;
     d.slots_waited = t.slots_waited;
     input.demands.push_back(d);
-    ids.push_back(id);
   }
 
   core::TeOutput output;
@@ -83,7 +103,7 @@ void Controller::Tick() {
     output = scheme_->Compute(input);
   }
 
-  // Plan and "execute" the cross-layer update.
+  // Plan and execute the cross-layer update.
   std::set<std::pair<net::NodeId, net::NodeId>> changed;
   if (output.new_topology && !(*output.new_topology == topology_)) {
     OWAN_SPAN(plan_span, "control", "update.plan");
@@ -91,8 +111,35 @@ void Controller::Tick() {
                                          last_allocations_,
                                          output.allocations,
                                          options_.durations);
-    last_schedule_ = update::ScheduleConsistent(last_plan_);
     plan_span.AddArg("ops", static_cast<double>(last_plan_.ops.size()));
+    if (options_.execute_updates) {
+      update::ExecutorInput ein;
+      ein.from = topology_;
+      ein.plan = last_plan_;
+      ein.old_routes = last_allocations_;
+      ein.new_routes = output.allocations;
+      ein.spare_ports = SparePorts();
+      update::UpdateExecutor ex(std::move(ein), options_.exec);
+      const int cap = options_.crash_after_wal_records;
+      while (!ex.done() &&
+             (cap < 0 || static_cast<int>(ex.log().records.size()) < cap)) {
+        ex.Step();
+      }
+      if (!ex.done()) {
+        // "Crash": the slot stops mid-update. topology_, transfers and the
+        // clock keep their pre-update values; only the WAL (and the inputs
+        // needed to rebuild the executor) survive into the checkpoint.
+        pending_update_ = true;
+        pending_target_ = *output.new_topology;
+        pending_old_routes_ = last_allocations_;
+        pending_new_routes_ = output.allocations;
+        pending_wal_ = ex.log();
+        return;
+      }
+      ApplyExecResult(ex.Finish(), ids);
+      return;
+    }
+    last_schedule_ = update::ScheduleConsistent(last_plan_);
     plan_span.AddArg("makespan_s", last_schedule_.makespan);
     auto [add, remove] = output.new_topology->Diff(topology_);
     auto key = [](net::NodeId a, net::NodeId b) {
@@ -104,19 +151,91 @@ void Controller::Tick() {
   } else {
     last_plan_ = {};
     last_schedule_ = {};
+    last_exec_ = {};
   }
   last_allocations_ = output.allocations;
+  ProgressAndAdvance(ids, output.allocations, changed,
+                     last_schedule_.makespan);
+}
 
+void Controller::ApplyExecResult(update::ExecResult res,
+                                 const std::vector<int>& ids) {
+  last_schedule_ = res.schedule;
+  std::set<std::pair<net::NodeId, net::NodeId>> changed;
+  if (res.outcome == update::ExecOutcome::kConverged) {
+    auto key = [](net::NodeId a, net::NodeId b) {
+      return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    };
+    auto [add, remove] = res.final_topology.Diff(topology_);
+    for (const core::Link& l : add) changed.insert(key(l.u, l.v));
+    for (const core::Link& l : remove) changed.insert(key(l.u, l.v));
+    topology_ = res.final_topology;
+    last_allocations_ = res.final_routes;
+    last_exec_ = std::move(res);
+    // final_routes is positional with the slot's new allocations (one
+    // entry per transfer the TE scheme allocated, rates as realized).
+    ProgressAndAdvance(ids, last_allocations_, changed,
+                       last_exec_.makespan);
+    return;
+  }
+  // Aborted: the plant is back to the pre-update state; transfers keep
+  // last slot's routes (matched by id — the old allocation vector indexes
+  // a previous, possibly different, transfer set).
+  OWAN_COUNT("controller.update_aborts");
+  std::vector<core::TransferAllocation> by_id(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    by_id[i].id = ids[i];
+    for (const core::TransferAllocation& a : res.final_routes) {
+      if (a.id == ids[i]) {
+        by_id[i] = a;
+        break;
+      }
+    }
+  }
+  last_allocations_ = res.final_routes;
+  last_exec_ = std::move(res);
+  ProgressAndAdvance(ids, by_id, changed, 0.0);
+}
+
+void Controller::FinishInterruptedUpdate() {
+  pending_update_ = false;
+  // The plan is a pure function of checkpointed state; the executor then
+  // replays the persisted WAL and finishes the run — bit-identical to the
+  // execution the crash interrupted.
+  last_plan_ =
+      update::BuildUpdatePlan(topology_, pending_target_, pending_old_routes_,
+                              pending_new_routes_, options_.durations);
+  update::ExecutorInput ein;
+  ein.from = topology_;
+  ein.plan = last_plan_;
+  ein.old_routes = pending_old_routes_;
+  ein.new_routes = pending_new_routes_;
+  ein.spare_ports = SparePorts();
+  update::UpdateExecutor ex(std::move(ein), options_.exec);
+  ex.Replay(pending_wal_);
+  OWAN_COUNT("controller.update_recoveries");
+  ApplyExecResult(ex.Finish(), ActiveIds());
+  pending_target_ = {};
+  pending_old_routes_.clear();
+  pending_new_routes_.clear();
+  pending_wal_ = {};
+}
+
+void Controller::ProgressAndAdvance(
+    const std::vector<int>& ids,
+    const std::vector<core::TransferAllocation>& allocations,
+    const std::set<std::pair<net::NodeId, net::NodeId>>& changed,
+    double update_makespan) {
   // Progress transfers. Transfers whose paths cross a reconfigured link
   // start transmitting after the update makespan (consistent updates are
   // hitless for everyone else — Fig. 10b).
   const double update_cost =
-      options_.hitless_updates ? 0.0 : last_schedule_.makespan;
+      options_.hitless_updates ? 0.0 : update_makespan;
   for (size_t i = 0; i < ids.size(); ++i) {
     TrackedTransfer& t = transfers_[ids[i]];
     const core::TransferAllocation& alloc =
-        i < output.allocations.size() ? output.allocations[i]
-                                      : core::TransferAllocation{};
+        i < allocations.size() ? allocations[i]
+                               : core::TransferAllocation{};
     const double rate = alloc.TotalRate();
     bool crosses_changed = false;
     for (const core::PathAllocation& pa : alloc.paths) {
@@ -162,7 +281,9 @@ std::string Controller::Checkpoint() const {
   // bit-identical — failover equivalence depends on it.
   std::ostringstream os;
   os.precision(17);
-  os << "owan-checkpoint v2\n";
+  // v3 only when an update is actually in flight: idle snapshots keep the
+  // v2 header so pre-executor readers (and pinned tests) still work.
+  os << (pending_update_ ? "owan-checkpoint v3\n" : "owan-checkpoint v2\n");
   os << "now " << now_ << "\n";
   os << "next_id " << next_id_ << "\n";
   os << "topology " << topology_.NumSites() << "\n";
@@ -187,6 +308,32 @@ std::string Controller::Checkpoint() const {
       os << "regens-failed " << v << " " << optical_.FailedRegens(v) << "\n";
     }
   }
+  if (pending_update_) {
+    // The interrupted update: target topology, the route sets the plan was
+    // built from, and the write-ahead intent log. Everything else the
+    // executor needs is a pure function of these plus the v2 body.
+    os << "update-pending\n";
+    os << "update-target " << pending_target_.NumSites() << "\n";
+    for (const core::Link& l : pending_target_.Links()) {
+      os << "utlink " << l.u << " " << l.v << " " << l.units << "\n";
+    }
+    auto emit_routes = [&os](const char* side,
+                             const std::vector<core::TransferAllocation>& rs) {
+      for (const core::TransferAllocation& a : rs) {
+        os << "uroute " << side << " " << a.id << "\n";
+        for (const core::PathAllocation& pa : a.paths) {
+          os << "upath " << pa.rate << " " << pa.path.nodes.size();
+          for (net::NodeId n : pa.path.nodes) os << " " << n;
+          os << "\n";
+        }
+      }
+    };
+    emit_routes("old", pending_old_routes_);
+    emit_routes("new", pending_new_routes_);
+    for (const update::IntentRecord& r : pending_wal_.records) {
+      os << "uwal " << update::IntentLog::RecordToString(r) << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -198,10 +345,13 @@ Controller Controller::Restore(const topo::Wan* wan,
   std::istringstream is(checkpoint);
   std::string line;
   if (!std::getline(is, line) ||
-      (line != "owan-checkpoint v1" && line != "owan-checkpoint v2")) {
+      (line != "owan-checkpoint v1" && line != "owan-checkpoint v2" &&
+       line != "owan-checkpoint v3")) {
     throw std::invalid_argument("Controller::Restore: bad checkpoint header");
   }
   core::Topology topo;
+  // Route list currently being filled by uroute/upath lines (v3 only).
+  std::vector<core::TransferAllocation>* uroutes = nullptr;
   while (std::getline(is, line)) {
     std::istringstream ls(line);
     std::string tag;
@@ -244,6 +394,46 @@ Controller Controller::Restore(const topo::Wan* wan,
       int k;
       ls >> v >> k;
       if (!ls.fail()) c.optical_.FailRegens(v, k);
+    } else if (tag == "update-pending") {
+      c.pending_update_ = true;
+    } else if (tag == "update-target") {
+      int n = 0;
+      ls >> n;
+      if (!ls.fail()) c.pending_target_ = core::Topology(n);
+    } else if (tag == "utlink") {
+      int u, v, units;
+      ls >> u >> v >> units;
+      if (!ls.fail()) c.pending_target_.AddUnits(u, v, units);
+    } else if (tag == "uroute") {
+      std::string side;
+      int id = -1;
+      ls >> side >> id;
+      if (!ls.fail()) {
+        uroutes = side == "old" ? &c.pending_old_routes_
+                                : &c.pending_new_routes_;
+        core::TransferAllocation a;
+        a.id = id;
+        uroutes->push_back(a);
+      }
+    } else if (tag == "upath") {
+      if (!uroutes || uroutes->empty()) {
+        throw std::invalid_argument(
+            "Controller::Restore: upath before uroute");
+      }
+      core::PathAllocation pa;
+      size_t len = 0;
+      ls >> pa.rate >> len;
+      for (size_t k = 0; k < len && !ls.fail(); ++k) {
+        net::NodeId n;
+        ls >> n;
+        pa.path.nodes.push_back(n);
+      }
+      if (!ls.fail()) uroutes->back().paths.push_back(std::move(pa));
+    } else if (tag == "uwal") {
+      std::string rest;
+      std::getline(ls, rest);
+      c.pending_wal_.records.push_back(
+          update::IntentLog::RecordFromString(rest));
     }
     if (ls.fail()) {
       throw std::invalid_argument("Controller::Restore: corrupt line: " +
@@ -251,6 +441,10 @@ Controller Controller::Restore(const topo::Wan* wan,
     }
   }
   if (topo.NumSites() > 0) c.topology_ = topo;
+  // Finish the interrupted update now: the restored standby completes the
+  // crashed slot before accepting new work, so it is indistinguishable
+  // from a controller that never crashed.
+  if (c.pending_update_) c.FinishInterruptedUpdate();
   return c;
 }
 

@@ -3,12 +3,15 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/te_scheme.h"
 #include "core/topology.h"
 #include "topo/topologies.h"
+#include "update/executor.h"
 #include "update/scheduler.h"
 
 namespace owan::control {
@@ -21,6 +24,20 @@ struct ControllerOptions {
   // false to charge transfers crossing reconfigured links the makespan
   // (one-shot-style disruption).
   bool hitless_updates = true;
+  // Run each slot's reconfiguration through the update execution engine
+  // instead of assuming the precomputed schedule lands as planned. With
+  // the default (disabled) actuation model the engine reproduces
+  // ScheduleConsistent exactly, so behaviour only changes under faults:
+  // the controller keeps whatever topology/routes the plant actually
+  // reached, and an aborted update leaves the previous slot's state.
+  bool execute_updates = false;
+  update::ExecutorOptions exec;
+  // Test hook: "crash" the controller once the in-flight update's intent
+  // log reaches this many records — Tick() returns with the update
+  // pending (clock not advanced, transfers untouched). Checkpoint() then
+  // emits v3 carrying the WAL; Restore() finishes the interrupted slot.
+  // Negative = never crash.
+  int crash_after_wal_records = -1;
 };
 
 // State of one transfer as tracked by the controller.
@@ -60,6 +77,11 @@ class Controller {
     return last_schedule_;
   }
   const update::UpdatePlan& last_update_plan() const { return last_plan_; }
+  // Result of the last executed update (execute_updates only).
+  const update::ExecResult& last_exec_result() const { return last_exec_; }
+  // True when a crash interrupted an update mid-flight (crash hook fired):
+  // the slot is unfinished and Checkpoint() will emit v3 with the WAL.
+  bool HasPendingUpdate() const { return pending_update_; }
 
   const std::map<int, TrackedTransfer>& transfers() const {
     return transfers_;
@@ -69,11 +91,16 @@ class Controller {
   // ---- failover (§3.4) ----
   // Writes "owan-checkpoint v2": clock, topology, transfers, and the plant
   // failure state (cut fibers, down sites, failed ports/regens), so a
-  // standby restored mid-incident sees the same degraded plant.
+  // standby restored mid-incident sees the same degraded plant. If an
+  // update is in flight (crash hook fired mid-Tick) the snapshot is
+  // "owan-checkpoint v3": the v2 body plus the update's target topology,
+  // old/new routes, and write-ahead intent log.
   std::string Checkpoint() const;
-  // Rebuilds a controller from a checkpoint (v1 or v2); the new instance
-  // resumes at the next time slot with the stored topology, transfer set,
-  // and failure flags.
+  // Rebuilds a controller from a checkpoint (v1, v2 or v3); the new
+  // instance resumes at the next time slot with the stored topology,
+  // transfer set, and failure flags. A v3 checkpoint's interrupted update
+  // is replayed from its intent log and finished before Restore returns,
+  // so the restored controller is bit-identical to one that never crashed.
   static Controller Restore(const topo::Wan* wan,
                             std::unique_ptr<core::TeScheme> scheme,
                             const std::string& checkpoint,
@@ -100,6 +127,28 @@ class Controller {
   // surviving port budget, drop unrealizable units, re-pair dark ports.
   void ReactToPlantChange();
 
+  // Applies a finished update's outcome and completes the slot: commit or
+  // keep the pre-update state, progress transfers against the realized
+  // allocations, advance the clock.
+  void ApplyExecResult(update::ExecResult res,
+                       const std::vector<int>& ids);
+  // Replays a v3 checkpoint's WAL through a fresh executor, runs the
+  // update to completion, and finishes the interrupted slot.
+  void FinishInterruptedUpdate();
+  // Slot tail shared by all paths: per-transfer progress (with the
+  // update-disruption penalty for transfers crossing changed links) and
+  // clock advance.
+  void ProgressAndAdvance(
+      const std::vector<int>& ids,
+      const std::vector<core::TransferAllocation>& allocations,
+      const std::set<std::pair<net::NodeId, net::NodeId>>& changed,
+      double update_makespan);
+  std::vector<int> ActiveIds() const;
+  // Per-site spare ports for the executor: the plant's usable budget minus
+  // what the current (pre-update) topology consumes. A pure function of
+  // checkpointed state, so crash and resume compute the same budget.
+  std::vector<int> SparePorts() const;
+
   const topo::Wan* wan_;
   std::unique_ptr<core::TeScheme> scheme_;
   ControllerOptions options_;
@@ -113,6 +162,15 @@ class Controller {
   std::vector<core::TransferAllocation> last_allocations_;
   update::UpdatePlan last_plan_;
   update::Schedule last_schedule_;
+  update::ExecResult last_exec_;
+
+  // In-flight update interrupted by the crash hook (topology_ still holds
+  // the pre-update state until the update lands).
+  bool pending_update_ = false;
+  core::Topology pending_target_;
+  std::vector<core::TransferAllocation> pending_old_routes_;
+  std::vector<core::TransferAllocation> pending_new_routes_;
+  update::IntentLog pending_wal_;
 };
 
 }  // namespace owan::control

@@ -40,6 +40,10 @@ struct TransferDemand {
 struct PathAllocation {
   net::Path path;
   double rate = 0.0;  // Gbps
+
+  bool operator==(const PathAllocation& o) const {
+    return path == o.path && rate == o.rate;
+  }
 };
 
 // The routing configuration rc_f of a single transfer: its paths and the
@@ -52,6 +56,10 @@ struct TransferAllocation {
     double total = 0.0;
     for (const PathAllocation& p : paths) total += p.rate;
     return total;
+  }
+
+  bool operator==(const TransferAllocation& o) const {
+    return id == o.id && paths == o.paths;
   }
 };
 

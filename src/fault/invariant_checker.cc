@@ -106,6 +106,45 @@ std::vector<std::string> InvariantChecker::CheckSlot(
   return violations;
 }
 
+std::vector<std::string> InvariantChecker::CheckUpdateStage(
+    const core::Topology& lit, double theta,
+    const std::vector<core::TransferAllocation>& installed,
+    bool check_capacity) {
+  std::vector<std::string> violations;
+  std::map<std::pair<net::NodeId, net::NodeId>, double> link_rate;
+  for (const core::TransferAllocation& a : installed) {
+    for (const core::PathAllocation& pa : a.paths) {
+      if (pa.rate <= kRateEps) continue;
+      for (size_t k = 0; k + 1 < pa.path.nodes.size(); ++k) {
+        net::NodeId u = pa.path.nodes[k];
+        net::NodeId v = pa.path.nodes[k + 1];
+        if (u > v) std::swap(u, v);
+        if (lit.Units(u, v) <= 0) {
+          std::ostringstream os;
+          os << "blackhole: transfer " << a.id << " routes " << pa.rate
+             << " Gbps over dark link " << LinkName(u, v);
+          violations.push_back(os.str());
+        }
+        link_rate[{u, v}] += pa.rate;
+      }
+    }
+  }
+  if (check_capacity) {
+    for (const auto& [link, rate] : link_rate) {
+      const int units = lit.Units(link.first, link.second);
+      const double cap = units > 0 ? units * theta : 0.0;
+      if (rate > cap * (1.0 + 1e-9) + kRateEps) {
+        std::ostringstream os;
+        os << "update stage overshoots link "
+           << LinkName(link.first, link.second) << ": " << rate
+           << " Gbps over " << cap << " Gbps lit";
+        violations.push_back(os.str());
+      }
+    }
+  }
+  return violations;
+}
+
 std::vector<std::string> InvariantChecker::ObserveTransfer(int id,
                                                            double delivered,
                                                            double size) {

@@ -35,6 +35,23 @@ class InvariantChecker {
       const std::vector<core::TransferDemand>& demands,
       const std::vector<core::TransferAllocation>& allocations);
 
+  // Mid-update stage validation (the §4 consistency contract between
+  // slots): `lit` is the set of network-layer links currently carrying
+  // light — removed circuits already subtracted from the moment teardown
+  // starts, added circuits included only once provisioning completed.
+  // `installed` are the routes the routers currently hold, with the rates
+  // they are actually allowed to push. Flags
+  //   * blackholes: a positive-rate route crossing a link with no lit
+  //     circuit (traffic sent into the dark), and
+  //   * with `check_capacity`, per-link aggregate rate above lit capacity
+  //     (the executor clamps rates during updates, so overshoot there is a
+  //     logic bug; precomputed schedules skip this — the data plane
+  //     rate-adapts, see TraceThroughput).
+  static std::vector<std::string> CheckUpdateStage(
+      const core::Topology& lit, double theta,
+      const std::vector<core::TransferAllocation>& installed,
+      bool check_capacity = true);
+
   // Streaming per-transfer check: call once per slot per transfer with the
   // cumulative delivered gigabits. Flags non-monotone delivery and
   // delivery beyond the request size.

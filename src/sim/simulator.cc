@@ -11,6 +11,7 @@
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
 #include "obs/obs.h"
+#include "update/update_plan.h"
 
 namespace owan::sim {
 
@@ -150,6 +151,9 @@ SimResult RunSimulation(const topo::Wan& wan,
   // Last rates the controller installed, by transfer id — what the data
   // plane keeps forwarding while the controller is down.
   std::map<int, core::TransferAllocation> frozen;
+  // Routes actually in force on the plant — the executed-update path uses
+  // them as the old routes the next update plan must drain from.
+  std::vector<core::TransferAllocation> installed;
 
   fault::InvariantChecker checker;
 
@@ -290,11 +294,76 @@ SimResult RunSimulation(const topo::Wan& wan,
 
     // Apply topology change and its reconfiguration penalty.
     std::set<LinkKey> changed;
-    if (output.new_topology) {
+    if (output.new_topology && options.execute_updates && controller_up &&
+        !(*output.new_topology == topology)) {
+      // Actuate the reconfiguration through the update execution engine.
+      // The plan starts at the interval head; if a fault event truncates
+      // the interval before the update converges, the plant changed under
+      // the update and it safe-aborts (rollback to the pre-update state)
+      // before the fault is processed next iteration.
+      update::ExecutorInput ein;
+      ein.from = topology;
+      ein.plan = update::BuildUpdatePlan(topology, *output.new_topology,
+                                         installed, output.allocations);
+      ein.old_routes = installed;
+      ein.new_routes = output.allocations;
+      ein.spare_ports.assign(static_cast<size_t>(plant.NumSites()), 0);
+      for (net::NodeId s = 0; s < plant.NumSites(); ++s) {
+        ein.spare_ports[static_cast<size_t>(s)] =
+            std::max(0, plant.UsablePorts(s) - topology.PortsUsed(s));
+      }
+      update::ExecutorOptions eopts;
+      eopts.actuation = options.actuation;
+      eopts.retry = options.retry;
+      eopts.wave_size = options.update_wave_size;
+      eopts.theta = theta;
+      update::UpdateExecutor ex(std::move(ein), eopts);
+      if (!ex.StepUntil(dur)) ex.RequestAbort();
+      update::ExecResult res = ex.Finish();
+      ++result.updates_executed;
+      result.update_retries += res.stats.retries;
+      result.update_forced_ops += res.stats.forced_ops;
+      result.update_exec_seconds += res.makespan;
+      for (const std::string& v : res.invariant_violations) {
+        result.invariant_violations.push_back(
+            "update at t=" + std::to_string(now) + ": " + v);
+      }
+      if (res.outcome == update::ExecOutcome::kConverged) {
+        changed = ChangedLinks(topology, res.final_topology);
+        result.topology_changes += topology.DistanceTo(res.final_topology);
+        topology = res.final_topology;
+        // The realized routes (positional with this slot's allocations)
+        // are what the data plane actually carries.
+        output.allocations = res.final_routes;
+      } else {
+        ++result.update_aborts;
+        OWAN_COUNT("sim.update_aborts");
+        // Rolled back: the slot keeps the pre-update routes, matched to
+        // the live demand set by transfer id.
+        std::vector<core::TransferAllocation> reverted(input.demands.size());
+        for (size_t i = 0; i < input.demands.size(); ++i) {
+          reverted[i].id = input.demands[i].id;
+          for (const core::TransferAllocation& a : res.final_routes) {
+            if (a.id == input.demands[i].id) {
+              reverted[i] = a;
+              break;
+            }
+          }
+        }
+        output.allocations = std::move(reverted);
+      }
+      // Refresh the data plane's frozen view with the realized rates.
+      frozen.clear();
+      for (size_t i = 0;
+           i < output.allocations.size() && i < input.demands.size(); ++i) {
+        frozen[input.demands[i].id] = output.allocations[i];
+      }
+    } else if (output.new_topology) {
       changed = ChangedLinks(topology, *output.new_topology);
       result.topology_changes += topology.DistanceTo(*output.new_topology);
       topology = *output.new_topology;
     }
+    if (controller_up) installed = output.allocations;
 
     // Progress transfers.
     ++result.slots;

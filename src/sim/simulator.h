@@ -7,8 +7,10 @@
 #include "core/te_scheme.h"
 #include "core/topology.h"
 #include "core/transfer.h"
+#include "fault/actuation.h"
 #include "fault/fault_event.h"
 #include "topo/topologies.h"
+#include "update/executor.h"
 
 namespace owan::sim {
 
@@ -37,6 +39,17 @@ struct SimOptions {
   // are collected into SimResult::invariant_violations instead of
   // asserting. Read-only; disable for timing-critical sweeps.
   bool check_invariants = true;
+  // Run each slot's reconfiguration through the update execution engine
+  // (update::UpdateExecutor) instead of assuming it lands instantly: ops
+  // draw latency/failure from `actuation`, retry per `retry`, and the slot
+  // keeps whatever topology/routes the plant actually reached. A fault
+  // event that truncates the interval mid-update safe-aborts the update
+  // (stage-by-stage rollback) before the fault is processed. Off by
+  // default — goldens and legacy comparisons are unchanged.
+  bool execute_updates = false;
+  fault::ActuationModel actuation;
+  update::RetryPolicy retry;
+  int update_wave_size = 4;
 };
 
 // Outcome for one transfer after the run.
@@ -86,6 +99,13 @@ struct SimResult {
   // Violations found by the post-interval InvariantChecker; empty = every
   // interval of the run was consistent.
   std::vector<std::string> invariant_violations;
+
+  // ---- update execution metrics (execute_updates runs) ----
+  int updates_executed = 0;   // slots whose reconfiguration ran the engine
+  int update_aborts = 0;      // updates that safe-aborted (rolled back)
+  int update_retries = 0;     // actuation attempts retried across the run
+  int update_forced_ops = 0;  // stall-broken ops across the run
+  double update_exec_seconds = 0.0;  // total realized update makespan (sim s)
 
   // Deadline metrics (only meaningful for deadline workloads).
   double FractionMeetingDeadline() const;

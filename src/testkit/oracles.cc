@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/annealing.h"
 #include "core/energy_evaluator.h"
 #include "core/owan.h"
@@ -12,6 +14,7 @@
 #include "core/routing.h"
 #include "fault/fault_injector.h"
 #include "lp/arc_mcf.h"
+#include "update/executor.h"
 
 namespace owan::testkit {
 
@@ -67,6 +70,19 @@ std::optional<std::string> CheckAllocationFeasible(
              std::to_string(g.edge(e).capacity) + ")";
     }
   }
+  return std::nullopt;
+}
+
+// Field-by-field equality of two executor outcomes; returns the name of
+// the first differing field, nullopt when bit-identical.
+std::optional<std::string> SameExecResult(const update::ExecResult& a,
+                                          const update::ExecResult& b) {
+  if (a.outcome != b.outcome) return "outcome";
+  if (a.makespan != b.makespan) return "makespan";
+  if (!(a.final_topology == b.final_topology)) return "final topology";
+  if (!(a.final_routes == b.final_routes)) return "final routes";
+  if (!(a.stats == b.stats)) return "stats";
+  if (!(a.log == b.log)) return "intent log";
   return std::nullopt;
 }
 
@@ -263,8 +279,138 @@ std::optional<Failure> InvariantOracle(const FuzzCase& c,
   return std::nullopt;
 }
 
+std::optional<Failure> UpdateExecOracle(const FuzzCase& c,
+                                        const OracleOptions& options) {
+  topo::Wan wan = c.wan.Build();
+  const std::vector<core::TransferDemand> demands =
+      DemandsFromRequests(c.transfers, options.slot_seconds);
+  if (demands.empty()) return std::nullopt;
+
+  // One slot reconfiguration, derived like the LP oracle: degrade the
+  // plant with the first half of the fault window, route the demands on
+  // the surviving topology (the routes "in force" before the update),
+  // then anneal a target for the same demands.
+  optical::OpticalNetwork plant = wan.optical;
+  for (const fault::FaultEvent& e : c.faults.events) {
+    if (e.time > c.horizon_s * 0.5) break;
+    fault::ApplyPlantEvent(e, plant);
+  }
+  const core::Topology from =
+      fault::RecomputeTopology(wan.default_topology, plant,
+                               /*repair_dark_ports=*/true);
+
+  const core::RoutingOptions ropt;
+  core::ProvisionedState pre(plant);
+  pre.SyncTo(from);
+  const core::RoutingOutcome pre_ro =
+      core::AssignRoutesAndRates(pre.CapacityGraph(), demands, ropt);
+
+  core::AnnealOptions ao;
+  ao.max_iterations = c.anneal_iterations;
+  util::Rng rng(c.seed * 2654435761ULL + 17);
+  const core::AnnealResult res =
+      core::ComputeNetworkState(from, plant, demands, ao, rng);
+  if (!res.state.has_value()) {
+    return Failure{"update",
+                   "annealing returned no provisioned state " + Describe(c)};
+  }
+  const core::Topology to = res.state->realized();
+
+  update::ExecutorInput base;
+  base.from = from;
+  base.plan =
+      update::BuildUpdatePlan(from, to, pre_ro.allocations,
+                              res.routing.allocations);
+  base.old_routes = pre_ro.allocations;
+  base.new_routes = res.routing.allocations;
+  base.spare_ports.assign(static_cast<size_t>(plant.NumSites()), 0);
+  for (net::NodeId v = 0; v < plant.NumSites(); ++v) {
+    base.spare_ports[static_cast<size_t>(v)] =
+        std::max(0, plant.UsablePorts(v) - from.PortsUsed(v));
+  }
+  update::ExecutorOptions eopts;
+  eopts.theta = wan.optical.wavelength_capacity();
+
+  // (1) Nominal actuation lands the plan exactly as scheduled.
+  {
+    const update::ExecResult r =
+        update::UpdateExecutor::ExecutePlan(base, eopts);
+    if (r.outcome != update::ExecOutcome::kConverged) {
+      return Failure{"update", "nominal execution aborted " + Describe(c)};
+    }
+    if (!(r.final_topology == to)) {
+      return Failure{"update",
+                     "nominal run missed the target topology " + Describe(c)};
+    }
+    if (!r.invariant_violations.empty()) {
+      return Failure{"update", "nominal stage violation: " +
+                                   r.invariant_violations.front() + " " +
+                                   Describe(c)};
+    }
+    if (r.stats.retries != 0 || r.stats.failed_ops != 0) {
+      return Failure{"update",
+                     "nominal run retried or failed ops " + Describe(c)};
+    }
+  }
+
+  // (2) Seeded actuation faults: converge or roll back cleanly, with
+  // every intermediate stage invariant-clean, reproducibly.
+  update::ExecutorOptions fopts = eopts;
+  fopts.actuation.seed = c.seed ^ 0xac7a710ULL;
+  fopts.actuation.circuit_failure_prob = 0.15;
+  fopts.actuation.route_failure_prob = 0.05;
+  fopts.actuation.latency_cv = 0.3;
+  fopts.actuation.straggler_prob = 0.05;
+  const update::ExecResult f1 =
+      update::UpdateExecutor::ExecutePlan(base, fopts);
+  if (!f1.invariant_violations.empty()) {
+    return Failure{"update", "stage violation under faults: " +
+                                 f1.invariant_violations.front() + " " +
+                                 Describe(c)};
+  }
+  if (f1.outcome == update::ExecOutcome::kAborted) {
+    if (!(f1.final_topology == base.from)) {
+      return Failure{"update",
+                     "abort did not restore the pre-update topology " +
+                         Describe(c)};
+    }
+    if (!(f1.final_routes == base.old_routes)) {
+      return Failure{"update",
+                     "abort did not restore the pre-update routes " +
+                         Describe(c)};
+    }
+  }
+  const update::ExecResult f2 =
+      update::UpdateExecutor::ExecutePlan(base, fopts);
+  if (auto d = SameExecResult(f1, f2)) {
+    return Failure{"update",
+                   "faulty rerun not bit-identical: " + *d + " " +
+                       Describe(c)};
+  }
+
+  // (3) Crash mid-update: persist the first half of the intent log the
+  // way the controller checkpoint does (Serialize -> Parse), replay it
+  // into a fresh executor, and finish. A WAL writer that loses records
+  // (--inject-bug wal) breaks the round-trip and diverges here.
+  update::IntentLog prefix;
+  prefix.records.assign(f1.log.records.begin(),
+                        f1.log.records.begin() +
+                            static_cast<long>(f1.log.records.size() / 2));
+  const update::IntentLog persisted =
+      update::IntentLog::Parse(prefix.Serialize());
+  update::UpdateExecutor resumed(base, fopts);
+  resumed.Replay(persisted);
+  update::ExecResult f3 = resumed.Finish();
+  if (auto d = SameExecResult(f1, f3)) {
+    return Failure{"update",
+                   "crash-resume diverged from the uninterrupted run: " +
+                       *d + " " + Describe(c)};
+  }
+  return std::nullopt;
+}
+
 Property MakeOracleProperty(bool lp, bool differential, bool invariant,
-                            const OracleOptions& options) {
+                            const OracleOptions& options, bool update_exec) {
   return [=](const FuzzCase& c) -> std::optional<Failure> {
     if (differential) {
       if (auto f = DifferentialOracle(c, options)) return f;
@@ -274,6 +420,9 @@ Property MakeOracleProperty(bool lp, bool differential, bool invariant,
     }
     if (invariant) {
       if (auto f = InvariantOracle(c, options)) return f;
+    }
+    if (update_exec) {
+      if (auto f = UpdateExecOracle(c, options)) return f;
     }
     return std::nullopt;
   };
@@ -302,6 +451,14 @@ bool SameSimResult(const sim::SimResult& a, const sim::SimResult& b,
       a.fault_events != b.fault_events ||
       a.gigabits_lost_to_faults != b.gigabits_lost_to_faults) {
     *why = "availability metrics differ";
+    return false;
+  }
+  if (a.updates_executed != b.updates_executed ||
+      a.update_aborts != b.update_aborts ||
+      a.update_retries != b.update_retries ||
+      a.update_forced_ops != b.update_forced_ops ||
+      a.update_exec_seconds != b.update_exec_seconds) {
+    *why = "update execution metrics differ";
     return false;
   }
   return true;

@@ -49,18 +49,33 @@ std::optional<Failure> DifferentialOracle(const FuzzCase& c,
 std::optional<Failure> InvariantOracle(const FuzzCase& c,
                                        const OracleOptions& options = {});
 
-// All three in sequence (cheapest first); the first failure wins. Any
-// subset can be disabled for focused fuzzing.
+// (d) Update-execution oracle: derive one slot reconfiguration from the
+// case (degrade the plant with the fault prefix, route on the pre-update
+// topology, anneal a target), then push it through the update executor
+// three ways. Nominal actuation must converge to exactly the planned
+// target with no retries and clean stage invariants. Seeded actuation
+// faults must end in convergence or a rollback that restores the
+// pre-update (topology, routes) pair bit-for-bit, stay invariant-clean
+// throughout, and be reproducible run-to-run. Finally the run is crashed
+// at half its intent log: the prefix is serialized, parsed back, and
+// replayed into a fresh executor, which must finish bit-identically to
+// the uninterrupted run (a lossy WAL writer fails here).
+std::optional<Failure> UpdateExecOracle(const FuzzCase& c,
+                                        const OracleOptions& options = {});
+
+// The enabled oracles in sequence (cheapest first); the first failure
+// wins. Any subset can be disabled for focused fuzzing.
 Property MakeOracleProperty(bool lp, bool differential, bool invariant,
-                            const OracleOptions& options = {});
+                            const OracleOptions& options = {},
+                            bool update_exec = false);
 inline Property AllOracles(const OracleOptions& options = {}) {
   return MakeOracleProperty(true, true, true, options);
 }
 
 // Field-by-field equality of two simulation outcomes (transfer records,
-// throughput series, availability metrics). On mismatch returns false and
-// names the first difference in `why`. Shared by the invariant oracle and
-// tools/fault_stress.
+// throughput series, availability metrics, update-execution metrics). On
+// mismatch returns false and names the first difference in `why`. Shared
+// by the invariant oracle and tools/fault_stress.
 bool SameSimResult(const sim::SimResult& a, const sim::SimResult& b,
                    std::string* why);
 

@@ -1,0 +1,75 @@
+#include "update/intent_log.h"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace owan::update {
+
+namespace {
+
+int g_drop_every_nth = 0;
+
+constexpr const char* kKindNames[] = {
+    "attempt",  "done",       "failed", "cancelled", "forced", "stage",
+    "abort-begin", "undo-start", "undo-done", "commit", "abort-done",
+};
+constexpr int kNumKinds = 11;
+
+}  // namespace
+
+std::string ToString(IntentKind k) {
+  return kKindNames[static_cast<int>(k)];
+}
+
+std::string IntentLog::RecordToString(const IntentRecord& r) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << ToString(r.kind) << " " << r.op << " " << r.attempt << " " << r.t;
+  return os.str();
+}
+
+IntentRecord IntentLog::RecordFromString(const std::string& line) {
+  std::istringstream is(line);
+  std::string kind;
+  IntentRecord r;
+  if (!(is >> kind >> r.op >> r.attempt >> r.t)) {
+    throw std::runtime_error("corrupt intent-log record: " + line);
+  }
+  int k = 0;
+  for (; k < kNumKinds; ++k) {
+    if (kind == kKindNames[k]) break;
+  }
+  if (k == kNumKinds) {
+    throw std::runtime_error("unknown intent-log record kind: " + kind);
+  }
+  r.kind = static_cast<IntentKind>(k);
+  return r;
+}
+
+std::string IntentLog::Serialize() const {
+  std::ostringstream os;
+  int i = 0;
+  for (const IntentRecord& r : records) {
+    ++i;
+    if (g_drop_every_nth > 0 && i % g_drop_every_nth == 0) continue;
+    os << RecordToString(r) << "\n";
+  }
+  return os.str();
+}
+
+IntentLog IntentLog::Parse(const std::string& text) {
+  IntentLog log;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    log.records.push_back(RecordFromString(line));
+  }
+  return log;
+}
+
+void IntentLog::TestOnlySetDropEveryNth(int n) { g_drop_every_nth = n; }
+
+}  // namespace owan::update

@@ -4,7 +4,9 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <sstream>
 
+#include "fault/invariant_checker.h"
 #include "net/shortest_path.h"
 #include "obs/obs.h"
 
@@ -36,29 +38,15 @@ Schedule ScheduleOneShot(const UpdatePlan& plan) {
   return s;
 }
 
-Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
-  Schedule out;
-  const size_t n = input_plan.ops.size();
-  if (n == 0) return out;
+StagedPlan BuildStagedPlan(const UpdatePlan& input_plan, int wave_size) {
   if (wave_size < 1) wave_size = 1;
-  OWAN_SPAN(sched_span, "update", "update.schedule");
-  sched_span.AddArg("ops", static_cast<double>(n));
-  OWAN_COUNT("update.plans");
-  OWAN_COUNT_N("update.ops", ::owan::obs::Unit::kOps, n);
-  OWAN_COUNT_N("update.ops_add_circuit", ::owan::obs::Unit::kOps,
-               input_plan.CountType(OpType::kAddCircuit));
-  OWAN_COUNT_N("update.ops_remove_circuit", ::owan::obs::Unit::kOps,
-               input_plan.CountType(OpType::kRemoveCircuit));
-  OWAN_COUNT_N("update.ops_add_route", ::owan::obs::Unit::kOps,
-               input_plan.CountType(OpType::kAddRoute));
-  OWAN_COUNT_N("update.ops_remove_route", ::owan::obs::Unit::kOps,
-               input_plan.CountType(OpType::kRemoveRoute));
-
+  StagedPlan staged;
   // Stage circuit ops into waves: RemoveCircuits of wave w wait for the
   // AddCircuits of wave w-1; AddCircuits of wave w wait for the
   // RemoveCircuits of wave w (whose completions free their ports); a
   // draining RemoveRoute fires with the earliest wave that needs it gone.
-  UpdatePlan plan = input_plan;
+  UpdatePlan& plan = staged.plan;
+  plan = input_plan;
   std::vector<int> remove_ids, add_ids;
   for (const UpdateOp& op : plan.ops) {
     if (op.type == OpType::kRemoveCircuit) remove_ids.push_back(op.id);
@@ -115,24 +103,78 @@ Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
     }
   }
 
-  enum class St { kPending, kRunning, kDone };
-  std::vector<St> state(n, St::kPending);
-  std::vector<double> end_time(n, 0.0);
-
   // Draining RemoveRoutes are those some RemoveCircuit depends on.
-  std::set<int> draining;
   for (const UpdateOp& op : plan.ops) {
     if (op.type == OpType::kRemoveCircuit) {
-      for (int d : op.deps) draining.insert(d);
+      for (int d : op.deps) staged.draining.insert(d);
     }
   }
   // Cleanup RemoveRoutes wait for the same transfer's AddRoutes.
-  std::map<int, std::vector<int>> transfer_add_routes;
   for (const UpdateOp& op : plan.ops) {
     if (op.type == OpType::kAddRoute) {
-      transfer_add_routes[op.transfer_index].push_back(op.id);
+      staged.transfer_add_routes[op.transfer_index].push_back(op.id);
     }
   }
+  return staged;
+}
+
+int PickStallVictim(const UpdatePlan& plan, const std::vector<bool>& pending,
+                    const std::vector<bool>& resolved) {
+  int victim = -1;
+  size_t best_unmet = std::numeric_limits<size_t>::max();
+  for (const UpdateOp& op : plan.ops) {
+    if (!pending[static_cast<size_t>(op.id)]) continue;
+    size_t unmet = 0;
+    for (int d : op.deps) {
+      if (!resolved[static_cast<size_t>(d)]) ++unmet;
+    }
+    if (unmet < best_unmet) {
+      best_unmet = unmet;
+      victim = op.id;
+    }
+  }
+  if (victim < 0) return -1;
+  // Forcing an op past an unfinished RemoveRoute dep would route live
+  // traffic into a dark circuit; drain first, force the circuit op on a
+  // later stall round if the deadlock persists.
+  for (int d : plan.ops[static_cast<size_t>(victim)].deps) {
+    const UpdateOp& dep = plan.ops[static_cast<size_t>(d)];
+    if (!resolved[static_cast<size_t>(d)] &&
+        pending[static_cast<size_t>(d)] &&
+        dep.type == OpType::kRemoveRoute) {
+      OWAN_COUNT("update.forced_route_drains");
+      return d;
+    }
+  }
+  return victim;
+}
+
+Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
+  Schedule out;
+  const size_t n = input_plan.ops.size();
+  if (n == 0) return out;
+  OWAN_SPAN(sched_span, "update", "update.schedule");
+  sched_span.AddArg("ops", static_cast<double>(n));
+  OWAN_COUNT("update.plans");
+  OWAN_COUNT_N("update.ops", ::owan::obs::Unit::kOps, n);
+  OWAN_COUNT_N("update.ops_add_circuit", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kAddCircuit));
+  OWAN_COUNT_N("update.ops_remove_circuit", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kRemoveCircuit));
+  OWAN_COUNT_N("update.ops_add_route", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kAddRoute));
+  OWAN_COUNT_N("update.ops_remove_route", ::owan::obs::Unit::kOps,
+               input_plan.CountType(OpType::kRemoveRoute));
+
+  StagedPlan staged = BuildStagedPlan(input_plan, wave_size);
+  const UpdatePlan& plan = staged.plan;
+  const std::set<int>& draining = staged.draining;
+  const std::map<int, std::vector<int>>& transfer_add_routes =
+      staged.transfer_add_routes;
+
+  enum class St { kPending, kRunning, kDone };
+  std::vector<St> state(n, St::kPending);
+  std::vector<double> end_time(n, 0.0);
 
   // Port ledger: every port starts busy; RemoveCircuit completions free
   // one port at each endpoint, AddCircuit starts consume them.
@@ -185,20 +227,14 @@ Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
       if (state[i] == St::kRunning) next = std::min(next, end_time[i]);
     }
     if (next == std::numeric_limits<double>::infinity()) {
-      // Stall: force the pending op with the fewest unmet dependencies.
-      int victim = -1;
-      size_t best_unmet = std::numeric_limits<size_t>::max();
-      for (const UpdateOp& op : plan.ops) {
-        if (state[static_cast<size_t>(op.id)] != St::kPending) continue;
-        size_t unmet = 0;
-        for (int d : op.deps) {
-          if (state[static_cast<size_t>(d)] != St::kDone) ++unmet;
-        }
-        if (unmet < best_unmet) {
-          best_unmet = unmet;
-          victim = op.id;
-        }
+      // Stall: force the pending op with the fewest unmet dependencies
+      // (draining routes first — see PickStallVictim).
+      std::vector<bool> pending(n), resolved(n);
+      for (size_t i = 0; i < n; ++i) {
+        pending[i] = state[i] == St::kPending;
+        resolved[i] = state[i] == St::kDone;
       }
+      const int victim = PickStallVictim(plan, pending, resolved);
       if (victim < 0) break;  // defensive; cannot happen with remaining > 0
       OWAN_COUNT("update.forced_ops");
       const UpdateOp& op = plan.ops[static_cast<size_t>(victim)];
@@ -227,6 +263,69 @@ Schedule ScheduleConsistent(const UpdatePlan& input_plan, int wave_size) {
              out.makespan);
   sched_span.AddArg("makespan_s", out.makespan);
   return out;
+}
+
+std::vector<std::string> ValidateScheduleStages(
+    const core::Topology& from, double theta, const UpdatePlan& plan,
+    const Schedule& schedule,
+    const std::vector<core::TransferAllocation>& old_routes,
+    const std::vector<core::TransferAllocation>& new_routes) {
+  std::vector<std::string> violations;
+  std::set<double> times{0.0};
+  for (const ScheduledOp& s : schedule.items) {
+    times.insert(s.start);
+    times.insert(s.end);
+  }
+  for (double t : times) {
+    core::Topology lit = from;
+    std::set<std::pair<int, int>> old_removed, new_added;
+    for (const ScheduledOp& s : schedule.items) {
+      const UpdateOp& op = plan.ops[static_cast<size_t>(s.op_id)];
+      switch (op.type) {
+        case OpType::kRemoveCircuit:
+          // Dark from the moment teardown starts.
+          if (s.start <= t) lit.AddUnits(op.u, op.v, -1);
+          break;
+        case OpType::kAddCircuit:
+          if (s.end <= t) lit.AddUnits(op.u, op.v, 1);
+          break;
+        case OpType::kRemoveRoute:
+          if (s.end <= t) old_removed.insert({op.transfer_index, op.path_index});
+          break;
+        case OpType::kAddRoute:
+          if (s.end <= t) new_added.insert({op.transfer_index, op.path_index});
+          break;
+      }
+    }
+    std::vector<core::TransferAllocation> installed;
+    for (size_t ti = 0; ti < old_routes.size(); ++ti) {
+      core::TransferAllocation a;
+      a.id = old_routes[ti].id;
+      for (size_t pi = 0; pi < old_routes[ti].paths.size(); ++pi) {
+        if (!old_removed.count({static_cast<int>(ti), static_cast<int>(pi)})) {
+          a.paths.push_back(old_routes[ti].paths[pi]);
+        }
+      }
+      if (!a.paths.empty()) installed.push_back(std::move(a));
+    }
+    for (size_t ti = 0; ti < new_routes.size(); ++ti) {
+      core::TransferAllocation a;
+      a.id = new_routes[ti].id;
+      for (size_t pi = 0; pi < new_routes[ti].paths.size(); ++pi) {
+        if (new_added.count({static_cast<int>(ti), static_cast<int>(pi)})) {
+          a.paths.push_back(new_routes[ti].paths[pi]);
+        }
+      }
+      if (!a.paths.empty()) installed.push_back(std::move(a));
+    }
+    for (std::string& v : fault::InvariantChecker::CheckUpdateStage(
+             lit, theta, installed, /*check_capacity=*/false)) {
+      std::ostringstream os;
+      os << "t=" << t << ": " << v;
+      violations.push_back(os.str());
+    }
+  }
+  return violations;
 }
 
 std::vector<TraceSample> TraceThroughput(

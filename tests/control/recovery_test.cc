@@ -1,0 +1,169 @@
+// Crash-mid-update recovery (the PR's tentpole property): a controller
+// that dies while actuating a reconfiguration must restore from its v3
+// checkpoint — WAL included — and end up bit-identical to a controller
+// that never crashed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "control/controller.h"
+#include "core/owan.h"
+#include "topo/topologies.h"
+
+namespace owan::control {
+namespace {
+
+std::unique_ptr<core::OwanTe> MakeStatelessOwan() {
+  core::OwanOptions opt;
+  opt.seed = 11;
+  opt.anneal.max_iterations = 200;
+  opt.slot_seeded = true;
+  return std::make_unique<core::OwanTe>(opt);
+}
+
+ControllerOptions ExecOptions(uint64_t seed = 0, double circuit_fail = 0.0,
+                              double route_fail = 0.0) {
+  ControllerOptions o;
+  o.execute_updates = true;
+  o.exec.actuation.seed = seed;
+  o.exec.actuation.circuit_failure_prob = circuit_fail;
+  o.exec.actuation.route_failure_prob = route_fail;
+  o.exec.actuation.latency_cv = circuit_fail > 0.0 ? 0.4 : 0.0;
+  return o;
+}
+
+void SubmitPair(Controller& c, const topo::Wan& wan) {
+  c.Submit(wan.SiteByName("SEA"), wan.SiteByName("NYC"), 90000.0);
+  c.Submit(wan.SiteByName("LAX"), wan.SiteByName("CHI"), 60000.0);
+}
+
+// Executed updates with the nominal plant change nothing: the executor's
+// realized schedule equals ScheduleConsistent, so every transfer sees the
+// exact same slots as the legacy precomputed path.
+TEST(RecoveryTest, NominalExecutedUpdatesMatchLegacyTicks) {
+  topo::Wan wan = topo::MakeInternet2();
+  Controller legacy(&wan, MakeStatelessOwan());
+  Controller exec(&wan, MakeStatelessOwan(), ExecOptions());
+  SubmitPair(legacy, wan);
+  SubmitPair(exec, wan);
+  for (int i = 0; i < 4; ++i) {
+    legacy.Tick();
+    exec.Tick();
+    EXPECT_TRUE(exec.topology() == legacy.topology()) << "slot " << i;
+  }
+  EXPECT_EQ(exec.Checkpoint(), legacy.Checkpoint());
+}
+
+TEST(RecoveryTest, IdleCheckpointStaysV2UnderExecutor) {
+  topo::Wan wan = topo::MakeInternet2();
+  Controller c(&wan, MakeStatelessOwan(), ExecOptions());
+  SubmitPair(c, wan);
+  c.Tick();
+  ASSERT_FALSE(c.HasPendingUpdate());
+  EXPECT_EQ(c.Checkpoint().rfind("owan-checkpoint v2\n", 0), 0u);
+}
+
+TEST(RecoveryTest, CrashMidUpdateEmitsV3AndRestoresBitIdentical) {
+  topo::Wan wan = topo::MakeInternet2();
+
+  // Reference run (no crash) and crashing run tick in lockstep with the
+  // same seeds; the hook kills the primary a few WAL records into the
+  // first slot whose update is big enough.
+  Controller ref(&wan, MakeStatelessOwan(), ExecOptions(7, 0.2, 0.05));
+  ControllerOptions crash_opts = ExecOptions(7, 0.2, 0.05);
+  crash_opts.crash_after_wal_records = 5;
+  Controller primary(&wan, MakeStatelessOwan(), crash_opts);
+  SubmitPair(ref, wan);
+  SubmitPair(primary, wan);
+  for (int slot = 0; slot < 6 && !primary.HasPendingUpdate(); ++slot) {
+    primary.Tick();
+    ref.Tick();  // completes the slot the primary may have died in
+  }
+  ASSERT_TRUE(primary.HasPendingUpdate());
+  const std::string snap = primary.Checkpoint();
+  EXPECT_EQ(snap.rfind("owan-checkpoint v3\n", 0), 0u);
+
+  // The standby finishes the interrupted slot during Restore (no crash
+  // hook on the standby: it runs the recovery to completion).
+  Controller standby = Controller::Restore(&wan, MakeStatelessOwan(), snap,
+                                           ExecOptions(7, 0.2, 0.05));
+  EXPECT_FALSE(standby.HasPendingUpdate());
+  EXPECT_DOUBLE_EQ(standby.now(), ref.now());
+  EXPECT_TRUE(standby.topology() == ref.topology());
+  EXPECT_EQ(standby.Checkpoint(), ref.Checkpoint());
+
+  // And the futures agree too.
+  int guard = 0;
+  while ((ref.ActiveTransfers() > 0 || standby.ActiveTransfers() > 0) &&
+         guard++ < 100) {
+    if (ref.ActiveTransfers() > 0) ref.Tick();
+    if (standby.ActiveTransfers() > 0) standby.Tick();
+  }
+  ASSERT_LT(guard, 100);
+  EXPECT_EQ(standby.Checkpoint(), ref.Checkpoint());
+}
+
+// Crash at every reachable WAL length of one update: each restore must
+// converge to the same end state. (The controller-level version of the
+// executor's every-cut resume test.)
+TEST(RecoveryTest, CrashAtManyWalCutsAllRecoverIdentically) {
+  topo::Wan wan = topo::MakeInternet2();
+  Controller ref(&wan, MakeStatelessOwan(), ExecOptions(3, 0.25, 0.1));
+  SubmitPair(ref, wan);
+  ref.Tick();
+  const std::string want = ref.Checkpoint();
+  const int wal_len =
+      static_cast<int>(ref.last_exec_result().log.records.size());
+  ASSERT_GT(wal_len, 2);
+
+  for (int cut = 1; cut < wal_len; cut += 7) {
+    ControllerOptions opts = ExecOptions(3, 0.25, 0.1);
+    opts.crash_after_wal_records = cut;
+    Controller primary(&wan, MakeStatelessOwan(), opts);
+    SubmitPair(primary, wan);
+    primary.Tick();
+    ASSERT_TRUE(primary.HasPendingUpdate()) << "cut " << cut;
+    Controller standby = Controller::Restore(
+        &wan, MakeStatelessOwan(), primary.Checkpoint(),
+        ExecOptions(3, 0.25, 0.1));
+    EXPECT_EQ(standby.Checkpoint(), want) << "cut " << cut;
+  }
+}
+
+// An in-process caller that survives the "crash" (hook fired but no
+// failover happened) finishes the pending slot on its next Tick.
+TEST(RecoveryTest, PendingUpdateFinishesOnNextTickWithoutRestore) {
+  topo::Wan wan = topo::MakeInternet2();
+  Controller ref(&wan, MakeStatelessOwan(), ExecOptions(3, 0.25, 0.1));
+  SubmitPair(ref, wan);
+  ref.Tick();
+
+  ControllerOptions opts = ExecOptions(3, 0.25, 0.1);
+  opts.crash_after_wal_records = 4;
+  Controller c(&wan, MakeStatelessOwan(), opts);
+  SubmitPair(c, wan);
+  c.Tick();
+  ASSERT_TRUE(c.HasPendingUpdate());
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);  // slot never completed
+  c.Tick();  // finishes the interrupted slot, then runs the next one
+  EXPECT_FALSE(c.HasPendingUpdate());
+  EXPECT_GE(c.now(), ref.now());
+}
+
+TEST(RecoveryTest, V2CheckpointStillRestoresUnderExecutorOptions) {
+  topo::Wan wan = topo::MakeInternet2();
+  Controller legacy(&wan, MakeStatelessOwan());
+  SubmitPair(legacy, wan);
+  legacy.Tick();
+  const std::string snap = legacy.Checkpoint();
+  ASSERT_EQ(snap.rfind("owan-checkpoint v2\n", 0), 0u);
+  Controller restored =
+      Controller::Restore(&wan, MakeStatelessOwan(), snap, ExecOptions());
+  EXPECT_FALSE(restored.HasPendingUpdate());
+  EXPECT_DOUBLE_EQ(restored.now(), legacy.now());
+  EXPECT_TRUE(restored.topology() == legacy.topology());
+}
+
+}  // namespace
+}  // namespace owan::control

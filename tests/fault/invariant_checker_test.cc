@@ -93,6 +93,59 @@ TEST(InvariantCheckerTest, FlagsEndpointMismatchAndExtraAllocations) {
   EXPECT_TRUE(mismatch);
 }
 
+// ---- CheckUpdateStage: the mid-update plant states the executor emits
+// at every stage boundary, where only some circuits are lit. ----
+
+TEST(CheckUpdateStageTest, CleanStageHasNoViolations) {
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  const auto v = InvariantChecker::CheckUpdateStage(
+      wan.default_topology, 10.0, {Alloc(0, {0, 1, 3}, 10.0)});
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(CheckUpdateStageTest, FlagsRouteOverDarkLink) {
+  topo::Wan wan = topo::MakeMotivatingExample();
+  core::Topology lit = wan.default_topology;
+  lit.SetUnits(1, 3, 0);  // circuit torn down mid-update
+  const auto v =
+      InvariantChecker::CheckUpdateStage(lit, 10.0, {Alloc(0, {0, 1, 3}, 4.0)});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("blackhole"), std::string::npos);
+  EXPECT_NE(v.front().find("dark link"), std::string::npos);
+}
+
+TEST(CheckUpdateStageTest, ZeroRatePathOverDarkLinkIsDraining) {
+  // A drained route (rate forced to zero) may still be installed over a
+  // dark link — that is exactly what a failed-teardown drain looks like.
+  topo::Wan wan = topo::MakeMotivatingExample();
+  core::Topology lit = wan.default_topology;
+  lit.SetUnits(1, 3, 0);
+  const auto v =
+      InvariantChecker::CheckUpdateStage(lit, 10.0, {Alloc(0, {0, 1, 3}, 0.0)});
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(CheckUpdateStageTest, FlagsAggregateOverLitCapacity) {
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  // One lit 10 Gbps unit on (0,1); 8+8 Gbps overshoots it mid-update.
+  const auto v = InvariantChecker::CheckUpdateStage(
+      wan.default_topology, 10.0,
+      {Alloc(0, {0, 1}, 8.0), Alloc(1, {0, 1}, 8.0)});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("overshoots"), std::string::npos);
+}
+
+TEST(CheckUpdateStageTest, CapacityCheckCanBeDisabledForPlannedSchedules) {
+  // Precomputed schedules rely on the data plane rate-adapting, so the
+  // overshoot check is optional — the blackhole check never is.
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  const auto v = InvariantChecker::CheckUpdateStage(
+      wan.default_topology, 10.0,
+      {Alloc(0, {0, 1}, 8.0), Alloc(1, {0, 1}, 8.0)},
+      /*check_capacity=*/false);
+  EXPECT_TRUE(v.empty());
+}
+
 TEST(InvariantCheckerTest, ObserveTransferCatchesRegressionAndOverrun) {
   InvariantChecker c;
   EXPECT_TRUE(c.ObserveTransfer(0, 100.0, 500.0).empty());

@@ -1,0 +1,204 @@
+// Slot reconfigurations actuated through the update execution engine
+// (SimOptions::execute_updates): nominal parity with the instant-landing
+// legacy path, seeded-fault reproducibility, and safe-abort when a fault
+// event truncates the interval mid-update.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/owan.h"
+#include "sim/simulator.h"
+#include "testkit/oracles.h"
+#include "topo/topologies.h"
+
+namespace owan::sim {
+namespace {
+
+core::Request Req(int id, int src, int dst, double size, double arrival) {
+  core::Request r;
+  r.id = id;
+  r.src = src;
+  r.dst = dst;
+  r.size = size;
+  r.arrival = arrival;
+  return r;
+}
+
+core::OwanTe MakeOwan() {
+  core::OwanOptions opt;
+  opt.seed = 11;
+  opt.anneal.max_iterations = 200;
+  return core::OwanTe(opt);
+}
+
+// A 4-site square (paths 0-1-3 and 0-2-3, two wavelengths per fiber) with
+// three router ports per site — one spare beyond the default topology, so
+// a second wavelength can actually be provisioned somewhere.
+topo::Wan MakeSquare() {
+  std::vector<optical::SiteInfo> sites = {
+      {"R0", 3, 0}, {"R1", 3, 0}, {"R2", 3, 0}, {"R3", 3, 0}};
+  optical::OpticalNetwork on(std::move(sites), 10000.0, 10.0);
+  core::Topology topo(on.NumSites());
+  const int fibers[4][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  for (const auto& f : fibers) {
+    on.AddFiber(f[0], f[1], 500.0, 2);
+    topo.AddUnits(f[0], f[1], 1);
+  }
+  return topo::Wan{"square", std::move(on), std::move(topo),
+                   {"R0", "R1", "R2", "R3"}};
+}
+
+// Deterministic optical-aware scheme for MakeSquare: every slot it moves
+// the one spare wavelength between links 0-1 and 0-2 (both configurations
+// respect the 3-port budget), so every slot carries a real circuit update
+// with 3 s ops. Demands are routed 0->3 over both two-hop paths, which
+// stay lit in either configuration.
+class ToggleScheme : public core::TeScheme {
+ public:
+  std::string name() const override { return "toggle"; }
+  core::TeOutput Compute(const core::TeInput& input) override {
+    core::TeOutput out;
+    core::Topology a = *input.topology;  // sized to the WAN's sites
+    a.SetUnits(0, 1, 2);
+    a.SetUnits(0, 2, 1);
+    a.SetUnits(1, 3, 1);
+    a.SetUnits(2, 3, 1);
+    core::Topology b = *input.topology;
+    b.SetUnits(0, 1, 1);
+    b.SetUnits(0, 2, 2);
+    b.SetUnits(1, 3, 1);
+    b.SetUnits(2, 3, 1);
+    // Always target the configuration the plant is not in: every slot
+    // carries a real update, and an aborted one is retried next slot.
+    out.new_topology = (*input.topology == a) ? b : a;
+    const double theta = input.optical->wavelength_capacity();
+    for (const core::TransferDemand& d : input.demands) {
+      core::TransferAllocation alloc;
+      alloc.id = d.id;
+      core::PathAllocation upper;
+      upper.path.nodes = {0, 1, 3};
+      upper.rate = std::min(d.rate_cap / 2.0, theta);
+      core::PathAllocation lower;
+      lower.path.nodes = {0, 2, 3};
+      lower.rate = std::min(d.rate_cap / 2.0, theta);
+      alloc.paths.push_back(upper);
+      alloc.paths.push_back(lower);
+      out.allocations.push_back(alloc);
+    }
+    return out;
+  }
+};
+
+// With the nominal actuation model the executed run lands every update
+// exactly as the legacy instant path assumed: transfer outcomes and the
+// throughput series are bit-identical.
+TEST(UpdateExecSimTest, NominalExecutedRunMatchesLegacy) {
+  topo::Wan wan = topo::MakeInternet2();
+  std::vector<core::Request> reqs = {
+      Req(0, wan.SiteByName("SEA"), wan.SiteByName("NYC"), 90000.0, 0.0),
+      Req(1, wan.SiteByName("LAX"), wan.SiteByName("CHI"), 60000.0, 0.0)};
+
+  core::OwanTe legacy_te = MakeOwan();
+  SimResult legacy = RunSimulation(wan, reqs, legacy_te, {});
+
+  core::OwanTe exec_te = MakeOwan();
+  SimOptions opts;
+  opts.execute_updates = true;  // default ActuationModel: nominal plant
+  SimResult exec = RunSimulation(wan, reqs, exec_te, opts);
+
+  std::string why;
+  EXPECT_TRUE(testkit::SameSimResult(legacy, exec, &why) ||
+              why == "update execution metrics differ")
+      << why;
+  ASSERT_EQ(exec.transfers.size(), legacy.transfers.size());
+  for (size_t i = 0; i < exec.transfers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exec.transfers[i].delivered,
+                     legacy.transfers[i].delivered);
+    EXPECT_DOUBLE_EQ(exec.transfers[i].completed_at,
+                     legacy.transfers[i].completed_at);
+  }
+  EXPECT_EQ(exec.slot_throughput, legacy.slot_throughput);
+  EXPECT_EQ(exec.topology_changes, legacy.topology_changes);
+  EXPECT_GT(exec.updates_executed, 0);
+  EXPECT_EQ(exec.update_aborts, 0);
+  EXPECT_EQ(exec.update_retries, 0);
+  EXPECT_TRUE(exec.invariant_violations.empty());
+}
+
+// Same seed, same faults -> bit-identical SimResult, including the update
+// execution metrics (the executor draws order-independent samples).
+TEST(UpdateExecSimTest, SeededFaultyRunIsReproducible) {
+  topo::Wan wan = topo::MakeInternet2();
+  std::vector<core::Request> reqs = {
+      Req(0, wan.SiteByName("SEA"), wan.SiteByName("NYC"), 90000.0, 0.0),
+      Req(1, wan.SiteByName("LAX"), wan.SiteByName("CHI"), 60000.0, 0.0)};
+
+  auto run = [&]() {
+    core::OwanTe te = MakeOwan();
+    SimOptions opts;
+    opts.execute_updates = true;
+    opts.actuation.seed = 21;
+    opts.actuation.circuit_failure_prob = 0.2;
+    opts.actuation.route_failure_prob = 0.05;
+    opts.actuation.latency_cv = 0.4;
+    opts.actuation.straggler_prob = 0.1;
+    return RunSimulation(wan, reqs, te, opts);
+  };
+  SimResult a = run();
+  SimResult b = run();
+  std::string why;
+  EXPECT_TRUE(testkit::SameSimResult(a, b, &why)) << why;
+  EXPECT_GT(a.updates_executed, 0);
+  EXPECT_TRUE(a.invariant_violations.empty())
+      << a.invariant_violations.front();
+  for (const TransferRecord& t : a.transfers) {
+    EXPECT_TRUE(t.completed);
+  }
+}
+
+// A fault event landing one second into a slot truncates the interval
+// while 3 s circuit ops are still in flight: the update must safe-abort
+// (topology rolls back to the pre-update plant) and the run stays
+// invariant-clean. The controller recovers and the toggle lands later.
+TEST(UpdateExecSimTest, FaultEventMidUpdateSafeAborts) {
+  topo::Wan wan = MakeSquare();
+  std::vector<core::Request> reqs = {Req(0, 0, 3, 9000.0, 0.0)};
+
+  ToggleScheme scheme;
+  SimOptions opts;
+  opts.execute_updates = true;
+  opts.faults.Add(fault::FaultEvent::ControllerCrash(1.0));
+  opts.faults.Add(fault::FaultEvent::ControllerRecover(2.0));
+  SimResult res = RunSimulation(wan, reqs, scheme, opts);
+
+  EXPECT_GE(res.update_aborts, 1);
+  EXPECT_GT(res.updates_executed, res.update_aborts);
+  EXPECT_TRUE(res.invariant_violations.empty())
+      << res.invariant_violations.front();
+  EXPECT_TRUE(res.transfers[0].completed);
+}
+
+// The aborted slot carries the pre-update routes, not the never-installed
+// new ones: with no prior installed routes the truncated slot delivers
+// nothing, and delivery resumes once the update lands.
+TEST(UpdateExecSimTest, AbortedFirstSlotDeliversNothing) {
+  topo::Wan wan = MakeSquare();
+  std::vector<core::Request> reqs = {Req(0, 0, 3, 9000.0, 0.0)};
+
+  ToggleScheme scheme;
+  SimOptions opts;
+  opts.execute_updates = true;
+  opts.faults.Add(fault::FaultEvent::ControllerCrash(1.0));
+  opts.faults.Add(fault::FaultEvent::ControllerRecover(2.0));
+  SimResult res = RunSimulation(wan, reqs, scheme, opts);
+
+  ASSERT_GE(res.slot_throughput.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.slot_throughput[0].second, 0.0);
+  EXPECT_GT(res.slot_throughput.back().second, 0.0);
+  EXPECT_GT(res.transfers[0].delivered, 0.0);
+}
+
+}  // namespace
+}  // namespace owan::sim

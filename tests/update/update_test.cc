@@ -139,6 +139,85 @@ TEST(SchedulerTest, PortsGateAddCircuits) {
   }
 }
 
+// ---- PickStallVictim: Dionysus deadlock breaking with the blackhole
+// guard — never force an op past an unfinished route drain. ----
+
+UpdateOp Op(int id, OpType type, std::vector<int> deps) {
+  UpdateOp op;
+  op.id = id;
+  op.type = type;
+  op.duration_s = type == OpType::kAddCircuit || type == OpType::kRemoveCircuit
+                      ? 3.0
+                      : 0.01;
+  op.deps = std::move(deps);
+  return op;
+}
+
+TEST(StallVictimTest, DescendsToUnfinishedRouteDrain) {
+  // Cyclic stall where the fewest-deps victim is a RemoveCircuit that
+  // still waits on its draining RemoveRoute. Forcing the teardown would
+  // send the drain's live traffic into a dark circuit, so the victim must
+  // be the drain itself.
+  UpdatePlan plan;
+  plan.ops.push_back(Op(0, OpType::kRemoveRoute, {1, 2}));
+  plan.ops.push_back(Op(1, OpType::kRemoveCircuit, {0}));
+  plan.ops.push_back(Op(2, OpType::kAddCircuit, {1}));
+  const std::vector<bool> pending = {true, true, true};
+  const std::vector<bool> resolved = {false, false, false};
+  EXPECT_EQ(PickStallVictim(plan, pending, resolved), 0);
+}
+
+TEST(StallVictimTest, FinishedDrainDoesNotRedirectTheVictim) {
+  // Same shape, but the drain already resolved: the RemoveCircuit is safe
+  // to force and wins the fewest-unmet-deps tie-break by op id.
+  UpdatePlan plan;
+  plan.ops.push_back(Op(0, OpType::kRemoveRoute, {}));
+  plan.ops.push_back(Op(1, OpType::kRemoveCircuit, {0, 2}));
+  plan.ops.push_back(Op(2, OpType::kAddCircuit, {1}));
+  const std::vector<bool> pending = {false, true, true};
+  const std::vector<bool> resolved = {true, false, false};
+  EXPECT_EQ(PickStallVictim(plan, pending, resolved), 1);
+}
+
+TEST(StallVictimTest, NothingPendingReturnsMinusOne) {
+  UpdatePlan plan;
+  plan.ops.push_back(Op(0, OpType::kAddCircuit, {}));
+  EXPECT_EQ(PickStallVictim(plan, {false}, {true}), -1);
+}
+
+// ---- ValidateScheduleStages: no consistent schedule may route live
+// traffic into a dark circuit at any event edge. ----
+
+TEST(ValidateStagesTest, ConsistentScheduleIsBlackholeFree) {
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 2, 3}, 5.0), Alloc(1, {0, 1}, 10.0)};
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {2, 3}, 20.0), Alloc(1, {0, 1}, 20.0)};
+  UpdatePlan plan =
+      BuildUpdatePlan(SquareA(), SquareB(), old_routes, new_routes);
+  const Schedule s = ScheduleConsistent(plan);
+  const auto v = ValidateScheduleStages(SquareA(), 10.0, plan, s,
+                                        old_routes, new_routes);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(ValidateStagesTest, OneShotOpensBlackholes) {
+  // The one-shot baseline fires routes and teardowns simultaneously, so
+  // traffic rides circuits that are already dark — the validator must see
+  // it (this asymmetry is the point of the consistent scheduler).
+  auto old_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {0, 2, 3}, 5.0)};
+  auto new_routes = std::vector<core::TransferAllocation>{
+      Alloc(0, {2, 3}, 20.0)};
+  UpdatePlan plan =
+      BuildUpdatePlan(SquareA(), SquareB(), old_routes, new_routes);
+  const Schedule s = ScheduleOneShot(plan);
+  const auto v = ValidateScheduleStages(SquareA(), 10.0, plan, s,
+                                        old_routes, new_routes);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("dark"), std::string::npos);
+}
+
 TEST(SchedulerTest, EmptyPlan) {
   UpdatePlan plan;
   Schedule s = ScheduleConsistent(plan);

@@ -6,6 +6,13 @@
 // builds while any failure stays reproducible from the printed seed.
 //
 // Usage: fault_stress [--seed S] [--runs N] [--horizon-hours H]
+//                      [--actuation-fail P]
+//
+// --actuation-fail P turns on flaky-actuation mode: every slot
+// reconfiguration runs through the update execution engine with per-op
+// circuit failure probability P (route failures at P/4, latency jitter,
+// stragglers), so the chaos job also covers retries, plan repair, and
+// safe-abort under a crashing controller.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,7 +58,8 @@ struct SeedRun {
   core::OwanOptions oo;
 };
 
-SeedRun MakeSeedRun(const topo::Wan& wan, uint64_t seed, double horizon_s) {
+SeedRun MakeSeedRun(const topo::Wan& wan, uint64_t seed, double horizon_s,
+                    double actuation_fail) {
   fault::FaultGeneratorOptions fg;
   fg.seed = seed;
   fg.horizon_s = horizon_s;
@@ -67,14 +75,23 @@ SeedRun MakeSeedRun(const topo::Wan& wan, uint64_t seed, double horizon_s) {
   run.oo.seed = seed;
   run.oo.anneal.max_iterations = 150;
   run.oo.slot_seeded = true;
+  if (actuation_fail > 0.0) {
+    run.opt.execute_updates = true;
+    run.opt.actuation.seed = seed ^ 0xac7a710ULL;
+    run.opt.actuation.circuit_failure_prob = actuation_fail;
+    run.opt.actuation.route_failure_prob = actuation_fail / 4.0;
+    run.opt.actuation.latency_cv = 0.3;
+    run.opt.actuation.straggler_prob = 0.05;
+  }
   return run;
 }
 
 // Replays the failing seed with the tracer at full detail and dumps a
 // Chrome trace plus a JSONL event log into the working directory, so a
 // CI failure ships the evidence along with a one-line repro command.
-void DumpTelemetry(const topo::Wan& wan, uint64_t seed, double horizon_s) {
-  SeedRun run = MakeSeedRun(wan, seed, horizon_s);
+void DumpTelemetry(const topo::Wan& wan, uint64_t seed, double horizon_s,
+                   double actuation_fail) {
+  SeedRun run = MakeSeedRun(wan, seed, horizon_s, actuation_fail);
   obs::Tracer& tracer = obs::Tracer::Global();
   tracer.Start(/*detail=*/2);
   core::OwanTe te(run.oo);
@@ -97,8 +114,9 @@ void DumpTelemetry(const topo::Wan& wan, uint64_t seed, double horizon_s) {
                horizon_s / 3600.0);
 }
 
-int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
-  const SeedRun run = MakeSeedRun(wan, seed, horizon_s);
+int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s,
+               double actuation_fail) {
+  const SeedRun run = MakeSeedRun(wan, seed, horizon_s, actuation_fail);
 
   core::OwanTe te1(run.oo);
   const sim::SimResult a = sim::RunSimulation(wan, run.reqs, te1, run.opt);
@@ -120,11 +138,12 @@ int RunOneSeed(const topo::Wan& wan, uint64_t seed, double horizon_s) {
   }
   std::printf(
       "[seed %llu] %s: %d fault events, %d slots, %zu recoveries, "
-      "%.1f Gb invalidated%s\n",
+      "%.1f Gb invalidated, %d updates (%d aborted, %d retries)%s\n",
       (unsigned long long)seed, wan.name.c_str(), a.fault_events, a.slots,
       a.recovery_seconds.size(), a.gigabits_lost_to_faults,
+      a.updates_executed, a.update_aborts, a.update_retries,
       failures ? "  ** FAILED **" : "");
-  if (failures > 0) DumpTelemetry(wan, seed, horizon_s);
+  if (failures > 0) DumpTelemetry(wan, seed, horizon_s, actuation_fail);
   return failures;
 }
 
@@ -134,6 +153,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   int runs = 10;
   double horizon_hours = 2.0;
+  double actuation_fail = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
@@ -141,9 +161,12 @@ int main(int argc, char** argv) {
       runs = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--horizon-hours") && i + 1 < argc) {
       horizon_hours = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--actuation-fail") && i + 1 < argc) {
+      actuation_fail = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed S] [--runs N] [--horizon-hours H]\n",
+                   "usage: %s [--seed S] [--runs N] [--horizon-hours H] "
+                   "[--actuation-fail P]\n",
                    argv[0]);
       return 2;
     }
@@ -155,7 +178,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < runs; ++i) {
     const topo::Wan& wan = topologies[i % 2];
     failures += RunOneSeed(wan, seed + static_cast<uint64_t>(i),
-                           horizon_hours * 3600.0);
+                           horizon_hours * 3600.0, actuation_fail);
   }
   if (failures) {
     std::fprintf(stderr, "fault_stress: %d failure(s)\n", failures);

@@ -6,9 +6,10 @@
 // --seed base+t --trials 1) and write the shrunk case to a replay file that
 // --replay re-checks byte-for-byte.
 //
-// Usage: owan_fuzz [--trials N] [--seed S] [--suite all|lp|diff|invariant]
+// Usage: owan_fuzz [--trials N] [--seed S]
+//                  [--suite all|lp|diff|invariant|update]
 //                  [--replay FILE] [--shrink-out FILE] [--no-shrink]
-//                  [--max-shrink-evals N] [--inject-bug cache]
+//                  [--max-shrink-evals N] [--inject-bug cache|wal]
 //
 // Exit status: 0 all trials clean, 1 property failure, 2 usage/IO error.
 #include <cstdio>
@@ -20,6 +21,7 @@
 
 #include "core/energy_evaluator.h"
 #include "testkit/case_io.h"
+#include "update/intent_log.h"
 #include "testkit/oracles.h"
 #include "testkit/property.h"
 
@@ -30,9 +32,9 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trials N] [--seed S] "
-               "[--suite all|lp|diff|invariant] [--replay FILE] "
+               "[--suite all|lp|diff|invariant|update] [--replay FILE] "
                "[--shrink-out FILE] [--no-shrink] [--max-shrink-evals N] "
-               "[--inject-bug cache]\n",
+               "[--inject-bug cache|wal]\n",
                argv0);
   return 2;
 }
@@ -78,22 +80,29 @@ int main(int argc, char** argv) {
   const bool lp = suite == "all" || suite == "lp";
   const bool diff = suite == "all" || suite == "diff";
   const bool invariant = suite == "all" || suite == "invariant";
-  if (!lp && !diff && !invariant) return Usage(argv[0]);
+  const bool update_exec = suite == "all" || suite == "update";
+  if (!lp && !diff && !invariant && !update_exec) return Usage(argv[0]);
 
   if (!inject.empty()) {
-    if (inject != "cache") {
+    if (inject == "cache") {
+      core::EnergyEvaluator::TestOnlySkipAppearedInvalidation(true);
+      std::printf(
+          "owan_fuzz: injected bug: SyncCache skips appeared-link "
+          "invalidation\n");
+    } else if (inject == "wal") {
+      update::IntentLog::TestOnlySetDropEveryNth(5);
+      std::printf(
+          "owan_fuzz: injected bug: WAL writer drops every 5th intent "
+          "record\n");
+    } else {
       std::fprintf(stderr, "owan_fuzz: unknown --inject-bug \"%s\"\n",
                    inject.c_str());
       return 2;
     }
-    core::EnergyEvaluator::TestOnlySkipAppearedInvalidation(true);
-    std::printf(
-        "owan_fuzz: injected bug: SyncCache skips appeared-link "
-        "invalidation\n");
   }
 
   const testkit::Property property =
-      testkit::MakeOracleProperty(lp, diff, invariant);
+      testkit::MakeOracleProperty(lp, diff, invariant, {}, update_exec);
 
   if (!replay_path.empty()) {
     std::ifstream in(replay_path);
