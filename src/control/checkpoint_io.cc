@@ -1,0 +1,25 @@
+#include "control/checkpoint_io.h"
+
+namespace owan::control {
+
+void WritePaths(std::ostream& os, const char* path_tag,
+                const std::vector<core::PathAllocation>& paths) {
+  for (const core::PathAllocation& pa : paths) {
+    os << path_tag << " " << pa.rate << " " << pa.path.nodes.size();
+    for (net::NodeId n : pa.path.nodes) os << " " << n;
+    os << "\n";
+  }
+}
+
+bool ReadPathBody(std::istream& ls, core::PathAllocation& pa) {
+  size_t len = 0;
+  ls >> pa.rate >> len;
+  for (size_t k = 0; k < len && !ls.fail(); ++k) {
+    net::NodeId n;
+    ls >> n;
+    pa.path.nodes.push_back(n);
+  }
+  return !ls.fail();
+}
+
+}  // namespace owan::control

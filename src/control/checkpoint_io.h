@@ -1,0 +1,29 @@
+#ifndef OWAN_CONTROL_CHECKPOINT_IO_H_
+#define OWAN_CONTROL_CHECKPOINT_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "core/transfer.h"
+
+namespace owan::control {
+
+// Shared serialization for the path lists embedded in line-oriented
+// checkpoints: one "<path_tag> <rate> <n> <node...>" line per path. Used by
+// the controller's v3 interrupted-update section and the service's v4
+// frozen-route section, so both speak the same dialect. The caller is
+// responsible for stream precision (checkpoints use max_digits10).
+void WritePaths(std::ostream& os, const char* path_tag,
+                const std::vector<core::PathAllocation>& paths);
+
+// Parses the body of one path line (stream positioned just past the tag)
+// into `pa`. Returns false and sets the stream's fail state on malformed
+// input. Only node sequences are stored — edge ids and lengths are
+// derivable from the topology when needed, and the progress arithmetic
+// consumes nodes alone.
+bool ReadPathBody(std::istream& ls, core::PathAllocation& pa);
+
+}  // namespace owan::control
+
+#endif  // OWAN_CONTROL_CHECKPOINT_IO_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "control/checkpoint_io.h"
 #include "fault/fault_injector.h"
 #include "obs/obs.h"
 
@@ -321,11 +322,7 @@ std::string Controller::Checkpoint() const {
                              const std::vector<core::TransferAllocation>& rs) {
       for (const core::TransferAllocation& a : rs) {
         os << "uroute " << side << " " << a.id << "\n";
-        for (const core::PathAllocation& pa : a.paths) {
-          os << "upath " << pa.rate << " " << pa.path.nodes.size();
-          for (net::NodeId n : pa.path.nodes) os << " " << n;
-          os << "\n";
-        }
+        WritePaths(os, "upath", a.paths);
       }
     };
     emit_routes("old", pending_old_routes_);
@@ -421,14 +418,7 @@ Controller Controller::Restore(const topo::Wan* wan,
             "Controller::Restore: upath before uroute");
       }
       core::PathAllocation pa;
-      size_t len = 0;
-      ls >> pa.rate >> len;
-      for (size_t k = 0; k < len && !ls.fail(); ++k) {
-        net::NodeId n;
-        ls >> n;
-        pa.path.nodes.push_back(n);
-      }
-      if (!ls.fail()) uroutes->back().paths.push_back(std::move(pa));
+      if (ReadPathBody(ls, pa)) uroutes->back().paths.push_back(std::move(pa));
     } else if (tag == "uwal") {
       std::string rest;
       std::getline(ls, rest);

@@ -1,6 +1,7 @@
 #include "control/reservation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/provisioned_state.h"
@@ -46,10 +47,23 @@ double ReservationService::Residual(int64_t slot, net::EdgeId e) const {
   return it->second[static_cast<size_t>(e)];
 }
 
+bool ReservationService::ValidWindow(net::NodeId src, net::NodeId dst,
+                                     double rate, double start,
+                                     double end) const {
+  // A window starting in the past would book ledger slots that can never be
+  // served (FirstSlot truncates toward zero, so negative starts silently
+  // alias onto slot 0 or book negative slot keys); NaN/inf anywhere would
+  // poison every residual comparison after it.
+  return src != dst && src >= 0 && dst >= 0 && src < graph_.NumNodes() &&
+         dst < graph_.NumNodes() && std::isfinite(rate) && rate > 0.0 &&
+         std::isfinite(start) && start >= 0.0 && std::isfinite(end) &&
+         end > start;
+}
+
 std::optional<Reservation> ReservationService::Request(
     net::NodeId src, net::NodeId dst, double rate, double start,
     double end) {
-  if (src == dst || rate <= 0.0 || end <= start) return std::nullopt;
+  if (!ValidWindow(src, dst, rate, start, end)) return std::nullopt;
 
   const int64_t first = FirstSlot(start);
   const int64_t last = LastSlot(end);
@@ -176,6 +190,10 @@ void ReservationService::Release(int reservation_id) {
 
 double ReservationService::AvailableRate(net::NodeId src, net::NodeId dst,
                                          double start, double end) const {
+  // Mirror Request's guards (a probe rate of 1.0 stands in for "any"):
+  // src == dst or a degenerate window can obtain nothing, not "the k
+  // shortest self-loops' worth of capacity".
+  if (!ValidWindow(src, dst, 1.0, start, end)) return 0.0;
   const auto paths = net::KShortestPaths(graph_, src, dst, options_.k_paths);
   // Greedy commit over a scratch ledger — the same procedure admission
   // uses, so the answer is exactly what a Request could obtain.

@@ -69,6 +69,10 @@ class ReservationService {
   int BoostCircuits() const { return boost_circuits_; }
 
  private:
+  // Shared admission guard: real endpoints, positive finite rate, and a
+  // non-empty window that does not start in the past.
+  bool ValidWindow(net::NodeId src, net::NodeId dst, double rate,
+                   double start, double end) const;
   // Residual capacity per edge for one slot (lazily at full capacity).
   std::vector<double>& SlotResidual(int64_t slot);
   double Residual(int64_t slot, net::EdgeId e) const;

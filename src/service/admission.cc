@@ -1,0 +1,263 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "net/shortest_path.h"
+#include "obs/obs.h"
+
+namespace owan::service {
+
+namespace {
+constexpr double kEps = 1e-7;
+}
+
+AdmissionController::AdmissionController(const net::Graph& fixed_topology,
+                                         AdmissionOptions options)
+    : topo_(fixed_topology), options_(options) {}
+
+int64_t AdmissionController::SlotIndex(double t) const {
+  return static_cast<int64_t>(std::floor((t + 1e-9) / options_.slot_seconds));
+}
+
+std::vector<double>& AdmissionController::SlotResidual(int64_t slot) {
+  auto it = residual_.find(slot);
+  if (it == residual_.end()) {
+    std::vector<double> caps(static_cast<size_t>(topo_.NumEdges()));
+    for (net::EdgeId e = 0; e < topo_.NumEdges(); ++e) {
+      caps[static_cast<size_t>(e)] =
+          topo_.edge(e).capacity * options_.slot_seconds;
+    }
+    it = residual_.emplace(slot, std::move(caps)).first;
+  }
+  return it->second;
+}
+
+Admission AdmissionController::Offer(const core::Request& r, double now) {
+  if (!r.HasDeadline()) {
+    // Best-effort traffic is never gated — it rides leftover capacity.
+    ++admitted_;
+    return Admission::kAdmitted;
+  }
+
+  auto key = std::make_pair(r.src, r.dst);
+  auto pit = path_cache_.find(key);
+  if (pit == path_cache_.end()) {
+    pit = path_cache_
+              .emplace(key, net::KShortestPaths(topo_, r.src, r.dst,
+                                                options_.k_paths))
+              .first;
+  }
+  const std::vector<net::Path>& paths = pit->second;
+  if (paths.empty()) {
+    ++rejected_;
+    return Admission::kRejected;
+  }
+
+  // The transfer can use the full slots between its first boundary at or
+  // after `now` (it activates at a slot boundary) and its deadline.
+  const int64_t first =
+      static_cast<int64_t>(std::ceil((now - 1e-9) / options_.slot_seconds));
+  const int64_t last =
+      static_cast<int64_t>(std::floor(r.deadline / options_.slot_seconds)) -
+      1;
+  if (last < first) {
+    ++rejected_;
+    return Admission::kRejected;
+  }
+
+  double remaining = r.size;
+  std::map<int64_t, std::vector<EdgeVolume>> plan;
+  std::map<int64_t, std::vector<double>> tentative;
+
+  for (int64_t s = first; s <= last && remaining > kEps; ++s) {
+    std::vector<double>& res = SlotResidual(s);
+    std::vector<double>& tent = tentative[s];
+    if (tent.empty()) tent.assign(res.size(), 0.0);
+    for (const net::Path& p : paths) {
+      if (remaining <= kEps) break;
+      double avail = remaining;
+      for (net::EdgeId e : p.edges) {
+        avail = std::min(avail, res[static_cast<size_t>(e)] -
+                                    tent[static_cast<size_t>(e)]);
+      }
+      if (avail <= kEps) continue;
+      for (net::EdgeId e : p.edges) tent[static_cast<size_t>(e)] += avail;
+      plan[s].push_back(EdgeVolume{p.edges, avail});
+      remaining -= avail;
+    }
+  }
+
+  if (remaining > kEps) {
+    // Not rejected outright: the window is open and a Release may free
+    // enough future capacity. The caller queues it and re-offers.
+    return Admission::kPending;
+  }
+
+  for (auto& [s, tent] : tentative) {
+    std::vector<double>& res = SlotResidual(s);
+    for (size_t e = 0; e < res.size(); ++e) res[e] -= tent[e];
+  }
+  reservations_[r.id] = std::move(plan);
+  ++admitted_;
+  OWAN_COUNT("service.admission_booked");
+  return Admission::kAdmitted;
+}
+
+double AdmissionController::Release(int id, double now) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return 0.0;
+  const int64_t current = SlotIndex(now);
+  double released = 0.0;
+  // The slot containing `now` (and everything before it) has already been
+  // spent serving the transfer; only strictly-future slots come back. The
+  // elapsed bookings stay in the table — the residual ledger still reflects
+  // them, so dropping them here would make Audit() see phantom drift —
+  // until GarbageCollect retires slot and ledger together.
+  auto& slots = it->second;
+  for (auto sit = slots.upper_bound(current); sit != slots.end();
+       sit = slots.erase(sit)) {
+    std::vector<double>& res = SlotResidual(sit->first);
+    for (const EdgeVolume& ev : sit->second) {
+      for (net::EdgeId e : ev.edges) res[static_cast<size_t>(e)] += ev.volume;
+      released += ev.volume;
+    }
+  }
+  if (slots.empty()) reservations_.erase(it);
+  if (released > kEps) {
+    capacity_released_ = true;
+    OWAN_HISTO("service.released_gigabits", ::owan::obs::Unit::kGigabits,
+               released);
+  }
+  return released;
+}
+
+void AdmissionController::GarbageCollect(double now) {
+  const int64_t current = SlotIndex(now);
+  residual_.erase(residual_.begin(), residual_.lower_bound(current));
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    auto& slots = it->second;
+    slots.erase(slots.begin(), slots.lower_bound(current));
+    it = slots.empty() ? reservations_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<std::string> AdmissionController::Audit() const {
+  std::vector<std::string> violations;
+  // Reconstruct per-slot bookings from the reservation table and compare
+  // with the ledger. Only slots with a residual entry are checkable (lazily
+  // absent slots are at full capacity by construction).
+  std::map<int64_t, std::vector<double>> booked;
+  for (const auto& [id, slots] : reservations_) {
+    for (const auto& [s, evs] : slots) {
+      std::vector<double>& b = booked[s];
+      if (b.empty()) b.assign(static_cast<size_t>(topo_.NumEdges()), 0.0);
+      for (const EdgeVolume& ev : evs) {
+        for (net::EdgeId e : ev.edges) b[static_cast<size_t>(e)] += ev.volume;
+      }
+    }
+  }
+  for (const auto& [s, res] : residual_) {
+    for (net::EdgeId e = 0; e < topo_.NumEdges(); ++e) {
+      const double cap = topo_.edge(e).capacity * options_.slot_seconds;
+      const double used =
+          booked.count(s) ? booked[s][static_cast<size_t>(e)] : 0.0;
+      const double r = res[static_cast<size_t>(e)];
+      if (r < -1e-6) {
+        violations.push_back("slot " + std::to_string(s) + " edge " +
+                             std::to_string(e) + " oversubscribed: residual " +
+                             std::to_string(r));
+      }
+      if (std::abs(cap - used - r) > 1e-6 * std::max(1.0, cap)) {
+        violations.push_back("slot " + std::to_string(s) + " edge " +
+                             std::to_string(e) +
+                             " ledger drift: cap-used=" +
+                             std::to_string(cap - used) + " residual=" +
+                             std::to_string(r));
+      }
+    }
+  }
+  for (const auto& [s, b] : booked) {
+    if (residual_.count(s)) continue;
+    // Bookings on a slot with no ledger entry means the ledger lost track.
+    violations.push_back("slot " + std::to_string(s) +
+                         " has bookings but no residual entry");
+  }
+  return violations;
+}
+
+void AdmissionController::Checkpoint(std::ostream& os) const {
+  os << "adm " << admitted_ << " " << rejected_ << " " << capacity_released_
+     << "\n";
+  for (const auto& [id, slots] : reservations_) {
+    os << "aresv " << id << " " << slots.size() << "\n";
+    for (const auto& [s, evs] : slots) {
+      os << "aslot " << s << " " << evs.size() << "\n";
+      for (const EdgeVolume& ev : evs) {
+        os << "abook " << ev.volume << " " << ev.edges.size();
+        for (net::EdgeId e : ev.edges) os << " " << e;
+        os << "\n";
+      }
+    }
+  }
+  // The residual ledger itself is not serialized: FinishRestore rebuilds it
+  // from the reservations, and slots that carried bookings later fully
+  // released are indistinguishable from lazily-created full slots.
+}
+
+bool AdmissionController::RestoreLine(const std::string& tag,
+                                      std::istream& ls) {
+  if (tag == "adm") {
+    ls >> admitted_ >> rejected_ >> capacity_released_;
+  } else if (tag == "aresv") {
+    int id = 0;
+    size_t nslots = 0;
+    ls >> id >> nslots;
+    if (!ls.fail()) {
+      restore_resv_ = &reservations_[id];
+      restore_slot_ = nullptr;
+    }
+  } else if (tag == "aslot") {
+    int64_t s = 0;
+    size_t n = 0;
+    ls >> s >> n;
+    if (!ls.fail() && restore_resv_ != nullptr) {
+      restore_slot_ = &(*restore_resv_)[s];
+    } else if (restore_resv_ == nullptr) {
+      ls.setstate(std::ios::failbit);
+    }
+  } else if (tag == "abook") {
+    EdgeVolume ev;
+    size_t n = 0;
+    ls >> ev.volume >> n;
+    for (size_t k = 0; k < n && !ls.fail(); ++k) {
+      net::EdgeId e;
+      ls >> e;
+      ev.edges.push_back(e);
+    }
+    if (restore_slot_ == nullptr) ls.setstate(std::ios::failbit);
+    if (!ls.fail()) restore_slot_->push_back(std::move(ev));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::FinishRestore() {
+  residual_.clear();
+  for (const auto& [id, slots] : reservations_) {
+    for (const auto& [s, evs] : slots) {
+      std::vector<double>& res = SlotResidual(s);
+      for (const EdgeVolume& ev : evs) {
+        for (net::EdgeId e : ev.edges) {
+          res[static_cast<size_t>(e)] -= ev.volume;
+        }
+      }
+    }
+  }
+  restore_resv_ = nullptr;
+  restore_slot_ = nullptr;
+}
+
+}  // namespace owan::service

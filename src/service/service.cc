@@ -1,0 +1,693 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "control/checkpoint_io.h"
+#include "obs/obs.h"
+#include "sim/progress.h"
+
+namespace owan::service {
+
+namespace {
+
+// FNV-1a over the 8 bytes of `v`, little-end first. Byte-wise (not a single
+// multiply) so the digest matches across platforms with the same doubles.
+void Mix(uint64_t& acc, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    acc = (acc ^ ((v >> (8 * i)) & 0xffu)) * 1099511628211ULL;
+  }
+}
+
+uint64_t Bits(double d) { return std::bit_cast<uint64_t>(d); }
+
+size_t Log2Bucket(size_t depth) {
+  size_t b = 0;
+  while (depth > 0 && b < 15) {
+    depth >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+ControllerService::ControllerService(const topo::Wan* wan,
+                                     std::unique_ptr<core::TeScheme> scheme,
+                                     ServiceOptions options)
+    : wan_(wan),
+      scheme_(std::move(scheme)),
+      options_(options),
+      topology_(wan->default_topology),
+      admission_(wan->default_topology.ToGraph(
+                     wan->optical.wavelength_capacity()),
+                 [&options] {
+                   AdmissionOptions a = options.admission;
+                   a.slot_seconds = options.slot_seconds;
+                   return a;
+                 }()) {
+  if (!scheme_) throw std::invalid_argument("ControllerService: null scheme");
+  if (options_.num_shards < 1) {
+    throw std::invalid_argument("ControllerService: num_shards < 1");
+  }
+  options_.admission.slot_seconds = options_.slot_seconds;
+  shards_.resize(static_cast<size_t>(options_.num_shards));
+}
+
+void ControllerService::AttachStream(const workload::StreamParams& params,
+                                     uint64_t max_requests) {
+  stream_.emplace(wan_->optical.NumSites(), params);
+  stream_limit_ = max_requests;
+  if (stream_resume_cursor_ > 0) {
+    stream_->FastForward(stream_resume_cursor_);
+    stream_consumed_ = stream_resume_cursor_;
+  }
+}
+
+void ControllerService::Submit(const core::Request& r) {
+  if (r.src == r.dst || r.size <= 0.0 || r.id < 0) {
+    throw std::invalid_argument("ControllerService::Submit: bad request");
+  }
+  if (!queued_.empty() && r.arrival < queued_.back().arrival) {
+    throw std::invalid_argument(
+        "ControllerService::Submit: arrivals must be non-decreasing");
+  }
+  queued_.push_back(r);
+}
+
+ControllerService::Record* ControllerService::FindRecord(int id) {
+  auto& records = ShardFor(id).records;
+  auto it = records.find(id);
+  return it == records.end() ? nullptr : &it->second;
+}
+
+void ControllerService::FinalizeDecision(Record& rec, Verdict v,
+                                         double decision_time) {
+  rec.verdict = v;
+  rec.decided_at = decision_time;
+  const double latency = decision_time - rec.request.arrival;
+  const size_t bucket = std::min<size_t>(
+      15, static_cast<size_t>(
+              std::max(0.0, latency) / options_.slot_seconds + 1e-9));
+  ++stats_.decision_latency_slots[bucket];
+  OWAN_HISTO("service.decision_latency_s", ::owan::obs::Unit::kSimSeconds,
+             std::max(0.0, latency));
+  if (v == Verdict::kAdmitted) {
+    ++stats_.admitted;
+    OWAN_COUNT("service.admitted");
+  } else {
+    ++stats_.rejected;
+    OWAN_COUNT("service.rejected");
+  }
+  Mix(fp_acc_, static_cast<uint64_t>(rec.request.id));
+  Mix(fp_acc_, static_cast<uint64_t>(v));
+  Mix(fp_acc_, Bits(decision_time));
+}
+
+void ControllerService::FinalizeCompletion(int id, Record& rec) {
+  ++stats_.completed;
+  stats_.makespan = std::max(stats_.makespan, rec.completed_at);
+  OWAN_COUNT("service.transfers_completed");
+  Mix(fp_acc_, static_cast<uint64_t>(id));
+  Mix(fp_acc_, Bits(rec.completed_at));
+  Mix(fp_acc_, Bits(rec.delivered));
+  frozen_.erase(id);
+  if (!options_.retain_records) ShardFor(id).records.erase(id);
+}
+
+void ControllerService::DecideAndActivate(const core::Request& r,
+                                          double decision_time) {
+  Record rec;
+  rec.request = r;
+  rec.remaining = r.size;
+  auto [it, inserted] = ShardFor(r.id).records.emplace(r.id, std::move(rec));
+  if (!inserted) {
+    throw std::invalid_argument("ControllerService: duplicate request id " +
+                                std::to_string(r.id));
+  }
+  if (options_.retain_records) submission_order_.push_back(r.id);
+  Record& stored = it->second;
+
+  if (options_.mode == ServiceMode::kPassthrough) {
+    // Batch parity: the scheme's own Admit hook decides, and — exactly like
+    // sim::RunSimulation — even rejected requests activate (Amoeba serves
+    // them best-effort with leftover capacity).
+    const bool ok = scheme_->Admit(r, decision_time);
+    FinalizeDecision(stored, ok ? Verdict::kAdmitted : Verdict::kRejected,
+                     decision_time);
+    active_order_.push_back(r.id);
+    ShardFor(r.id).demand_added += r.size;
+    return;
+  }
+
+  const Admission a = admission_.Offer(r, decision_time);
+  switch (a) {
+    case Admission::kAdmitted:
+      FinalizeDecision(stored, Verdict::kAdmitted, decision_time);
+      active_order_.push_back(r.id);
+      ShardFor(r.id).demand_added += r.size;
+      break;
+    case Admission::kPending:
+      stored.verdict = Verdict::kPending;
+      pending_.push_back(r.id);
+      ++stats_.pending_enqueued;
+      OWAN_COUNT("service.pending_enqueued");
+      break;
+    case Admission::kRejected:
+      FinalizeDecision(stored, Verdict::kRejected, decision_time);
+      if (!options_.retain_records) ShardFor(r.id).records.erase(r.id);
+      break;
+  }
+}
+
+void ControllerService::IngestArrivals() {
+  for (;;) {
+    const bool stream_has = stream_ && stream_consumed_ < stream_limit_;
+    const bool queue_has = !queued_.empty();
+    if (!stream_has && !queue_has) return;
+
+    bool from_stream;
+    if (stream_has && queue_has) {
+      from_stream = stream_->Peek().arrival <= queued_.front().arrival;
+    } else {
+      from_stream = stream_has;
+    }
+    const double arrival =
+        from_stream ? stream_->Peek().arrival : queued_.front().arrival;
+    if (arrival > now_ + 1e-9) return;
+
+    core::Request r;
+    if (from_stream) {
+      r = stream_->Next();
+      ++stream_consumed_;
+    } else {
+      r = queued_.front();
+      queued_.pop_front();
+    }
+    ++stats_.requests;
+    OWAN_COUNT("service.requests");
+    // Online decisions happen at the request's own arrival timestamp on the
+    // virtual clock; passthrough decides at the slot boundary, exactly when
+    // the batch simulator calls Admit.
+    const double decision_time =
+        options_.mode == ServiceMode::kOnline ? r.arrival : now_;
+    DecideAndActivate(r, decision_time);
+  }
+}
+
+void ControllerService::ExpireAndRetryPending() {
+  if (options_.mode != ServiceMode::kOnline) return;
+  admission_.GarbageCollect(now_);
+  if (pending_.empty()) {
+    admission_.ClearReleased();
+    return;
+  }
+
+  const int64_t first_usable = static_cast<int64_t>(
+      std::ceil((now_ - 1e-9) / options_.slot_seconds));
+  std::deque<int> keep;
+  for (int id : pending_) {
+    Record* rec = FindRecord(id);
+    const int64_t last =
+        static_cast<int64_t>(
+            std::floor(rec->request.deadline / options_.slot_seconds)) -
+        1;
+    if (last < first_usable) {
+      // The deadline window closed while waiting — a firm reject.
+      FinalizeDecision(*rec, Verdict::kRejected, now_);
+      ++stats_.pending_rejected;
+      OWAN_COUNT("service.pending_rejected");
+      if (!options_.retain_records) ShardFor(id).records.erase(id);
+    } else {
+      keep.push_back(id);
+    }
+  }
+  pending_ = std::move(keep);
+
+  // Only a Release can turn a pending request admissible (windows only
+  // shrink; residuals only grow when capacity comes back), so the queue is
+  // re-offered exactly when that happened — never polled.
+  if (admission_.capacity_released() && !pending_.empty()) {
+    ++stats_.retry_rounds;
+    std::deque<int> still;
+    for (int id : pending_) {
+      Record* rec = FindRecord(id);
+      const Admission a = admission_.Offer(rec->request, now_);
+      if (a == Admission::kAdmitted) {
+        FinalizeDecision(*rec, Verdict::kAdmitted, now_);
+        ++stats_.pending_admitted;
+        OWAN_COUNT("service.pending_admitted");
+        active_order_.push_back(id);
+        ShardFor(id).demand_added += rec->request.size;
+      } else if (a == Admission::kRejected) {
+        FinalizeDecision(*rec, Verdict::kRejected, now_);
+        ++stats_.pending_rejected;
+        if (!options_.retain_records) ShardFor(id).records.erase(id);
+      } else {
+        still.push_back(id);
+      }
+    }
+    pending_ = std::move(still);
+  }
+  admission_.ClearReleased();
+}
+
+bool ControllerService::ShouldRecompute() const {
+  if (force_recompute_) return true;
+  const int64_t slot = static_cast<int64_t>(
+      std::floor((now_ + 1e-9) / options_.slot_seconds));
+  if (slot - last_recompute_slot_ >=
+      static_cast<int64_t>(options_.max_stale_slots)) {
+    return true;
+  }
+  double added = 0.0;
+  for (const Shard& s : shards_) added += s.demand_added;
+  return added >
+         options_.recompute_demand_frac *
+             std::max(last_recompute_demand_, 1e-9);
+}
+
+void ControllerService::RecordQueueDepth() {
+  ++stats_.queue_depth[Log2Bucket(pending_.size())];
+  OWAN_HISTO("service.queue_depth", ::owan::obs::Unit::kOps,
+             static_cast<double>(pending_.size()));
+}
+
+void ControllerService::ProgressSlot() {
+  const double dur = options_.slot_seconds;
+
+  core::TeInput input;
+  input.topology = &topology_;
+  input.optical = &wan_->optical;
+  input.slot_seconds = options_.slot_seconds;
+  input.now = now_;
+  input.demands.reserve(active_order_.size());
+  double total_demand = 0.0;
+  for (int id : active_order_) {
+    const Record* rec = FindRecord(id);
+    core::TransferDemand d;
+    d.id = id;
+    d.src = rec->request.src;
+    d.dst = rec->request.dst;
+    d.remaining = rec->remaining;
+    d.rate_cap = rec->remaining / options_.slot_seconds;
+    d.deadline = rec->request.deadline;
+    d.slots_waited = rec->slots_waited;
+    input.demands.push_back(d);
+    total_demand += rec->remaining;
+  }
+
+  const bool recompute =
+      options_.mode == ServiceMode::kPassthrough || ShouldRecompute();
+  core::TeOutput output;
+  std::set<sim::LinkKey> changed;
+  if (recompute) {
+    OWAN_SPAN(span, "service", "recompute");
+    span.AddArg("active", static_cast<double>(active_order_.size()));
+    const auto t0 = std::chrono::steady_clock::now();
+    output = scheme_->Compute(input);
+    const double compute_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stats_.compute_seconds += compute_s;
+    OWAN_HISTO("service.compute_seconds", ::owan::obs::Unit::kSeconds,
+               compute_s);
+    frozen_.clear();
+    for (size_t i = 0;
+         i < output.allocations.size() && i < input.demands.size(); ++i) {
+      frozen_[input.demands[i].id] = output.allocations[i];
+    }
+    if (output.new_topology && !(*output.new_topology == topology_)) {
+      changed = sim::ChangedLinks(topology_, *output.new_topology);
+      stats_.topology_changes += topology_.DistanceTo(*output.new_topology);
+      topology_ = *output.new_topology;
+    }
+    ++stats_.recomputes;
+    OWAN_COUNT("service.recomputes");
+    last_recompute_slot_ = static_cast<int64_t>(
+        std::floor((now_ + 1e-9) / options_.slot_seconds));
+    last_recompute_demand_ = total_demand;
+    for (Shard& s : shards_) s.demand_added = 0.0;
+    force_recompute_ = false;
+  } else {
+    // Coast: the data plane keeps the last computed rates; transfers that
+    // arrived since then wait (their stall time is the price of staleness,
+    // bounded by max_stale_slots).
+    output.allocations.reserve(active_order_.size());
+    for (int id : active_order_) {
+      auto it = frozen_.find(id);
+      core::TransferAllocation a;
+      a.id = id;
+      if (it != frozen_.end()) a = it->second;
+      output.allocations.push_back(std::move(a));
+    }
+    ++stats_.coasts;
+    OWAN_COUNT("service.coasts");
+  }
+
+  ++stats_.slots;
+  double slot_rate = 0.0;
+  for (const core::TransferAllocation& a : output.allocations) {
+    slot_rate += a.TotalRate();
+  }
+  stats_.slot_throughput.emplace_back(now_, slot_rate);
+  OWAN_HISTO("service.slot_rate_gbps", ::owan::obs::Unit::kGigabits,
+             slot_rate);
+
+  std::vector<int> still_active;
+  still_active.reserve(active_order_.size());
+  for (size_t ai = 0; ai < active_order_.size(); ++ai) {
+    const int id = active_order_[ai];
+    Record& rec = *FindRecord(id);
+    const core::TransferAllocation& alloc =
+        ai < output.allocations.size() ? output.allocations[ai]
+                                       : core::TransferAllocation{};
+    const sim::SlotProgress p = sim::ProgressTransfer(
+        rec.request, rec.remaining, alloc, changed, now_, dur,
+        options_.slot_seconds, options_.reconfig_penalty_s);
+
+    if (rec.request.HasDeadline()) {
+      rec.delivered_by_deadline += std::min(p.deadline_part, p.delivered);
+    }
+    rec.delivered += p.delivered;
+    stats_.delivered_gigabits += p.delivered;
+
+    if (p.finishes) {
+      rec.completed = true;
+      rec.completed_at = p.completed_at;
+      if (options_.mode == ServiceMode::kOnline) {
+        admission_.Release(id, now_);
+      }
+      FinalizeCompletion(id, rec);
+    } else {
+      rec.remaining -= p.delivered;
+      rec.slots_waited = p.delivered > 1e-9 ? 0 : rec.slots_waited + 1;
+      if (p.total_rate <= 1e-9) rec.stalled_s += dur;
+      still_active.push_back(id);
+    }
+  }
+  active_order_ = std::move(still_active);
+  RecordQueueDepth();
+  now_ += dur;
+}
+
+bool ControllerService::Step() {
+  if (now_ >= options_.max_time_s) return false;
+
+  ExpireAndRetryPending();
+  IngestArrivals();
+
+  if (active_order_.empty()) {
+    const bool arrivals_left =
+        (stream_ && stream_consumed_ < stream_limit_) || !queued_.empty();
+    if (!arrivals_left && pending_.empty()) return false;
+    // Jump to the slot containing the next arrival (same arithmetic as the
+    // batch simulator's idle fast-forward); with only pending requests
+    // left, step one slot at a time until their windows expire.
+    double target = now_ + options_.slot_seconds;
+    if (arrivals_left) {
+      const double arr = stream_ && stream_consumed_ < stream_limit_ &&
+                                 (queued_.empty() ||
+                                  stream_->Peek().arrival <=
+                                      queued_.front().arrival)
+                             ? stream_->Peek().arrival
+                             : queued_.front().arrival;
+      const double slots_ahead = std::floor(arr / options_.slot_seconds);
+      target = std::max(now_ + options_.slot_seconds,
+                        slots_ahead * options_.slot_seconds);
+    }
+    now_ = target;
+    return true;
+  }
+
+  ProgressSlot();
+  return true;
+}
+
+void ControllerService::Run() {
+  OWAN_SPAN(span, "service", "run");
+  while (Step()) {
+  }
+}
+
+void ControllerService::RunUntilIngested(uint64_t n) {
+  while (stats_.requests < n && Step()) {
+  }
+}
+
+uint64_t ControllerService::Fingerprint() const {
+  uint64_t acc = fp_acc_;
+  Mix(acc, Bits(now_));
+  Mix(acc, stats_.slots);
+  for (int id : active_order_) {
+    const auto& records =
+        shards_[static_cast<size_t>(id) % shards_.size()].records;
+    auto it = records.find(id);
+    Mix(acc, static_cast<uint64_t>(id));
+    Mix(acc, Bits(it->second.remaining));
+  }
+  for (int id : pending_) Mix(acc, static_cast<uint64_t>(id));
+  return acc;
+}
+
+sim::SimResult ControllerService::ToSimResult() const {
+  if (!options_.retain_records) {
+    throw std::logic_error(
+        "ControllerService::ToSimResult needs retain_records");
+  }
+  sim::SimResult result;
+  result.transfers.reserve(submission_order_.size());
+  result.makespan = stats_.makespan;
+  for (int id : submission_order_) {
+    const auto& records =
+        shards_[static_cast<size_t>(id) % shards_.size()].records;
+    const Record& rec = records.at(id);
+    sim::TransferRecord t;
+    t.request = rec.request;
+    t.admitted = rec.verdict == Verdict::kAdmitted;
+    t.completed = rec.completed;
+    t.completed_at = rec.completed_at;
+    t.delivered = rec.delivered;
+    t.delivered_by_deadline = rec.delivered_by_deadline;
+    t.stalled_s = rec.stalled_s;
+    if (!t.completed) {
+      // The batch simulator counts every unfinished-but-served transfer as
+      // completing at the cap. Online rejects/pendings never ran — they
+      // keep completed_at = -1.
+      const bool served = options_.mode == ServiceMode::kPassthrough ||
+                          rec.verdict == Verdict::kAdmitted;
+      if (served) {
+        t.completed_at = options_.max_time_s;
+        result.makespan = std::max(result.makespan, options_.max_time_s);
+      }
+    }
+    result.transfers.push_back(std::move(t));
+  }
+  result.slots = static_cast<int>(stats_.slots);
+  result.topology_changes = static_cast<int>(stats_.topology_changes);
+  result.compute_seconds = stats_.compute_seconds;
+  result.slot_throughput = stats_.slot_throughput;
+  return result;
+}
+
+std::string ControllerService::Checkpoint() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "owan-checkpoint v4\n";
+  os << "now " << now_ << "\n";
+  os << "mode " << static_cast<int>(options_.mode) << "\n";
+  os << "svc-counters " << stats_.requests << " " << stats_.admitted << " "
+     << stats_.rejected << " " << stats_.pending_enqueued << " "
+     << stats_.pending_admitted << " " << stats_.pending_rejected << " "
+     << stats_.completed << " " << stats_.slots << " " << stats_.recomputes
+     << " " << stats_.coasts << " " << stats_.retry_rounds << " "
+     << stats_.topology_changes << "\n";
+  os << "svc-accum " << stats_.compute_seconds << " "
+     << stats_.delivered_gigabits << " " << stats_.makespan << "\n";
+  os << "svc-latency";
+  for (uint64_t v : stats_.decision_latency_slots) os << " " << v;
+  os << "\n";
+  os << "svc-qdepth";
+  for (uint64_t v : stats_.queue_depth) os << " " << v;
+  os << "\n";
+  double added = 0.0;
+  for (const Shard& s : shards_) added += s.demand_added;
+  os << "svc-clock " << last_recompute_slot_ << " " << added << " "
+     << last_recompute_demand_ << " " << force_recompute_ << "\n";
+  os << "fingerprint " << fp_acc_ << "\n";
+  if (stream_) os << "stream " << stream_consumed_ << "\n";
+  os << "topology " << topology_.NumSites() << "\n";
+  for (const core::Link& l : topology_.Links()) {
+    os << "slink " << l.u << " " << l.v << " " << l.units << "\n";
+  }
+  for (const core::Request& r : queued_) {
+    os << "qreq " << r.id << " " << r.src << " " << r.dst << " " << r.size
+       << " " << r.arrival << " " << r.deadline << "\n";
+  }
+  // Records in a deterministic order: submission order when retained,
+  // ascending id otherwise (only live records exist then).
+  std::vector<int> rec_order;
+  if (options_.retain_records) {
+    rec_order = submission_order_;
+  } else {
+    for (const Shard& s : shards_) {
+      for (const auto& [id, rec] : s.records) rec_order.push_back(id);
+    }
+    std::sort(rec_order.begin(), rec_order.end());
+  }
+  for (int id : rec_order) {
+    const Record& rec =
+        shards_[static_cast<size_t>(id) % shards_.size()].records.at(id);
+    os << "rec " << id << " " << rec.request.src << " " << rec.request.dst
+       << " " << rec.request.size << " " << rec.request.arrival << " "
+       << rec.request.deadline << " " << static_cast<int>(rec.verdict) << " "
+       << rec.decided_at << " " << rec.remaining << " " << rec.delivered
+       << " " << rec.delivered_by_deadline << " " << rec.stalled_s << " "
+       << rec.slots_waited << " " << rec.completed << " " << rec.completed_at
+       << "\n";
+  }
+  os << "active " << active_order_.size();
+  for (int id : active_order_) os << " " << id;
+  os << "\n";
+  os << "pendq " << pending_.size();
+  for (int id : pending_) os << " " << id;
+  os << "\n";
+  for (const auto& [t, rate] : stats_.slot_throughput) {
+    os << "tp " << t << " " << rate << "\n";
+  }
+  for (const auto& [id, alloc] : frozen_) {
+    os << "froute " << id << " " << alloc.paths.size() << "\n";
+    control::WritePaths(os, "fpath", alloc.paths);
+  }
+  admission_.Checkpoint(os);
+  return os.str();
+}
+
+ControllerService ControllerService::Restore(
+    const topo::Wan* wan, std::unique_ptr<core::TeScheme> scheme,
+    const std::string& checkpoint, ServiceOptions options) {
+  std::istringstream is(checkpoint);
+  std::string line;
+  if (!std::getline(is, line) || line != "owan-checkpoint v4") {
+    throw std::invalid_argument(
+        "ControllerService::Restore: bad checkpoint header");
+  }
+  ControllerService c(wan, std::move(scheme), options);
+  core::Topology topo;
+  core::TransferAllocation* froute = nullptr;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "now") {
+      ls >> c.now_;
+    } else if (tag == "mode") {
+      int m = 0;
+      ls >> m;
+      c.options_.mode = static_cast<ServiceMode>(m);
+    } else if (tag == "svc-counters") {
+      ls >> c.stats_.requests >> c.stats_.admitted >> c.stats_.rejected >>
+          c.stats_.pending_enqueued >> c.stats_.pending_admitted >>
+          c.stats_.pending_rejected >> c.stats_.completed >> c.stats_.slots >>
+          c.stats_.recomputes >> c.stats_.coasts >> c.stats_.retry_rounds >>
+          c.stats_.topology_changes;
+    } else if (tag == "svc-accum") {
+      ls >> c.stats_.compute_seconds >> c.stats_.delivered_gigabits >>
+          c.stats_.makespan;
+    } else if (tag == "svc-latency") {
+      for (uint64_t& v : c.stats_.decision_latency_slots) ls >> v;
+    } else if (tag == "svc-qdepth") {
+      for (uint64_t& v : c.stats_.queue_depth) ls >> v;
+    } else if (tag == "svc-clock") {
+      double added = 0.0;
+      ls >> c.last_recompute_slot_ >> added >> c.last_recompute_demand_ >>
+          c.force_recompute_;
+      if (!ls.fail()) c.shards_[0].demand_added = added;
+    } else if (tag == "fingerprint") {
+      ls >> c.fp_acc_;
+    } else if (tag == "stream") {
+      ls >> c.stream_resume_cursor_;
+    } else if (tag == "topology") {
+      int n = 0;
+      ls >> n;
+      topo = core::Topology(n);
+    } else if (tag == "slink") {
+      int u, v, units;
+      ls >> u >> v >> units;
+      if (!ls.fail()) topo.AddUnits(u, v, units);
+    } else if (tag == "qreq") {
+      core::Request r;
+      ls >> r.id >> r.src >> r.dst >> r.size >> r.arrival >> r.deadline;
+      if (!ls.fail()) c.queued_.push_back(r);
+    } else if (tag == "rec") {
+      Record rec;
+      int id = -1, verdict = 0;
+      ls >> id >> rec.request.src >> rec.request.dst >> rec.request.size >>
+          rec.request.arrival >> rec.request.deadline >> verdict >>
+          rec.decided_at >> rec.remaining >> rec.delivered >>
+          rec.delivered_by_deadline >> rec.stalled_s >> rec.slots_waited >>
+          rec.completed >> rec.completed_at;
+      if (!ls.fail()) {
+        rec.request.id = id;
+        rec.verdict = static_cast<Verdict>(verdict);
+        c.ShardFor(id).records.emplace(id, std::move(rec));
+        if (c.options_.retain_records) c.submission_order_.push_back(id);
+      }
+    } else if (tag == "active") {
+      size_t n = 0;
+      ls >> n;
+      for (size_t k = 0; k < n && !ls.fail(); ++k) {
+        int id;
+        ls >> id;
+        c.active_order_.push_back(id);
+      }
+    } else if (tag == "pendq") {
+      size_t n = 0;
+      ls >> n;
+      for (size_t k = 0; k < n && !ls.fail(); ++k) {
+        int id;
+        ls >> id;
+        c.pending_.push_back(id);
+      }
+    } else if (tag == "tp") {
+      double t = 0.0, rate = 0.0;
+      ls >> t >> rate;
+      if (!ls.fail()) c.stats_.slot_throughput.emplace_back(t, rate);
+    } else if (tag == "froute") {
+      int id = -1;
+      size_t n = 0;
+      ls >> id >> n;
+      if (!ls.fail()) {
+        core::TransferAllocation a;
+        a.id = id;
+        froute = &c.frozen_.emplace(id, std::move(a)).first->second;
+      }
+    } else if (tag == "fpath") {
+      if (froute == nullptr) {
+        throw std::invalid_argument(
+            "ControllerService::Restore: fpath before froute");
+      }
+      core::PathAllocation pa;
+      if (control::ReadPathBody(ls, pa)) {
+        froute->paths.push_back(std::move(pa));
+      }
+    } else if (!c.admission_.RestoreLine(tag, ls)) {
+      throw std::invalid_argument(
+          "ControllerService::Restore: unknown tag: " + tag);
+    }
+    if (ls.fail()) {
+      throw std::invalid_argument(
+          "ControllerService::Restore: corrupt line: " + line);
+    }
+  }
+  if (topo.NumSites() > 0) c.topology_ = topo;
+  c.admission_.FinishRestore();
+  return c;
+}
+
+}  // namespace owan::service

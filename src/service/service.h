@@ -1,0 +1,235 @@
+#ifndef OWAN_SERVICE_SERVICE_H_
+#define OWAN_SERVICE_SERVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/te_scheme.h"
+#include "core/topology.h"
+#include "service/admission.h"
+#include "sim/simulator.h"
+#include "topo/topologies.h"
+#include "workload/stream.h"
+
+namespace owan::service {
+
+// How the service makes admission decisions and paces recomputes.
+enum class ServiceMode : uint8_t {
+  // Batch parity: every arrival is admitted via the TE scheme's own Admit
+  // hook at slot boundaries and every slot recomputes — the event loop then
+  // reproduces sim::RunSimulation bit-for-bit (the nominal-parity anchor).
+  kPassthrough = 0,
+  // Streaming: the AdmissionController gates deadline traffic at arrival
+  // time, rejected-for-now requests wait in the pending queue, and the TE
+  // scheme only recomputes when the batched-staleness triggers fire.
+  kOnline = 1,
+};
+
+struct ServiceOptions {
+  double slot_seconds = 300.0;
+  double reconfig_penalty_s = 0.0;
+  double max_time_s = 72.0 * 3600.0;
+  ServiceMode mode = ServiceMode::kOnline;
+
+  // Per-transfer state is sharded by id — the staleness trigger reads only
+  // the per-shard demand aggregates, never the records themselves.
+  int num_shards = 8;
+
+  AdmissionOptions admission;  // k_paths; slot_seconds is kept in sync
+
+  // ---- bounded-staleness recompute triggers (kOnline) ----
+  // Recompute when newly-admitted demand since the last recompute exceeds
+  // this fraction of the demand the last recompute saw...
+  double recompute_demand_frac = 0.25;
+  // ...or when this many slots have been coasted on frozen allocations.
+  int max_stale_slots = 4;
+
+  // Keep per-request records after they finalize so ToSimResult() can
+  // reconstruct a full sim::SimResult. Turn off for multi-million-request
+  // soaks: finalized records fold into the fingerprint and aggregate stats,
+  // then free their memory.
+  bool retain_records = true;
+};
+
+// Aggregate outcome counters — everything the soak/bench path needs without
+// retaining per-request records.
+struct ServiceStats {
+  uint64_t requests = 0;        // arrivals ingested
+  uint64_t admitted = 0;        // includes pending later admitted
+  uint64_t rejected = 0;        // includes pending later expired
+  uint64_t pending_enqueued = 0;
+  uint64_t pending_admitted = 0;  // resolved from the queue
+  uint64_t pending_rejected = 0;  // expired in the queue
+  uint64_t completed = 0;
+  uint64_t slots = 0;
+  uint64_t recomputes = 0;  // slots that ran scheme.Compute
+  uint64_t coasts = 0;      // slots served from frozen allocations
+  uint64_t retry_rounds = 0;
+  int64_t topology_changes = 0;
+  double compute_seconds = 0.0;  // wall-clock inside scheme.Compute
+  double delivered_gigabits = 0.0;
+  double makespan = 0.0;
+
+  // Decision latency in whole slots from arrival to final verdict
+  // (bucket 15 = 15+). Immediate decisions land in bucket 0.
+  std::array<uint64_t, 16> decision_latency_slots{};
+  // Pending-queue depth sampled once per progressed slot, log2 buckets:
+  // 0, 1, 2-3, 4-7, ... (bucket 15 = 16384+).
+  std::array<uint64_t, 16> queue_depth{};
+
+  // Per-slot (start time, total allocated Gbps) — same series the batch
+  // simulator records.
+  std::vector<std::pair<double, double>> slot_throughput;
+};
+
+// The streaming controller service: a persistent event loop around a TE
+// scheme that consumes a request stream on a deterministic virtual clock,
+// gates arrivals through online admission control, aggregates admitted
+// demand across shards, and recomputes the TE state in batches instead of
+// every slot. Epoch snapshots ("owan-checkpoint v4") capture the entire
+// request-stream state so a crashed service resumes bit-identically.
+//
+// No wall time enters any decision: arrivals, admissions, retries, and
+// recomputes are all keyed to the virtual clock, so two runs with the same
+// seed produce the same Fingerprint() — which is exactly what the CI soak
+// asserts.
+class ControllerService {
+ public:
+  ControllerService(const topo::Wan* wan,
+                    std::unique_ptr<core::TeScheme> scheme,
+                    ServiceOptions options = {});
+  ControllerService(ControllerService&&) = default;
+
+  // Attaches the seeded arrival stream; the loop pulls requests lazily as
+  // the virtual clock reaches their arrival times, up to `max_requests`.
+  // After Restore(), re-attach the same params/limit: the stream is
+  // fast-forwarded to the checkpointed cursor.
+  void AttachStream(const workload::StreamParams& params,
+                    uint64_t max_requests);
+
+  // Enqueues one explicit request (must be offered in non-decreasing
+  // arrival order). Usable alongside or instead of a stream.
+  void Submit(const core::Request& r);
+
+  // Runs the event loop until all attached work is decided and drained, or
+  // the virtual clock hits max_time_s. Resumable: more Submits (or a
+  // Restore) followed by another Run continue the same timeline.
+  void Run();
+  // Runs until at least `n` requests have been ingested in total, then
+  // stops at the next slot boundary — the crash-point hook for
+  // checkpoint/restore tests. Run() continues afterwards.
+  void RunUntilIngested(uint64_t n);
+
+  const ServiceStats& stats() const { return stats_; }
+  double now() const { return now_; }
+  const core::Topology& topology() const { return topology_; }
+  const AdmissionController& admission() const { return admission_; }
+  uint64_t ingested() const { return stats_.requests; }
+  int active_transfers() const { return static_cast<int>(active_order_.size()); }
+  int pending_requests() const { return static_cast<int>(pending_.size()); }
+
+  // Order-independent-of-wall-time digest of every decision and completion
+  // plus the live in-flight state. Equal across a crash/restore boundary
+  // and across same-seed reruns.
+  uint64_t Fingerprint() const;
+
+  // Rebuilds the batch simulator's result view (requires retain_records).
+  // In kPassthrough mode this is bit-identical to sim::RunSimulation on the
+  // same inputs.
+  sim::SimResult ToSimResult() const;
+
+  // Force the next progressed slot to recompute (the fault-event trigger).
+  void ForceRecompute() { force_recompute_ = true; }
+
+  // ---- epoch snapshots (checkpoint v4) ----
+  std::string Checkpoint() const;
+  static ControllerService Restore(const topo::Wan* wan,
+                                   std::unique_ptr<core::TeScheme> scheme,
+                                   const std::string& checkpoint,
+                                   ServiceOptions options = {});
+
+ private:
+  enum class Verdict : uint8_t {
+    kUndecided = 0,
+    kAdmitted = 1,
+    kPending = 2,
+    kRejected = 3,
+  };
+
+  struct Record {
+    core::Request request;
+    Verdict verdict = Verdict::kUndecided;
+    double decided_at = 0.0;
+    double remaining = 0.0;
+    double delivered = 0.0;
+    double delivered_by_deadline = 0.0;
+    double stalled_s = 0.0;
+    int slots_waited = 0;
+    bool completed = false;
+    double completed_at = -1.0;
+  };
+
+  struct Shard {
+    std::unordered_map<int, Record> records;
+    // Demand admitted into this shard since the last recompute — the only
+    // thing the staleness trigger reads.
+    double demand_added = 0.0;
+  };
+
+  // One event-loop iteration (one slot, or one idle clock jump). Returns
+  // false when all attached work is drained.
+  bool Step();
+  void IngestArrivals();
+  void DecideAndActivate(const core::Request& r, double decision_time);
+  void ExpireAndRetryPending();
+  void ProgressSlot();
+  bool ShouldRecompute() const;
+  void FinalizeDecision(Record& rec, Verdict v, double decision_time);
+  void FinalizeCompletion(int id, Record& rec);
+  void RecordQueueDepth();
+
+  Shard& ShardFor(int id) {
+    return shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+  Record* FindRecord(int id);
+
+  const topo::Wan* wan_;
+  std::unique_ptr<core::TeScheme> scheme_;
+  ServiceOptions options_;
+
+  core::Topology topology_;
+  AdmissionController admission_;
+  std::vector<Shard> shards_;
+
+  // Arrival sources: the optional seeded stream plus the explicit queue.
+  std::optional<workload::ArrivalStream> stream_;
+  uint64_t stream_limit_ = 0;
+  uint64_t stream_consumed_ = 0;
+  // Cursor recovered from a v4 checkpoint before AttachStream is called.
+  uint64_t stream_resume_cursor_ = 0;
+  std::deque<core::Request> queued_;
+
+  double now_ = 0.0;
+  std::vector<int> active_order_;   // activation order — drives Compute
+  std::deque<int> pending_;         // admission-pending, FIFO
+  std::map<int, core::TransferAllocation> frozen_;  // last computed rates
+  std::vector<int> submission_order_;  // all ids ever seen (retain only)
+
+  int64_t last_recompute_slot_ = -(1 << 30);
+  double last_recompute_demand_ = 0.0;
+  bool force_recompute_ = false;
+
+  ServiceStats stats_;
+  uint64_t fp_acc_ = 14695981039346656037ULL;  // FNV-1a offset basis
+};
+
+}  // namespace owan::service
+
+#endif  // OWAN_SERVICE_SERVICE_H_

@@ -1,0 +1,50 @@
+#ifndef OWAN_SIM_PROGRESS_H_
+#define OWAN_SIM_PROGRESS_H_
+
+#include <set>
+#include <utility>
+
+#include "core/topology.h"
+#include "core/transfer.h"
+
+namespace owan::sim {
+
+// Canonical (min, max) site pair used for "did this path cross a
+// reconfigured link" checks.
+using LinkKey = std::pair<net::NodeId, net::NodeId>;
+
+inline LinkKey MakeLinkKey(net::NodeId a, net::NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+// Links whose unit counts differ between two topologies.
+std::set<LinkKey> ChangedLinks(const core::Topology& a,
+                               const core::Topology& b);
+
+// Outcome of progressing one transfer over one interval.
+struct SlotProgress {
+  double delivered = 0.0;       // gigabits credited (clamped to remaining)
+  double full_delivered = 0.0;  // uninterrupted-slot delivery, unclamped
+  double deadline_part = 0.0;   // deadline-usable delivery, unclamped
+  double total_rate = 0.0;      // Gbps summed over paths
+  double penalty_max = 0.0;     // worst reconfiguration penalty across paths
+  bool finishes = false;
+  double completed_at = 0.0;    // absolute seconds; valid when finishes
+};
+
+// The per-transfer progress arithmetic shared by the batch simulator and
+// the streaming controller service: path-by-path delivery with the
+// reconfiguration penalty on paths crossing a changed link, the megabit
+// completion epsilon, and the within-slot finish time. Exact
+// floating-point operation order matters here — the service's
+// nominal-parity contract (bit-identical outcomes to sim::RunSimulation)
+// holds because both run THIS function, not two copies of it.
+SlotProgress ProgressTransfer(const core::Request& r, double remaining,
+                              const core::TransferAllocation& alloc,
+                              const std::set<LinkKey>& changed, double now,
+                              double dur, double slot_seconds,
+                              double reconfig_penalty_s);
+
+}  // namespace owan::sim
+
+#endif  // OWAN_SIM_PROGRESS_H_

@@ -11,27 +11,12 @@
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
 #include "obs/obs.h"
+#include "sim/progress.h"
 #include "update/update_plan.h"
 
 namespace owan::sim {
 
 namespace {
-
-using LinkKey = std::pair<net::NodeId, net::NodeId>;
-
-LinkKey Key(net::NodeId a, net::NodeId b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-}
-
-// Links whose unit counts differ between two topologies.
-std::set<LinkKey> ChangedLinks(const core::Topology& a,
-                               const core::Topology& b) {
-  std::set<LinkKey> changed;
-  auto [add, remove] = a.Diff(b);
-  for (const core::Link& l : add) changed.insert(Key(l.u, l.v));
-  for (const core::Link& l : remove) changed.insert(Key(l.u, l.v));
-  return changed;
-}
 
 // While the controller is down the data plane keeps forwarding the last
 // installed rates, but a plant fault can physically shrink the topology
@@ -60,7 +45,7 @@ void PruneFrozenAllocations(std::map<int, core::TransferAllocation>& frozen,
   for (const auto& [id, alloc] : frozen) {
     for (const core::PathAllocation& pa : alloc.paths) {
       for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
-        link_rate[Key(pa.path.nodes[i], pa.path.nodes[i + 1])] += pa.rate;
+        link_rate[MakeLinkKey(pa.path.nodes[i], pa.path.nodes[i + 1])] += pa.rate;
       }
     }
   }
@@ -68,7 +53,7 @@ void PruneFrozenAllocations(std::map<int, core::TransferAllocation>& frozen,
     for (core::PathAllocation& pa : alloc.paths) {
       double scale = 1.0;
       for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
-        const LinkKey k = Key(pa.path.nodes[i], pa.path.nodes[i + 1]);
+        const LinkKey k = MakeLinkKey(pa.path.nodes[i], pa.path.nodes[i + 1]);
         const double cap =
             topology.Units(k.first, k.second) * theta;
         const double sum = link_rate[k];
@@ -401,49 +386,20 @@ SimResult RunSimulation(const topo::Wan& wan,
           ai < output.allocations.size() ? output.allocations[ai]
                                          : core::TransferAllocation{};
 
-      double delivered = 0.0;
-      double full_delivered = 0.0;  // what an uninterrupted slot would give
-      double total_rate = 0.0;
-      double deadline_part = 0.0;
-      double penalty_max = 0.0;
       const core::Request& r = rec.request;
-      for (const core::PathAllocation& pa : alloc.paths) {
-        // Paths crossing a reconfigured link lose the reconfig window.
-        bool crosses_changed = false;
-        for (size_t i = 0; i + 1 < pa.path.nodes.size(); ++i) {
-          if (changed.count(Key(pa.path.nodes[i], pa.path.nodes[i + 1]))) {
-            crosses_changed = true;
-            break;
-          }
-        }
-        const double penalty =
-            crosses_changed ? options.reconfig_penalty_s : 0.0;
-        const double eff = std::max(0.0, dur - penalty);
-        penalty_max = std::max(penalty_max, penalty);
-        delivered += pa.rate * eff;
-        full_delivered +=
-            pa.rate * std::max(0.0, options.slot_seconds - penalty);
-        total_rate += pa.rate;
-        if (r.HasDeadline() && r.deadline > now) {
-          const double usable = std::min(
-              eff, std::max(0.0, r.deadline - now -
-                                     (crosses_changed
-                                          ? options.reconfig_penalty_s
-                                          : 0.0)));
-          deadline_part += pa.rate * usable;
-        }
-      }
+      const SlotProgress p =
+          ProgressTransfer(r, a.remaining, alloc, changed, now, dur,
+                           options.slot_seconds, options.reconfig_penalty_s);
 
-      delivered = std::min(delivered, a.remaining);
       if (r.HasDeadline()) {
-        rec.delivered_by_deadline += std::min(deadline_part, delivered);
+        rec.delivered_by_deadline += std::min(p.deadline_part, p.delivered);
       }
-      rec.delivered += delivered;
+      rec.delivered += p.delivered;
       OWAN_HISTO("sim.delivered_gigabits", ::owan::obs::Unit::kGigabits,
-                 delivered);
+                 p.delivered);
       if (truncated) {
-        const double lost =
-            std::max(0.0, std::min(full_delivered, a.remaining) - delivered);
+        const double lost = std::max(
+            0.0, std::min(p.full_delivered, a.remaining) - p.delivered);
         result.gigabits_lost_to_faults += lost;
         OWAN_HISTO("sim.invalidated_gigabits", ::owan::obs::Unit::kGigabits,
                    lost);
@@ -458,27 +414,15 @@ SimResult RunSimulation(const topo::Wan& wan,
                                            v.begin(), v.end());
       }
 
-      // A transfer is complete once less than a megabit is outstanding;
-      // without this epsilon the reconfiguration penalty can shave a
-      // geometrically vanishing sliver forever.
-      constexpr double kResidualEps = 1e-3;
-      const bool finishes =
-          total_rate > 0.0 &&
-          (a.remaining - delivered <= kResidualEps ||
-           penalty_max + a.remaining / total_rate <= dur + 1e-9);
-      if (finishes) {
+      if (p.finishes) {
         rec.completed = true;
         OWAN_COUNT("sim.transfers_completed");
-        // Transmission starts after the reconfiguration window, so the
-        // penalty shifts the finish time within the slot instead of
-        // spilling a sliver into the next one.
-        rec.completed_at =
-            now + std::min(dur, penalty_max + a.remaining / total_rate);
+        rec.completed_at = p.completed_at;
         result.makespan = std::max(result.makespan, rec.completed_at);
       } else {
-        a.remaining -= delivered;
-        a.slots_waited = delivered > 1e-9 ? 0 : a.slots_waited + 1;
-        if (total_rate <= 1e-9) rec.stalled_s += dur;
+        a.remaining -= p.delivered;
+        a.slots_waited = p.delivered > 1e-9 ? 0 : a.slots_waited + 1;
+        if (p.total_rate <= 1e-9) rec.stalled_s += dur;
         still_active.push_back(a);
       }
     }

@@ -1,7 +1,10 @@
 #include "testkit/oracles.h"
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -14,7 +17,10 @@
 #include "core/routing.h"
 #include "fault/fault_injector.h"
 #include "lp/arc_mcf.h"
+#include "service/service.h"
+#include "te/greedy.h"
 #include "update/executor.h"
+#include "util/rng.h"
 
 namespace owan::testkit {
 
@@ -409,8 +415,116 @@ std::optional<Failure> UpdateExecOracle(const FuzzCase& c,
   return std::nullopt;
 }
 
+std::optional<Failure> AdmissionOracle(const FuzzCase& c,
+                                       const OracleOptions& options) {
+  const topo::Wan wan = c.wan.Build();
+  auto fail = [&](const std::string& msg) {
+    return Failure{"admission", msg + " " + Describe(c)};
+  };
+
+  // The case's transfers become the request stream; a seeded pass assigns
+  // most of them deadlines so the admission path (window math, pending
+  // queue, bookings) actually exercises. Ids are renumbered after the
+  // arrival sort so shrunk cases can never alias two records.
+  std::vector<core::Request> reqs = c.transfers;
+  std::stable_sort(reqs.begin(), reqs.end(),
+                   [](const core::Request& a, const core::Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  util::Rng rng(c.seed * 0x9e3779b97f4a7c15ULL + 0xada);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].id = static_cast<int>(i);
+    if (rng.Chance(0.7)) {
+      reqs[i].deadline =
+          reqs[i].arrival +
+          options.slot_seconds * static_cast<double>(rng.UniformInt(1, 8));
+    }
+  }
+
+  service::ServiceOptions sopt;
+  sopt.slot_seconds = options.slot_seconds;
+  sopt.mode = service::ServiceMode::kOnline;
+  const auto build = [&] {
+    service::ControllerService svc(
+        &wan, std::make_unique<te::GreedyOwanTe>(), sopt);
+    for (const core::Request& r : reqs) svc.Submit(r);
+    return svc;
+  };
+  const uint64_t half = (reqs.size() + 1) / 2;
+
+  // (1) Full run; the reservation ledger must audit clean both mid-run and
+  // after the queue drains, and every request must reach a final verdict.
+  service::ControllerService a = build();
+  a.RunUntilIngested(half);
+  if (auto v = a.admission().Audit(); !v.empty()) {
+    return fail("mid-run ledger drift: " + v.front());
+  }
+  a.Run();
+  if (auto v = a.admission().Audit(); !v.empty()) {
+    return fail("final ledger drift: " + v.front());
+  }
+  if (a.stats().requests != reqs.size()) {
+    return fail("ingested " + std::to_string(a.stats().requests) + " of " +
+                std::to_string(reqs.size()) + " requests");
+  }
+  if (a.stats().admitted + a.stats().rejected != reqs.size() ||
+      a.pending_requests() != 0) {
+    return fail("requests left undecided after the stream drained");
+  }
+
+  // (2) Plan-level deadline feasibility: admission must never book a
+  // deadline transfer whose window holds no whole slot.
+  const sim::SimResult result = a.ToSimResult();
+  for (const sim::TransferRecord& t : result.transfers) {
+    if (!t.request.HasDeadline() || !t.admitted) continue;
+    const int64_t first = static_cast<int64_t>(
+        std::ceil((t.request.arrival - 1e-9) / options.slot_seconds));
+    const int64_t last =
+        static_cast<int64_t>(
+            std::floor(t.request.deadline / options.slot_seconds)) -
+        1;
+    if (last < first) {
+      return fail("transfer " + std::to_string(t.request.id) +
+                  " admitted into an empty deadline window");
+    }
+  }
+
+  // (3) Bit-reproducible decisions: a second run over the same stream must
+  // match fingerprint and the full per-transfer outcome view.
+  service::ControllerService b = build();
+  b.Run();
+  std::string why;
+  if (a.Fingerprint() != b.Fingerprint()) {
+    return fail("same-input rerun changed the decision fingerprint");
+  }
+  if (!SameSimResult(result, b.ToSimResult(), &why)) {
+    return fail("same-input rerun diverged: " + why);
+  }
+
+  // (4) Crash/resume: snapshot at half the stream, restore from the
+  // checkpoint text alone, and finish — bit-identical to the uninterrupted
+  // run (this is what makes the v4 epoch snapshots trustworthy).
+  service::ControllerService crashed = build();
+  crashed.RunUntilIngested(half);
+  const std::string snapshot = crashed.Checkpoint();
+  service::ControllerService resumed = service::ControllerService::Restore(
+      &wan, std::make_unique<te::GreedyOwanTe>(), snapshot, sopt);
+  if (resumed.Fingerprint() != crashed.Fingerprint()) {
+    return fail("restore changed the live fingerprint");
+  }
+  resumed.Run();
+  if (resumed.Fingerprint() != a.Fingerprint()) {
+    return fail("crash/restore run changed the decision fingerprint");
+  }
+  if (!SameSimResult(result, resumed.ToSimResult(), &why)) {
+    return fail("crash/restore run diverged: " + why);
+  }
+  return std::nullopt;
+}
+
 Property MakeOracleProperty(bool lp, bool differential, bool invariant,
-                            const OracleOptions& options, bool update_exec) {
+                            const OracleOptions& options, bool update_exec,
+                            bool admission) {
   return [=](const FuzzCase& c) -> std::optional<Failure> {
     if (differential) {
       if (auto f = DifferentialOracle(c, options)) return f;
@@ -424,8 +538,15 @@ Property MakeOracleProperty(bool lp, bool differential, bool invariant,
     if (update_exec) {
       if (auto f = UpdateExecOracle(c, options)) return f;
     }
+    if (admission) {
+      if (auto f = AdmissionOracle(c, options)) return f;
+    }
     return std::nullopt;
   };
+}
+
+Property MakeAdmissionProperty(const OracleOptions& options) {
+  return MakeOracleProperty(false, false, false, options, false, true);
 }
 
 bool SameSimResult(const sim::SimResult& a, const sim::SimResult& b,

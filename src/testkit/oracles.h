@@ -63,14 +63,30 @@ std::optional<Failure> InvariantOracle(const FuzzCase& c,
 std::optional<Failure> UpdateExecOracle(const FuzzCase& c,
                                         const OracleOptions& options = {});
 
+// (e) Admission oracle: derive a deadline-carrying request stream from the
+// case (seeded deadline assignment over the case's transfers) and drive the
+// streaming controller service (src/service) through it online. Checks:
+// the admission ledger audits clean mid-run and at the end; every request
+// reaches a final verdict (no transfer left undecided or stuck pending);
+// no deadline transfer is admitted into an empty slot window (plan-level
+// deadline feasibility); a same-input rerun is bit-identical (fingerprint
+// and full result view); and a run crashed at half its stream, restored
+// from the v4 checkpoint text alone, finishes bit-identically to the
+// uninterrupted run.
+std::optional<Failure> AdmissionOracle(const FuzzCase& c,
+                                       const OracleOptions& options = {});
+
 // The enabled oracles in sequence (cheapest first); the first failure
 // wins. Any subset can be disabled for focused fuzzing.
 Property MakeOracleProperty(bool lp, bool differential, bool invariant,
                             const OracleOptions& options = {},
-                            bool update_exec = false);
+                            bool update_exec = false,
+                            bool admission = false);
 inline Property AllOracles(const OracleOptions& options = {}) {
   return MakeOracleProperty(true, true, true, options);
 }
+// Focused property for `owan_fuzz --suite admission`.
+Property MakeAdmissionProperty(const OracleOptions& options = {});
 
 // Field-by-field equality of two simulation outcomes (transfer records,
 // throughput series, availability metrics, update-execution metrics). On

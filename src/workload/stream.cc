@@ -1,0 +1,116 @@
+#include "workload/stream.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace owan::workload {
+
+ArrivalStream::ArrivalStream(int num_sites, StreamParams params)
+    : params_(params), num_sites_(num_sites), rng_(params.seed) {
+  if (num_sites_ < 2) {
+    throw std::invalid_argument("ArrivalStream: need at least 2 sites");
+  }
+  if (params_.arrivals_per_s <= 0.0) {
+    throw std::invalid_argument("ArrivalStream: arrivals_per_s > 0");
+  }
+  if (params_.bursty) {
+    // Start outside a burst; dwell times are exponential around the knobs.
+    in_burst_ = false;
+    next_flip_ = rng_.Exponential(params_.burst_off_s);
+  }
+}
+
+const core::Request& ArrivalStream::Peek() {
+  if (!peeked_) peeked_ = Generate();
+  return *peeked_;
+}
+
+core::Request ArrivalStream::Next() {
+  if (peeked_) {
+    core::Request r = *peeked_;
+    peeked_.reset();
+    return r;
+  }
+  return Generate();
+}
+
+void ArrivalStream::FastForward(uint64_t n) {
+  while (emitted_ < n) (void)Next();
+}
+
+core::Request ArrivalStream::Generate() {
+  // Advance the arrival clock. Bursty mode is a two-state Markov-modulated
+  // Poisson process: draws inside a burst come `burst_factor` times faster,
+  // and the off-state rate is scaled so the long-run mean stays
+  // arrivals_per_s regardless of the duty cycle.
+  if (!params_.bursty) {
+    now_ += rng_.Exponential(1.0 / params_.arrivals_per_s);
+  } else {
+    const double duty =
+        params_.burst_on_s / (params_.burst_on_s + params_.burst_off_s);
+    const double off_scale =
+        (1.0 - duty * params_.burst_factor) / (1.0 - duty);
+    const double off_rate =
+        params_.arrivals_per_s * std::max(0.05, off_scale);
+    const double on_rate = params_.arrivals_per_s * params_.burst_factor;
+    for (;;) {
+      const double rate = in_burst_ ? on_rate : off_rate;
+      const double gap = rng_.Exponential(1.0 / rate);
+      if (now_ + gap <= next_flip_) {
+        now_ += gap;
+        break;
+      }
+      now_ = next_flip_;
+      in_burst_ = !in_burst_;
+      next_flip_ = now_ + rng_.Exponential(in_burst_ ? params_.burst_on_s
+                                                     : params_.burst_off_s);
+    }
+  }
+
+  core::Request r;
+  r.id = static_cast<int>(emitted_);
+  r.arrival = now_;
+  r.src = static_cast<net::NodeId>(rng_.Index(static_cast<size_t>(num_sites_)));
+  // Uniform over the other sites, without rejection sampling: the draw
+  // count per request stays fixed, which keeps FastForward cheap to reason
+  // about (every request consumes the same RNG pattern).
+  net::NodeId dst = static_cast<net::NodeId>(
+      rng_.Index(static_cast<size_t>(num_sites_ - 1)));
+  if (dst >= r.src) ++dst;
+  r.dst = dst;
+
+  if (rng_.Chance(params_.elephant_fraction)) {
+    // Bounded Pareto by inversion: heavy tail capped at elephant_max so a
+    // single draw cannot exceed what any schedule could ever deliver.
+    const double a = params_.elephant_shape;
+    const double lo = params_.elephant_min;
+    const double hi = params_.elephant_max;
+    const double u = rng_.Uniform();
+    const double lo_a = std::pow(lo, a);
+    const double hi_a = std::pow(hi, a);
+    r.size = std::pow(-(u * hi_a - u * lo_a - hi_a) / (hi_a * lo_a),
+                      -1.0 / a);
+  } else {
+    r.size = std::max(0.01, rng_.Exponential(params_.mice_mean));
+  }
+
+  if (rng_.Chance(params_.deadline_fraction)) {
+    r.deadline =
+        r.arrival + params_.slot_seconds *
+                        rng_.Uniform(params_.laxity_min_slots,
+                                     params_.laxity_max_slots);
+  }
+  ++emitted_;
+  return r;
+}
+
+std::vector<core::Request> TakeStream(const topo::Wan& wan,
+                                      const StreamParams& params, int count) {
+  ArrivalStream stream(wan.optical.NumSites(), params);
+  std::vector<core::Request> reqs;
+  reqs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) reqs.push_back(stream.Next());
+  return reqs;  // Next() emits in arrival order already
+}
+
+}  // namespace owan::workload

@@ -1,0 +1,91 @@
+#ifndef OWAN_WORKLOAD_STREAM_H_
+#define OWAN_WORKLOAD_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/transfer.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace owan::workload {
+
+// Parameters of the streaming arrival model the controller service
+// consumes: a continuous (optionally bursty) arrival process carrying a
+// heavy-tailed mice+elephant size mix — the C-Share traffic shape — with
+// deadline-laxity knobs. Everything is a pure function of `seed`, so the
+// same stream can be replayed request-for-request by a restored service.
+struct StreamParams {
+  // Mean arrival rate in requests per second. With `bursty` the process is
+  // Markov-modulated: rate * burst_factor inside bursts, rate scaled down
+  // outside so the long-run mean stays `arrivals_per_s`.
+  double arrivals_per_s = 0.05;
+  bool bursty = false;
+  double burst_factor = 8.0;     // rate multiplier inside a burst
+  double burst_on_s = 120.0;     // mean burst duration
+  double burst_off_s = 1080.0;   // mean gap between bursts
+
+  // Size mix (gigabits): mice are exponential around mice_mean; elephants
+  // (drawn with probability elephant_fraction) follow a bounded Pareto —
+  // the heavy tail that dominates delivered bytes.
+  double elephant_fraction = 0.05;
+  double mice_mean = 8.0;          // ~1 GB
+  double elephant_min = 800.0;     // ~100 GB
+  double elephant_max = 80000.0;   // ~10 TB
+  double elephant_shape = 1.2;     // bounded-Pareto alpha (heavier < 2)
+
+  // Deadline laxity: a request carries a deadline with probability
+  // deadline_fraction, drawn uniformly in
+  //   arrival + [laxity_min_slots, laxity_max_slots] * slot_seconds.
+  double deadline_fraction = 1.0;
+  double laxity_min_slots = 1.0;
+  double laxity_max_slots = 8.0;
+  double slot_seconds = 300.0;
+
+  uint64_t seed = 42;
+};
+
+// Lazy, resumable request stream over `num_sites` sites: Next() draws the
+// next request (ids sequential from 0, arrivals non-decreasing, src != dst
+// uniform over sites). The stream never ends — callers bound it by count
+// or by arrival horizon. FastForward(n) regenerates and discards the first
+// n requests, so a service restored from a checkpoint can resume the exact
+// stream from its recorded cursor.
+class ArrivalStream {
+ public:
+  ArrivalStream(int num_sites, StreamParams params);
+
+  const core::Request& Peek();
+  core::Request Next();
+
+  uint64_t emitted() const { return emitted_; }
+  uint64_t seed() const { return params_.seed; }
+  const StreamParams& params() const { return params_; }
+
+  // Regenerate-and-drop until `n` requests have been emitted (no-op if the
+  // stream is already past n). O(n), deterministic.
+  void FastForward(uint64_t n);
+
+ private:
+  core::Request Generate();
+
+  StreamParams params_;
+  int num_sites_;
+  util::Rng rng_;
+  double now_ = 0.0;          // arrival clock
+  bool in_burst_ = false;
+  double next_flip_ = 0.0;    // burst-state change time (bursty only)
+  uint64_t emitted_ = 0;
+  std::optional<core::Request> peeked_;
+};
+
+// Materialize the first `count` stream requests, sorted by arrival — the
+// batch-simulator view of the same traffic (sim::RunSimulation takes a
+// vector; the service takes the stream itself).
+std::vector<core::Request> TakeStream(const topo::Wan& wan,
+                                      const StreamParams& params, int count);
+
+}  // namespace owan::workload
+
+#endif  // OWAN_WORKLOAD_STREAM_H_

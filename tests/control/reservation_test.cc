@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "topo/topologies.h"
 
 namespace owan::control {
@@ -110,6 +112,70 @@ TEST_F(ReservationTest, InvalidRequestsRejected) {
   EXPECT_FALSE(svc.Request(0, 0, 5.0, 0.0, 300.0).has_value());
   EXPECT_FALSE(svc.Request(0, 1, -1.0, 0.0, 300.0).has_value());
   EXPECT_FALSE(svc.Request(0, 1, 5.0, 300.0, 300.0).has_value());
+}
+
+TEST_F(ReservationTest, RejectsWindowsStartingInThePast) {
+  auto svc = MakeService();
+  // A negative start truncates onto slot 0 (or negative ledger slots) and
+  // would book capacity for time that can never be served.
+  EXPECT_FALSE(svc.Request(0, 1, 5.0, -600.0, 300.0).has_value());
+  EXPECT_FALSE(svc.Request(0, 1, 5.0, -1.0, 300.0).has_value());
+  EXPECT_TRUE(svc.Request(0, 1, 5.0, 0.0, 300.0).has_value());
+}
+
+TEST_F(ReservationTest, RejectsNonFiniteInputs) {
+  auto svc = MakeService();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(svc.Request(0, 1, inf, 0.0, 300.0).has_value());
+  EXPECT_FALSE(svc.Request(0, 1, nan, 0.0, 300.0).has_value());
+  EXPECT_FALSE(svc.Request(0, 1, 5.0, nan, 300.0).has_value());
+  EXPECT_FALSE(svc.Request(0, 1, 5.0, 0.0, inf).has_value());
+  EXPECT_EQ(svc.reservations().size(), 0u);
+}
+
+TEST_F(ReservationTest, RejectsOutOfRangeNodes) {
+  auto svc = MakeService();
+  EXPECT_FALSE(svc.Request(-1, 1, 5.0, 0.0, 300.0).has_value());
+  EXPECT_FALSE(svc.Request(0, 99, 5.0, 0.0, 300.0).has_value());
+  EXPECT_EQ(svc.AvailableRate(-1, 1, 0.0, 300.0), 0.0);
+  EXPECT_EQ(svc.AvailableRate(0, 99, 0.0, 300.0), 0.0);
+}
+
+TEST_F(ReservationTest, AvailableRateGuardsDegenerateQueries) {
+  auto svc = MakeService(/*boost=*/false);
+  // src == dst must be "nothing obtainable", not the self-loop path list.
+  EXPECT_EQ(svc.AvailableRate(0, 0, 0.0, 600.0), 0.0);
+  // Empty and inverted windows likewise.
+  EXPECT_EQ(svc.AvailableRate(0, 1, 300.0, 300.0), 0.0);
+  EXPECT_EQ(svc.AvailableRate(0, 1, 600.0, 0.0), 0.0);
+  EXPECT_EQ(svc.AvailableRate(0, 1, -600.0, 300.0), 0.0);
+}
+
+TEST_F(ReservationTest, SlotAlignedWindowsOccupyExactlyTheirSlots) {
+  auto svc = MakeService(/*boost=*/false);
+  // [0, 600) covers slots {0,1}; an exclusive end must NOT leak into slot 2,
+  // so a full-capacity booking there leaves [600, 1200) untouched.
+  ASSERT_TRUE(svc.Request(0, 1, 20.0, 0.0, 600.0).has_value());
+  EXPECT_NEAR(svc.AvailableRate(0, 1, 0.0, 600.0), 0.0, 1e-9);
+  EXPECT_NEAR(svc.AvailableRate(0, 1, 600.0, 1200.0), 20.0, 1e-6);
+  EXPECT_TRUE(svc.Request(0, 1, 20.0, 600.0, 1200.0).has_value());
+}
+
+TEST_F(ReservationTest, ReleaseThenReadmitReusesCapacity) {
+  auto svc = MakeService(/*boost=*/false);
+  auto first = svc.Request(0, 1, 20.0, 0.0, 600.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(svc.Request(0, 1, 1.0, 0.0, 600.0).has_value());
+  svc.Release(first->id);
+  EXPECT_EQ(svc.reservations().size(), 0u);
+  EXPECT_NEAR(svc.AvailableRate(0, 1, 0.0, 600.0), 20.0, 1e-6);
+  EXPECT_TRUE(svc.Request(0, 1, 20.0, 0.0, 600.0).has_value());
+}
+
+TEST_F(ReservationTest, ReleaseUnknownIdThrows) {
+  auto svc = MakeService();
+  EXPECT_THROW(svc.Release(42), std::invalid_argument);
 }
 
 }  // namespace

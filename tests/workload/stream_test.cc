@@ -1,0 +1,187 @@
+#include "workload/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/topologies.h"
+
+namespace owan::workload {
+namespace {
+
+StreamParams FastParams() {
+  StreamParams p;
+  p.arrivals_per_s = 0.5;
+  p.seed = 123;
+  return p;
+}
+
+TEST(ArrivalStream, SameSeedSameSequence) {
+  ArrivalStream a(9, FastParams());
+  ArrivalStream b(9, FastParams());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next()) << "diverged at request " << i;
+  }
+}
+
+TEST(ArrivalStream, DifferentSeedsDiffer) {
+  StreamParams p = FastParams();
+  ArrivalStream a(9, p);
+  p.seed = 124;
+  ArrivalStream b(9, p);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(ArrivalStream, WellFormedRequests) {
+  StreamParams p = FastParams();
+  p.elephant_fraction = 0.2;
+  ArrivalStream s(9, p);
+  double last_arrival = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const core::Request r = s.Next();
+    EXPECT_EQ(r.id, i);
+    EXPECT_GE(r.arrival, last_arrival);
+    last_arrival = r.arrival;
+    EXPECT_GE(r.src, 0);
+    EXPECT_LT(r.src, 9);
+    EXPECT_GE(r.dst, 0);
+    EXPECT_LT(r.dst, 9);
+    EXPECT_NE(r.src, r.dst);
+    EXPECT_GE(r.size, 0.01);
+    EXPECT_LE(r.size, p.elephant_max + 1e-9);
+    ASSERT_TRUE(r.HasDeadline());  // deadline_fraction = 1 by default
+    EXPECT_GE(r.deadline,
+              r.arrival + p.laxity_min_slots * p.slot_seconds - 1e-9);
+    EXPECT_LE(r.deadline,
+              r.arrival + p.laxity_max_slots * p.slot_seconds + 1e-9);
+  }
+}
+
+TEST(ArrivalStream, DeadlineFractionZeroMeansBestEffort) {
+  StreamParams p = FastParams();
+  p.deadline_fraction = 0.0;
+  ArrivalStream s(9, p);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(s.Next().HasDeadline());
+  }
+}
+
+TEST(ArrivalStream, FastForwardMatchesReplay) {
+  StreamParams p = FastParams();
+  ArrivalStream full(9, p);
+  for (int i = 0; i < 500; ++i) (void)full.Next();
+
+  ArrivalStream resumed(9, p);
+  resumed.FastForward(500);
+  EXPECT_EQ(resumed.emitted(), 500u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(full.Next(), resumed.Next()) << "diverged at offset " << i;
+  }
+}
+
+TEST(ArrivalStream, PeekDoesNotConsume) {
+  ArrivalStream s(9, FastParams());
+  const core::Request peeked = s.Peek();
+  EXPECT_EQ(peeked, s.Peek());
+  EXPECT_EQ(peeked, s.Next());
+  EXPECT_NE(peeked, s.Next());
+}
+
+TEST(ArrivalStream, MeanRateIsCalibrated) {
+  StreamParams p = FastParams();
+  p.arrivals_per_s = 0.2;
+  ArrivalStream s(9, p);
+  core::Request last;
+  for (int i = 0; i < 20000; ++i) last = s.Next();
+  const double mean_rate = 20000.0 / last.arrival;
+  EXPECT_NEAR(mean_rate, p.arrivals_per_s, 0.1 * p.arrivals_per_s);
+}
+
+TEST(ArrivalStream, BurstyKeepsLongRunMeanRate) {
+  StreamParams p = FastParams();
+  p.arrivals_per_s = 0.2;
+  p.bursty = true;
+  ArrivalStream s(9, p);
+  core::Request last;
+  for (int i = 0; i < 50000; ++i) last = s.Next();
+  const double mean_rate = 50000.0 / last.arrival;
+  // MMPP duty-cycle normalization: the long-run mean should stay near the
+  // nominal rate despite the 8x burst factor.
+  EXPECT_NEAR(mean_rate, p.arrivals_per_s, 0.2 * p.arrivals_per_s);
+}
+
+TEST(ArrivalStream, BurstyActuallyBursts) {
+  StreamParams p = FastParams();
+  p.arrivals_per_s = 0.2;
+  p.bursty = true;
+  ArrivalStream s(9, p);
+  // Compare the dispersion of inter-arrival gaps against Poisson: an MMPP
+  // with an 8x on-rate has a squared coefficient of variation well above 1.
+  std::vector<double> gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = s.Next().arrival;
+    gaps.push_back(t - prev);
+    prev = t;
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  EXPECT_GT(var / (mean * mean), 1.5);
+}
+
+TEST(ArrivalStream, ElephantTailDominatesVolume) {
+  StreamParams p = FastParams();
+  ArrivalStream s(9, p);
+  double total = 0.0;
+  double elephant_volume = 0.0;
+  int elephants = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const core::Request r = s.Next();
+    total += r.size;
+    if (r.size >= p.elephant_min) {
+      elephant_volume += r.size;
+      ++elephants;
+    }
+  }
+  // ~5% of requests, but the heavy tail carries most of the bytes.
+  EXPECT_NEAR(static_cast<double>(elephants) / n, p.elephant_fraction,
+              0.02);
+  EXPECT_GT(elephant_volume / total, 0.5);
+}
+
+TEST(ArrivalStream, RejectsDegenerateConfigs) {
+  EXPECT_THROW(ArrivalStream(1, FastParams()), std::invalid_argument);
+  StreamParams p = FastParams();
+  p.arrivals_per_s = 0.0;
+  EXPECT_THROW(ArrivalStream(9, p), std::invalid_argument);
+}
+
+TEST(TakeStream, MaterializesSortedBatch) {
+  const topo::Wan wan = topo::MakeInternet2();
+  StreamParams p = FastParams();
+  const std::vector<core::Request> reqs = TakeStream(wan, p, 300);
+  ASSERT_EQ(reqs.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(
+      reqs.begin(), reqs.end(),
+      [](const core::Request& a, const core::Request& b) {
+        return a.arrival < b.arrival;
+      }));
+  // Identical to pulling the stream directly.
+  ArrivalStream s(wan.optical.NumSites(), p);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(reqs[static_cast<size_t>(i)], s.Next());
+  }
+}
+
+}  // namespace
+}  // namespace owan::workload

@@ -7,7 +7,7 @@
 // --replay re-checks byte-for-byte.
 //
 // Usage: owan_fuzz [--trials N] [--seed S]
-//                  [--suite all|lp|diff|invariant|update]
+//                  [--suite all|lp|diff|invariant|update|admission]
 //                  [--replay FILE] [--shrink-out FILE] [--no-shrink]
 //                  [--max-shrink-evals N] [--inject-bug cache|wal]
 //
@@ -32,7 +32,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trials N] [--seed S] "
-               "[--suite all|lp|diff|invariant|update] [--replay FILE] "
+               "[--suite all|lp|diff|invariant|update|admission] [--replay FILE] "
                "[--shrink-out FILE] [--no-shrink] [--max-shrink-evals N] "
                "[--inject-bug cache|wal]\n",
                argv0);
@@ -81,7 +81,10 @@ int main(int argc, char** argv) {
   const bool diff = suite == "all" || suite == "diff";
   const bool invariant = suite == "all" || suite == "invariant";
   const bool update_exec = suite == "all" || suite == "update";
-  if (!lp && !diff && !invariant && !update_exec) return Usage(argv[0]);
+  const bool admission = suite == "all" || suite == "admission";
+  if (!lp && !diff && !invariant && !update_exec && !admission) {
+    return Usage(argv[0]);
+  }
 
   if (!inject.empty()) {
     if (inject == "cache") {
@@ -102,7 +105,8 @@ int main(int argc, char** argv) {
   }
 
   const testkit::Property property =
-      testkit::MakeOracleProperty(lp, diff, invariant, {}, update_exec);
+      testkit::MakeOracleProperty(lp, diff, invariant, {}, update_exec,
+                                  admission);
 
   if (!replay_path.empty()) {
     std::ifstream in(replay_path);

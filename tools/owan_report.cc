@@ -143,6 +143,68 @@ void PrintTraceReport(const TraceReport& rep) {
   }
 }
 
+// Admission summary over the streaming controller service's metrics
+// (service.* counters + histograms): accept/reject/pending rates, the
+// recompute-batching ratio, time-to-decision percentiles, and the sampled
+// pending-queue depth. Prints nothing when the snapshot has no service
+// metrics, so reports over other binaries are unchanged.
+void PrintAdmissionSummary(const Value& counters, const Value& histograms) {
+  std::map<std::string, double> c;
+  for (const Value& v : counters.array) {
+    if (const Value* n = v.Find("name"); n != nullptr) {
+      c[n->StringOr("")] = v.Find("value") ? v.Find("value")->NumberOr(0.0)
+                                           : 0.0;
+    }
+  }
+  const double admitted = c["service.admitted"];
+  const double rejected = c["service.rejected"];
+  const double decided = admitted + rejected;
+  if (decided <= 0.0) return;
+
+  std::printf("\n-- admission summary --\n");
+  std::printf("decided %.0f: %.0f admitted (%.1f%%), %.0f rejected (%.1f%%)\n",
+              decided, admitted, 100.0 * admitted / decided, rejected,
+              100.0 * rejected / decided);
+  const double enq = c["service.pending_enqueued"];
+  if (enq > 0.0) {
+    std::printf(
+        "pending queue: %.0f enqueued, %.0f later admitted, %.0f expired\n",
+        enq, c["service.pending_admitted"], c["service.pending_rejected"]);
+  }
+  const double recomputes = c["service.recomputes"];
+  const double coasts = c["service.coasts"];
+  if (recomputes > 0.0) {
+    std::printf(
+        "recomputes %.0f vs %.0f requests (%.1fx batched), %.0f coasted "
+        "slots (%.0f%%)\n",
+        recomputes, c["service.requests"],
+        c["service.requests"] / recomputes, coasts,
+        recomputes + coasts > 0 ? 100.0 * coasts / (recomputes + coasts)
+                                : 0.0);
+  }
+  for (const Value& h : histograms.array) {
+    const std::string name =
+        h.Find("name") ? h.Find("name")->StringOr("") : "";
+    auto num = [&](const char* k) {
+      const Value* v = h.Find(k);
+      return v ? v->NumberOr(0.0) : 0.0;
+    };
+    if (name == "service.decision_latency_s") {
+      std::printf(
+          "time to decision (sim s): p50 %.4g  p95 %.4g  p99 %.4g  max "
+          "%.4g\n",
+          num("p50"), num("p95"), num("p99"), num("max"));
+    } else if (name == "service.queue_depth") {
+      const double count = num("count");
+      std::printf(
+          "queue depth (per slot): mean %.2f  p50 %.4g  p95 %.4g  max "
+          "%.4g\n",
+          count > 0 ? num("sum") / count : 0.0, num("p50"), num("p95"),
+          num("max"));
+    }
+  }
+}
+
 void PrintMetricsReport(const Value& m) {
   const Value* counters = m.Find("counters");
   const Value* gauges = m.Find("gauges");
@@ -205,6 +267,11 @@ void PrintMetricsReport(const Value& m) {
               ? 100.0 * invalidated / (delivered + invalidated)
               : 0.0);
     }
+  }
+  if (counters != nullptr && histograms != nullptr) {
+    PrintAdmissionSummary(*counters, *histograms);
+  } else if (counters != nullptr) {
+    PrintAdmissionSummary(*counters, Value{});
   }
 }
 
