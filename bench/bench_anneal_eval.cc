@@ -234,7 +234,11 @@ bool RunPoint(const std::string& topo_name, int demand_count, int iters,
   bench::JsonRecord("anneal_eval", "summary@" + topo_name,
                     {{"sites", sites},
                      {"speedup", speedup},
-                     {"max_energy_diff", max_diff}});
+                     {"max_energy_diff", max_diff},
+                     // Provenance for the perf gate: the baseline is a
+                     // legacy-reach run, so the gate must prove QoT was off.
+                     {"qot_enabled",
+                      wan.optical.qot().enabled ? 1.0 : 0.0}});
   return true;
 }
 

@@ -283,8 +283,15 @@ std::string Controller::Checkpoint() const {
   std::ostringstream os;
   os.precision(17);
   // v3 only when an update is actually in flight: idle snapshots keep the
-  // v2 header so pre-executor readers (and pinned tests) still work.
-  os << (pending_update_ ? "owan-checkpoint v3\n" : "owan-checkpoint v2\n");
+  // v2 header so pre-executor readers (and pinned tests) still work. v5
+  // (fiber-degraded lines present) is likewise emitted only when some
+  // fiber actually carries extra attenuation — an undegraded plant
+  // round-trips through the very bytes older readers understand.
+  if (optical_.AnyFiberDegraded()) {
+    os << "owan-checkpoint v5\n";
+  } else {
+    os << (pending_update_ ? "owan-checkpoint v3\n" : "owan-checkpoint v2\n");
+  }
   os << "now " << now_ << "\n";
   os << "next_id " << next_id_ << "\n";
   os << "topology " << topology_.NumSites() << "\n";
@@ -299,6 +306,12 @@ std::string Controller::Checkpoint() const {
   }
   for (net::EdgeId e = 0; e < optical_.NumFibers(); ++e) {
     if (optical_.FiberCut(e)) os << "fiber-failed " << e << "\n";
+  }
+  for (net::EdgeId e = 0; e < optical_.NumFibers(); ++e) {
+    if (optical_.FiberDegradationDb(e) > 0.0) {
+      os << "fiber-degraded " << e << " " << optical_.FiberDegradationDb(e)
+         << "\n";
+    }
   }
   for (net::NodeId v = 0; v < optical_.NumSites(); ++v) {
     if (optical_.SiteFailed(v)) os << "site-failed " << v << "\n";
@@ -343,7 +356,7 @@ Controller Controller::Restore(const topo::Wan* wan,
   std::string line;
   if (!std::getline(is, line) ||
       (line != "owan-checkpoint v1" && line != "owan-checkpoint v2" &&
-       line != "owan-checkpoint v3")) {
+       line != "owan-checkpoint v3" && line != "owan-checkpoint v5")) {
     throw std::invalid_argument("Controller::Restore: bad checkpoint header");
   }
   core::Topology topo;
@@ -377,6 +390,11 @@ Controller Controller::Restore(const topo::Wan* wan,
       net::EdgeId e;
       ls >> e;
       if (!ls.fail()) c.optical_.FailFiber(e);
+    } else if (tag == "fiber-degraded") {
+      net::EdgeId e;
+      double db = 0.0;
+      ls >> e >> db;
+      if (!ls.fail()) c.optical_.DegradeFiber(e, db);
     } else if (tag == "site-failed") {
       net::NodeId v;
       ls >> v;
@@ -480,6 +498,18 @@ void Controller::ReportTransceiverRepair(net::NodeId site, int ports,
   optical_.RestorePorts(site, ports);
   optical_.RestoreRegens(site, regens);
   ReactToPlantChange();
+}
+
+void Controller::ReportSpanDegradation(net::EdgeId fiber, double db) {
+  const bool changed = optical_.FiberDegradationDb(fiber) != db;
+  optical_.DegradeFiber(fiber, db);
+  if (changed && optical_.qot().enabled) ReactToPlantChange();
+}
+
+void Controller::ReportSpanRepair(net::EdgeId fiber) {
+  if (optical_.RepairFiberDegradation(fiber) && optical_.qot().enabled) {
+    ReactToPlantChange();
+  }
 }
 
 }  // namespace owan::control

@@ -118,6 +118,12 @@ class Controller {
   void ReportSiteRepair(net::NodeId site);
   void ReportTransceiverFailure(net::NodeId site, int ports, int regens);
   void ReportTransceiverRepair(net::NodeId site, int ports, int regens);
+  // Span degradation: the fiber stays lit but loses `db` of SNR budget.
+  // On a QoT-enabled plant the topology is re-realised (capacity tiers may
+  // shrink, unreachable circuits re-route); a legacy plant only records
+  // the level so it still rides into checkpoints.
+  void ReportSpanDegradation(net::EdgeId fiber, double db);
+  void ReportSpanRepair(net::EdgeId fiber);
 
   // The controller's plant view with all reported failures applied.
   const optical::OpticalNetwork& plant() const { return optical_; }

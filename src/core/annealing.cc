@@ -445,6 +445,8 @@ ChainResult RunChainTraced(int chain, const Topology& current,
 // all (the §3.2 starvation guard must be able to force a reconfiguration,
 // not just reorder transfers).
 AnnealResult ApplyAdoptionGuard(ChainResult&& cr, const Topology& current,
+                                const optical::OpticalNetwork& blank_optical,
+                                const std::vector<TransferDemand>& demands,
                                 const AnnealOptions& options,
                                 const Topology& base_topology,
                                 double base_energy,
@@ -475,6 +477,21 @@ AnnealResult ApplyAdoptionGuard(ChainResult&& cr, const Topology& current,
   }
   best.iterations = total_iterations;
   best.accepted = total_accepted;
+  // Under QoT the walk's state is history-dependent: incremental SyncTo
+  // steps can realize different circuits (hence different per-link
+  // capacities) than a cold derivation of the same topology. Canonicalize
+  // the adopted output by re-realizing from a blank plant, so the installed
+  // allocation is a pure function of (plant, topology, demands) — the same
+  // derivation checkpoint restore and the invariant checker reproduce.
+  // Legacy capacities depend only on unit counts, so this is QoT-only.
+  if (blank_optical.qot().enabled) {
+    ProvisionedState fresh{blank_optical};
+    fresh.SyncTo(best.best_topology);
+    best.routing =
+        AssignRoutesAndRates(fresh.CapacityGraph(), demands, options.routing);
+    best.best_energy = best.routing.throughput;
+    best.state = std::move(fresh);
+  }
   best.circuit_changes = best.best_topology.DistanceTo(current);
   OWAN_HISTO("anneal.circuit_changes", ::owan::obs::Unit::kOps,
              best.circuit_changes);
@@ -556,10 +573,10 @@ AnnealResult ComputeNetworkState(const Topology& current,
     std::optional<ProvisionedState> base_state = std::move(cr.start_state);
     RoutingOutcome base_routing = std::move(cr.start_routing);
     const int base_starved = cr.start_starved;
-    return ApplyAdoptionGuard(std::move(cr), current, options, base_topology,
-                              base_energy, std::move(base_state),
-                              std::move(base_routing), base_starved, iters,
-                              accepted);
+    return ApplyAdoptionGuard(std::move(cr), current, blank_optical, demands,
+                              options, base_topology, base_energy,
+                              std::move(base_state), std::move(base_routing),
+                              base_starved, iters, accepted);
   }
 
   // Multi-chain: chain 0 replays the caller's RNG stream from a copy (so
@@ -651,9 +668,10 @@ AnnealResult ComputeNetworkState(const Topology& current,
   }
 
   return ApplyAdoptionGuard(std::move(*results[static_cast<size_t>(pick)]),
-                            current, options, base_topology, base_energy,
-                            std::move(base_state), std::move(base_routing),
-                            base_starved, total_iterations, total_accepted);
+                            current, blank_optical, demands, options,
+                            base_topology, base_energy, std::move(base_state),
+                            std::move(base_routing), base_starved,
+                            total_iterations, total_accepted);
 }
 
 }  // namespace owan::core

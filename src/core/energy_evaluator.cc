@@ -43,9 +43,11 @@ const EnergyEvaluator::Eval& EnergyEvaluator::Reset(
   const int n = blank_optical.NumSites();
   const double theta = blank_optical.wavelength_capacity();
   if (n != n_ || theta != theta_ ||
-      EnumerationOptionsDiffer(options, options_)) {
+      EnumerationOptionsDiffer(options, options_) ||
+      blank_optical.qot() != qot_) {
     n_ = n;
     theta_ = theta;
+    qot_ = blank_optical.qot();
     ClearPathCache();
   }
   options_ = options;
@@ -88,13 +90,18 @@ const EnergyEvaluator::Eval& EnergyEvaluator::Apply(const Topology& target) {
   pending_ = true;
   routing_valid_ = false;
 
-  const Topology& realized = state_->realized();
-  if (const MemoTable::Entry* m = Memo().Find(realized)) {
-    ++stats_.memo_hits;
-    last_.energy = m->energy;
-    last_.starved_served = m->starved_served;
-    last_.memo_hit = true;
-    return last_;
+  // No memo under QoT (see the qot_ member comment): the realized unit
+  // topology no longer determines energy, and a hit would skip the cache
+  // sync that keeps edge capacities current.
+  if (!qot_.enabled) {
+    const Topology& realized = state_->realized();
+    if (const MemoTable::Entry* m = Memo().Find(realized)) {
+      ++stats_.memo_hits;
+      last_.energy = m->energy;
+      last_.starved_served = m->starved_served;
+      last_.memo_hit = true;
+      return last_;
+    }
   }
   RunRouting(/*memoize=*/true);
   return last_;
@@ -147,7 +154,7 @@ void EnergyEvaluator::RunRouting(bool memoize) {
   routing_valid_ = false;  // grant log is fresh; outcome not materialized
   last_.energy = scratch_.throughput;
   last_.starved_served = CountStarvedServed();
-  if (memoize) {
+  if (memoize && !qot_.enabled) {
     const Topology& realized = state_->realized();
     Memo().Insert(realized, last_.energy, last_.starved_served);
   }
@@ -269,15 +276,18 @@ void EnergyEvaluator::SyncCache(RepairHints* hints, bool* hints_usable) {
   };
 
   if (appeared.empty() && disappeared.empty()) {
+    // SyncTo only touches circuits on diff links, so diff links are the
+    // only ones whose summed QoT capacity can have moved; legacy stays the
+    // exact units * theta (RealizedCapacityGbps computes both).
     for (const Link& l : to_add) {
       const int32_t e = pair_edge_[LinkIdx(l.u, l.v)];
       cache_undo_.capacities.emplace_back(e, graph_.edge(e).capacity);
-      graph_.edge(e).capacity = realized.Units(l.u, l.v) * theta_;
+      graph_.edge(e).capacity = state_->RealizedCapacityGbps(l.u, l.v);
     }
     for (const Link& l : to_remove) {
       const int32_t e = pair_edge_[LinkIdx(l.u, l.v)];
       cache_undo_.capacities.emplace_back(e, graph_.edge(e).capacity);
-      graph_.edge(e).capacity = realized.Units(l.u, l.v) * theta_;
+      graph_.edge(e).capacity = state_->RealizedCapacityGbps(l.u, l.v);
     }
     cache_undo_.topo = std::move(cache_topo_);
     cache_topo_ = realized;
@@ -320,6 +330,14 @@ void EnergyEvaluator::SyncCache(RepairHints* hints, bool* hints_usable) {
   for (net::EdgeId e = 0; e < graph_.NumEdges(); ++e) {
     const net::Edge& ed = graph_.edge(e);
     pair_edge_[LinkIdx(ed.u, ed.v)] = e;
+  }
+  if (qot_.enabled) {
+    // Quality-graded capacities for the whole rebuilt graph (the undo holds
+    // the entire pre-sync graph, so rollback stays exact).
+    for (net::EdgeId e = 0; e < graph_.NumEdges(); ++e) {
+      const net::Edge& ed = graph_.edge(e);
+      graph_.edge(e).capacity = state_->RealizedCapacityGbps(ed.u, ed.v);
+    }
   }
 
   std::sort(disappeared.begin(), disappeared.end());

@@ -221,6 +221,13 @@ class EnergyEvaluator : public PathSource {
   // ---- persistent path cache ----
   int n_ = 0;
   double theta_ = 0.0;
+  // QoT model of the blank plant this cache was built for. When enabled,
+  // edge capacities come from the state's per-circuit tier sums instead of
+  // units * theta, and the transposition table is disabled: energy is then
+  // a function of the concrete circuits (provisioning history), not of the
+  // realized unit topology the memo keys on — and a memo hit would skip
+  // SyncCache, letting cached capacities go stale across an A->B->A walk.
+  optical::QotOptions qot_;
   Topology cache_topo_;            // realized topology graph_ reflects
   net::Graph graph_;               // == cache_topo_.ToGraph(theta_)
   std::vector<int32_t> pair_edge_; // link index -> EdgeId in graph_, -1 none

@@ -43,8 +43,17 @@ std::string OwanTe::name() const {
 
 TeOutput OwanTe::ComputeFixedTopology(const TeInput& input, bool multipath) {
   TeOutput out;
-  const net::Graph g =
-      input.topology->ToGraph(input.optical->wavelength_capacity());
+  // Legacy plants carry theta per unit by construction; under QoT the
+  // fixed topology must still be realized to learn what the modulation
+  // table actually grants each link.
+  net::Graph g;
+  if (input.optical->qot().enabled) {
+    ProvisionedState state(*input.optical);
+    state.SyncTo(*input.topology);
+    g = state.CapacityGraph();
+  } else {
+    g = input.topology->ToGraph(input.optical->wavelength_capacity());
+  }
   if (multipath) {
     RoutingOutcome r =
         AssignRoutesAndRates(g, input.demands, options_.anneal.routing);

@@ -73,6 +73,32 @@ void ProvisionedState::Rollback(const SyncUndo& undo) {
   realized_ = undo.prev_realized;
 }
 
+net::Graph ProvisionedState::CapacityGraph() const {
+  net::Graph g = realized_.ToGraph(optical_.wavelength_capacity());
+  if (!optical_.qot().enabled) return g;
+  // ToGraph adds edges in canonical link order, so edge i is Links()[i].
+  const std::vector<Link> links = realized_.Links();
+  for (size_t i = 0; i < links.size(); ++i) {
+    g.edge(static_cast<net::EdgeId>(i)).capacity =
+        RealizedCapacityGbps(links[i].u, links[i].v);
+  }
+  return g;
+}
+
+double ProvisionedState::RealizedCapacityGbps(net::NodeId u,
+                                              net::NodeId v) const {
+  if (!optical_.qot().enabled) {
+    return realized_.Units(u, v) * optical_.wavelength_capacity();
+  }
+  auto it = link_circuits_.find(Key(u, v));
+  if (it == link_circuits_.end()) return 0.0;
+  double cap = 0.0;
+  for (optical::CircuitId id : it->second) {
+    cap += optical_.circuit(id).capacity_gbps;
+  }
+  return cap;
+}
+
 std::vector<optical::CircuitId> ProvisionedState::LinkCircuits(
     net::NodeId u, net::NodeId v) const {
   auto it = link_circuits_.find(Key(u, v));
@@ -81,7 +107,16 @@ std::vector<optical::CircuitId> ProvisionedState::LinkCircuits(
 }
 
 std::vector<Link> ProvisionedState::HandleFiberFailure(net::EdgeId fiber) {
-  const std::vector<optical::CircuitId> victims = optical_.FailFiber(fiber);
+  return DropCircuits(optical_.FailFiber(fiber));
+}
+
+std::vector<Link> ProvisionedState::HandleFiberDegradation(net::EdgeId fiber,
+                                                           double db) {
+  return DropCircuits(optical_.DegradeFiber(fiber, db));
+}
+
+std::vector<Link> ProvisionedState::DropCircuits(
+    const std::vector<optical::CircuitId>& victims) {
   std::vector<Link> lost;
   for (optical::CircuitId id : victims) {
     for (auto& [key, circuits] : link_circuits_) {

@@ -55,10 +55,15 @@ class ProvisionedState {
   const Topology& realized() const { return realized_; }
   const optical::OpticalNetwork& optical() const { return optical_; }
 
-  // Capacity graph of the realized topology (one edge per link).
-  net::Graph CapacityGraph() const {
-    return realized_.ToGraph(optical_.wavelength_capacity());
-  }
+  // Capacity graph of the realized topology (one edge per link). Legacy
+  // mode: units * theta per link. QoT mode: the sum of the implementing
+  // circuits' modulation-tier capacities, which vary with path quality.
+  net::Graph CapacityGraph() const;
+
+  // Deliverable rate on link (u, v): units * theta in legacy mode (kept as
+  // a single multiply for bit-stable goldens), summed per-circuit tier
+  // capacities under QoT.
+  double RealizedCapacityGbps(net::NodeId u, net::NodeId v) const;
 
   // Circuits currently implementing link (u, v).
   std::vector<optical::CircuitId> LinkCircuits(net::NodeId u,
@@ -68,7 +73,15 @@ class ProvisionedState {
   // topology accordingly; returns affected (u,v,units_lost) links.
   std::vector<Link> HandleFiberFailure(net::EdgeId fiber);
 
+  // Span degradation: sets the fiber's extra attenuation. Under QoT the
+  // crossing circuits are re-graded (their link capacities shift) and any
+  // that no longer close are torn down like a cut — the returned links are
+  // those lost units. Legacy mode records the level and returns empty.
+  std::vector<Link> HandleFiberDegradation(net::EdgeId fiber, double db);
+
  private:
+  // Maps torn-down circuits to (u,v,units_lost) links and shrinks realized_.
+  std::vector<Link> DropCircuits(const std::vector<optical::CircuitId>& victims);
   static std::pair<net::NodeId, net::NodeId> Key(net::NodeId u,
                                                  net::NodeId v) {
     return u < v ? std::make_pair(u, v) : std::make_pair(v, u);

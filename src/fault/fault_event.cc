@@ -23,6 +23,10 @@ const char* ToString(FaultType t) {
       return "controller-crash";
     case FaultType::kControllerRecover:
       return "controller-recover";
+    case FaultType::kSpanDegrade:
+      return "span-degrade";
+    case FaultType::kSpanRepair:
+      return "span-repair";
   }
   return "unknown";
 }
@@ -53,6 +57,12 @@ FaultEvent FaultEvent::ControllerCrash(double t) {
 FaultEvent FaultEvent::ControllerRecover(double t) {
   return FaultEvent{t, FaultType::kControllerRecover, -1, 0, 0};
 }
+FaultEvent FaultEvent::SpanDegrade(double t, net::EdgeId fiber, double db) {
+  return FaultEvent{t, FaultType::kSpanDegrade, fiber, 0, 0, db};
+}
+FaultEvent FaultEvent::SpanRepair(double t, net::EdgeId fiber) {
+  return FaultEvent{t, FaultType::kSpanRepair, fiber, 0, 0, 0.0};
+}
 
 bool FaultEvent::IsPlantEvent() const {
   return type != FaultType::kControllerCrash &&
@@ -76,6 +86,12 @@ std::string ToString(const FaultEvent& e) {
       break;
     case FaultType::kControllerCrash:
     case FaultType::kControllerRecover:
+      break;
+    case FaultType::kSpanDegrade:
+      os << " " << e.target << " " << e.db;
+      break;
+    case FaultType::kSpanRepair:
+      os << " " << e.target;
       break;
   }
   return os.str();

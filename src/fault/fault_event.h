@@ -23,6 +23,8 @@ enum class FaultType {
   kTransceiverRepair,  // target = site id; ports/regens restored
   kControllerCrash,    // no target: recompute stops, last rates persist
   kControllerRecover,  // no target: failover completes, recompute resumes
+  kSpanDegrade,        // target = fiber edge id; db = extra attenuation
+  kSpanRepair,         // target = fiber edge id; degradation cleared
 };
 
 const char* ToString(FaultType t);
@@ -33,6 +35,7 @@ struct FaultEvent {
   int target = -1;  // fiber id or site id; -1 for controller events
   int ports = 0;    // transceiver events only
   int regens = 0;   // transceiver events only
+  double db = 0.0;  // span-degrade only: extra attenuation (dB) on the fiber
 
   static FaultEvent FiberCut(double t, net::EdgeId fiber);
   static FaultEvent FiberRepair(double t, net::EdgeId fiber);
@@ -44,6 +47,12 @@ struct FaultEvent {
                                       int regens);
   static FaultEvent ControllerCrash(double t);
   static FaultEvent ControllerRecover(double t);
+  // Span degradation: the fiber stays lit but loses `db` of SNR budget
+  // (amplifier aging, a bent patch panel, a dirty connector). Under a
+  // QoT-enabled plant, crossing circuits are re-graded; legacy plants only
+  // record the level. SpanRepair clears it.
+  static FaultEvent SpanDegrade(double t, net::EdgeId fiber, double db);
+  static FaultEvent SpanRepair(double t, net::EdgeId fiber);
 
   // True for events that mutate the optical plant (everything except the
   // controller lifecycle events).
@@ -52,12 +61,12 @@ struct FaultEvent {
   // Total order (time first), so normalized schedules are deterministic
   // regardless of generation or insertion order.
   friend bool operator<(const FaultEvent& a, const FaultEvent& b) {
-    return std::tie(a.time, a.type, a.target, a.ports, a.regens) <
-           std::tie(b.time, b.type, b.target, b.ports, b.regens);
+    return std::tie(a.time, a.type, a.target, a.ports, a.regens, a.db) <
+           std::tie(b.time, b.type, b.target, b.ports, b.regens, b.db);
   }
   friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
-    return std::tie(a.time, a.type, a.target, a.ports, a.regens) ==
-           std::tie(b.time, b.type, b.target, b.ports, b.regens);
+    return std::tie(a.time, a.type, a.target, a.ports, a.regens, a.db) ==
+           std::tie(b.time, b.type, b.target, b.ports, b.regens, b.db);
   }
 };
 

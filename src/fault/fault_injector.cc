@@ -39,6 +39,16 @@ bool ApplyPlantEvent(const FaultEvent& e, optical::OpticalNetwork& plant) {
       const int regens = plant.RestoreRegens(e.target, e.regens);
       return ports > 0 || regens > 0;
     }
+    case FaultType::kSpanDegrade: {
+      // The level is recorded on any plant (it rides into checkpoints), but
+      // only a QoT-enabled plant changes operationally: legacy circuits
+      // carry fixed theta regardless of signal quality.
+      const bool changed = plant.FiberDegradationDb(e.target) != e.db;
+      plant.DegradeFiber(e.target, e.db);
+      return changed && plant.qot().enabled;
+    }
+    case FaultType::kSpanRepair:
+      return plant.RepairFiberDegradation(e.target) && plant.qot().enabled;
     case FaultType::kControllerCrash:
     case FaultType::kControllerRecover:
       return false;

@@ -94,7 +94,14 @@ std::vector<std::string> InvariantChecker::CheckSlot(
            LinkName(link.first, link.second));
       continue;
     }
-    const double cap = units * theta;
+    // Under QoT the installed capacity is whatever the modulation table
+    // granted the realized circuits, not units * theta. The freshly derived
+    // `state` above is the same derivation the controller canonicalizes its
+    // output against (ComputeNetworkState re-realizes under QoT), so the
+    // comparison is exact, not a tolerance game.
+    const double cap = plant.qot().enabled
+                           ? state.RealizedCapacityGbps(link.first, link.second)
+                           : units * theta;
     if (rate > cap * (1.0 + 1e-9) + kRateEps) {
       std::ostringstream os;
       os << "link " << LinkName(link.first, link.second) << " allocated "

@@ -66,6 +66,16 @@ FaultSchedule ParseFaultSchedule(std::istream& in,
                        ? FaultEvent::TransceiverFail(t, target, ports, regens)
                        : FaultEvent::TransceiverRepair(t, target, ports,
                                                        regens));
+    } else if (kind == "span-degrade") {
+      need_target();
+      double db = 0.0;
+      if (!(ls >> db) || db < 0.0) {
+        Bad(raw, "span-degrade needs a non-negative <db>");
+      }
+      schedule.Add(FaultEvent::SpanDegrade(t, target, db));
+    } else if (kind == "span-repair") {
+      need_target();
+      schedule.Add(FaultEvent::SpanRepair(t, target));
     } else if (kind == "controller-crash") {
       schedule.Add(FaultEvent::ControllerCrash(t));
     } else if (kind == "controller-recover") {

@@ -19,6 +19,9 @@ struct Segment {
   std::vector<net::EdgeId> fibers;  // fiber edge ids in traversal order
   int wavelength = -1;              // index into the fiber's wavelength grid
   double length_km = 0.0;
+  // Margin-adjusted SNR of this segment under the plant's QoT model; +inf
+  // when QoT is disabled (legacy hard-reach mode tracks no signal quality).
+  double snr_db = 0.0;
 };
 
 // An end-to-end optical circuit implementing one network-layer link. The
@@ -30,6 +33,10 @@ struct Circuit {
   net::NodeId dst = net::kInvalidNode;
   std::vector<net::NodeId> regen_sites;  // interior regeneration points
   std::vector<Segment> segments;         // regen_sites.size() + 1 segments
+  // Deliverable rate of the circuit. Legacy mode: the plant's fixed theta.
+  // QoT mode: the minimum modulation-tier capacity over the segments (each
+  // regen resets the SNR budget, so quality is per segment).
+  double capacity_gbps = 0.0;
 
   double TotalLengthKm() const {
     double total = 0.0;

@@ -1,6 +1,7 @@
 #include "optical/optical_network.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -39,7 +40,8 @@ OpticalNetwork::OpticalNetwork(std::vector<SiteInfo> sites, double reach_km,
     : sites_(std::move(sites)),
       fiber_graph_(static_cast<int>(sites_.size())),
       reach_km_(reach_km),
-      wavelength_capacity_(wavelength_capacity) {
+      wavelength_capacity_(wavelength_capacity),
+      effective_reach_km_(reach_km) {
   if (reach_km_ <= 0.0 || wavelength_capacity_ <= 0.0) {
     throw std::invalid_argument("OpticalNetwork: reach and capacity > 0");
   }
@@ -65,7 +67,88 @@ net::EdgeId OpticalNetwork::AddFiber(net::NodeId u, net::NodeId v,
     lambda_usage_.resize(static_cast<size_t>(num_wavelengths), 0);
   }
   fiber_failed_.push_back(false);
+  fiber_degrade_db_.push_back(0.0);
   return id;
+}
+
+void OpticalNetwork::set_qot(const QotOptions& q) {
+  if (!circuits_.empty()) {
+    throw std::logic_error("set_qot: plant already has live circuits");
+  }
+  qot_ = q;
+  effective_reach_km_ =
+      qot_.enabled ? std::min(EffectiveQotReachKm(qot_), 1e7) : reach_km_;
+  BumpStamp();
+}
+
+double OpticalNetwork::PathSnrDb(
+    const std::vector<net::EdgeId>& fibers) const {
+  if (!qot_.enabled) return std::numeric_limits<double>::infinity();
+  double inv = 0.0;
+  for (net::EdgeId f : fibers) {
+    inv += FiberInverseOsnr(fibers_[f].length_km, fiber_degrade_db_[f], qot_);
+  }
+  return SnrDbFromInverseOsnr(inv, qot_);
+}
+
+void OpticalNetwork::GradeCircuit(Circuit& c) const {
+  if (!qot_.enabled) {
+    for (Segment& s : c.segments) {
+      s.snr_db = std::numeric_limits<double>::infinity();
+    }
+    c.capacity_gbps = wavelength_capacity_;
+    return;
+  }
+  // theta remains the transceiver line-rate ceiling: the modulation table
+  // decides how much of it the signal quality sustains, never more. This
+  // keeps units * theta a sound upper bound wherever the plant is out of
+  // reach (update-stage checks, fixed-topology baselines).
+  double cap = wavelength_capacity_;
+  for (Segment& s : c.segments) {
+    s.snr_db = PathSnrDb(s.fibers);
+    cap = std::min(cap, CapacityForSnrGbps(s.snr_db, qot_));
+  }
+  c.capacity_gbps = c.segments.empty() ? 0.0 : cap;
+}
+
+std::vector<CircuitId> OpticalNetwork::DegradeFiber(net::EdgeId fiber,
+                                                    double db) {
+  if (db < 0.0) throw std::invalid_argument("DegradeFiber: negative dB");
+  if (fiber_degrade_db_[fiber] == db) return {};  // unchanged level: no-op
+  BumpStamp();
+  fiber_degrade_db_[fiber] = db;
+  if (!qot_.enabled) return {};  // recorded for checkpoints only
+  // Re-grade every circuit crossing the fiber; tear down those that no
+  // longer close at any modulation tier (deterministic id order).
+  std::vector<CircuitId> victims;
+  for (auto& [id, c] : circuits_) {
+    bool crosses = false;
+    for (const Segment& s : c.segments) {
+      if (std::find(s.fibers.begin(), s.fibers.end(), fiber) !=
+          s.fibers.end()) {
+        crosses = true;
+        break;
+      }
+    }
+    if (!crosses) continue;
+    GradeCircuit(c);
+    if (c.capacity_gbps <= 0.0) victims.push_back(id);
+  }
+  for (CircuitId id : victims) ReleaseCircuit(id);
+  return victims;
+}
+
+bool OpticalNetwork::RepairFiberDegradation(net::EdgeId fiber) {
+  if (fiber_degrade_db_[fiber] == 0.0) return false;  // nothing set: no-op
+  DegradeFiber(fiber, 0.0);  // repair only raises SNR; never tears down
+  return true;
+}
+
+bool OpticalNetwork::AnyFiberDegraded() const {
+  for (double db : fiber_degrade_db_) {
+    if (db != 0.0) return true;
+  }
+  return false;
 }
 
 int OpticalNetwork::FreeWavelengths(net::EdgeId fiber) const {
@@ -157,11 +240,28 @@ std::optional<Circuit> OpticalNetwork::RealizeSequence(
   for (size_t i = 0; i + 1 < seq.size(); ++i) {
     const net::NodeId a = seq[i];
     const net::NodeId b = seq[i + 1];
-    // Candidate fiber routes for this segment, within optical reach.
+    // Candidate fiber routes for this segment. Legacy: first route within
+    // reach that has a free common wavelength. QoT: SNR-graded — among the
+    // routes that close at some modulation tier and have a free wavelength,
+    // the highest-capacity one wins (ties to the shorter route; the
+    // candidate list is sorted ascending by length).
     const auto& routes = SegmentRoutes(a, b);
     bool segment_done = false;
+    const net::Path* best_route = nullptr;
+    int best_lambda = -1;
+    double best_snr = 0.0;
+    double best_cap = 0.0;
     for (const net::Path& route : routes) {
-      if (route.length > reach_km_) break;  // sorted ascending; none fit
+      double snr = 0.0;
+      double cap = 0.0;
+      if (qot_.enabled) {
+        snr = PathSnrDb(route.edges);
+        cap = CapacityForSnrGbps(snr, qot_);
+        if (cap <= 0.0) continue;  // longer routes may still close: keep going
+        if (cap <= best_cap) continue;
+      } else if (route.length > reach_km_) {
+        break;  // sorted ascending; none fit
+      }
       // Smallest wavelength free on every fiber of the route, also
       // excluding this circuit's own tentative bookings.
       int min_grid = fibers_[route.edges.front()].num_wavelengths;
@@ -188,6 +288,13 @@ std::optional<Circuit> OpticalNetwork::RealizeSequence(
         }
       }
       if (chosen < 0) continue;
+      if (qot_.enabled) {
+        best_route = &route;
+        best_lambda = chosen;
+        best_snr = snr;
+        best_cap = cap;
+        continue;
+      }
       Segment s;
       s.fibers = route.edges;
       s.wavelength = chosen;
@@ -197,8 +304,19 @@ std::optional<Circuit> OpticalNetwork::RealizeSequence(
       segment_done = true;
       break;
     }
+    if (qot_.enabled && best_route != nullptr) {
+      Segment s;
+      s.fibers = best_route->edges;
+      s.wavelength = best_lambda;
+      s.length_km = best_route->length;
+      s.snr_db = best_snr;
+      for (net::EdgeId f : s.fibers) tentative[f].insert(best_lambda);
+      c.segments.push_back(std::move(s));
+      segment_done = true;
+    }
     if (!segment_done) return std::nullopt;
   }
+  GradeCircuit(c);
   return c;
 }
 
@@ -225,6 +343,12 @@ std::optional<CircuitId> OpticalNetwork::ProvisionCircuit(net::NodeId src,
   }
   if (site_failed_[src] || site_failed_[dst]) return std::nullopt;
   const RegenGraph rg(*this, src, dst, balance_regens_);
+  // QoT mode: every candidate sequence is realized and the highest-capacity
+  // circuit wins (capacity = min tier over segments; a regen resets the SNR
+  // budget, so more regens can mean more capacity). Ties keep the earliest
+  // candidate, which the regen graph orders by fewest regens then shortest
+  // fiber distance. Legacy mode commits the first realizable sequence.
+  std::optional<Circuit> best;
   for (const auto& seq : rg.CandidateSequences(kMaxSequences)) {
     // Every interior site consumes a regenerator; check availability (the
     // regen graph only contains sites with >= 1 free, but a sequence might
@@ -240,10 +364,19 @@ std::optional<CircuitId> OpticalNetwork::ProvisionCircuit(net::NodeId src,
     }
     if (!regens_ok) continue;
     auto circuit = RealizeSequence(seq);
-    if (circuit) {
+    if (!circuit) continue;
+    if (!qot_.enabled) {
       Commit(*circuit);
       return circuit->id;
     }
+    if (circuit->capacity_gbps <= 0.0) continue;
+    if (!best || circuit->capacity_gbps > best->capacity_gbps) {
+      best = std::move(circuit);
+    }
+  }
+  if (best) {
+    Commit(*best);
+    return best->id;
   }
   return std::nullopt;
 }
@@ -270,7 +403,7 @@ std::optional<CircuitId> OpticalNetwork::ProvisionCircuitAlongRoute(
     if (hops[i] < 0) continue;
     if (i > 0 && i + 1 < m && regens_free_[route.nodes[i]] <= 0) continue;
     for (size_t j = i + 1; j < m; ++j) {
-      if (prefix[j] - prefix[i] > reach_km_ + 1e-9) break;
+      if (prefix[j] - prefix[i] > effective_reach_km_ + 1e-9) break;
       if (hops[j] < 0 || hops[j] > hops[i] + 1) {
         hops[j] = hops[i] + 1;
         back[j] = i;
@@ -324,6 +457,11 @@ std::optional<CircuitId> OpticalNetwork::ProvisionCircuitAlongRoute(
       c.regen_sites.push_back(route.nodes[b]);
     }
   }
+  GradeCircuit(c);
+  // The effective-reach segmentation bound is contiguous-fiber; a segment
+  // stitched from several fibers (extra remainder spans) can still miss
+  // every tier, which is authoritative.
+  if (qot_.enabled && c.capacity_gbps <= 0.0) return std::nullopt;
   Commit(c);
   return c.id;
 }
@@ -380,7 +518,12 @@ void OpticalNetwork::RestoreCircuit(const Circuit& c) {
     }
   }
   for (net::NodeId r : c.regen_sites) --regens_free_[r];
-  circuits_.emplace(c.id, c);
+  // Re-grade rather than trust the caller's copy: quality is a pure
+  // function of the plant, so for a genuine rollback this reproduces the
+  // stored values exactly, while hand-built circuits get consistent ones.
+  Circuit copy = c;
+  GradeCircuit(copy);
+  circuits_.emplace(c.id, std::move(copy));
 }
 
 void OpticalNetwork::RewindCircuitIds(CircuitId id) {
@@ -419,8 +562,18 @@ bool OpticalNetwork::CheckInvariants(std::string* error) const {
     if (c.segments.size() != c.regen_sites.size() + 1) {
       return fail("segment/regen count mismatch in " + ToString(c));
     }
+    double regraded_cap = wavelength_capacity_;  // theta caps every tier
     for (const Segment& s : c.segments) {
-      if (s.length_km > reach_km_ + 1e-6) {
+      if (qot_.enabled) {
+        // QoT mode: signal quality, not the hard reach bound, governs
+        // feasibility. Stored SNR must match a recomputation against the
+        // current plant (same deterministic code path, so exactly).
+        const double snr = PathSnrDb(s.fibers);
+        if (snr != s.snr_db) {
+          return fail("stale segment SNR in " + ToString(c));
+        }
+        regraded_cap = std::min(regraded_cap, CapacityForSnrGbps(snr, qot_));
+      } else if (s.length_km > reach_km_ + 1e-6) {
         return fail("segment exceeds optical reach in " + ToString(c));
       }
       for (net::EdgeId f : s.fibers) {
@@ -437,6 +590,18 @@ bool OpticalNetwork::CheckInvariants(std::string* error) const {
         }
         lam[f][s.wavelength] = true;
       }
+    }
+    if (qot_.enabled) {
+      if (c.segments.empty()) regraded_cap = 0.0;
+      if (c.capacity_gbps != regraded_cap) {
+        return fail("capacity out of step with modulation table in " +
+                    ToString(c));
+      }
+      if (c.capacity_gbps <= 0.0) {
+        return fail("zero-capacity circuit left live: " + ToString(c));
+      }
+    } else if (c.capacity_gbps != wavelength_capacity_) {
+      return fail("legacy circuit capacity != theta in " + ToString(c));
     }
     for (net::NodeId r : c.regen_sites) ++regen_used[r];
   }

@@ -11,6 +11,7 @@
 #include "net/graph.h"
 #include "net/shortest_path.h"
 #include "optical/circuit.h"
+#include "optical/qot.h"
 
 namespace owan::optical {
 
@@ -61,6 +62,40 @@ class OpticalNetwork {
 
   double reach_km() const { return reach_km_; }
   double wavelength_capacity() const { return wavelength_capacity_; }
+
+  // ---- physical-layer QoT model (optical/qot.h) ----
+
+  const QotOptions& qot() const { return qot_; }
+  // Installs the QoT model. Only legal on a plant with no live circuits
+  // (existing circuits would carry stale quality); throws otherwise.
+  // Disabled options keep legacy hard-reach semantics bit-for-bit.
+  void set_qot(const QotOptions& q);
+
+  // Segmentation/pruning reach bound: reach_km() in legacy mode, the
+  // single-contiguous-fiber QoT reach when the model is enabled. Heuristic
+  // in QoT mode — per-segment SNR stays the authoritative feasibility test.
+  double EffectiveReachKm() const { return effective_reach_km_; }
+
+  // Margin-adjusted SNR (dB) of a wavelength-continuous run over `fibers`,
+  // including each fiber's current degradation. +inf when QoT is disabled
+  // or the run is empty.
+  double PathSnrDb(const std::vector<net::EdgeId>& fibers) const;
+
+  // ---- fiber degradation (SNR loss without a cut) ----
+  //
+  // Sets the fiber's extra attenuation to `db` (absolute level, spread
+  // uniformly over its amplified spans). In QoT mode every circuit crossing
+  // the fiber is re-graded: capacities shrink or grow with the new SNR, and
+  // circuits that no longer close at any tier are torn down (ids returned).
+  // Legacy mode records the level (for checkpointing) but changes nothing
+  // operationally. No-op (empty return) when the level is unchanged.
+  std::vector<CircuitId> DegradeFiber(net::EdgeId fiber, double db);
+  // Clears the fiber's degradation; returns false (no-op) if none was set.
+  bool RepairFiberDegradation(net::EdgeId fiber);
+  double FiberDegradationDb(net::EdgeId fiber) const {
+    return fiber_degrade_db_[fiber];
+  }
+  bool AnyFiberDegraded() const;
 
   WavelengthPolicy wavelength_policy() const { return lambda_policy_; }
   void set_wavelength_policy(WavelengthPolicy p) {
@@ -224,6 +259,11 @@ class OpticalNetwork {
   // Fiber unusable for routing: failed directly or endpoint site down.
   bool FiberDead(net::EdgeId fiber) const;
 
+  // Fills per-segment snr_db and the circuit's capacity_gbps from the
+  // current plant state (theta / +inf in legacy mode, per-span accumulation
+  // with degradation in QoT mode).
+  void GradeCircuit(Circuit& c) const;
+
   // Tries to realise the given site sequence as a circuit; returns nullopt
   // if some segment lacks fiber path, reach, or a common free wavelength.
   std::optional<Circuit> RealizeSequence(
@@ -250,6 +290,9 @@ class OpticalNetwork {
   std::vector<FiberInfo> fibers_;
   double reach_km_;
   double wavelength_capacity_;
+  QotOptions qot_;
+  double effective_reach_km_;
+  std::vector<double> fiber_degrade_db_;  // extra attenuation per fiber (dB)
 
   std::vector<std::vector<bool>> lambda_used_;  // [fiber][wavelength]
   std::vector<int> lambda_usage_;  // global per-index usage (policy input)

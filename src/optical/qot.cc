@@ -1,0 +1,102 @@
+#include "optical/qot.h"
+
+#include <cmath>
+#include <limits>
+
+namespace owan::optical {
+
+namespace {
+bool g_skip_first_span_noise = false;
+}  // namespace
+
+bool operator==(const ModulationTier& a, const ModulationTier& b) {
+  return a.min_snr_db == b.min_snr_db && a.capacity_gbps == b.capacity_gbps;
+}
+
+std::vector<ModulationTier> DefaultModulationTiers() {
+  return {{13.0, 50.0}, {16.0, 100.0}, {19.0, 150.0}, {22.0, 200.0}};
+}
+
+bool operator==(const QotOptions& a, const QotOptions& b) {
+  return a.enabled == b.enabled && a.span_km == b.span_km &&
+         a.fiber_loss_db_per_km == b.fiber_loss_db_per_km &&
+         a.amp_noise_figure_db == b.amp_noise_figure_db &&
+         a.tx_power_dbm == b.tx_power_dbm &&
+         a.snr_margin_db == b.snr_margin_db && a.tiers == b.tiers;
+}
+
+std::vector<double> SpanLengthsKm(double length_km, double span_km) {
+  std::vector<double> spans;
+  if (length_km <= 0.0 || span_km <= 0.0) return spans;
+  const int full = static_cast<int>(length_km / span_km);
+  spans.reserve(full + 1);
+  for (int i = 0; i < full; ++i) spans.push_back(span_km);
+  const double rem = length_km - full * span_km;
+  if (rem > 1e-9) spans.push_back(rem);
+  return spans;
+}
+
+double SpanOsnrDb(double span_len_km, double extra_loss_db,
+                  const QotOptions& q) {
+  return kOsnrRefDb + q.tx_power_dbm - q.fiber_loss_db_per_km * span_len_km -
+         extra_loss_db - q.amp_noise_figure_db;
+}
+
+double FiberInverseOsnr(double length_km, double extra_loss_db,
+                        const QotOptions& q) {
+  const std::vector<double> spans = SpanLengthsKm(length_km, q.span_km);
+  if (spans.empty()) return 0.0;
+  const double per_span_extra = extra_loss_db / spans.size();
+  double inv = 0.0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i == 0 && g_skip_first_span_noise) continue;
+    inv += std::pow(10.0, -SpanOsnrDb(spans[i], per_span_extra, q) / 10.0);
+  }
+  return inv;
+}
+
+double SnrDbFromInverseOsnr(double inverse_osnr, const QotOptions& q) {
+  if (inverse_osnr <= 0.0) return std::numeric_limits<double>::infinity();
+  return -10.0 * std::log10(inverse_osnr) - q.snr_margin_db;
+}
+
+double CapacityForSnrGbps(double snr_db, const QotOptions& q) {
+  double best = 0.0;
+  for (const ModulationTier& t : q.tiers) {
+    if (snr_db >= t.min_snr_db && t.capacity_gbps > best) {
+      best = t.capacity_gbps;
+    }
+  }
+  return best;
+}
+
+double EffectiveQotReachKm(const QotOptions& q) {
+  const auto feasible = [&q](double len) {
+    return CapacityForSnrGbps(
+               SnrDbFromInverseOsnr(FiberInverseOsnr(len, 0.0, q), q), q) > 0.0;
+  };
+  double lo = 0.0;
+  if (!feasible(q.span_km)) {
+    // Even one clean span fails the lowest tier; probe shorter lengths.
+    double hi = q.span_km;
+    for (int i = 0; i < 80; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (feasible(mid) ? lo : hi) = mid;
+    }
+    return lo;
+  }
+  lo = q.span_km;
+  double hi = q.span_km;
+  while (feasible(hi) && hi < 1e7) hi *= 2.0;
+  if (hi >= 1e7) return hi;  // effectively unlimited
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+void TestOnlySkipFirstSpanNoise(bool on) { g_skip_first_span_noise = on; }
+bool TestOnlySkipFirstSpanNoiseEnabled() { return g_skip_first_span_noise; }
+
+}  // namespace owan::optical

@@ -172,7 +172,10 @@ RegenGraph::RegenGraph(const OpticalNetwork& on, net::NodeId src,
       if (!participates_[v]) continue;
       if (!tree.Reachable(v)) continue;
       const double d = tree.dist[v];
-      if (d <= on.reach_km()) {
+      // Effective reach: the hard eta in legacy mode, the QoT
+      // contiguous-fiber bound when impairments are modeled (heuristic —
+      // RealizeSequence still grades each concrete route's SNR).
+      if (d <= on.EffectiveReachKm()) {
         graph_.AddEdge(u, v, d);
         hop_dist_km_[u][v] = hop_dist_km_[v][u] = d;
       }

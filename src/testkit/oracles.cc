@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -522,9 +524,231 @@ std::optional<Failure> AdmissionOracle(const FuzzCase& c,
   return std::nullopt;
 }
 
+namespace {
+
+// ---- QoT oracle: independent reference physics ----
+// A second implementation of the documented span model (docs/DESIGN.md,
+// optical/qot.h): full spans of span_km plus a remainder, per-span OSNR
+// 58 + tx - loss*len - extra - NF, linear inverse-OSNR accumulation,
+// margin-adjusted SNR. Deliberately NOT calling optical::FiberInverseOsnr —
+// the whole point is to catch a production implementation that drifts from
+// the spec (e.g. an injected skip of one span's noise).
+double RefSpanOsnrDb(double span_len_km, double extra_db,
+                     const optical::QotOptions& q) {
+  return 58.0 + q.tx_power_dbm - q.fiber_loss_db_per_km * span_len_km -
+         extra_db - q.amp_noise_figure_db;
+}
+
+double RefPathSnrDb(const optical::OpticalNetwork& plant,
+                    const std::vector<net::EdgeId>& fibers,
+                    const optical::QotOptions& q) {
+  double inv = 0.0;
+  for (net::EdgeId f : fibers) {
+    const double len = plant.fiber(f).length_km;
+    const int full = static_cast<int>(len / q.span_km);
+    const double rem = len - full * q.span_km;
+    const int spans = full + (rem > 1e-9 ? 1 : 0);
+    const double extra =
+        spans > 0 ? plant.FiberDegradationDb(f) / spans : 0.0;
+    for (int i = 0; i < full; ++i) {
+      inv += std::pow(10.0, -RefSpanOsnrDb(q.span_km, extra, q) / 10.0);
+    }
+    if (rem > 1e-9) {
+      inv += std::pow(10.0, -RefSpanOsnrDb(rem, extra, q) / 10.0);
+    }
+  }
+  if (inv <= 0.0) return std::numeric_limits<double>::infinity();
+  return -10.0 * std::log10(inv) - q.snr_margin_db;
+}
+
+// QoT parameters as a pure function of the case seed: the case format (and
+// with it case_io and the shrinker) stays untouched, yet fuzzing still
+// sweeps span lengths, margins, and loss coefficients.
+optical::QotOptions DeriveQot(uint64_t seed) {
+  optical::QotOptions q;
+  q.enabled = true;
+  q.span_km = 60.0 + 20.0 * static_cast<double>(seed % 3);
+  q.snr_margin_db = 1.0 + 0.5 * static_cast<double>((seed / 3) % 3);
+  q.fiber_loss_db_per_km =
+      0.22 + 0.015 * static_cast<double>((seed / 9) % 3);
+  return q;
+}
+
+}  // namespace
+
+std::optional<Failure> QotOracle(const FuzzCase& c,
+                                 const OracleOptions& options) {
+  topo::Wan wan = c.wan.Build();
+  auto fail = [&](const std::string& m) {
+    return Failure{"qot", m + " " + Describe(c)};
+  };
+  const optical::QotOptions q = DeriveQot(c.seed);
+  const std::vector<core::TransferDemand> demands =
+      DemandsFromRequests(c.transfers, options.slot_seconds);
+
+  // (1) Legacy equivalence: a plant tagged with *disabled* QoT options must
+  // be byte-invisible — same annealed energy, topology, and circuits as a
+  // plant that never saw them.
+  if (!demands.empty()) {
+    optical::OpticalNetwork tagged = wan.optical;
+    optical::QotOptions off = q;
+    off.enabled = false;
+    tagged.set_qot(off);
+    core::AnnealOptions ao;
+    ao.max_iterations = c.anneal_iterations;
+    util::Rng rng_plain(c.seed * 2654435761ULL + 7);
+    util::Rng rng_tagged(c.seed * 2654435761ULL + 7);
+    const core::AnnealResult plain = core::ComputeNetworkState(
+        wan.default_topology, wan.optical, demands, ao, rng_plain);
+    const core::AnnealResult with_tag = core::ComputeNetworkState(
+        wan.default_topology, tagged, demands, ao, rng_tagged);
+    if (plain.best_energy != with_tag.best_energy) {
+      return fail("disabled QoT changed annealed energy");
+    }
+    if (!(plain.best_topology == with_tag.best_topology)) {
+      return fail("disabled QoT changed the adopted topology");
+    }
+    if (plain.state.has_value() != with_tag.state.has_value()) {
+      return fail("disabled QoT changed state presence");
+    }
+    if (plain.state.has_value()) {
+      const auto& ca = plain.state->optical().circuits();
+      const auto& cb = with_tag.state->optical().circuits();
+      if (ca.size() != cb.size()) {
+        return fail("disabled QoT changed the circuit count");
+      }
+      auto ib = cb.begin();
+      for (auto ia = ca.begin(); ia != ca.end(); ++ia, ++ib) {
+        if (ia->first != ib->first ||
+            ToString(ia->second) != ToString(ib->second) ||
+            ia->second.capacity_gbps != ib->second.capacity_gbps) {
+          return fail("disabled QoT changed circuit " +
+                      std::to_string(ia->first));
+        }
+      }
+    }
+  }
+
+  // Build the QoT-enabled plant, degrade it with the case's fault prefix
+  // (mirroring the LP oracle), and realize the default topology on it.
+  optical::OpticalNetwork qplant = wan.optical;
+  qplant.set_qot(q);
+  for (const fault::FaultEvent& e : c.faults.events) {
+    if (e.time > c.horizon_s * 0.5) break;
+    fault::ApplyPlantEvent(e, qplant);
+  }
+  core::ProvisionedState st(qplant);
+  st.SyncTo(fault::RecomputeTopology(wan.default_topology, qplant,
+                                     /*repair_dark_ports=*/true));
+  const optical::OpticalNetwork& plant = st.optical();
+  std::string err;
+  if (!plant.CheckInvariants(&err)) {
+    return fail("QoT plant invariants broken after realization: " + err);
+  }
+  const double theta = plant.wavelength_capacity();
+
+  for (const auto& [id, circuit] : plant.circuits()) {
+    // (2) Reference physics: stored per-segment SNR must match the
+    // independent span-model reimplementation.
+    double min_tier = theta;
+    for (const optical::Segment& s : circuit.segments) {
+      const double ref = RefPathSnrDb(plant, s.fibers, q);
+      const bool both_inf = std::isinf(ref) && std::isinf(s.snr_db);
+      if (!both_inf &&
+          !(std::abs(ref - s.snr_db) <=
+            1e-9 * std::max(1.0, std::abs(ref)))) {
+        std::ostringstream os;
+        os << "segment SNR of circuit " << id
+           << " disagrees with reference physics (stored " << s.snr_db
+           << " dB, reference " << ref << " dB)";
+        return fail(os.str());
+      }
+      min_tier =
+          std::min(min_tier, optical::CapacityForSnrGbps(s.snr_db, q));
+    }
+    // (3) Tier consistency: capacity is the theta-capped minimum tier over
+    // the segments, and a live circuit never carries zero.
+    if (circuit.capacity_gbps != min_tier) {
+      return fail("capacity of circuit " + std::to_string(id) +
+                  " is out of step with the modulation table");
+    }
+    if (circuit.capacity_gbps <= 0.0) {
+      return fail("zero-capacity circuit " + std::to_string(id) +
+                  " left live");
+    }
+    // (4) Span monotonicity: SNR along every route prefix never rises as
+    // fibers are appended.
+    for (const optical::Segment& s : circuit.segments) {
+      std::vector<net::EdgeId> prefix;
+      double prev = std::numeric_limits<double>::infinity();
+      for (net::EdgeId f : s.fibers) {
+        prefix.push_back(f);
+        const double snr = plant.PathSnrDb(prefix);
+        if (snr > prev) {
+          return fail("appending fiber " + std::to_string(f) +
+                      " raised SNR on circuit " + std::to_string(id));
+        }
+        prev = snr;
+      }
+    }
+    // (5) Regen monotonicity: grading the concatenated route as one
+    // segment can never beat the regenerated circuit (each regen resets
+    // the accumulated noise).
+    if (circuit.segments.size() > 1) {
+      std::vector<net::EdgeId> all;
+      for (const optical::Segment& s : circuit.segments) {
+        all.insert(all.end(), s.fibers.begin(), s.fibers.end());
+      }
+      const double unsplit = std::min(
+          theta, optical::CapacityForSnrGbps(plant.PathSnrDb(all), q));
+      if (unsplit > circuit.capacity_gbps) {
+        return fail("regeneration lowered capacity on circuit " +
+                    std::to_string(id));
+      }
+    }
+  }
+
+  // (6) Degradation monotonicity: extra attenuation on a crossed fiber
+  // never raises any surviving circuit's capacity, torn-down victims are
+  // exactly the zero-tier circuits, and the invariants stay clean.
+  if (!plant.circuits().empty()) {
+    const net::EdgeId victim_fiber =
+        plant.circuits().begin()->second.segments.front().fibers.front();
+    const double db = 3.0 + static_cast<double>(c.seed % 5);
+    std::map<optical::CircuitId, double> before;
+    for (const auto& [id, circuit] : plant.circuits()) {
+      before.emplace(id, circuit.capacity_gbps);
+    }
+    optical::OpticalNetwork degraded = plant;
+    const std::vector<optical::CircuitId> victims =
+        degraded.DegradeFiber(victim_fiber, db);
+    if (!degraded.CheckInvariants(&err)) {
+      return fail("plant invariants broken after span degradation: " + err);
+    }
+    for (const auto& [id, circuit] : degraded.circuits()) {
+      if (circuit.capacity_gbps > before.at(id)) {
+        return fail("span degradation raised capacity of circuit " +
+                    std::to_string(id));
+      }
+    }
+    for (optical::CircuitId v : victims) {
+      if (degraded.circuits().count(v)) {
+        return fail("torn-down circuit " + std::to_string(v) +
+                    " still live after degradation");
+      }
+      if (!before.count(v)) {
+        return fail("degradation reported an unknown victim circuit " +
+                    std::to_string(v));
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
 Property MakeOracleProperty(bool lp, bool differential, bool invariant,
                             const OracleOptions& options, bool update_exec,
-                            bool admission) {
+                            bool admission, bool qot) {
   return [=](const FuzzCase& c) -> std::optional<Failure> {
     if (differential) {
       if (auto f = DifferentialOracle(c, options)) return f;
@@ -534,6 +758,9 @@ Property MakeOracleProperty(bool lp, bool differential, bool invariant,
     }
     if (invariant) {
       if (auto f = InvariantOracle(c, options)) return f;
+    }
+    if (qot) {
+      if (auto f = QotOracle(c, options)) return f;
     }
     if (update_exec) {
       if (auto f = UpdateExecOracle(c, options)) return f;
@@ -547,6 +774,12 @@ Property MakeOracleProperty(bool lp, bool differential, bool invariant,
 
 Property MakeAdmissionProperty(const OracleOptions& options) {
   return MakeOracleProperty(false, false, false, options, false, true);
+}
+
+Property MakeQotProperty(const OracleOptions& options) {
+  return [=](const FuzzCase& c) -> std::optional<Failure> {
+    return QotOracle(c, options);
+  };
 }
 
 bool SameSimResult(const sim::SimResult& a, const sim::SimResult& b,

@@ -76,17 +76,37 @@ std::optional<Failure> UpdateExecOracle(const FuzzCase& c,
 std::optional<Failure> AdmissionOracle(const FuzzCase& c,
                                        const OracleOptions& options = {});
 
+// (f) QoT physics oracle: re-derive every provisioned circuit's segment
+// SNR with an independent reimplementation of the span model (own span
+// layout, own noise accumulation) and require agreement with the plant's
+// stored values; require stored capacities to be consistent with the
+// modulation table (theta-capped tier of the stored SNR, positive, minimum
+// over segments); require physics monotonicity (extending a route never
+// raises SNR; a regenerated circuit never carries less than the same
+// route graded as one unregenerated segment); require degradation
+// monotonicity (extra span attenuation never raises any surviving
+// circuit's capacity, and the plant invariants stay clean); and require
+// legacy equivalence (a plant carrying disabled QoT options anneals to
+// bit-identical energy, topology, and circuits as one that never saw
+// them). QoT parameters are derived deterministically from the case seed,
+// so the case format is unchanged and shrinking works as-is.
+std::optional<Failure> QotOracle(const FuzzCase& c,
+                                 const OracleOptions& options = {});
+
 // The enabled oracles in sequence (cheapest first); the first failure
 // wins. Any subset can be disabled for focused fuzzing.
 Property MakeOracleProperty(bool lp, bool differential, bool invariant,
                             const OracleOptions& options = {},
                             bool update_exec = false,
-                            bool admission = false);
+                            bool admission = false,
+                            bool qot = false);
 inline Property AllOracles(const OracleOptions& options = {}) {
   return MakeOracleProperty(true, true, true, options);
 }
 // Focused property for `owan_fuzz --suite admission`.
 Property MakeAdmissionProperty(const OracleOptions& options = {});
+// Focused property for `owan_fuzz --suite qot`.
+Property MakeQotProperty(const OracleOptions& options = {});
 
 // Field-by-field equality of two simulation outcomes (transfer records,
 // throughput series, availability metrics, update-execution metrics). On

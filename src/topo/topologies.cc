@@ -36,6 +36,7 @@ Wan Assemble(std::string name, std::vector<optical::SiteInfo> sites,
   for (const optical::SiteInfo& s : sites) site_names.push_back(s.name);
 
   optical::OpticalNetwork on(std::move(sites), p.reach_km, p.wavelength_gbps);
+  if (p.qot.enabled) on.set_qot(p.qot);
   core::Topology topo(on.NumSites());
   for (const FiberSpec& f : fibers) {
     on.AddFiber(f.u, f.v, f.km, p.wavelengths_per_fiber);

@@ -26,6 +26,11 @@ struct WanParams {
   double wavelength_gbps = 10.0;   // theta
   int wavelengths_per_fiber = 40;  // phi
   double reach_km = 2000.0;        // eta
+  // Physical-layer model. Disabled by default: the hard reach_km bound and
+  // fixed theta above govern, bit-for-bit as before. When enabled, per-span
+  // OSNR accumulation and the modulation table decide feasibility and
+  // per-wavelength capacity (theta stays the line-rate ceiling).
+  optical::QotOptions qot;
 };
 
 // The 9-site Internet2 network the testbed emulates (paper Fig. 1).

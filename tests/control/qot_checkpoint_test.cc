@@ -1,0 +1,109 @@
+// Checkpoint coverage for span-degradation state: a degraded plant emits
+// the v5 format and round-trips the per-fiber attenuation level; an
+// undegraded plant keeps emitting the pinned v2/v3 headers byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "control/controller.h"
+#include "core/owan.h"
+#include "topo/topologies.h"
+
+namespace owan::control {
+namespace {
+
+std::unique_ptr<core::OwanTe> MakeStatelessOwan() {
+  core::OwanOptions opt;
+  opt.seed = 11;
+  opt.anneal.max_iterations = 200;
+  opt.slot_seeded = true;
+  return std::make_unique<core::OwanTe>(opt);
+}
+
+// A - B - C line with theta 200 and QoT on: the 1200 km B-C leg grades
+// 150G clean and 50G under 60 dB of extra span attenuation.
+topo::Wan MakeQotLineWan() {
+  std::vector<optical::SiteInfo> sites = {{"A", 2, 0}, {"B", 2, 2},
+                                          {"C", 2, 0}};
+  optical::OpticalNetwork on(std::move(sites), 2000.0, 200.0);
+  optical::QotOptions q;
+  q.enabled = true;
+  on.set_qot(q);
+  on.AddFiber(0, 1, 400.0, 4);
+  on.AddFiber(1, 2, 1200.0, 4);
+  core::Topology topo(3);
+  topo.AddUnits(0, 1, 1);
+  topo.AddUnits(1, 2, 1);
+  return topo::Wan{"qotline", std::move(on), std::move(topo),
+                   {"A", "B", "C"}};
+}
+
+TEST(QotCheckpointTest, DegradedPlantCheckpointsAsV5AndRoundTrips) {
+  topo::Wan wan = MakeQotLineWan();
+  Controller c(&wan, MakeStatelessOwan());
+  c.Submit(1, 2, 90000.0);
+  c.Tick();
+  c.ReportSpanDegradation(1, 60.0);
+  c.Tick();
+
+  const std::string snap = c.Checkpoint();
+  EXPECT_EQ(snap.rfind("owan-checkpoint v5\n", 0), 0u);
+  EXPECT_NE(snap.find("fiber-degraded 1 60"), std::string::npos);
+
+  Controller r = Controller::Restore(&wan, MakeStatelessOwan(), snap);
+  EXPECT_DOUBLE_EQ(r.plant().FiberDegradationDb(1), 60.0);
+  EXPECT_TRUE(r.topology() == c.topology());
+  EXPECT_EQ(r.Checkpoint(), snap);
+
+  // Both controllers run the rest of the incident identically.
+  int guard = 0;
+  while ((c.ActiveTransfers() > 0 || r.ActiveTransfers() > 0) &&
+         guard++ < 200) {
+    if (c.ActiveTransfers() > 0) c.Tick();
+    if (r.ActiveTransfers() > 0) r.Tick();
+  }
+  ASSERT_LT(guard, 200);
+  for (const auto& [id, t] : c.transfers()) {
+    const TrackedTransfer& s = r.transfers().at(id);
+    EXPECT_EQ(s.completed, t.completed) << "transfer " << id;
+    EXPECT_DOUBLE_EQ(s.completed_at, t.completed_at) << "transfer " << id;
+  }
+}
+
+TEST(QotCheckpointTest, UndegradedQotPlantKeepsThePinnedV2Header) {
+  topo::Wan wan = MakeQotLineWan();
+  Controller c(&wan, MakeStatelessOwan());
+  c.Submit(0, 2, 9000.0);
+  c.Tick();
+  EXPECT_EQ(c.Checkpoint().rfind("owan-checkpoint v2\n", 0), 0u);
+
+  // Degrade then repair: the level is gone, so the format snaps back to v2
+  // and no fiber-degraded line lingers.
+  c.ReportSpanDegradation(1, 12.5);
+  EXPECT_EQ(c.Checkpoint().rfind("owan-checkpoint v5\n", 0), 0u);
+  c.ReportSpanRepair(1);
+  const std::string snap = c.Checkpoint();
+  EXPECT_EQ(snap.rfind("owan-checkpoint v2\n", 0), 0u);
+  EXPECT_EQ(snap.find("fiber-degraded"), std::string::npos);
+}
+
+TEST(QotCheckpointTest, LegacyPlantDegradationLevelSurvivesRestore) {
+  // On a QoT-off plant the level changes nothing operationally, but it is
+  // still plant state: a standby must not silently forget it (a later
+  // QoT-enabled analysis of the checkpoint would see different physics).
+  topo::Wan wan = topo::MakeMotivatingExample();
+  Controller c(&wan, MakeStatelessOwan());
+  c.Submit(0, 1, 9000.0);
+  c.Tick();
+  c.ReportSpanDegradation(2, 7.25);
+  const std::string snap = c.Checkpoint();
+  EXPECT_EQ(snap.rfind("owan-checkpoint v5\n", 0), 0u);
+
+  Controller r = Controller::Restore(&wan, MakeStatelessOwan(), snap);
+  EXPECT_DOUBLE_EQ(r.plant().FiberDegradationDb(2), 7.25);
+  EXPECT_TRUE(r.topology() == c.topology());
+}
+
+}  // namespace
+}  // namespace owan::control

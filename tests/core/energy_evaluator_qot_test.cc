@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/annealing.h"
+#include "core/energy_evaluator.h"
+#include "core/provisioned_state.h"
+#include "core/routing.h"
+#include "optical/qot.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+// EnergyEvaluator under the QoT model: with variable per-circuit
+// capacities the memo table is off and every Apply must still match a
+// from-scratch evaluation to 1e-9, with rollbacks restoring per-link
+// capacities bit-for-bit (a rolled-back circuit is re-graded, so a stale
+// tier would show up as a capacity-graph mismatch).
+namespace owan::core {
+namespace {
+
+topo::WanParams QotParams() {
+  topo::WanParams p;
+  p.wavelength_gbps = 200.0;  // let the full tier range express
+  p.reach_km = 2000.0;
+  p.qot.enabled = true;
+  return p;
+}
+
+std::vector<TransferDemand> RandomDemands(int num_sites, int count,
+                                          uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TransferDemand> demands;
+  demands.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TransferDemand d;
+    d.id = i;
+    d.src = rng.UniformInt(0, num_sites - 1);
+    do {
+      d.dst = rng.UniformInt(0, num_sites - 1);
+    } while (d.dst == d.src);
+    d.rate_cap = rng.Uniform(10.0, 60.0);
+    d.remaining = d.rate_cap * 100.0;
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+// Bitwise equality of two capacity graphs (same canonical link order by
+// construction, so index-wise comparison is exact).
+void ExpectSameCapacities(const net::Graph& a, const net::Graph& b,
+                          int step) {
+  ASSERT_EQ(a.NumEdges(), b.NumEdges()) << "step " << step;
+  for (net::EdgeId e = 0; e < a.NumEdges(); ++e) {
+    ASSERT_EQ(a.edge(e).u, b.edge(e).u) << "step " << step;
+    ASSERT_EQ(a.edge(e).v, b.edge(e).v) << "step " << step;
+    ASSERT_EQ(a.edge(e).capacity, b.edge(e).capacity)
+        << "step " << step << " edge " << e;
+  }
+}
+
+void RunQotDifferentialWalk(const topo::Wan& wan, uint64_t seed, int steps) {
+  ASSERT_TRUE(wan.optical.qot().enabled);
+  const std::vector<TransferDemand> demands =
+      RandomDemands(wan.default_topology.NumSites(), 48, seed * 31 + 7);
+  const std::vector<size_t> starved = {0, 3, 5, 11};
+  const RoutingOptions opt;
+
+  EnergyEvaluator eval;
+  eval.Reset(wan.optical, wan.default_topology, demands, starved, opt);
+
+  ProvisionedState cur{wan.optical};
+  cur.SyncTo(wan.default_topology);
+
+  Topology cur_topo = wan.default_topology;
+  util::Rng rng(seed);
+  for (int i = 0; i < steps; ++i) {
+    const auto nb = ComputeNeighbor(cur_topo, rng);
+    ASSERT_TRUE(nb.has_value());
+    const auto& ev = eval.Apply(*nb);
+    // Variable capacities must never be served from the memo: a hit could
+    // carry capacities realized under a different walk history.
+    ASSERT_FALSE(ev.memo_hit) << "step " << i;
+
+    ProvisionedState ref = cur;
+    ref.SyncTo(*nb);
+    const RoutingOutcome ro =
+        AssignRoutesAndRates(ref.CapacityGraph(), demands, opt);
+    ASSERT_NEAR(ev.energy, ro.throughput, 1e-9) << "step " << i;
+    ASSERT_TRUE(eval.state().realized() == ref.realized()) << "step " << i;
+    ExpectSameCapacities(eval.state().CapacityGraph(), ref.CapacityGraph(),
+                         i);
+    if (rng.Chance(0.5)) {
+      eval.Accept();
+      cur = ref;
+      cur_topo = *nb;
+    } else {
+      eval.Reject();
+      ASSERT_TRUE(eval.state().realized() == cur.realized()) << "step " << i;
+      ExpectSameCapacities(eval.state().CapacityGraph(),
+                           cur.CapacityGraph(), i);
+      ASSERT_TRUE(eval.state().optical().CheckInvariants()) << "step " << i;
+    }
+  }
+  EXPECT_EQ(eval.stats().memo_hits, 0);
+}
+
+TEST(EnergyEvaluatorQotTest, MatchesFreshOnQotIspWalk) {
+  RunQotDifferentialWalk(topo::MakeIspBackbone(7, 40, QotParams()), 321, 40);
+}
+
+TEST(EnergyEvaluatorQotTest, MatchesFreshOnQotInterDcWalk) {
+  RunQotDifferentialWalk(topo::MakeInterDc(11, 25, QotParams()), 77, 40);
+}
+
+// Two units on a 1600 km pair with a single regenerator: the first circuit
+// regenerates (150G), the second must run unsplit (100G). Dropping and
+// restoring a unit forces a release/re-grade cycle across different tiers;
+// the rollback must reproduce both capacities exactly.
+TEST(EnergyEvaluatorQotTest, RejectRestoresTierChangedCircuit) {
+  std::vector<optical::SiteInfo> sites = {{"A", 3, 0}, {"B", 2, 1},
+                                          {"C", 3, 0}};
+  optical::OpticalNetwork on(std::move(sites), 2000.0, 200.0);
+  optical::QotOptions q;
+  q.enabled = true;
+  on.set_qot(q);
+  on.AddFiber(0, 1, 400.0, 4);
+  on.AddFiber(1, 2, 1200.0, 4);
+
+  Topology start(3);
+  start.AddUnits(0, 2, 2);
+
+  std::vector<TransferDemand> demands(1);
+  demands[0].id = 0;
+  demands[0].src = 0;
+  demands[0].dst = 2;
+  demands[0].rate_cap = 500.0;
+  demands[0].remaining = 5000.0;
+
+  EnergyEvaluator eval;
+  // Reset keeps pointers to the starved list; it must outlive the walk.
+  const std::vector<size_t> starved;
+  const RoutingOptions routing;
+  eval.Reset(on, start, demands, starved, routing);
+  // min(200G, 150G) via the regen plus an unsplit 100G: 250G on the link.
+  ASSERT_DOUBLE_EQ(eval.state().RealizedCapacityGbps(0, 2), 250.0);
+
+  Topology smaller = start;
+  smaller.AddUnits(0, 2, -1);
+  const double e_small = eval.Apply(smaller).energy;
+  // One unit gone: one of the circuits (and its tier) went with it.
+  ASSERT_LT(eval.state().RealizedCapacityGbps(0, 2), 250.0);
+  eval.Reject();
+  // Rollback re-grades the restored circuit; both tiers must be back.
+  ASSERT_DOUBLE_EQ(eval.state().RealizedCapacityGbps(0, 2), 250.0);
+  ASSERT_TRUE(eval.state().optical().CheckInvariants());
+
+  // Re-applying reproduces the shrunken evaluation bit-for-bit.
+  ASSERT_DOUBLE_EQ(eval.Apply(smaller).energy, e_small);
+  eval.Reject();
+  ASSERT_DOUBLE_EQ(eval.state().RealizedCapacityGbps(0, 2), 250.0);
+}
+
+}  // namespace
+}  // namespace owan::core

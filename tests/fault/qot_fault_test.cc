@@ -1,0 +1,129 @@
+// Span-degradation events through the fault layer: parsing, plant
+// application semantics, and post-slot invariant checking under the QoT
+// model (capacity shrinks, but the link never blackholes).
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "fault/invariant_checker.h"
+#include "fault/schedule_io.h"
+#include "optical/optical_network.h"
+#include "topo/topologies.h"
+
+namespace owan::fault {
+namespace {
+
+// A - B - C line, theta 200, QoT on: the 1200 km B-C leg grades 150G.
+optical::OpticalNetwork MakeQotPlant() {
+  std::vector<optical::SiteInfo> sites = {{"A", 2, 0}, {"B", 2, 2},
+                                          {"C", 2, 0}};
+  optical::OpticalNetwork on(std::move(sites), 2000.0, 200.0);
+  optical::QotOptions q;
+  q.enabled = true;
+  on.set_qot(q);
+  on.AddFiber(0, 1, 400.0, 4);
+  on.AddFiber(1, 2, 1200.0, 4);
+  return on;
+}
+
+core::TransferDemand Demand(int id, int src, int dst, double remaining) {
+  core::TransferDemand d;
+  d.id = id;
+  d.src = src;
+  d.dst = dst;
+  d.remaining = remaining;
+  d.rate_cap = remaining / 300.0;
+  return d;
+}
+
+core::TransferAllocation Alloc(int id, std::vector<net::NodeId> nodes,
+                               double rate) {
+  core::TransferAllocation a;
+  a.id = id;
+  core::PathAllocation pa;
+  pa.path.nodes = std::move(nodes);
+  pa.rate = rate;
+  a.paths.push_back(pa);
+  return a;
+}
+
+TEST(QotFaultTest, SpanEventsRoundTripThroughScheduleIo) {
+  FaultSchedule s;
+  s.Add(FaultEvent::SpanDegrade(300.0, 1, 3.5));
+  s.Add(FaultEvent::SpanRepair(1200.0, 1));
+  const std::string text = FormatFaultSchedule(s);
+  EXPECT_EQ(ParseFaultSchedule(text), s);
+  // A degradation level must be present and non-negative.
+  EXPECT_THROW(ParseFaultSchedule("300 span-degrade 1"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("300 span-degrade 1 -2.0"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("300 span-repair"), std::invalid_argument);
+}
+
+TEST(QotFaultTest, ApplyPlantEventSemantics) {
+  optical::OpticalNetwork qot = MakeQotPlant();
+  // A new degradation level changes a QoT plant operationally.
+  EXPECT_TRUE(ApplyPlantEvent(FaultEvent::SpanDegrade(0.0, 1, 3.0), qot));
+  EXPECT_DOUBLE_EQ(qot.FiberDegradationDb(1), 3.0);
+  // Re-applying the same level is a no-op.
+  EXPECT_FALSE(ApplyPlantEvent(FaultEvent::SpanDegrade(0.0, 1, 3.0), qot));
+  EXPECT_TRUE(ApplyPlantEvent(FaultEvent::SpanRepair(0.0, 1), qot));
+  EXPECT_FALSE(ApplyPlantEvent(FaultEvent::SpanRepair(0.0, 1), qot));
+
+  // A legacy plant records the level (for checkpoints) but nothing changes
+  // operationally, so no recompute is signalled.
+  const topo::Wan wan = topo::MakeMotivatingExample();
+  optical::OpticalNetwork legacy = wan.optical;
+  EXPECT_FALSE(ApplyPlantEvent(FaultEvent::SpanDegrade(0.0, 0, 9.0), legacy));
+  EXPECT_DOUBLE_EQ(legacy.FiberDegradationDb(0), 9.0);
+  EXPECT_FALSE(ApplyPlantEvent(FaultEvent::SpanRepair(0.0, 0), legacy));
+  EXPECT_DOUBLE_EQ(legacy.FiberDegradationDb(0), 0.0);
+}
+
+TEST(QotFaultTest, DegradationShrinksCapacityWithoutBlackhole) {
+  optical::OpticalNetwork plant = MakeQotPlant();
+  core::Topology topo(3);
+  topo.AddUnits(1, 2, 1);
+
+  // Clean plant: the B-C unit carries the 150G tier.
+  auto v = InvariantChecker::CheckSlot(topo, plant,
+                                       {Demand(0, 1, 2, 45000.0)},
+                                       {Alloc(0, {1, 2}, 150.0)});
+  EXPECT_TRUE(v.empty()) << v.front();
+
+  // 60 dB over the 15 spans of the B-C fiber: 150G -> 50G. The old rate
+  // now overshoots the shrunken capacity...
+  ASSERT_TRUE(ApplyPlantEvent(FaultEvent::SpanDegrade(0.0, 1, 60.0), plant));
+  v = InvariantChecker::CheckSlot(topo, plant, {Demand(0, 1, 2, 45000.0)},
+                                  {Alloc(0, {1, 2}, 150.0)});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("capacity"), std::string::npos);
+  // ...but the link is degraded, not dark: a tier-respecting rate is clean
+  // (no dead/absent-link or blackhole violation).
+  v = InvariantChecker::CheckSlot(topo, plant, {Demand(0, 1, 2, 15000.0)},
+                                  {Alloc(0, {1, 2}, 50.0)});
+  EXPECT_TRUE(v.empty()) << v.front();
+
+  // RecomputeTopology keeps the degraded link lit.
+  const core::Topology after = RecomputeTopology(topo, plant, true);
+  EXPECT_GT(after.Units(1, 2), 0);
+}
+
+TEST(QotFaultTest, TotalDegradationDropsTheLinkCleanly) {
+  optical::OpticalNetwork plant = MakeQotPlant();
+  core::Topology topo(3);
+  topo.AddUnits(1, 2, 1);
+  // No tier closes under 500 dB: the recomputed topology drops the unit
+  // (like a cut would), and the checker flags traffic still riding it.
+  ASSERT_TRUE(ApplyPlantEvent(FaultEvent::SpanDegrade(0.0, 1, 500.0), plant));
+  const core::Topology after =
+      RecomputeTopology(topo, plant, /*repair_dark_ports=*/false);
+  EXPECT_EQ(after.Units(1, 2), 0);
+  const auto v = InvariantChecker::CheckSlot(
+      after, plant, {Demand(0, 1, 2, 15000.0)}, {Alloc(0, {1, 2}, 50.0)});
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("dead/absent link"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace owan::fault

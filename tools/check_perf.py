@@ -72,6 +72,20 @@ def main():
                 failures.append(
                     f"{r['scheme']}: max_energy_diff = {diff!r} (must be 0; "
                     "incremental evaluator diverged from the oracle)")
+            # Provenance: the committed baseline was measured with the
+            # legacy reach model, so a run graded by the QoT digital twin
+            # is not comparable. The bench stamps every summary record;
+            # a missing stamp means a stale binary that cannot prove it.
+            qot = r.get("qot_enabled")
+            if qot is None:
+                failures.append(
+                    f"{r['scheme']}: no qot_enabled stamp (rebuild "
+                    "bench_anneal_eval; the gate requires proof that the "
+                    "QoT model was off)")
+            elif qot != 0.0:
+                failures.append(
+                    f"{r['scheme']}: qot_enabled = {qot!r} (the perf gate "
+                    "must run the legacy reach model)")
 
     names = {
         "fresh": (f"fresh@{args.topo}", "fresh"),

@@ -7,9 +7,9 @@
 // --replay re-checks byte-for-byte.
 //
 // Usage: owan_fuzz [--trials N] [--seed S]
-//                  [--suite all|lp|diff|invariant|update|admission]
+//                  [--suite all|lp|diff|invariant|update|admission|qot]
 //                  [--replay FILE] [--shrink-out FILE] [--no-shrink]
-//                  [--max-shrink-evals N] [--inject-bug cache|wal]
+//                  [--max-shrink-evals N] [--inject-bug cache|wal|qot]
 //
 // Exit status: 0 all trials clean, 1 property failure, 2 usage/IO error.
 #include <cstdio>
@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/energy_evaluator.h"
+#include "optical/qot.h"
 #include "testkit/case_io.h"
 #include "update/intent_log.h"
 #include "testkit/oracles.h"
@@ -32,9 +33,10 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trials N] [--seed S] "
-               "[--suite all|lp|diff|invariant|update|admission] [--replay FILE] "
+               "[--suite all|lp|diff|invariant|update|admission|qot] "
+               "[--replay FILE] "
                "[--shrink-out FILE] [--no-shrink] [--max-shrink-evals N] "
-               "[--inject-bug cache|wal]\n",
+               "[--inject-bug cache|wal|qot]\n",
                argv0);
   return 2;
 }
@@ -82,7 +84,8 @@ int main(int argc, char** argv) {
   const bool invariant = suite == "all" || suite == "invariant";
   const bool update_exec = suite == "all" || suite == "update";
   const bool admission = suite == "all" || suite == "admission";
-  if (!lp && !diff && !invariant && !update_exec && !admission) {
+  const bool qot = suite == "all" || suite == "qot";
+  if (!lp && !diff && !invariant && !update_exec && !admission && !qot) {
     return Usage(argv[0]);
   }
 
@@ -97,6 +100,11 @@ int main(int argc, char** argv) {
       std::printf(
           "owan_fuzz: injected bug: WAL writer drops every 5th intent "
           "record\n");
+    } else if (inject == "qot") {
+      optical::TestOnlySkipFirstSpanNoise(true);
+      std::printf(
+          "owan_fuzz: injected bug: QoT accumulation skips the first "
+          "span's noise on every fiber\n");
     } else {
       std::fprintf(stderr, "owan_fuzz: unknown --inject-bug \"%s\"\n",
                    inject.c_str());
@@ -106,7 +114,7 @@ int main(int argc, char** argv) {
 
   const testkit::Property property =
       testkit::MakeOracleProperty(lp, diff, invariant, {}, update_exec,
-                                  admission);
+                                  admission, qot);
 
   if (!replay_path.empty()) {
     std::ifstream in(replay_path);
